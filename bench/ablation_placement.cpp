@@ -1,0 +1,79 @@
+// Ablation: in-situ vs in-transit analytics placement (DESIGN.md Sec. 3).
+//
+// The paper's reference workload places analytics on dedicated nodes
+// ("in transit" over the fabric); its motivating prior work [Taufer et al.
+// 2019] also studies in-situ placement where each consumer shares its
+// producer's node.  This ablation quantifies that trade on the simulated
+// testbed for JAC and STMV:
+//
+//   DYAD in-situ     - colocated pairs, flock warm path, zero fabric bytes;
+//   DYAD in-transit  - split nodes, KVS + RDMA pull (the paper's config);
+//   XFS  in-situ     - colocated with coarse manual sync (baseline).
+//
+// In-situ saves the transfer but steals cores/memory bandwidth from the
+// simulation in real systems; the simulator prices only the data path, so
+// the output quantifies the movement side of the trade.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Placement;
+using workflow::Solution;
+
+constexpr std::uint64_t kFrames = 64;
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const auto& model : {md::kJac, md::kStmv}) {
+    const std::string m(model.name);
+    Case insitu;
+    insitu.label = "DYAD-insitu/" + m;
+    insitu.config =
+        make_config(Solution::kDyad, 8, 2, model, model.stride, kFrames);
+    insitu.config.placement = Placement::kColocated;
+    cases.push_back(std::move(insitu));
+
+    Case intransit;
+    intransit.label = "DYAD-intransit/" + m;
+    intransit.config =
+        make_config(Solution::kDyad, 8, 2, model, model.stride, kFrames);
+    cases.push_back(std::move(intransit));
+
+    Case xfs;
+    xfs.label = "XFS-insitu/" + m;
+    xfs.config =
+        make_config(Solution::kXfs, 8, 2, model, model.stride, kFrames);
+    xfs.config.placement = Placement::kColocated;
+    cases.push_back(std::move(xfs));
+  }
+  return cases;
+}
+
+void report(const std::vector<Case>& cases) {
+  print_panel("Ablation: placement, consumption per frame (8 pairs)", cases,
+              /*production=*/false, /*in_ms=*/true);
+  std::printf("\nHeadlines (consumption movement):\n");
+  for (const char* m : {"JAC", "STMV"}) {
+    print_headline(std::string("in-transit cost vs in-situ, ") + m,
+                   safe_ratio(cons_movement_us("DYAD-intransit/" +
+                                               std::string(m)),
+                              cons_movement_us("DYAD-insitu/" +
+                                               std::string(m))),
+                   "fabric pull vs local flock");
+  }
+  print_headline("DYAD in-situ vs XFS in-situ (overall, JAC)",
+                 safe_ratio(cons_total_us("XFS-insitu/JAC"),
+                            cons_total_us("DYAD-insitu/JAC")),
+                 "automatic sync still wins colocated");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

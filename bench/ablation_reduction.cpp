@@ -1,0 +1,75 @@
+// Ablation: in-situ data reduction (DESIGN.md Sec. 3; paper Sec. II-B).
+//
+// Producers compress frames (quantized-delta codec, ~1.9x at 1e-3
+// precision) before moving them; consumers decompress.  Whether that pays
+// depends on which side is the bottleneck:
+//
+//   Lustre + STMV  - movement-bound (network + OST): compression should
+//                    shrink the dominant cost;
+//   DYAD + JAC     - already CPU/RPC-bound: codec time is pure overhead.
+//
+// Measured with 2 nodes, 8 pairs, Table II strides.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Solution;
+
+constexpr std::uint64_t kFrames = 64;
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  struct Combo {
+    Solution solution;
+    md::MolecularModel model;
+  };
+  const Combo combos[] = {
+      {Solution::kDyad, md::kJac},
+      {Solution::kDyad, md::kStmv},
+      {Solution::kLustre, md::kJac},
+      {Solution::kLustre, md::kStmv},
+  };
+  for (const auto& combo : combos) {
+    for (const bool compress : {false, true}) {
+      Case c;
+      c.label = std::string(to_string(combo.solution)) + "/" +
+                std::string(combo.model.name) +
+                (compress ? "/compressed" : "/raw");
+      c.config = make_config(combo.solution, 8, 2, combo.model,
+                             combo.model.stride, kFrames);
+      c.config.workload.compress = compress;
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+void report(const std::vector<Case>& cases) {
+  print_panel("Ablation: data reduction, production per frame (8 pairs)",
+              cases, /*production=*/true, /*in_ms=*/true);
+  print_panel("Ablation: data reduction, consumption per frame (8 pairs)",
+              cases, /*production=*/false, /*in_ms=*/true);
+
+  std::printf("\nHeadlines (movement time, raw vs compressed):\n");
+  for (const char* combo :
+       {"DYAD/JAC", "DYAD/STMV", "Lustre/JAC", "Lustre/STMV"}) {
+    const std::string raw = std::string(combo) + "/raw";
+    const std::string comp = std::string(combo) + "/compressed";
+    print_headline(std::string("movement saved by compression, ") + combo,
+                   safe_ratio(cons_movement_us(raw) + prod_movement_us(raw),
+                              cons_movement_us(comp) + prod_movement_us(comp)),
+                   "wins where movement-bound, loses elsewhere (codec CPU "
+                   "not shown here)");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

@@ -1,0 +1,97 @@
+// Ablation: storage path (DESIGN.md Sec. 3).
+//
+// Quantifies DYAD's storage design choices on the two-node STMV
+// configuration (large frames stress the data path):
+//
+//   DYAD (default)     - buffered node-local staging (burst-buffer style);
+//   DYAD (direct I/O)  - node-local staging with the page cache bypassed
+//                        (every byte hits the NVMe twice on the consumer);
+//   DYAD (no staging)  - consume the RDMA stream in place, no local copy;
+//   Lustre             - all bytes through the shared parallel filesystem.
+//
+// Expected: no-staging < default < direct-IO << Lustre for movement; the
+// default's extra copy buys re-read locality at modest cost.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Solution;
+
+constexpr std::uint64_t kFrames = 64;
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+
+  Case def;
+  def.label = "DYAD-buffered";
+  def.config =
+      make_config(Solution::kDyad, 8, 2, md::kStmv, md::kStmv.stride, kFrames);
+  cases.push_back(std::move(def));
+
+  Case direct;
+  direct.label = "DYAD-direct-io";
+  direct.config =
+      make_config(Solution::kDyad, 8, 2, md::kStmv, md::kStmv.stride, kFrames);
+  direct.config.testbed.local_fs.direct_io = true;
+  cases.push_back(std::move(direct));
+
+  Case stream;
+  stream.label = "DYAD-no-staging";
+  stream.config =
+      make_config(Solution::kDyad, 8, 2, md::kStmv, md::kStmv.stride, kFrames);
+  stream.config.testbed.dyad.skip_consumer_staging = true;
+  cases.push_back(std::move(stream));
+
+  Case push;
+  push.label = "DYAD-push-mode";
+  push.config =
+      make_config(Solution::kDyad, 8, 2, md::kStmv, md::kStmv.stride, kFrames);
+  push.config.testbed.dyad.push_mode = true;
+  cases.push_back(std::move(push));
+
+  Case lustre;
+  lustre.label = "Lustre";
+  lustre.config = make_config(Solution::kLustre, 8, 2, md::kStmv,
+                              md::kStmv.stride, kFrames);
+  cases.push_back(std::move(lustre));
+
+  return cases;
+}
+
+void report(const std::vector<Case>& cases) {
+  print_panel("Ablation: storage path, production per frame (2 nodes, STMV, "
+              "8 pairs)",
+              cases, /*production=*/true, /*in_ms=*/true);
+  print_panel("Ablation: storage path, consumption per frame (2 nodes, STMV, "
+              "8 pairs)",
+              cases, /*production=*/false, /*in_ms=*/true);
+
+  std::printf("\nHeadlines (consumption movement):\n");
+  print_headline("direct-IO staging cost vs buffered",
+                 safe_ratio(cons_movement_us("DYAD-direct-io"),
+                            cons_movement_us("DYAD-buffered")),
+                 "page cache absorbs the staging copy");
+  print_headline("buffered staging cost vs no staging",
+                 safe_ratio(cons_movement_us("DYAD-buffered"),
+                            cons_movement_us("DYAD-no-staging")),
+                 "the local copy is cheap insurance");
+  print_headline("Lustre movement vs DYAD buffered",
+                 safe_ratio(cons_movement_us("Lustre"),
+                            cons_movement_us("DYAD-buffered")),
+                 "node-local staging wins");
+  print_headline("pull movement vs push-mode movement",
+                 safe_ratio(cons_movement_us("DYAD-buffered"),
+                            cons_movement_us("DYAD-push-mode")),
+                 "pushing overlaps the transfer with MD compute");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

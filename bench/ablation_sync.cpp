@@ -1,0 +1,70 @@
+// Ablation: synchronization protocol (DESIGN.md Sec. 3).
+//
+// Quantifies the two synchronization mechanisms the paper credits for
+// DYAD's consumption advantage, on the single-node JAC configuration:
+//
+//   DYAD (multi-protocol) - KVS first touch, flock afterwards (default);
+//   DYAD (KVS-only)       - warm flock path disabled; every consume pays a
+//                           KVS lookup round (and the staging copy);
+//   XFS  (coarse-grained) - manual barrier sync, serialized iterations.
+//
+// Expected ordering: multi-protocol < KVS-only << coarse-grained.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Solution;
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+
+  Case multi;
+  multi.label = "DYAD-multiprotocol";
+  multi.config = make_config(Solution::kDyad, 4, 1, md::kJac, md::kJac.stride);
+  cases.push_back(std::move(multi));
+
+  Case kvs_only;
+  kvs_only.label = "DYAD-kvs-only";
+  kvs_only.config =
+      make_config(Solution::kDyad, 4, 1, md::kJac, md::kJac.stride);
+  kvs_only.config.testbed.dyad.force_kvs_sync = true;
+  cases.push_back(std::move(kvs_only));
+
+  Case coarse;
+  coarse.label = "XFS-coarse";
+  coarse.config = make_config(Solution::kXfs, 4, 1, md::kJac, md::kJac.stride);
+  cases.push_back(std::move(coarse));
+
+  return cases;
+}
+
+void report(const std::vector<Case>& cases) {
+  print_panel("Ablation: synchronization protocol, consumption per frame "
+              "(single node, JAC, 4 pairs)",
+              cases, /*production=*/false, /*in_ms=*/true);
+
+  std::printf("\nHeadlines:\n");
+  print_headline("KVS-only consume *movement* vs multi-protocol",
+                 safe_ratio(cons_movement_us("DYAD-kvs-only"),
+                            cons_movement_us("DYAD-multiprotocol")),
+                 "warm flock path saves per-frame KVS rounds");
+  print_headline("coarse-grained cost vs multi-protocol",
+                 safe_ratio(cons_total_us("XFS-coarse"),
+                            cons_total_us("DYAD-multiprotocol")),
+                 "serialization dominates everything else");
+  print_headline("coarse-grained cost vs KVS-only",
+                 safe_ratio(cons_total_us("XFS-coarse"),
+                            cons_total_us("DYAD-kvs-only")),
+                 "even unoptimized auto-sync beats manual sync");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

@@ -1,0 +1,155 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "mdwf/common/assert.hpp"
+#include "mdwf/common/format.hpp"
+#include "mdwf/common/table.hpp"
+
+namespace mdwf::bench {
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+void Registry::put(const std::string& label, workflow::EnsembleResult r) {
+  results_.insert_or_assign(label, std::move(r));
+}
+
+const workflow::EnsembleResult& Registry::at(const std::string& label) const {
+  const auto it = results_.find(label);
+  MDWF_ASSERT_MSG(it != results_.end(), "benchmark case did not run");
+  return it->second;
+}
+
+bool Registry::contains(const std::string& label) const {
+  return results_.contains(label);
+}
+
+workflow::EnsembleConfig make_config(workflow::Solution solution,
+                                     std::uint32_t pairs, std::uint32_t nodes,
+                                     md::MolecularModel model,
+                                     std::uint64_t stride,
+                                     std::uint64_t frames) {
+  workflow::EnsembleConfig c;
+  c.solution = solution;
+  c.pairs = pairs;
+  c.nodes = nodes;
+  c.workload.model = model;
+  c.workload.stride = stride;
+  c.workload.frames = frames;
+  c.repetitions = 10;
+  c.base_seed = 1;
+  return c;
+}
+
+namespace {
+
+// With MDWF_CSV_DIR set, each case dumps its aggregated consumer call tree
+// for external plotting.
+void maybe_export_csv(const std::string& label,
+                      const workflow::EnsembleResult& result) {
+  const char* dir = std::getenv("MDWF_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return;
+  std::filesystem::create_directories(dir);
+  std::string name = label;
+  for (char& ch : name) {
+    if (ch == '/' || ch == ' ') ch = '_';
+  }
+  std::ofstream out(std::filesystem::path(dir) / (name + ".csv"));
+  if (!out) return;
+  out << result.thicket.filter("role", "consumer").aggregate().to_csv();
+}
+
+}  // namespace
+
+void register_case(const Case& c) {
+  const Case copy = c;
+  benchmark::RegisterBenchmark(
+      copy.label.c_str(),
+      [copy](benchmark::State& state) {
+        for (auto _ : state) {
+          auto result = workflow::run_ensemble(copy.config);
+          state.counters["prod_move_us"] = result.prod_movement_us.mean();
+          state.counters["prod_idle_us"] = result.prod_idle_us.mean();
+          state.counters["cons_move_us"] = result.cons_movement_us.mean();
+          state.counters["cons_idle_us"] = result.cons_idle_us.mean();
+          state.counters["makespan_s"] = result.makespan_s.mean();
+          maybe_export_csv(copy.label, result);
+          Registry::instance().put(copy.label, std::move(result));
+        }
+      })
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(1);
+}
+
+double safe_ratio(double num, double den) {
+  return den > 0.0 ? num / den : 0.0;
+}
+
+namespace {
+
+std::string pm(double mean, double std, double scale, int decimals) {
+  return format_double(mean / scale, decimals) + " +/- " +
+         format_double(std / scale, decimals);
+}
+
+}  // namespace
+
+void print_panel(const std::string& title, const std::vector<Case>& cases,
+                 bool production, bool in_ms) {
+  const double scale = in_ms ? 1000.0 : 1.0;
+  const char* unit = in_ms ? "ms" : "us";
+  TextTable t({"case", std::string("movement (") + unit + ")",
+               std::string("idle (") + unit + ")",
+               std::string("total (") + unit + ")"});
+  for (const auto& c : cases) {
+    const auto& r = Registry::instance().at(c.label);
+    const auto& move = production ? r.prod_movement_us : r.cons_movement_us;
+    const auto& idle = production ? r.prod_idle_us : r.cons_idle_us;
+    t.add_row({c.label, pm(move.mean(), move.stddev(), scale, 2),
+               pm(idle.mean(), idle.stddev(), scale, 2),
+               format_double((move.mean() + idle.mean()) / scale, 2)});
+  }
+  std::printf("\n%s\n%s", title.c_str(), t.render().c_str());
+}
+
+void print_headline(const std::string& name, double measured_ratio,
+                    const std::string& paper_value) {
+  std::printf("  %-58s measured %6.1fx   (paper: %s)\n", name.c_str(),
+              measured_ratio, paper_value.c_str());
+}
+
+double prod_total_us(const std::string& label) {
+  return Registry::instance().at(label).mean_production_us();
+}
+double cons_total_us(const std::string& label) {
+  return Registry::instance().at(label).mean_consumption_us();
+}
+double prod_movement_us(const std::string& label) {
+  return Registry::instance().at(label).prod_movement_us.mean();
+}
+double cons_movement_us(const std::string& label) {
+  return Registry::instance().at(label).cons_movement_us.mean();
+}
+
+int run_bench_main(int argc, char** argv, const std::vector<Case>& cases,
+                   void (*report)(const std::vector<Case>&)) {
+  for (const auto& c : cases) register_case(c);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // Benchmark filters can skip cases; only report when everything ran.
+  for (const auto& c : cases) {
+    if (!Registry::instance().contains(c.label)) return 0;
+  }
+  report(cases);
+  return 0;
+}
+
+}  // namespace mdwf::bench

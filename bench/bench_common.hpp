@@ -1,0 +1,76 @@
+// Shared infrastructure for the per-figure benchmark binaries.
+//
+// Each figure binary registers one google-benchmark per bar group (a
+// solution x scale point), runs the corresponding ensemble once (the run is
+// deterministic; the statistical spread comes from the 10 seeded
+// repetitions inside), exports movement/idle counters, and finally prints a
+// paper-style table plus the headline ratios next to the paper's published
+// values.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace mdwf::bench {
+
+// Named ensemble configuration (one bar group in a figure).
+struct Case {
+  std::string label;
+  workflow::EnsembleConfig config;
+};
+
+// Results keyed by case label, filled as benchmarks execute.
+class Registry {
+ public:
+  static Registry& instance();
+
+  void put(const std::string& label, workflow::EnsembleResult r);
+  const workflow::EnsembleResult& at(const std::string& label) const;
+  bool contains(const std::string& label) const;
+
+ private:
+  std::map<std::string, workflow::EnsembleResult> results_;
+};
+
+// Builds a standard ensemble config (10 repetitions, base seed 1).
+workflow::EnsembleConfig make_config(workflow::Solution solution,
+                                     std::uint32_t pairs, std::uint32_t nodes,
+                                     md::MolecularModel model,
+                                     std::uint64_t stride,
+                                     std::uint64_t frames = 128);
+
+// Registers a google-benchmark that runs `c.config` once and records the
+// result under `c.label`, with movement/idle counters attached.
+void register_case(const Case& c);
+
+// --- Reporting --------------------------------------------------------------
+
+// Production (a) and consumption (b) tables in the paper's decomposition:
+// data movement vs idle, mean +/- std over repetitions.  `in_ms` selects
+// milliseconds (consumption) vs microseconds (production).
+void print_panel(const std::string& title, const std::vector<Case>& cases,
+                 bool production, bool in_ms);
+
+// One headline comparison line: "<name>: measured Rx (paper: Px)".
+void print_headline(const std::string& name, double measured_ratio,
+                    const std::string& paper_value);
+
+double safe_ratio(double num, double den);
+
+// Convenience accessors on a finished case.
+double prod_total_us(const std::string& label);
+double cons_total_us(const std::string& label);
+double prod_movement_us(const std::string& label);
+double cons_movement_us(const std::string& label);
+
+// Standard main body: register all cases, run benchmarks, then call
+// `report`.  Returns exit code.
+int run_bench_main(int argc, char** argv, const std::vector<Case>& cases,
+                   void (*report)(const std::vector<Case>&));
+
+}  // namespace mdwf::bench

@@ -1,0 +1,76 @@
+// Figure 10: Thicket call-tree analysis of Lustre, JAC vs STMV.
+//
+// Paper setup (Sec. IV-E, Fig. 10): the Fig. 8 configuration analyzed with
+// Thicket.  The Lustre consumer call tree is
+//   consume / {explicit_sync, FilesystemReader::read_single_buf}
+// Findings reproduced:
+//   - data movement (read_single_buf) grows ~12.3x for 45.3x more data
+//     (Lustre's striping/parallelism absorbs much of the growth);
+//   - explicit_sync stays roughly constant (~one frame period) and
+//     dominates, capping Lustre's scalability for MD workflows.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Solution;
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const auto& model : {md::kJac, md::kStmv}) {
+    Case c;
+    c.label = "Lustre/" + std::string(model.name);
+    c.config = make_config(Solution::kLustre, 16, 2, model, model.stride);
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+double node_us(const perf::StatTree& t, const std::string& path) {
+  const auto* n = t.find(path);
+  return n == nullptr ? 0.0 : n->inclusive_us.mean();
+}
+
+void report(const std::vector<Case>& cases) {
+  perf::StatTree jac, stmv;
+  for (const auto& c : cases) {
+    const auto& r = Registry::instance().at(c.label);
+    auto agg = r.thicket.filter("role", "consumer").aggregate();
+    std::printf("\nFig 10(%s): Lustre consumer call tree, %s\n",
+                c.label == "Lustre/JAC" ? "a" : "b", c.label.c_str());
+    std::printf("%s", agg.render().c_str());
+    if (c.label == "Lustre/JAC") {
+      jac = std::move(agg);
+    } else {
+      stmv = std::move(agg);
+    }
+  }
+
+  const double jac_read =
+      node_us(jac, "consume/FilesystemReader::read_single_buf");
+  const double stmv_read =
+      node_us(stmv, "consume/FilesystemReader::read_single_buf");
+  const double jac_sync = node_us(jac, "consume/explicit_sync");
+  const double stmv_sync = node_us(stmv, "consume/explicit_sync");
+
+  std::printf("\nHeadlines:\n");
+  print_headline("STMV/JAC data volume", 45.3, "45.3x");
+  print_headline("STMV/JAC Lustre read_single_buf cost",
+                 safe_ratio(stmv_read, jac_read), "12.3x");
+  print_headline("STMV/JAC explicit_sync cost",
+                 safe_ratio(stmv_sync, jac_sync),
+                 "~1x (constant; limits scalability)");
+  print_headline("explicit_sync share of STMV consumption",
+                 safe_ratio(stmv_sync, stmv_sync + stmv_read),
+                 "dominant");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

@@ -1,0 +1,67 @@
+// Figure 11: frame-generation frequency scaling with JAC, DYAD vs Lustre.
+//
+// Paper setup (Sec. IV-F): 2 nodes, 16 pairs, JAC, strides 1/5/10/50 (an
+// output frame every 0.93 ms .. 46.6 ms).  Findings reproduced:
+//   (a) data movement flat across strides; DYAD ~4.8x faster production;
+//   (b) idle grows with stride for both solutions, DYAD's stays far
+//       smaller (adaptive synchronization), so the overall gap widens with
+//       stride.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Solution;
+
+constexpr std::uint64_t kStrides[] = {1, 5, 10, 50};
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const auto solution : {Solution::kDyad, Solution::kLustre}) {
+    for (const std::uint64_t stride : kStrides) {
+      Case c;
+      c.label = std::string(to_string(solution)) + "/stride=" +
+                std::to_string(stride);
+      c.config = make_config(solution, 16, 2, md::kJac, stride);
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+void report(const std::vector<Case>& cases) {
+  print_panel("Fig 11(a): data production time per frame (JAC, 16 pairs)",
+              cases, /*production=*/true, /*in_ms=*/false);
+  print_panel("Fig 11(b): data consumption time per frame (JAC, 16 pairs)",
+              cases, /*production=*/false, /*in_ms=*/true);
+
+  std::printf("\nHeadlines:\n");
+  print_headline("DYAD production speedup vs Lustre (stride 10)",
+                 safe_ratio(prod_total_us("Lustre/stride=10"),
+                            prod_total_us("DYAD/stride=10")),
+                 "4.8x faster");
+  print_headline("DYAD consumption movement speedup (stride 10)",
+                 safe_ratio(cons_movement_us("DYAD/stride=10") > 0
+                                ? cons_movement_us("Lustre/stride=10")
+                                : 0,
+                            cons_movement_us("DYAD/stride=10")),
+                 "4.8x faster");
+  const double gap1 = safe_ratio(cons_total_us("Lustre/stride=1"),
+                                 cons_total_us("DYAD/stride=1"));
+  const double gap50 = safe_ratio(cons_total_us("Lustre/stride=50"),
+                                  cons_total_us("DYAD/stride=50"));
+  print_headline("overall consumption gap, stride 1", gap1,
+                 "gap widens with stride");
+  print_headline("overall consumption gap, stride 50", gap50,
+                 "gap widens with stride");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

@@ -1,0 +1,71 @@
+// Figure 5: single-node ensemble-size scaling, DYAD vs XFS, JAC model.
+//
+// Paper setup (Sec. IV-D): one node, 1/2/4 producer-consumer pairs, JAC with
+// stride 880, 128 frames per pair, 10 runs.  Lustre is excluded on a single
+// node (as in the paper).  Findings reproduced:
+//   (a) production: DYAD ~1.4x slower than XFS (global namespace
+//       management), linear growth with ensemble size, no significant idle;
+//   (b) consumption: DYAD ~192.9x faster overall than XFS thanks to
+//       multi-protocol synchronization (KVS first touch, flock afterwards).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Solution;
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const auto solution : {Solution::kDyad, Solution::kXfs}) {
+    for (const std::uint32_t pairs : {1u, 2u, 4u}) {
+      Case c;
+      c.label = std::string(to_string(solution)) + "/pairs=" +
+                std::to_string(pairs);
+      c.config = make_config(solution, pairs, /*nodes=*/1, md::kJac,
+                             md::kJac.stride);
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+void report(const std::vector<Case>& cases) {
+  print_panel("Fig 5(a): data production time per frame (single node, JAC)",
+              cases, /*production=*/true, /*in_ms=*/false);
+  // The paper's bars aggregate over the ensemble; per-pair cost is flat, so
+  // the aggregate grows linearly with ensemble size ("adding more
+  // concurrent ensembles linearly increases the time").
+  std::printf("\nFig 5(a) aggregate production time across the ensemble:\n");
+  for (const auto& c : cases) {
+    const auto& r = Registry::instance().at(c.label);
+    std::printf("  %-14s %10.1f us (pairs x per-frame)\n", c.label.c_str(),
+                r.mean_production_us() *
+                    static_cast<double>(c.config.pairs));
+  }
+  print_panel("Fig 5(b): data consumption time per frame (single node, JAC)",
+              cases, /*production=*/false, /*in_ms=*/true);
+
+  std::printf("\nHeadlines (4-pair point):\n");
+  print_headline("DYAD production slowdown vs XFS",
+                 safe_ratio(prod_total_us("DYAD/pairs=4"),
+                            prod_total_us("XFS/pairs=4")),
+                 "1.4x slower");
+  print_headline("DYAD consumption speedup vs XFS (overall)",
+                 safe_ratio(cons_total_us("XFS/pairs=4"),
+                            cons_total_us("DYAD/pairs=4")),
+                 "192.9x faster");
+  print_headline("DYAD consumption movement vs XFS movement",
+                 safe_ratio(cons_movement_us("DYAD/pairs=4"),
+                            cons_movement_us("XFS/pairs=4")),
+                 "1.4x slower");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

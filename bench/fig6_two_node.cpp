@@ -1,0 +1,71 @@
+// Figure 6: two-node small-scale distributed ensemble, DYAD vs Lustre, JAC.
+//
+// Paper setup (Sec. IV-D): producers on node 1, consumers on node 2;
+// 1/2/4/8 pairs; JAC, stride 880, 128 frames, 10 runs.  XFS cannot span
+// nodes, so Lustre is the traditional-I/O baseline.  Findings reproduced:
+//   (a) DYAD producer data movement ~7.5x faster than Lustre (node-local
+//       storage vs off-node parallel filesystem);
+//   (b) DYAD consumer data movement ~6.9x faster; overall consumption
+//       ~197.4x faster; and DYAD's two-node times mirror its single-node
+//       times (network communication between two nodes is cheap).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Solution;
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const auto solution : {Solution::kDyad, Solution::kLustre}) {
+    for (const std::uint32_t pairs : {1u, 2u, 4u, 8u}) {
+      Case c;
+      c.label = std::string(to_string(solution)) + "/pairs=" +
+                std::to_string(pairs);
+      c.config = make_config(solution, pairs, /*nodes=*/2, md::kJac,
+                             md::kJac.stride);
+      cases.push_back(std::move(c));
+    }
+  }
+  // DYAD single-node reference (Finding 2: distribution has little effect).
+  Case ref;
+  ref.label = "DYAD-1node/pairs=4";
+  ref.config = make_config(Solution::kDyad, 4, 1, md::kJac, md::kJac.stride);
+  cases.push_back(std::move(ref));
+  return cases;
+}
+
+void report(const std::vector<Case>& cases) {
+  print_panel("Fig 6(a): data production time per frame (two nodes, JAC)",
+              cases, /*production=*/true, /*in_ms=*/false);
+  print_panel("Fig 6(b): data consumption time per frame (two nodes, JAC)",
+              cases, /*production=*/false, /*in_ms=*/true);
+
+  std::printf("\nHeadlines (8-pair point unless noted):\n");
+  print_headline("DYAD producer movement speedup vs Lustre",
+                 safe_ratio(prod_movement_us("Lustre/pairs=8"),
+                            prod_movement_us("DYAD/pairs=8")),
+                 "7.5x faster");
+  print_headline("DYAD consumer movement speedup vs Lustre",
+                 safe_ratio(cons_movement_us("Lustre/pairs=8"),
+                            cons_movement_us("DYAD/pairs=8")),
+                 "6.9x faster");
+  print_headline("DYAD overall consumption speedup vs Lustre",
+                 safe_ratio(cons_total_us("Lustre/pairs=8"),
+                            cons_total_us("DYAD/pairs=8")),
+                 "197.4x faster");
+  print_headline("DYAD two-node vs single-node production (4 pairs)",
+                 safe_ratio(prod_total_us("DYAD/pairs=4"),
+                            prod_total_us("DYAD-1node/pairs=4")),
+                 "~1x (little effect)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

@@ -1,0 +1,68 @@
+// Figure 8: molecular-model size scaling, DYAD vs Lustre.
+//
+// Paper setup (Sec. IV-E): 2 nodes, 16 producer-consumer pairs, four
+// molecular models (JAC, ApoA1, F1 ATPase, STMV) with the Table II strides
+// so every model produces a frame every ~0.82 s.  Findings reproduced:
+//   (a) production time grows with model size for both; the absolute gap
+//       widens (paper: DYAD 2.1x..6.3x faster, larger ratio for smaller
+//       models whose fixed RPC overheads dominate);
+//   (b) DYAD's consumption movement advantage with larger frames
+//       (node-local staging + RDMA vs shared OSTs), overall 121x..333.8x.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Solution;
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const auto solution : {Solution::kDyad, Solution::kLustre}) {
+    for (const auto& model : md::kAllModels) {
+      Case c;
+      c.label = std::string(to_string(solution)) + "/" +
+                std::string(model.name);
+      c.config = make_config(solution, /*pairs=*/16, /*nodes=*/2, model,
+                             model.stride);
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+void report(const std::vector<Case>& cases) {
+  print_panel("Fig 8(a): data production time per frame (2 nodes, 16 pairs)",
+              cases, /*production=*/true, /*in_ms=*/true);
+  print_panel("Fig 8(b): data consumption time per frame (2 nodes, 16 pairs)",
+              cases, /*production=*/false, /*in_ms=*/true);
+
+  std::printf("\nHeadlines:\n");
+  for (const auto& model : md::kAllModels) {
+    const std::string name(model.name);
+    print_headline(
+        "production speedup DYAD vs Lustre, " + name,
+        safe_ratio(prod_total_us("Lustre/" + name),
+                   prod_total_us("DYAD/" + name)),
+        "2.1x..6.3x across models");
+    print_headline(
+        "consumption movement speedup DYAD vs Lustre, " + name,
+        safe_ratio(cons_movement_us("Lustre/" + name),
+                   cons_movement_us("DYAD/" + name)),
+        "1.6x..6.0x across models");
+    print_headline(
+        "overall consumption speedup DYAD vs Lustre, " + name,
+        safe_ratio(cons_total_us("Lustre/" + name),
+                   cons_total_us("DYAD/" + name)),
+        "121.0x..333.8x across models");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

@@ -1,0 +1,116 @@
+// In-situ analytics on a *real* MD trajectory (paper Fig. 1, end to end):
+// a Lennard-Jones simulation streams frames through a real filesystem
+// channel to a consumer thread that computes the gyration-tensor largest
+// eigenvalue of every frame as it arrives — comparing eventful (DYAD-like)
+// synchronization against coarse polling.
+//
+//   build/examples/insitu_analytics [frames] [particles]
+#include <cstdio>
+#include <cstdlib>
+
+#include "mdwf/md/observables.hpp"
+#include "mdwf/rt/pipeline.hpp"
+
+namespace {
+
+mdwf::rt::PipelineResult run_with(mdwf::rt::SyncProtocol protocol,
+                                  std::uint64_t frames,
+                                  std::uint64_t particles) {
+  mdwf::rt::PipelineConfig config;
+  config.lj.particle_count = particles;
+  config.lj.density = 0.8;
+  config.lj.initial_temperature = 1.2;
+  config.lj.thermostat_tau = 0.1;
+  config.lj.target_temperature = 1.2;
+  config.stride = 10;
+  config.frames = frames;
+  config.protocol = protocol;
+  // A realistic filesystem-polling cadence; makes the discovery latency of
+  // the coarse protocol visible next to eventful notification.
+  config.poll_interval = std::chrono::milliseconds(25);
+  config.staging_dir =
+      protocol == mdwf::rt::SyncProtocol::kEventful ? "mdwf_staging_eventful"
+                                                    : "mdwf_staging_coarse";
+  return mdwf::rt::run_insitu_pipeline(config);
+}
+
+double ms(std::chrono::nanoseconds d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto frames =
+      static_cast<std::uint64_t>(argc > 1 ? std::atoll(argv[1]) : 24);
+  const auto particles =
+      static_cast<std::uint64_t>(argc > 2 ? std::atoll(argv[2]) : 500);
+
+  std::printf("LJ fluid, %llu particles, %llu frames (stride 10)\n",
+              static_cast<unsigned long long>(particles),
+              static_cast<unsigned long long>(frames));
+
+  const auto eventful =
+      run_with(mdwf::rt::SyncProtocol::kEventful, frames, particles);
+  const auto coarse =
+      run_with(mdwf::rt::SyncProtocol::kCoarse, frames, particles);
+
+  std::printf("\nper-frame collective variable (largest eigenvalue of the "
+              "gyration tensor):\n");
+  for (std::size_t f = 0; f < eventful.series.size(); ++f) {
+    const auto& a = eventful.series[f];
+    std::printf("  frame %3zu  lambda_max %8.3f  Rg %7.3f  asphericity %7.3f\n",
+                f, a.largest_eigenvalue, a.radius_of_gyration, a.asphericity);
+  }
+
+  std::printf("\nsynchronization comparison (wall clock):\n");
+  std::printf("  eventful (DYAD-like): total %8.2f ms, consumer waited "
+              "%8.2f ms\n",
+              ms(eventful.wall), ms(eventful.channel.consumer_wait));
+  std::printf("  coarse   (polling)  : total %8.2f ms, consumer waited "
+              "%8.2f ms\n",
+              ms(coarse.wall), ms(coarse.channel.consumer_wait));
+  std::printf("\nmoved %llu frames / %.2f MiB; final temperature %.3f after "
+              "%llu MD steps\n",
+              static_cast<unsigned long long>(eventful.channel.frames),
+              static_cast<double>(eventful.channel.bytes) / (1024.0 * 1024.0),
+              eventful.final_temperature,
+              static_cast<unsigned long long>(eventful.md_steps));
+
+  // Trajectory-level observables over a fresh run of the same engine (the
+  // consumer side would normally accumulate these from received frames).
+  {
+    mdwf::md::LjParams lj;
+    lj.particle_count = particles;
+    lj.density = 0.8;
+    lj.initial_temperature = 1.2;
+    lj.thermostat_tau = 0.1;
+    lj.target_temperature = 1.2;
+    mdwf::md::LjEngine engine(lj);
+    engine.step(200);  // equilibrate
+    mdwf::md::RadialDistribution rdf(engine.box_edge(),
+                                     engine.box_edge() / 2.0, 30);
+    mdwf::md::MeanSquaredDisplacement msd(engine.box_edge());
+    for (std::uint64_t f = 0; f < frames; ++f) {
+      const auto frame = engine.snapshot("LJ", f);
+      rdf.accumulate(frame);
+      msd.accumulate(frame);
+      engine.step(10);
+    }
+    std::printf("\ntrajectory observables (%llu frames):\n",
+                static_cast<unsigned long long>(frames));
+    const auto g = rdf.g();
+    double peak = 0.0, peak_r = 0.0;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      if (g[i] > peak) {
+        peak = g[i];
+        peak_r = rdf.r_of(i);
+      }
+    }
+    std::printf("  g(r) first-shell peak: %.2f at r = %.2f sigma\n", peak,
+                peak_r);
+    std::printf("  MSD end value: %.3f sigma^2, D ~= %.4f (frame units)\n",
+                msd.series().back(), msd.diffusion_estimate());
+  }
+  return 0;
+}

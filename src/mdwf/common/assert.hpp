@@ -1,0 +1,28 @@
+// Internal invariant checking.
+//
+// MDWF_ASSERT is active in all build types: the simulator's correctness
+// depends on kernel invariants (event ordering, resource accounting), and the
+// cost of the checks is negligible next to event-queue operations.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mdwf::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "mdwf: assertion failed: %s (%s:%d)%s%s\n", expr, file,
+               line, msg ? " - " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace mdwf::detail
+
+#define MDWF_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::mdwf::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define MDWF_ASSERT_MSG(expr, msg)                                     \
+  ((expr) ? static_cast<void>(0)                                       \
+          : ::mdwf::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))

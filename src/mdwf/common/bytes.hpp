@@ -1,0 +1,78 @@
+// Strong byte-count type.
+//
+// Byte counts flow through every layer of the model (frames, pages, stripes,
+// RDMA payloads); a dedicated type prevents silent unit mix-ups with counts
+// and nanoseconds.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace mdwf {
+
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::uint64_t v) : v_(v) {}
+
+  static constexpr Bytes zero() { return Bytes(0); }
+  static constexpr Bytes kib(std::uint64_t v) { return Bytes(v * 1024); }
+  static constexpr Bytes mib(std::uint64_t v) { return Bytes(v * 1024 * 1024); }
+  static constexpr Bytes gib(std::uint64_t v) {
+    return Bytes(v * 1024 * 1024 * 1024);
+  }
+
+  constexpr std::uint64_t count() const { return v_; }
+  constexpr double to_kib() const { return static_cast<double>(v_) / 1024.0; }
+  constexpr double to_mib() const {
+    return static_cast<double>(v_) / (1024.0 * 1024.0);
+  }
+  constexpr bool is_zero() const { return v_ == 0; }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes(a.v_ + b.v_); }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes(a.v_ - b.v_); }
+  friend constexpr Bytes operator*(Bytes a, std::uint64_t k) {
+    return Bytes(a.v_ * k);
+  }
+  friend constexpr Bytes operator*(std::uint64_t k, Bytes a) { return a * k; }
+  friend constexpr std::uint64_t operator/(Bytes a, Bytes b) {
+    return a.v_ / b.v_;
+  }
+  friend constexpr Bytes operator/(Bytes a, std::uint64_t k) {
+    return Bytes(a.v_ / k);
+  }
+  constexpr Bytes& operator+=(Bytes o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(Bytes, Bytes) = default;
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+constexpr Bytes min(Bytes a, Bytes b) { return a < b ? a : b; }
+constexpr Bytes max(Bytes a, Bytes b) { return a < b ? b : a; }
+
+namespace literals {
+
+constexpr Bytes operator""_B(unsigned long long v) {
+  return Bytes(static_cast<std::uint64_t>(v));
+}
+constexpr Bytes operator""_KiB(unsigned long long v) {
+  return Bytes::kib(static_cast<std::uint64_t>(v));
+}
+constexpr Bytes operator""_MiB(unsigned long long v) {
+  return Bytes::mib(static_cast<std::uint64_t>(v));
+}
+constexpr Bytes operator""_GiB(unsigned long long v) {
+  return Bytes::gib(static_cast<std::uint64_t>(v));
+}
+
+}  // namespace literals
+
+}  // namespace mdwf

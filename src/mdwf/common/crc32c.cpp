@@ -1,0 +1,38 @@
+#include "mdwf/common/crc32c.hpp"
+
+#include <array>
+
+namespace mdwf {
+namespace {
+
+// Table for the reflected Castagnoli polynomial 0x1EDC6F41.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed) {
+  return crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace mdwf

@@ -1,0 +1,16 @@
+// CRC-32C (Castagnoli) used to checksum serialized MD frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mdwf {
+
+// One-shot CRC over a buffer.  `seed` allows incremental composition:
+// crc32c(b, crc32c(a)) == crc32c(a ++ b).
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed = 0);
+
+std::uint32_t crc32c(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace mdwf

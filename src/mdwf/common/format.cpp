@@ -1,0 +1,54 @@
+#include "mdwf/common/format.hpp"
+
+#include <cstdio>
+
+namespace mdwf {
+namespace {
+
+std::string printf_str(const char* fmt, double v, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  const double v = static_cast<double>(b.count());
+  if (v >= 1024.0 * 1024.0 * 1024.0) {
+    return printf_str("%.2f %s", v / (1024.0 * 1024.0 * 1024.0), "GiB");
+  }
+  if (v >= 1024.0 * 1024.0) {
+    return printf_str("%.2f %s", v / (1024.0 * 1024.0), "MiB");
+  }
+  if (v >= 1024.0) {
+    return printf_str("%.2f %s", v / 1024.0, "KiB");
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu B",
+                static_cast<unsigned long long>(b.count()));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  const double ns = static_cast<double>(d.ns());
+  const double a = ns < 0 ? -ns : ns;
+  if (a >= 1e9) return printf_str("%.3f %s", ns * 1e-9, "s");
+  if (a >= 1e6) return printf_str("%.3f %s", ns * 1e-6, "ms");
+  if (a >= 1e3) return printf_str("%.3f %s", ns * 1e-3, "us");
+  return printf_str("%.0f %s", ns, "ns");
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_ratio(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*fx", decimals, v);
+  return buf;
+}
+
+}  // namespace mdwf

@@ -1,0 +1,23 @@
+// Human-readable formatting helpers for reports and benchmark output.
+#pragma once
+
+#include <string>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/common/time.hpp"
+
+namespace mdwf {
+
+// "644.21 KiB", "28.48 MiB", "12 B".
+std::string format_bytes(Bytes b);
+
+// Scales to the most natural unit: "1.53 us", "4.27 ms", "1.2 s".
+std::string format_duration(Duration d);
+
+// Fixed-point with the given number of decimals.
+std::string format_double(double v, int decimals = 2);
+
+// "1.4x" style ratio.
+std::string format_ratio(double v, int decimals = 1);
+
+}  // namespace mdwf

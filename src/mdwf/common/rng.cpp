@@ -1,0 +1,103 @@
+#include "mdwf/common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_material_(seed) {
+  std::uint64_t x = seed == 0 ? 0xA5A5A5A5DEADBEEFull : seed;
+  for (auto& w : s_) w = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  MDWF_ASSERT(bound > 0);
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_double() {
+  // 53 high bits -> uniform double in [0,1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = next_double();
+  // Avoid log(0).
+  while (u1 <= 0.0) u1 = next_double();
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::exponential(double rate) {
+  MDWF_ASSERT(rate > 0.0);
+  double u = next_double();
+  while (u <= 0.0) u = next_double();
+  return -std::log(u) / rate;
+}
+
+bool Rng::bernoulli(double p) { return next_double() < p; }
+
+Rng Rng::fork(std::string_view tag) const {
+  return Rng(seed_material_ ^ fnv1a(tag) ^ 0x6A09E667F3BCC908ull);
+}
+
+}  // namespace mdwf

@@ -1,0 +1,56 @@
+// Streaming and batch statistics used by the measurement layer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mdwf {
+
+// Welford's online algorithm: numerically stable mean/variance without
+// retaining samples.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch summary that also supports order statistics.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+  // Linear-interpolated quantile, q in [0,1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace mdwf

@@ -1,0 +1,63 @@
+#include "mdwf/common/table.hpp"
+
+#include <algorithm>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), align_(headers_.size(), Align::kRight) {
+  MDWF_ASSERT(!headers_.empty());
+  align_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t col, Align a) {
+  MDWF_ASSERT(col < align_.size());
+  align_[col] = a;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MDWF_ASSERT_MSG(cells.size() == headers_.size(),
+                  "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_cell = [&](std::string& out, const std::string& s, std::size_t c) {
+    const std::size_t pad = width[c] - s.size();
+    if (align_[c] == Align::kRight) out.append(pad, ' ');
+    out += s;
+    if (align_[c] == Align::kLeft) out.append(pad, ' ');
+  };
+
+  std::string out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out += "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      emit_cell(out, row[c], c);
+      out += (c + 1 == row.size()) ? " |\n" : " | ";
+    }
+  };
+
+  emit_row(headers_);
+  out += "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out.append(width[c] + 2, '-');
+    out += (c + 1 == headers_.size()) ? "|\n" : "|";
+  }
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+}  // namespace mdwf

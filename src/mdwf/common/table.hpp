@@ -1,0 +1,32 @@
+// Plain-text table renderer for benchmark harness output.
+//
+// Produces aligned, pipe-delimited tables mirroring the paper's tables so
+// measured and published rows can be compared side by side.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mdwf {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TextTable(std::vector<std::string> headers);
+
+  // All data columns default to right alignment, the first to left.
+  void set_align(std::size_t col, Align a);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> align_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mdwf

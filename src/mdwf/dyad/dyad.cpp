@@ -1,0 +1,249 @@
+#include "mdwf/dyad/dyad.hpp"
+
+#include <charconv>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::dyad {
+
+std::string metadata_key(const std::string& path) { return "dyad/" + path; }
+
+std::string DyadMetadata::encode() const {
+  return std::to_string(owner.value) + ":" + std::to_string(size.count());
+}
+
+DyadMetadata DyadMetadata::decode(const std::string& s) {
+  const auto colon = s.find(':');
+  MDWF_ASSERT_MSG(colon != std::string::npos, "malformed DYAD metadata");
+  DyadMetadata m;
+  std::uint32_t owner = 0;
+  std::uint64_t size = 0;
+  auto r1 = std::from_chars(s.data(), s.data() + colon, owner);
+  auto r2 = std::from_chars(s.data() + colon + 1, s.data() + s.size(), size);
+  MDWF_ASSERT_MSG(r1.ec == std::errc{} && r2.ec == std::errc{},
+                  "malformed DYAD metadata");
+  m.owner = net::NodeId{owner};
+  m.size = Bytes(size);
+  return m;
+}
+
+void DyadDomain::add(DyadNode& node) {
+  const auto [it, inserted] = nodes_.emplace(node.node().value, &node);
+  MDWF_ASSERT_MSG(inserted, "duplicate DYAD node registration");
+  (void)it;
+}
+
+DyadNode& DyadDomain::at(net::NodeId node) const {
+  const auto it = nodes_.find(node.value);
+  MDWF_ASSERT_MSG(it != nodes_.end(), "unknown DYAD node");
+  return *it->second;
+}
+
+void DyadDomain::subscribe(std::string prefix, net::NodeId node) {
+  subscriptions_.insert_or_assign(std::move(prefix), node);
+}
+
+std::optional<net::NodeId> DyadDomain::subscriber_for(
+    const std::string& path) const {
+  // Longest matching prefix wins; the table stays small (one entry per
+  // consumer rank), so a linear scan is fine.
+  std::optional<net::NodeId> best;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, node] : subscriptions_) {
+    if (path.compare(0, prefix.size(), prefix) == 0 &&
+        prefix.size() >= best_len) {
+      best = node;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+DyadNode::DyadNode(sim::Simulation& sim, const DyadParams& params,
+                   DyadDomain& domain, net::NodeId node,
+                   fs::LocalFs& local_fs, net::Network& network,
+                   kvs::KvsServer& kvs_server)
+    : sim_(&sim),
+      params_(params),
+      domain_(&domain),
+      node_(node),
+      local_fs_(&local_fs),
+      network_(&network),
+      kvs_(sim, kvs_server, node),
+      service_slots_(sim, params.broker_concurrency) {
+  domain.add(*this);
+}
+
+sim::Task<void> DyadNode::serve_remote_read(net::NodeId requester,
+                                            const std::string& path,
+                                            Bytes size) {
+  co_await service_slots_.acquire();
+  sim::SemaphoreGuard slot(service_slots_);
+  co_await sim_->delay(params_.broker_request_cpu);
+  // The broker reads from this node's local storage (page-cache hit for
+  // freshly produced frames) and streams the payload to the requester.
+  const fs::InodeId ino = co_await local_fs_->open(path);
+  co_await local_fs_->read(ino, Bytes::zero(), size);
+  co_await network_->transfer(node_, requester, size);
+  ++remote_reads_;
+}
+
+sim::Task<void> DyadNode::push_to(net::NodeId dest, std::string path,
+                                  Bytes size) {
+  co_await service_slots_.acquire();
+  {
+    sim::SemaphoreGuard slot(service_slots_);
+    co_await sim_->delay(params_.broker_request_cpu);
+    const fs::InodeId ino = co_await local_fs_->open(path);
+    co_await local_fs_->read(ino, Bytes::zero(), size);
+    co_await network_->rdma_put(node_, dest, size);
+  }
+  DyadNode& peer = domain_->at(dest);
+  const std::string staged = peer.params().staging_prefix + path;
+  if (peer.local_fs().exists(staged)) co_return;  // consumer pulled it first
+  try {
+    const fs::InodeId staged_ino =
+        co_await peer.local_fs().create(staged, /*exclusive_lock=*/true);
+    co_await peer.local_fs().write(staged_ino, Bytes::zero(), size);
+    peer.local_fs().lock(staged_ino).unlock_exclusive();
+    ++pushes_;
+  } catch (const fs::FsError&) {
+    // Lost the race against a concurrent pull-side store; harmless.
+  }
+}
+
+DyadProducer::DyadProducer(DyadNode& node, perf::Recorder& recorder)
+    : node_(&node), rec_(&recorder) {}
+
+sim::Task<void> DyadProducer::produce(const std::string& path, Bytes size) {
+  perf::ScopedRegion produce(*rec_, "dyad_produce");
+  auto& fs = node_->local_fs();
+  {
+    // Local burst-buffer write under an exclusive flock: consumers on this
+    // node synchronize on the lock (warm path).
+    perf::ScopedRegion write(*rec_, "dyad_prod_write",
+                             perf::Category::kMovement);
+    const fs::InodeId ino =
+        co_await fs.create(path, /*exclusive_lock=*/true);
+    co_await node_->simulation().delay(node_->params().flock_cpu);
+    co_await fs.write(ino, Bytes::zero(), size);
+    fs.lock(ino).unlock_exclusive();
+  }
+  {
+    // Global namespace management: publish {owner, size} to the KVS.  This
+    // is DYAD's extra production cost relative to raw XFS.
+    perf::ScopedRegion commit(*rec_, "dyad_commit", perf::Category::kMovement);
+    co_await node_->simulation().delay(node_->params().mdm_cpu);
+    DyadMetadata meta{node_->node(), size};
+    co_await node_->kvs().commit(metadata_key(path), meta.encode());
+  }
+  if (node_->params().push_mode) {
+    // Dynamic routing: stream the file toward its subscriber in the
+    // background; the producer's critical path ends here.
+    const auto sub = node_->domain().subscriber_for(path);
+    if (sub.has_value() && *sub != node_->node()) {
+      node_->simulation().spawn(node_->push_to(*sub, path, size));
+    }
+  }
+}
+
+DyadConsumer::DyadConsumer(DyadNode& node, perf::Recorder& recorder)
+    : node_(&node), rec_(&recorder) {}
+
+sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
+  perf::ScopedRegion consume(*rec_, "dyad_consume");
+  auto& sim = node_->simulation();
+  auto& local = node_->local_fs();
+
+  // --- Synchronization: multi-protocol (flock warm path / KVS cold path).
+  const std::string staged_path = node_->params().staging_prefix + path;
+  net::NodeId owner = node_->node();
+  bool have_local_copy = false;
+  std::string local_copy_path = path;
+  {
+    perf::ScopedRegion fetch(*rec_, "dyad_fetch", perf::Category::kIdle);
+    const bool produced_here =
+        !node_->params().force_kvs_sync && local.exists(path);
+    const bool pushed_here =
+        !node_->params().force_kvs_sync && local.exists(staged_path);
+    if (produced_here || pushed_here) {
+      // Warm path: data already on this node's storage (produced locally,
+      // or streamed here by push-mode routing); a shared flock (against the
+      // writer's exclusive lock) is the only sync.
+      local_copy_path = produced_here ? path : staged_path;
+      co_await sim.delay(node_->params().flock_cpu);
+      const fs::InodeId ino = co_await local.open(local_copy_path);
+      co_await local.lock(ino).lock_shared();
+      local.lock(ino).unlock_shared();
+      have_local_copy = true;
+      ++warm_hits_;
+    } else {
+      auto found = co_await node_->kvs().lookup(metadata_key(path));
+      while (!found.has_value()) {
+        ++kvs_retries_;
+        {
+          perf::ScopedRegion wait(*rec_, "dyad_watch_wait",
+                                  perf::Category::kIdle);
+          co_await node_->kvs().watch_until_visible(metadata_key(path));
+          ++kvs_waits_;
+        }
+        found = co_await node_->kvs().lookup(metadata_key(path));
+      }
+      const DyadMetadata meta = DyadMetadata::decode(found->data);
+      MDWF_ASSERT_MSG(meta.size == size, "DYAD metadata size mismatch");
+      owner = meta.owner;
+      if (owner == node_->node() && !node_->params().force_kvs_sync) {
+        // Producer is co-located after all (single-node config): the file
+        // is local once the metadata is visible.
+        co_await sim.delay(node_->params().flock_cpu);
+        const fs::InodeId ino = co_await local.open(path);
+        co_await local.lock(ino).lock_shared();
+        local.lock(ino).unlock_shared();
+        have_local_copy = true;
+      }
+    }
+  }
+
+  const std::string& staged = staged_path;
+  bool in_memory = false;
+  if (!have_local_copy) {
+    // --- dyad_get_data: RDMA the payload from the owner's node-local
+    // storage (request to the owner broker, payload streams back).
+    {
+      perf::ScopedRegion get(*rec_, "dyad_get_data", perf::Category::kMovement);
+      co_await node_->network().send_control(node_->node(), owner);
+      // The owner-side broker does the local read + streaming; its costs
+      // (queueing, read, transfer) land in this region, matching how the
+      // paper attributes dyad_get_data to the consumer.
+      co_await node_->domain().at(owner).serve_remote_read(node_->node(), path,
+                                                           size);
+    }
+    if (node_->params().skip_consumer_staging) {
+      // Ablation: consume the RDMA stream in place, no local copy.
+      in_memory = true;
+    } else if (local.exists(staged)) {
+      // A push-mode stream landed while we were pulling; use it.
+    } else {
+      // --- dyad_cons_store: stage into the consumer's node-local storage.
+      perf::ScopedRegion store(*rec_, "dyad_cons_store",
+                               perf::Category::kMovement);
+      const fs::InodeId ino = co_await local.create(staged);
+      co_await local.write(ino, Bytes::zero(), size);
+    }
+  }
+
+  // --- read_single_buf: the analytics-facing local read.
+  {
+    perf::ScopedRegion read(*rec_, "read_single_buf",
+                            perf::Category::kMovement);
+    co_await sim.delay(node_->params().posix_wrap_cpu);
+    if (!in_memory) {
+      const std::string& read_path =
+          have_local_copy ? local_copy_path : staged;
+      const fs::InodeId ino = co_await local.open(read_path);
+      co_await local.read(ino, Bytes::zero(), size);
+    }
+  }
+}
+
+}  // namespace mdwf::dyad

@@ -1,0 +1,180 @@
+// DYAD middleware reimplementation (Dynamic and Asynchronous Data
+// Streamliner, LLNL flux-framework/dyad) over the simulated testbed.
+//
+// Behaviour modelled from the paper (Secs. III-A, IV-C/D/E and Fig. 9):
+//
+//   Producer  - writes each frame to *node-local* storage (burst buffer),
+//               then publishes {owner, size} metadata to the Flux KVS;
+//               the metadata management is DYAD's extra production cost
+//               (the paper's 1.4x over raw XFS).  The producer never waits
+//               for the consumer: production and consumption pipeline.
+//
+//   Consumer  - multi-protocol automatic synchronization:
+//               * warm path: if the file is already on this node's local
+//                 storage, availability is checked with a cheap shared
+//                 flock (producer holds it exclusively while writing);
+//               * cold path: KVS lookup (dyad_fetch); if the metadata is
+//                 not yet visible, block on a KVS watch until it is.
+//               Remote data then moves with RDMA from the owner's
+//               node-local storage (dyad_get_data), is staged into the
+//               consumer's local storage (dyad_cons_store), and finally
+//               read by the analytics (read_single_buf) - the exact call
+//               tree of the paper's Fig. 9.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/fs/local_fs.hpp"
+#include "mdwf/kvs/kvs.hpp"
+#include "mdwf/net/network.hpp"
+#include "mdwf/perf/recorder.hpp"
+#include "mdwf/sim/primitives.hpp"
+#include "mdwf/sim/simulation.hpp"
+
+namespace mdwf::dyad {
+
+struct DyadParams {
+  // CPU on the producer per publish (global namespace management).
+  Duration mdm_cpu = Duration::microseconds(8);
+  // Warm-path flock acquire/release overhead.
+  Duration flock_cpu = Duration::microseconds(10);
+  // CPU added to intercepted POSIX reads (DYAD wraps the I/O calls; the
+  // paper measures DYAD data movement ~1.4x raw XFS in both directions).
+  Duration posix_wrap_cpu = Duration::microseconds(30);
+  // Broker-side CPU to service one remote-read request.
+  Duration broker_request_cpu = Duration::microseconds(50);
+  // Concurrent remote reads served per broker.
+  std::int64_t broker_concurrency = 8;
+  // Staging prefix on the consumer-side local storage.
+  std::string staging_prefix = "dyad_cache/";
+
+  // --- Ablation switches (DESIGN.md Sec. 3) -------------------------------
+  // Disable the flock warm path: every consume goes through the KVS even
+  // when the data is already node-local (tests the value of multi-protocol
+  // synchronization).
+  bool force_kvs_sync = false;
+  // Skip dyad_cons_store: the consumer reads the RDMA stream directly
+  // instead of staging into node-local storage first (tests the cost of the
+  // extra local copy vs re-read locality).
+  bool skip_consumer_staging = false;
+  // Dynamic data routing: producers push freshly written files to the node
+  // that subscribed to their path prefix (asynchronously, overlapping the
+  // next MD stride).  Consumers then find the data already staged locally
+  // and synchronize via the cheap flock path instead of pulling over RDMA.
+  bool push_mode = false;
+};
+
+class DyadNode;
+
+// Registry of every DYAD-enabled node in the workflow: consumers resolve a
+// frame's owner NodeId to that node's broker through the domain, and (in
+// push mode) producers resolve path-prefix subscriptions to destinations.
+class DyadDomain {
+ public:
+  void add(DyadNode& node);
+  DyadNode& at(net::NodeId node) const;
+  std::size_t size() const { return nodes_.size(); }
+
+  // Push-mode routing table: files whose path starts with `prefix` are
+  // streamed to `node` as they are produced.
+  void subscribe(std::string prefix, net::NodeId node);
+  std::optional<net::NodeId> subscriber_for(const std::string& path) const;
+
+ private:
+  std::map<std::uint32_t, DyadNode*> nodes_;
+  std::map<std::string, net::NodeId> subscriptions_;  // prefix -> node
+};
+
+// Per-node DYAD runtime: broker module plus client context.  One instance
+// per compute node, shared by every producer/consumer rank on that node.
+// Registers itself with `domain` on construction.
+class DyadNode {
+ public:
+  DyadNode(sim::Simulation& sim, const DyadParams& params, DyadDomain& domain,
+           net::NodeId node, fs::LocalFs& local_fs, net::Network& network,
+           kvs::KvsServer& kvs_server);
+
+  net::NodeId node() const { return node_; }
+  fs::LocalFs& local_fs() { return *local_fs_; }
+  net::Network& network() { return *network_; }
+  kvs::KvsClient& kvs() { return kvs_; }
+  const DyadParams& params() const { return params_; }
+  sim::Simulation& simulation() { return *sim_; }
+  DyadDomain& domain() { return *domain_; }
+
+  // Broker service: reads `path` (`size` bytes) from this node's local
+  // storage and streams it to `requester` via RDMA.  Called (awaited) by
+  // the remote consumer's dyad_get_data.
+  sim::Task<void> serve_remote_read(net::NodeId requester,
+                                    const std::string& path, Bytes size);
+
+  // Push-mode broker service: streams `path` to `dest` and stages it in
+  // dest's local storage under the staging prefix.  Races with a consumer
+  // pulling the same file are benign (first stager wins).
+  sim::Task<void> push_to(net::NodeId dest, std::string path, Bytes size);
+
+  std::uint64_t remote_reads_served() const { return remote_reads_; }
+  std::uint64_t pushes_sent() const { return pushes_; }
+
+ private:
+  sim::Simulation* sim_;
+  DyadParams params_;
+  DyadDomain* domain_;
+  net::NodeId node_;
+  fs::LocalFs* local_fs_;
+  net::Network* network_;
+  kvs::KvsClient kvs_;
+  sim::Semaphore service_slots_;
+  std::uint64_t remote_reads_ = 0;
+  std::uint64_t pushes_ = 0;
+};
+
+// Metadata record stored in the KVS per produced file.
+struct DyadMetadata {
+  net::NodeId owner;
+  Bytes size;
+
+  std::string encode() const;
+  static DyadMetadata decode(const std::string& s);
+};
+
+std::string metadata_key(const std::string& path);
+
+class DyadProducer {
+ public:
+  DyadProducer(DyadNode& node, perf::Recorder& recorder);
+
+  // Writes `size` bytes under `path` on node-local storage and publishes
+  // availability.  Regions: dyad_produce / {dyad_prod_write, dyad_commit}.
+  sim::Task<void> produce(const std::string& path, Bytes size);
+
+ private:
+  DyadNode* node_;
+  perf::Recorder* rec_;
+};
+
+class DyadConsumer {
+ public:
+  DyadConsumer(DyadNode& node, perf::Recorder& recorder);
+
+  // Acquires `path` (expected `size` bytes) and reads it locally.
+  // Regions (paper Fig. 9): dyad_consume / {dyad_fetch[/dyad_watch_wait],
+  // dyad_get_data, dyad_cons_store, read_single_buf}.
+  sim::Task<void> consume(const std::string& path, Bytes size);
+
+  std::uint64_t warm_hits() const { return warm_hits_; }
+  std::uint64_t kvs_waits() const { return kvs_waits_; }
+  std::uint64_t kvs_retries() const { return kvs_retries_; }
+
+ private:
+  DyadNode* node_;
+  perf::Recorder* rec_;
+  std::uint64_t warm_hits_ = 0;
+  std::uint64_t kvs_waits_ = 0;
+  std::uint64_t kvs_retries_ = 0;
+};
+
+}  // namespace mdwf::dyad

@@ -1,0 +1,98 @@
+#include "mdwf/fs/extent_allocator.hpp"
+
+#include <new>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::fs {
+
+ExtentAllocator::ExtentAllocator(Bytes capacity)
+    : capacity_(capacity), free_(capacity) {
+  MDWF_ASSERT(capacity.count() > 0);
+  free_map_.emplace(0, capacity.count());
+}
+
+std::vector<Extent> ExtentAllocator::allocate(Bytes len) {
+  MDWF_ASSERT(len.count() > 0);
+  if (len > free_) throw std::bad_alloc();
+
+  std::vector<Extent> out;
+  std::uint64_t need = len.count();
+  auto it = free_map_.begin();
+  while (need > 0) {
+    MDWF_ASSERT_MSG(it != free_map_.end(),
+                    "free accounting out of sync with free map");
+    const std::uint64_t take = it->second < need ? it->second : need;
+    out.push_back(Extent{it->first, take});
+    if (take == it->second) {
+      it = free_map_.erase(it);
+    } else {
+      // Shrink the extent from the front.
+      const std::uint64_t new_off = it->first + take;
+      const std::uint64_t new_len = it->second - take;
+      it = free_map_.erase(it);
+      it = free_map_.emplace_hint(it, new_off, new_len);
+    }
+    need -= take;
+  }
+  free_ -= len;
+  return out;
+}
+
+void ExtentAllocator::insert_free(std::uint64_t offset, std::uint64_t length) {
+  MDWF_ASSERT(length > 0);
+  MDWF_ASSERT(offset + length <= capacity_.count());
+  auto next = free_map_.lower_bound(offset);
+  // Overlap checks against neighbours.
+  if (next != free_map_.end()) {
+    MDWF_ASSERT_MSG(offset + length <= next->first, "double free (overlap)");
+  }
+  if (next != free_map_.begin()) {
+    auto prev = std::prev(next);
+    MDWF_ASSERT_MSG(prev->first + prev->second <= offset,
+                    "double free (overlap)");
+    if (prev->first + prev->second == offset) {
+      // Merge with predecessor.
+      offset = prev->first;
+      length += prev->second;
+      free_map_.erase(prev);
+    }
+  }
+  if (next != free_map_.end() && offset + length == next->first) {
+    length += next->second;
+    free_map_.erase(next);
+  }
+  free_map_.emplace(offset, length);
+}
+
+void ExtentAllocator::release(const std::vector<Extent>& extents) {
+  for (const auto& e : extents) {
+    insert_free(e.offset, e.length);
+    free_ += Bytes(e.length);
+  }
+}
+
+Bytes ExtentAllocator::largest_free_extent() const {
+  std::uint64_t best = 0;
+  for (const auto& [off, len] : free_map_) {
+    if (len > best) best = len;
+  }
+  return Bytes(best);
+}
+
+bool ExtentAllocator::invariants_hold() const {
+  std::uint64_t total = 0;
+  std::uint64_t prev_end = 0;
+  bool first = true;
+  for (const auto& [off, len] : free_map_) {
+    if (len == 0) return false;
+    if (!first && off <= prev_end) return false;  // overlap or adjacency
+    if (off + len > capacity_.count()) return false;
+    prev_end = off + len;
+    total += len;
+    first = false;
+  }
+  return total == free_.count();
+}
+
+}  // namespace mdwf::fs

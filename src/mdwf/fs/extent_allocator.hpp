@@ -1,0 +1,56 @@
+// Extent-based space allocator (XFS-style).
+//
+// Tracks free space of a device's LBA range as coalesced extents and serves
+// first-fit allocations, splitting and merging as files come and go.  The
+// allocator is pure bookkeeping (no simulated time); the filesystem charges
+// CPU/journal costs around it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mdwf/common/bytes.hpp"
+
+namespace mdwf::fs {
+
+struct Extent {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  std::uint64_t end() const { return offset + length; }
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+class ExtentAllocator {
+ public:
+  explicit ExtentAllocator(Bytes capacity);
+
+  // First-fit allocation of `len` bytes; may return multiple extents when
+  // free space is fragmented.  Throws std::bad_alloc on exhaustion (the
+  // request is rolled back first).
+  std::vector<Extent> allocate(Bytes len);
+
+  // Returns extents to the free pool, coalescing with neighbours.
+  void release(const std::vector<Extent>& extents);
+
+  Bytes free_bytes() const { return free_; }
+  Bytes capacity() const { return capacity_; }
+  // Number of disjoint free extents (fragmentation measure).
+  std::size_t free_extent_count() const { return free_map_.size(); }
+  // Largest single free extent.
+  Bytes largest_free_extent() const;
+
+  // Internal-consistency check (used by property tests): free extents are
+  // sorted, non-overlapping, non-adjacent, and sum to free_bytes().
+  bool invariants_hold() const;
+
+ private:
+  void insert_free(std::uint64_t offset, std::uint64_t length);
+
+  Bytes capacity_;
+  Bytes free_;
+  std::map<std::uint64_t, std::uint64_t> free_map_;  // offset -> length
+};
+
+}  // namespace mdwf::fs

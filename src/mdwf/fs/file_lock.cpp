@@ -1,0 +1,87 @@
+#include "mdwf/fs/file_lock.hpp"
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::fs {
+
+sim::Task<void> FileLock::lock_shared() {
+  if (try_lock_shared()) co_return;
+  struct Waiting {
+    FileLock* l;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      l->waiters_.push_back(Waiter{h, false});
+    }
+    void await_resume() const noexcept {}
+  };
+  co_await Waiting{this};
+}
+
+sim::Task<void> FileLock::lock_exclusive() {
+  if (try_lock_exclusive()) co_return;
+  struct Waiting {
+    FileLock* l;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      l->waiters_.push_back(Waiter{h, true});
+      l->has_queued_writer_ = true;
+    }
+    void await_resume() const noexcept {}
+  };
+  co_await Waiting{this};
+}
+
+bool FileLock::try_lock_shared() {
+  if (!can_grant_shared() || !waiters_.empty()) return false;
+  ++shared_holders_;
+  return true;
+}
+
+bool FileLock::try_lock_exclusive() {
+  if (!can_grant_exclusive() || !waiters_.empty()) return false;
+  exclusive_held_ = true;
+  return true;
+}
+
+void FileLock::unlock_shared() {
+  MDWF_ASSERT_MSG(shared_holders_ > 0, "unlock_shared without holder");
+  --shared_holders_;
+  wake_eligible();
+}
+
+void FileLock::unlock_exclusive() {
+  MDWF_ASSERT_MSG(exclusive_held_, "unlock_exclusive without holder");
+  exclusive_held_ = false;
+  wake_eligible();
+}
+
+void FileLock::wake_eligible() {
+  // Serve the queue FIFO: a writer at the head is granted alone; a run of
+  // readers at the head is granted together.
+  while (!waiters_.empty()) {
+    Waiter& front = waiters_.front();
+    if (front.exclusive) {
+      if (!can_grant_exclusive()) break;
+      exclusive_held_ = true;
+      auto h = front.h;
+      waiters_.pop_front();
+      // Recompute the queued-writer flag.
+      has_queued_writer_ = false;
+      for (const auto& w : waiters_) {
+        if (w.exclusive) {
+          has_queued_writer_ = true;
+          break;
+        }
+      }
+      sim_->schedule_resume(h, Duration::zero());
+      break;  // exclusive holder blocks everyone behind it
+    }
+    if (exclusive_held_) break;
+    ++shared_holders_;
+    auto h = front.h;
+    waiters_.pop_front();
+    sim_->schedule_resume(h, Duration::zero());
+  }
+}
+
+}  // namespace mdwf::fs

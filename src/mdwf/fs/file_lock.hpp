@@ -1,0 +1,58 @@
+// Advisory file locking (flock semantics) for simulated processes.
+//
+// DYAD's warm synchronization path is flock-based: the producer holds an
+// exclusive lock while writing; a consumer taking a shared lock therefore
+// blocks exactly until the data is complete.  Readers are admitted together;
+// writers are exclusive; waiters are served FIFO with no writer starvation
+// (a queued writer blocks later-arriving readers).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "mdwf/sim/primitives.hpp"
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/sim/task.hpp"
+
+namespace mdwf::fs {
+
+class FileLock {
+ public:
+  explicit FileLock(sim::Simulation& sim) : sim_(&sim) {}
+
+  FileLock(const FileLock&) = delete;
+  FileLock& operator=(const FileLock&) = delete;
+
+  sim::Task<void> lock_shared();
+  sim::Task<void> lock_exclusive();
+  bool try_lock_shared();
+  bool try_lock_exclusive();
+  void unlock_shared();
+  void unlock_exclusive();
+
+  std::uint32_t shared_holders() const { return shared_holders_; }
+  bool exclusive_held() const { return exclusive_held_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    bool exclusive;
+  };
+
+  bool can_grant_shared() const {
+    return !exclusive_held_ && !has_queued_writer_;
+  }
+  bool can_grant_exclusive() const {
+    return !exclusive_held_ && shared_holders_ == 0;
+  }
+  void wake_eligible();
+
+  sim::Simulation* sim_;
+  std::uint32_t shared_holders_ = 0;
+  bool exclusive_held_ = false;
+  bool has_queued_writer_ = false;
+  std::deque<Waiter> waiters_;
+};
+
+}  // namespace mdwf::fs

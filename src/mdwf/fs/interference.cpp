@@ -1,0 +1,87 @@
+#include "mdwf/fs/interference.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace mdwf::fs {
+namespace {
+
+// Tracks per-OST stacked load so overlapping episodes compose.
+struct LoadBook {
+  std::vector<double> load;
+  LustreServers* servers;
+
+  void apply(std::uint32_t ost, double delta) {
+    load[ost] = std::clamp(load[ost] + delta, 0.0, 0.95);
+    servers->ost_device(ost).set_background_load(load[ost]);
+  }
+};
+
+sim::Task<void> ost_episode(sim::Simulation& sim,
+                            std::shared_ptr<LoadBook> book, std::uint32_t ost,
+                            double load, Duration length) {
+  book->apply(ost, load);
+  co_await sim.delay(length);
+  book->apply(ost, -load);
+}
+
+// A metadata storm: another tenant's requests occupy MDS service slots for
+// the duration, queueing the workflow's create/open/close RPCs behind them.
+// `episode_mutex` serializes storms: concurrent multi-slot acquisition
+// would hold-and-wait into deadlock.
+sim::Task<void> mds_episode(sim::Simulation& sim, LustreServers& servers,
+                            std::shared_ptr<sim::Semaphore> episode_mutex,
+                            std::int64_t slots, Duration length) {
+  co_await episode_mutex->acquire();
+  sim::SemaphoreGuard storm(*episode_mutex);
+  const std::int64_t take = std::min<std::int64_t>(
+      slots, servers.params().mds_concurrency - 1);  // never starve fully
+  for (std::int64_t i = 0; i < take; ++i) {
+    co_await servers.mds_slots().acquire();
+  }
+  co_await sim.delay(length);
+  servers.mds_slots().release(take);
+}
+
+}  // namespace
+
+sim::Task<void> run_ost_interference(sim::Simulation& sim,
+                                     LustreServers& servers,
+                                     InterferenceParams params, Rng rng,
+                                     TimePoint horizon) {
+  auto book = std::make_shared<LoadBook>();
+  book->load.assign(servers.ost_count(), 0.0);
+  book->servers = &servers;
+  auto episode_mutex = std::make_shared<sim::Semaphore>(sim, 1);
+
+  // Per-run cluster state: some runs land on a calm machine, some on a
+  // stormy one.
+  const double level =
+      params.run_level_sigma > 0.0
+          ? rng.lognormal(0.0, params.run_level_sigma)
+          : 1.0;
+  const double rate_scale = std::min(level, 4.0);
+
+  while (sim.now() < horizon) {
+    const double gap_s = rng.exponential(
+        rate_scale / params.mean_interarrival.to_seconds());
+    co_await sim.delay(Duration::seconds(gap_s));
+    if (sim.now() >= horizon) break;
+    const double dur_s =
+        rng.lognormal(params.duration_mu, params.duration_sigma) *
+        std::min(level, 2.0);
+    if (rng.bernoulli(params.mds_fraction)) {
+      sim.spawn(mds_episode(sim, servers, episode_mutex,
+                            params.mds_slots_taken,
+                            Duration::seconds(dur_s)));
+    } else {
+      const auto ost =
+          static_cast<std::uint32_t>(rng.next_below(servers.ost_count()));
+      const double load = std::clamp(
+          rng.uniform(params.min_load, params.max_load) * level, 0.0, 0.9);
+      sim.spawn(ost_episode(sim, book, ost, load, Duration::seconds(dur_s)));
+    }
+  }
+}
+
+}  // namespace mdwf::fs

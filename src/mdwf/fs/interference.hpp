@@ -1,0 +1,46 @@
+// Stochastic background interference for shared resources.
+//
+// Models the "other jobs on the cluster" effect the paper observes on Lustre
+// at 128/256-pair scale: episodes of background load arrive at exponential
+// intervals, each claiming a random fraction of a victim channel/device for
+// a lognormal-distributed duration.  Fully seeded and reproducible.
+#pragma once
+
+#include <vector>
+
+#include "mdwf/common/rng.hpp"
+#include "mdwf/common/time.hpp"
+#include "mdwf/fs/lustre.hpp"
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/sim/task.hpp"
+
+namespace mdwf::fs {
+
+struct InterferenceParams {
+  // Mean time between episode arrivals.
+  Duration mean_interarrival = Duration::milliseconds(400);
+  // Episode length: lognormal(mu, sigma) seconds.
+  double duration_mu = -2.5;  // median ~82 ms
+  double duration_sigma = 0.8;
+  // Load claimed by one episode, uniform in [min, max).
+  double min_load = 0.10;
+  double max_load = 0.65;
+  // Fraction of episodes that hit the MDS (metadata storms from other
+  // tenants) rather than an OST; an MDS episode occupies service slots.
+  double mds_fraction = 0.35;
+  std::int64_t mds_slots_taken = 2;
+  // Run-to-run intensity: each run draws level ~ lognormal(0, sigma) that
+  // scales episode load and rate.  This is what makes some *runs* visibly
+  // noisier than others (the paper's 128/256-pair Lustre error bars);
+  // within-run noise alone averages out over thousands of frames.
+  double run_level_sigma = 0.75;
+};
+
+// Runs until `horizon`; episodes target a random OST of `servers`.
+// Overlapping episodes on one OST combine (capped below 0.95).
+sim::Task<void> run_ost_interference(sim::Simulation& sim,
+                                     LustreServers& servers,
+                                     InterferenceParams params, Rng rng,
+                                     TimePoint horizon);
+
+}  // namespace mdwf::fs

@@ -1,0 +1,128 @@
+// Node-local journaling filesystem model (XFS class).
+//
+// Sits on a BlockDevice through a PageCache.  Costs modelled:
+//   - metadata CPU per namespace operation (inode/dentry update),
+//   - journal commits (log-record device writes) for create/extend/unlink,
+//   - buffered data I/O through the page cache (memcpy; device on miss,
+//     eviction, or fsync),
+//   - extent allocation on append (first-fit allocator).
+// Contents are not stored — files are byte ranges with sizes; integrity of
+// real payloads is exercised by the `rt` (real-thread) backend instead.
+//
+// XFS cannot span nodes: a LocalFs instance belongs to exactly one node, and
+// only processes on that node may reach it (enforced by the workflow layer).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/fs/extent_allocator.hpp"
+#include "mdwf/fs/file_lock.hpp"
+#include "mdwf/storage/block_device.hpp"
+#include "mdwf/storage/page_cache.hpp"
+
+namespace mdwf::fs {
+
+class FsError : public std::runtime_error {
+ public:
+  explicit FsError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct LocalFsParams {
+  // CPU charged per namespace operation.
+  Duration metadata_cpu = Duration::microseconds(3);
+  // Journal log record size; one record per journaled transaction.
+  Bytes journal_record = Bytes::kib(4);
+  // Synchronous journal commits (true mimics frequent small-file fsync-ish
+  // behaviour; false batches them into the background).
+  bool journal_sync = true;
+  // Allocation granularity (extent size rounding).
+  Bytes allocation_unit = Bytes::kib(64);
+  // O_DIRECT-style I/O: bypass the page cache, every read/write hits the
+  // device (ablation: node-local staging without buffered-I/O benefits).
+  bool direct_io = false;
+};
+
+// Stable file identifier (inode number).
+using InodeId = std::uint64_t;
+
+class LocalFs {
+ public:
+  LocalFs(sim::Simulation& sim, const LocalFsParams& params,
+          storage::BlockDevice& device, storage::PageCache& cache);
+
+  const LocalFsParams& params() const { return params_; }
+
+  // --- Namespace -----------------------------------------------------------
+
+  // Creates an empty file; throws FsError if it already exists.  With
+  // `exclusive_lock`, the new inode's flock is held exclusively by the
+  // caller *atomically with the file becoming visible*, so a concurrent
+  // opener can never observe the file unlocked before its first write
+  // (O_CREAT|O_WRONLY + flock semantics).
+  sim::Task<InodeId> create(std::string path, bool exclusive_lock = false);
+  // Opens an existing file; throws FsError if absent.
+  sim::Task<InodeId> open(const std::string& path);
+  sim::Task<void> unlink(const std::string& path);
+  // Atomic rename; replaces an existing destination (POSIX semantics).
+  // The write-tmp-then-rename commit pattern rides on this.
+  sim::Task<void> rename(const std::string& from, std::string to);
+
+  bool exists(const std::string& path) const;
+  std::optional<Bytes> stat(const std::string& path) const;
+  // Paths with the given prefix, sorted (readdir equivalent).
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  // --- Data ------------------------------------------------------------------
+
+  // Appends/overwrites [offset, offset+len); extends and allocates extents
+  // as needed (journaled).
+  sim::Task<void> write(InodeId ino, Bytes offset, Bytes len);
+  // Reads [offset, offset+len); throws FsError past EOF.
+  sim::Task<void> read(InodeId ino, Bytes offset, Bytes len);
+  sim::Task<void> fsync(InodeId ino);
+
+  Bytes size(InodeId ino) const;
+  FileLock& lock(InodeId ino);
+
+  // --- Introspection -----------------------------------------------------------
+
+  std::size_t file_count() const { return by_path_.size(); }
+  Bytes free_bytes() const { return allocator_.free_bytes(); }
+  std::uint64_t journal_commits() const { return journal_commits_; }
+  const ExtentAllocator& allocator() const { return allocator_; }
+
+ private:
+  struct Inode {
+    InodeId id = 0;
+    Bytes size = Bytes::zero();
+    Bytes allocated = Bytes::zero();
+    std::vector<Extent> extents;
+    std::unique_ptr<FileLock> lock;
+    std::uint32_t links = 1;
+  };
+
+  Inode& inode(InodeId ino);
+  const Inode& inode(InodeId ino) const;
+  sim::Task<void> journal_commit();
+  sim::Task<void> metadata_op();
+  Bytes round_up_alloc(Bytes n) const;
+
+  sim::Simulation* sim_;
+  LocalFsParams params_;
+  storage::BlockDevice* device_;
+  storage::PageCache* cache_;
+  ExtentAllocator allocator_;
+  std::map<std::string, InodeId> by_path_;
+  std::map<InodeId, Inode> inodes_;
+  InodeId next_inode_ = 1;
+  std::uint64_t journal_commits_ = 0;
+};
+
+}  // namespace mdwf::fs

@@ -1,0 +1,214 @@
+#include "mdwf/fs/lustre.hpp"
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::fs {
+
+LustreServers::LustreServers(sim::Simulation& sim, const LustreParams& params,
+                             net::Network& network, net::NodeId mds_node,
+                             std::vector<net::NodeId> ost_nodes)
+    : sim_(&sim), params_(params), network_(&network), mds_node_(mds_node) {
+  MDWF_ASSERT(ost_nodes.size() == params.ost_count);
+  MDWF_ASSERT(params.stripe_count >= 1 &&
+              params.stripe_count <= params.ost_count);
+  mds_slots_ = std::make_unique<sim::Semaphore>(sim, params.mds_concurrency);
+  osts_.reserve(ost_nodes.size());
+  for (std::size_t i = 0; i < ost_nodes.size(); ++i) {
+    Ost ost;
+    ost.node = ost_nodes[i];
+    ost.device = std::make_unique<storage::BlockDevice>(
+        sim, params.ost_device, "ost" + std::to_string(i));
+    ost.service_slots =
+        std::make_unique<sim::Semaphore>(sim, params.ost_concurrency);
+    osts_.push_back(std::move(ost));
+  }
+}
+
+storage::BlockDevice& LustreServers::ost_device(std::uint32_t idx) {
+  MDWF_ASSERT(idx < osts_.size());
+  return *osts_[idx].device;
+}
+
+void LustreServers::set_ost_background_load(double fraction) {
+  for (auto& ost : osts_) ost.device->set_background_load(fraction);
+}
+
+sim::Task<void> LustreServers::mds_rpc(net::NodeId client) {
+  ++mds_requests_;
+  co_await network_->send_control(client, mds_node_);
+  co_await mds_slots_->acquire();
+  {
+    sim::SemaphoreGuard slot(*mds_slots_);
+    co_await sim_->delay(params_.mds_service);
+  }
+  co_await network_->send_control(mds_node_, client);
+}
+
+LustreClient::LustreClient(sim::Simulation& sim, LustreServers& servers,
+                           net::NodeId node)
+    : sim_(&sim),
+      servers_(&servers),
+      node_(node),
+      rpcs_in_flight_(sim, servers.params().max_rpcs_in_flight) {}
+
+sim::Task<LustreHandle> LustreClient::create(std::string path) {
+  co_await sim_->delay(servers_->params_.client_rpc_cpu);
+  co_await servers_->mds_rpc(node_);
+  if (servers_->files_.contains(path)) {
+    throw FsError("lustre create: exists: " + path);
+  }
+  LustreServers::FileState fs;
+  fs.id = servers_->next_file_id_++;
+  // MDS assigns stripes round-robin across OSTs.
+  for (std::uint32_t s = 0; s < servers_->params_.stripe_count; ++s) {
+    fs.stripe_osts.push_back(servers_->next_ost_rr_);
+    servers_->next_ost_rr_ =
+        (servers_->next_ost_rr_ + 1) % servers_->params_.ost_count;
+  }
+  LustreHandle h{fs.id, path};
+  servers_->files_.emplace(std::move(path), std::move(fs));
+  co_return h;
+}
+
+sim::Task<LustreHandle> LustreClient::open(const std::string& path) {
+  co_await sim_->delay(servers_->params_.client_rpc_cpu);
+  co_await servers_->mds_rpc(node_);
+  const auto it = servers_->files_.find(path);
+  if (it == servers_->files_.end()) {
+    throw FsError("lustre open: no such file: " + path);
+  }
+  co_return LustreHandle{it->second.id, path};
+}
+
+sim::Task<void> LustreClient::brw_rpc(std::uint32_t ost_idx, Bytes chunk,
+                                      bool is_write) {
+  auto& ost = servers_->osts_[ost_idx];
+  co_await rpcs_in_flight_.acquire();
+  sim::SemaphoreGuard window(rpcs_in_flight_);
+  co_await sim_->delay(servers_->params_.client_rpc_cpu);
+  if (is_write) {
+    // Payload travels with the request; the OST commits it to its device.
+    co_await servers_->network_->transfer(node_, ost.node, chunk);
+    co_await ost.service_slots->acquire();
+    {
+      sim::SemaphoreGuard slot(*ost.service_slots);
+      co_await sim_->delay(servers_->params_.ost_service);
+      co_await ost.device->write(chunk);
+    }
+    co_await servers_->network_->send_control(ost.node, node_);
+  } else {
+    co_await servers_->network_->send_control(node_, ost.node);
+    co_await ost.service_slots->acquire();
+    {
+      sim::SemaphoreGuard slot(*ost.service_slots);
+      co_await sim_->delay(servers_->params_.ost_service);
+      co_await ost.device->read(chunk);
+    }
+    co_await servers_->network_->transfer(ost.node, node_, chunk);
+  }
+}
+
+sim::Task<void> LustreClient::bulk_io(std::vector<std::uint32_t> stripe_osts,
+                                      Bytes offset, Bytes len, bool is_write) {
+  const auto& p = servers_->params_;
+  // Walk stripe_size windows, binning bytes per OST, then emit RPCs of at
+  // most max_rpc_size per OST bin.
+  std::vector<sim::Task<void>> rpcs;
+  std::vector<Bytes> pending(stripe_osts.size(), Bytes::zero());
+  std::uint64_t pos = offset.count();
+  std::uint64_t remaining = len.count();
+  while (remaining > 0) {
+    const std::uint64_t stripe_index = pos / p.stripe_size.count();
+    const std::uint64_t within = pos % p.stripe_size.count();
+    const std::uint64_t in_stripe =
+        std::min(remaining, p.stripe_size.count() - within);
+    const std::size_t bin = stripe_index % stripe_osts.size();
+    pending[bin] += Bytes(in_stripe);
+    while (pending[bin] >= p.max_rpc_size) {
+      rpcs.push_back(brw_rpc(stripe_osts[bin], p.max_rpc_size, is_write));
+      pending[bin] -= p.max_rpc_size;
+    }
+    pos += in_stripe;
+    remaining -= in_stripe;
+  }
+  for (std::size_t bin = 0; bin < pending.size(); ++bin) {
+    if (!pending[bin].is_zero()) {
+      rpcs.push_back(brw_rpc(stripe_osts[bin], pending[bin], is_write));
+    }
+  }
+  co_await sim::all(*sim_, std::move(rpcs));
+}
+
+sim::Task<void> LustreClient::write(const LustreHandle& h, Bytes offset,
+                                    Bytes len) {
+  auto it = servers_->files_.find(h.path);
+  if (it == servers_->files_.end() || it->second.id != h.file_id) {
+    throw FsError("lustre write: stale handle for " + h.path);
+  }
+  if (len.is_zero()) co_return;
+  const auto& p = servers_->params_;
+  if (p.client_writeback && len <= p.write_grant) {
+    // Grant-based write-back: copy into the client cache now, flush to the
+    // OSTs in the background.  The OSTs and fabric still see every byte.
+    co_await sim_->delay(Duration::seconds(
+        static_cast<double>(len.count()) / p.client_cache_bps));
+    sim_->spawn(bulk_io(it->second.stripe_osts, offset, len,
+                        /*is_write=*/true));
+  } else {
+    co_await bulk_io(it->second.stripe_osts, offset, len, /*is_write=*/true);
+  }
+  if (offset + len > it->second.size) it->second.size = offset + len;
+  it->second.written_by = node_;
+  it->second.coherent = false;
+}
+
+sim::Task<void> LustreClient::read(const LustreHandle& h, Bytes offset,
+                                   Bytes len) {
+  const auto it = servers_->files_.find(h.path);
+  if (it == servers_->files_.end() || it->second.id != h.file_id) {
+    throw FsError("lustre read: stale handle for " + h.path);
+  }
+  if (offset + len > it->second.size) {
+    throw FsError("lustre read past EOF: " + h.path);
+  }
+  if (!it->second.coherent && it->second.written_by != node_) {
+    // LDLM extent lock + revocation of the writer's cached grant: the first
+    // cross-node read after a write pays the coherence round-trips.
+    it->second.coherent = true;
+    co_await servers_->mds_rpc(node_);
+    co_await sim_->delay(servers_->params_.first_read_lock);
+  }
+  co_await bulk_io(it->second.stripe_osts, offset, len, /*is_write=*/false);
+}
+
+sim::Task<void> LustreClient::close(const LustreHandle& h, bool wrote) {
+  if (wrote) {
+    co_await sim_->delay(servers_->params_.client_rpc_cpu);
+    co_await servers_->mds_rpc(node_);
+  }
+  (void)h;
+}
+
+sim::Task<void> LustreClient::unlink(const std::string& path) {
+  co_await sim_->delay(servers_->params_.client_rpc_cpu);
+  co_await servers_->mds_rpc(node_);
+  const auto it = servers_->files_.find(path);
+  if (it == servers_->files_.end()) {
+    throw FsError("lustre unlink: no such file: " + path);
+  }
+  servers_->files_.erase(it);
+}
+
+sim::Task<bool> LustreClient::exists(const std::string& path) {
+  co_await servers_->mds_rpc(node_);
+  co_return servers_->files_.contains(path);
+}
+
+sim::Task<std::optional<Bytes>> LustreClient::stat(const std::string& path) {
+  co_await servers_->mds_rpc(node_);
+  const auto it = servers_->files_.find(path);
+  if (it == servers_->files_.end()) co_return std::nullopt;
+  co_return it->second.size;
+}
+
+}  // namespace mdwf::fs

@@ -1,0 +1,170 @@
+// Lustre-class parallel filesystem model.
+//
+// Topology: one metadata server (MDS) plus N object storage targets (OSTs),
+// each living on its own fabric endpoint with a backing block device.
+// Clients (one per compute node) translate POSIX-style calls into RPCs:
+//
+//   create/open/unlink/stat -> MDS round-trip (+ service queueing)
+//   write/read              -> bulk "brw" RPCs of up to max_rpc_size bytes
+//                              to the OSTs that hold the file's stripes,
+//                              issued concurrently up to max_rpcs_in_flight
+//   close (after write)     -> size/attr update RPC to the MDS
+//
+// Striping follows Lustre defaults: stripe_count OSTs per file assigned
+// round-robin by the MDS, stripe_size interleaving.  Every byte crosses the
+// network — this is precisely the contrast with DYAD's node-local staging
+// that the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/fs/local_fs.hpp"  // FsError
+#include "mdwf/net/network.hpp"
+#include "mdwf/sim/primitives.hpp"
+#include "mdwf/storage/block_device.hpp"
+
+namespace mdwf::fs {
+
+struct LustreParams {
+  std::uint32_t ost_count = 8;
+  Bytes stripe_size = Bytes::mib(1);
+  std::uint32_t stripe_count = 1;  // Lustre default layout
+  Bytes max_rpc_size = Bytes::mib(4);
+  std::int64_t max_rpcs_in_flight = 8;  // per client
+
+  Duration mds_service = Duration::microseconds(400);
+  std::int64_t mds_concurrency = 4;
+  Duration ost_service = Duration::microseconds(150);
+  std::int64_t ost_concurrency = 8;
+  // Client-side CPU per RPC (request marshalling, completion handling).
+  Duration client_rpc_cpu = Duration::microseconds(150);
+  // Grant-based client write-back cache: writes up to `write_grant` copy
+  // into the client cache at `client_cache_bps` and flush to the OSTs in
+  // the background; larger writes are synchronous (write-through).
+  bool client_writeback = true;
+  Bytes write_grant = Bytes::mib(32);
+  double client_cache_bps = 5.0e9;
+  // Cost of the first read of a file by a client that did not write it:
+  // LDLM extent-lock acquisition plus revocation of the writer's cached
+  // grant (Lustre's cross-node coherence).  Frames are written once and
+  // read once by the peer, so every frame read pays this.
+  Duration first_read_lock = Duration::microseconds(2300);
+
+  storage::BlockDeviceParams ost_device{
+      .read_bandwidth_bps = 1.2e9,
+      .write_bandwidth_bps = 3.0e9,
+      .op_latency = Duration::microseconds(50),
+      .queue_depth = 32,
+      .capacity = Bytes::gib(65536),
+  };
+};
+
+// Server-side state shared by every client.
+class LustreServers {
+ public:
+  // `mds_node` and `ost_nodes` are fabric endpoints reserved for servers.
+  LustreServers(sim::Simulation& sim, const LustreParams& params,
+                net::Network& network, net::NodeId mds_node,
+                std::vector<net::NodeId> ost_nodes);
+
+  const LustreParams& params() const { return params_; }
+  net::NodeId mds_node() const { return mds_node_; }
+
+  storage::BlockDevice& ost_device(std::uint32_t idx);
+  std::uint32_t ost_count() const {
+    return static_cast<std::uint32_t>(osts_.size());
+  }
+
+  // Applies a constant background load to every OST device (interference
+  // from other cluster tenants); stochastic interference lives in
+  // mdwf/fs/interference.hpp.
+  void set_ost_background_load(double fraction);
+
+  // MDS service slots (exposed so interference can model metadata storms
+  // from other tenants occupying server capacity).
+  sim::Semaphore& mds_slots() { return *mds_slots_; }
+
+  std::uint64_t mds_requests() const { return mds_requests_; }
+
+ private:
+  friend class LustreClient;
+
+  struct FileState {
+    std::uint64_t id = 0;
+    Bytes size = Bytes::zero();
+    std::vector<std::uint32_t> stripe_osts;
+    // Last writer and coherence state for the first-read lock charge.
+    net::NodeId written_by{};
+    bool coherent = true;  // false after a write until first foreign read
+  };
+
+  struct Ost {
+    net::NodeId node;
+    std::unique_ptr<storage::BlockDevice> device;
+    std::unique_ptr<sim::Semaphore> service_slots;
+  };
+
+  // MDS round-trip from `client`: request + queued service + reply.
+  sim::Task<void> mds_rpc(net::NodeId client);
+
+  sim::Simulation* sim_;
+  LustreParams params_;
+  net::Network* network_;
+  net::NodeId mds_node_;
+  std::unique_ptr<sim::Semaphore> mds_slots_;
+  std::vector<Ost> osts_;
+  std::map<std::string, FileState> files_;
+  std::uint64_t next_file_id_ = 1;
+  std::uint32_t next_ost_rr_ = 0;
+  std::uint64_t mds_requests_ = 0;
+};
+
+struct LustreHandle {
+  std::uint64_t file_id = 0;
+  std::string path;
+};
+
+// Per-compute-node client.
+//
+// Lifetime: buffered writes flush in background tasks that reference this
+// client; keep the client (and its servers) alive until the simulation has
+// run to quiescence, as the ensemble runner does.
+class LustreClient {
+ public:
+  LustreClient(sim::Simulation& sim, LustreServers& servers,
+               net::NodeId node);
+
+  net::NodeId node() const { return node_; }
+
+  sim::Task<LustreHandle> create(std::string path);
+  sim::Task<LustreHandle> open(const std::string& path);
+  sim::Task<void> write(const LustreHandle& h, Bytes offset, Bytes len);
+  sim::Task<void> read(const LustreHandle& h, Bytes offset, Bytes len);
+  // Close after writing publishes size/attrs to the MDS.
+  sim::Task<void> close(const LustreHandle& h, bool wrote);
+  sim::Task<void> unlink(const std::string& path);
+  sim::Task<bool> exists(const std::string& path);
+  sim::Task<std::optional<Bytes>> stat(const std::string& path);
+
+ private:
+  // One bulk RPC: request -> OST service -> device IO -> payload/ack.
+  sim::Task<void> brw_rpc(std::uint32_t ost_idx, Bytes chunk, bool is_write);
+  // Splits [offset, offset+len) into per-OST chunks of <= max_rpc_size and
+  // runs them with bounded concurrency.  Stripe assignment is taken by
+  // value so background flushes survive namespace changes.
+  sim::Task<void> bulk_io(std::vector<std::uint32_t> stripe_osts,
+                          Bytes offset, Bytes len, bool is_write);
+
+  sim::Simulation* sim_;
+  LustreServers* servers_;
+  net::NodeId node_;
+  sim::Semaphore rpcs_in_flight_;
+};
+
+}  // namespace mdwf::fs

@@ -1,0 +1,104 @@
+#include "mdwf/kvs/kvs.hpp"
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::kvs {
+
+KvsServer::KvsServer(sim::Simulation& sim, const KvsParams& params,
+                     net::Network& network, net::NodeId server_node)
+    : sim_(&sim), params_(params), network_(&network), node_(server_node) {
+  slots_ = std::make_unique<sim::Semaphore>(sim, params.server_concurrency);
+}
+
+sim::Task<void> KvsServer::serve(Duration service) {
+  co_await slots_->acquire();
+  sim::SemaphoreGuard slot(*slots_);
+  co_await sim_->delay(service);
+}
+
+std::size_t KvsServer::visible_entries() const {
+  std::size_t n = 0;
+  for (const auto& [k, e] : store_) {
+    if (e.visible_at <= sim_->now()) ++n;
+  }
+  return n;
+}
+
+void KvsServer::arm_watch_wakeup(const std::string& key, TimePoint when) {
+  // Snapshot current watchers; they fire when the committed value becomes
+  // visible.  Watchers registered later observe visibility directly.
+  auto it = watchers_.find(key);
+  if (it == watchers_.end()) return;
+  auto pending = std::move(it->second);
+  watchers_.erase(it);
+  const Duration in = when - sim_->now();
+  for (auto& ev : pending) {
+    sim_->call_after(in.is_negative() ? Duration::zero() : in,
+                     [ev] { ev->trigger(); });
+  }
+}
+
+KvsClient::KvsClient(sim::Simulation& sim, KvsServer& server, net::NodeId node)
+    : sim_(&sim), server_(&server), node_(node) {}
+
+sim::Task<void> KvsClient::rpc_to_server() {
+  co_await server_->network_->send_control(node_, server_->node_);
+}
+
+sim::Task<void> KvsClient::rpc_from_server() {
+  co_await server_->network_->send_control(server_->node_, node_);
+}
+
+sim::Task<void> KvsClient::commit(std::string key, std::string value) {
+  co_await rpc_to_server();
+  co_await server_->serve(server_->params_.commit_service);
+  ++server_->commits_;
+  auto& entry = server_->store_[key];
+  entry.value.data = std::move(value);
+  entry.value.version += 1;
+  entry.visible_at = sim_->now() + server_->params_.visibility_delay;
+  server_->arm_watch_wakeup(key, entry.visible_at);
+  co_await rpc_from_server();
+}
+
+sim::Task<std::optional<KvsValue>> KvsClient::lookup(const std::string& key) {
+  co_await rpc_to_server();
+  co_await server_->serve(server_->params_.lookup_service);
+  ++server_->lookups_;
+  std::optional<KvsValue> result;
+  const auto it = server_->store_.find(key);
+  if (it != server_->store_.end() && it->second.visible_at <= sim_->now()) {
+    result = it->second.value;
+  }
+  co_await rpc_from_server();
+  co_return result;
+}
+
+sim::Task<void> KvsClient::watch_until_visible(const std::string& key) {
+  const auto it = server_->store_.find(key);
+  if (it != server_->store_.end() && it->second.visible_at <= sim_->now()) {
+    co_return;
+  }
+  auto ev = std::make_shared<sim::Event>(*sim_);
+  server_->watchers_[key].push_back(ev);
+  // A commit may already be in flight (applied but not yet visible); make
+  // sure the wake-up for its visibility instant is armed.
+  if (it != server_->store_.end()) {
+    server_->arm_watch_wakeup(key, it->second.visible_at);
+  }
+  co_await ev->wait();
+}
+
+sim::Task<KvsValue> KvsClient::wait_for(const std::string& key,
+                                        Duration* idle_out) {
+  if (idle_out != nullptr) *idle_out = Duration::zero();
+  for (;;) {
+    auto found = co_await lookup(key);
+    if (found.has_value()) co_return *found;
+    const TimePoint blocked_at = sim_->now();
+    co_await watch_until_visible(key);
+    if (idle_out != nullptr) *idle_out += sim_->now() - blocked_at;
+  }
+}
+
+}  // namespace mdwf::kvs

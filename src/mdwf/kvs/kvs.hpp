@@ -1,0 +1,117 @@
+// Flux-style key-value store for workflow synchronization.
+//
+// DYAD publishes per-file metadata (owner rank, size) through the Flux KVS
+// and consumers discover data availability by lookup/watch.  The model
+// captures the costs that matter to the paper:
+//
+//   - commits and lookups are RPCs to a broker node (network + queued
+//     service time),
+//   - the store is *eventually consistent*: a commit becomes visible to
+//     lookups only after a propagation delay (Flux KVS caches/synchronizes
+//     lazily), which is why a consumer arriving "too early" pays an extra
+//     lookup + watch round — the paper's observation that larger models
+//     stress the KVS less falls out of this mechanism,
+//   - watches wake at visibility time, not commit time.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/net/network.hpp"
+#include "mdwf/sim/primitives.hpp"
+#include "mdwf/sim/simulation.hpp"
+
+namespace mdwf::kvs {
+
+struct KvsParams {
+  // Commits enqueue into the broker's commit pipeline and return quickly;
+  // durability/visibility comes later (visibility_delay).  Lookups walk the
+  // namespace synchronously and are the expensive operation.
+  Duration commit_service = Duration::microseconds(40);
+  Duration lookup_service = Duration::microseconds(250);
+  std::int64_t server_concurrency = 4;
+  // Commit-to-visibility propagation delay (eventual consistency).
+  Duration visibility_delay = Duration::milliseconds(2);
+};
+
+struct KvsValue {
+  std::string data;
+  std::uint64_t version = 0;
+};
+
+class KvsServer {
+ public:
+  KvsServer(sim::Simulation& sim, const KvsParams& params,
+            net::Network& network, net::NodeId server_node);
+
+  const KvsParams& params() const { return params_; }
+  net::NodeId node() const { return node_; }
+
+  std::uint64_t commits() const { return commits_; }
+  std::uint64_t lookups() const { return lookups_; }
+
+  // Entries currently visible (test/introspection helper; no cost).
+  std::size_t visible_entries() const;
+
+ private:
+  friend class KvsClient;
+
+  struct Entry {
+    KvsValue value;
+    TimePoint visible_at = TimePoint::origin();
+  };
+
+  // Queued service-time charge on the broker.
+  sim::Task<void> serve(Duration service);
+  void arm_watch_wakeup(const std::string& key, TimePoint when);
+
+  sim::Simulation* sim_;
+  KvsParams params_;
+  net::Network* network_;
+  net::NodeId node_;
+  std::unique_ptr<sim::Semaphore> slots_;
+  std::map<std::string, Entry> store_;
+  // One-shot events waiting for a key to become visible.
+  std::map<std::string, std::vector<std::shared_ptr<sim::Event>>> watchers_;
+  std::uint64_t commits_ = 0;
+  std::uint64_t lookups_ = 0;
+};
+
+class KvsClient {
+ public:
+  KvsClient(sim::Simulation& sim, KvsServer& server, net::NodeId node);
+
+  net::NodeId node() const { return node_; }
+
+  // Publishes key=value; returns after the broker applied the commit (the
+  // value becomes *visible* visibility_delay later).
+  sim::Task<void> commit(std::string key, std::string value);
+
+  // Visible value for key, or nullopt.
+  sim::Task<std::optional<KvsValue>> lookup(const std::string& key);
+
+  // Lookup, and if the key is not yet visible, watch until it is (waking at
+  // visibility) and look up again.  `idle_out`, when non-null, receives the
+  // time spent blocked in the watch (the synchronization-idle component).
+  sim::Task<KvsValue> wait_for(const std::string& key,
+                               Duration* idle_out = nullptr);
+
+  // Blocks until `key` becomes visible (push notification; no lookup RPC).
+  // Returns immediately if it already is.
+  sim::Task<void> watch_until_visible(const std::string& key);
+
+ private:
+  sim::Task<void> rpc_to_server();
+  sim::Task<void> rpc_from_server();
+
+  sim::Simulation* sim_;
+  KvsServer* server_;
+  net::NodeId node_;
+};
+
+}  // namespace mdwf::kvs

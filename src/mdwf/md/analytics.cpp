@@ -1,0 +1,94 @@
+#include "mdwf/md/analytics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::md {
+
+std::array<double, 3> eigenvalues_sym3(const Sym3& m) {
+  // Trigonometric (Smith's) method for symmetric 3x3 eigenvalues.
+  const double p1 = m.xy * m.xy + m.xz * m.xz + m.yz * m.yz;
+  const double q = (m.xx + m.yy + m.zz) / 3.0;
+  if (p1 == 0.0) {
+    std::array<double, 3> diag{m.xx, m.yy, m.zz};
+    std::sort(diag.begin(), diag.end(), std::greater<>());
+    return diag;
+  }
+  const double dxx = m.xx - q;
+  const double dyy = m.yy - q;
+  const double dzz = m.zz - q;
+  const double p2 = dxx * dxx + dyy * dyy + dzz * dzz + 2.0 * p1;
+  const double p = std::sqrt(p2 / 6.0);
+  // B = (A - qI) / p; r = det(B)/2 in [-1, 1].
+  const double bxx = dxx / p, byy = dyy / p, bzz = dzz / p;
+  const double bxy = m.xy / p, bxz = m.xz / p, byz = m.yz / p;
+  double r = (bxx * (byy * bzz - byz * byz) - bxy * (bxy * bzz - byz * bxz) +
+              bxz * (bxy * byz - byy * bxz)) /
+             2.0;
+  r = std::clamp(r, -1.0, 1.0);
+  const double phi = std::acos(r) / 3.0;
+  const double l1 = q + 2.0 * p * std::cos(phi);
+  const double l3 =
+      q + 2.0 * p * std::cos(phi + 2.0 * std::numbers::pi / 3.0);
+  const double l2 = 3.0 * q - l1 - l3;
+  std::array<double, 3> out{l1, l2, l3};
+  std::sort(out.begin(), out.end(), std::greater<>());
+  return out;
+}
+
+Sym3 gyration_tensor(const Frame& frame, std::size_t first,
+                     std::size_t count) {
+  const std::size_t n = frame.atoms.size();
+  MDWF_ASSERT(first <= n);
+  const std::size_t last = (count == static_cast<std::size_t>(-1))
+                               ? n
+                               : std::min(n, first + count);
+  const std::size_t m = last - first;
+  MDWF_ASSERT_MSG(m > 0, "gyration tensor of empty selection");
+
+  double cx = 0, cy = 0, cz = 0;
+  for (std::size_t i = first; i < last; ++i) {
+    cx += frame.atoms[i].x;
+    cy += frame.atoms[i].y;
+    cz += frame.atoms[i].z;
+  }
+  const auto dm = static_cast<double>(m);
+  cx /= dm;
+  cy /= dm;
+  cz /= dm;
+
+  Sym3 g;
+  for (std::size_t i = first; i < last; ++i) {
+    const double dx = frame.atoms[i].x - cx;
+    const double dy = frame.atoms[i].y - cy;
+    const double dz = frame.atoms[i].z - cz;
+    g.xx += dx * dx;
+    g.xy += dx * dy;
+    g.xz += dx * dz;
+    g.yy += dy * dy;
+    g.yz += dy * dz;
+    g.zz += dz * dz;
+  }
+  g.xx /= dm;
+  g.xy /= dm;
+  g.xz /= dm;
+  g.yy /= dm;
+  g.yz /= dm;
+  g.zz /= dm;
+  return g;
+}
+
+FrameAnalytics analyze_frame(const Frame& frame) {
+  const Sym3 g = gyration_tensor(frame);
+  const auto ev = eigenvalues_sym3(g);
+  FrameAnalytics out;
+  out.largest_eigenvalue = ev[0];
+  out.radius_of_gyration = std::sqrt(g.xx + g.yy + g.zz);
+  out.asphericity = ev[0] - 0.5 * (ev[1] + ev[2]);
+  return out;
+}
+
+}  // namespace mdwf::md

@@ -1,0 +1,40 @@
+// In-situ analytics over MD frames.
+//
+// Mirrors the paper's Figure 1 example: per-frame collective variables,
+// specifically the gyration tensor and its largest eigenvalue, whose sudden
+// changes flag conformational events (the "largest eigenvalue of the
+// helices" plots).  Consumers run these on every received frame.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "mdwf/md/frame.hpp"
+
+namespace mdwf::md {
+
+// Symmetric 3x3 matrix in row-major packed order:
+// [xx, xy, xz; xy, yy, yz; xz, yz, zz].
+struct Sym3 {
+  double xx = 0, xy = 0, xz = 0, yy = 0, yz = 0, zz = 0;
+};
+
+// Eigenvalues of a symmetric 3x3 matrix, descending.  Analytic solution
+// (trigonometric method), robust for the (PSD) gyration tensors seen here.
+std::array<double, 3> eigenvalues_sym3(const Sym3& m);
+
+// Gyration tensor of a frame (or a subrange of its atoms): the second
+// moment of atom positions about the centroid.
+Sym3 gyration_tensor(const Frame& frame, std::size_t first = 0,
+                     std::size_t count = static_cast<std::size_t>(-1));
+
+struct FrameAnalytics {
+  double largest_eigenvalue = 0.0;
+  double radius_of_gyration = 0.0;  // sqrt(trace of gyration tensor)
+  double asphericity = 0.0;         // l1 - (l2 + l3)/2
+};
+
+// Full per-frame analytics pass (what an in-situ consumer computes).
+FrameAnalytics analyze_frame(const Frame& frame);
+
+}  // namespace mdwf::md

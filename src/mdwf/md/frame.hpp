@@ -1,0 +1,59 @@
+// MD frame representation and binary wire format.
+//
+// A frame is the atom list of one output step: atom ids and 3-D positions.
+// The serialized layout is:
+//
+//   [magic u32]["MDWF" fourcc semantics][version u16][reserved u16]
+//   [model name: u8 len + bytes][frame index u64][atom count u64]
+//   atom records: {id u32, x f64, y f64, z f64} * count
+//   [crc32c u32 over everything before the checksum]
+//
+// 28 bytes per atom record keeps the sizes of the paper's Table I.
+// Serialization is bit-exact round-trippable and checksummed; corrupt or
+// truncated buffers fail loudly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/bytes.hpp"
+
+namespace mdwf::md {
+
+struct Atom {
+  std::uint32_t id = 0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  friend bool operator==(const Atom&, const Atom&) = default;
+};
+
+class FrameError : public std::runtime_error {
+ public:
+  explicit FrameError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct Frame {
+  std::string model;
+  std::uint64_t index = 0;
+  std::vector<Atom> atoms;
+
+  // Serialized size including header and checksum.
+  Bytes serialized_size() const;
+
+  std::vector<std::byte> serialize() const;
+  static Frame deserialize(const std::vector<std::byte>& buf);
+
+  friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+// Deterministic synthetic frame for a model: `atoms` pseudo-random positions
+// in a cubic box, seeded by (seed, index).  Used by the workload generators.
+Frame synthesize_frame(std::string model, std::uint64_t atom_count,
+                       std::uint64_t index, std::uint64_t seed);
+
+}  // namespace mdwf::md

@@ -1,0 +1,273 @@
+#include "mdwf/md/lj_engine.hpp"
+
+#include <cmath>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::md {
+
+LjEngine::LjEngine(const LjParams& params) : params_(params) {
+  MDWF_ASSERT(params.particle_count >= 2);
+  MDWF_ASSERT(params.density > 0.0);
+  box_ = std::cbrt(static_cast<double>(params.particle_count) / params.density);
+  MDWF_ASSERT_MSG(box_ > 2.0 * params.cutoff,
+                  "box must exceed twice the cutoff for minimum-image");
+  cutoff_sq_ = params.cutoff * params.cutoff;
+  pos_.resize(params.particle_count);
+  vel_.resize(params.particle_count);
+  force_.resize(params.particle_count);
+  init_lattice();
+  init_velocities();
+  compute_forces();
+}
+
+void LjEngine::init_lattice() {
+  // Simple cubic lattice filling the box.
+  const auto n = static_cast<std::uint64_t>(
+      std::ceil(std::cbrt(static_cast<double>(params_.particle_count))));
+  const double a = box_ / static_cast<double>(n);
+  std::uint64_t idx = 0;
+  for (std::uint64_t ix = 0; ix < n && idx < params_.particle_count; ++ix) {
+    for (std::uint64_t iy = 0; iy < n && idx < params_.particle_count; ++iy) {
+      for (std::uint64_t iz = 0; iz < n && idx < params_.particle_count;
+           ++iz) {
+        pos_[idx] = Vec3{(static_cast<double>(ix) + 0.5) * a,
+                         (static_cast<double>(iy) + 0.5) * a,
+                         (static_cast<double>(iz) + 0.5) * a};
+        ++idx;
+      }
+    }
+  }
+}
+
+void LjEngine::init_velocities() {
+  Rng rng(params_.seed);
+  const double scale = std::sqrt(params_.initial_temperature);
+  Vec3 total{};
+  for (auto& v : vel_) {
+    v = Vec3{rng.normal(0, scale), rng.normal(0, scale), rng.normal(0, scale)};
+    total.x += v.x;
+    total.y += v.y;
+    total.z += v.z;
+  }
+  // Remove centre-of-mass drift.
+  const auto n = static_cast<double>(vel_.size());
+  for (auto& v : vel_) {
+    v.x -= total.x / n;
+    v.y -= total.y / n;
+    v.z -= total.z / n;
+  }
+}
+
+void LjEngine::apply_minimum_image(double& dx, double& dy, double& dz) const {
+  dx -= box_ * std::round(dx / box_);
+  dy -= box_ * std::round(dy / box_);
+  dz -= box_ * std::round(dz / box_);
+}
+
+void LjEngine::rebuild_cells() {
+  cells_per_side_ = static_cast<int>(box_ / params_.cutoff);
+  if (cells_per_side_ < 3) cells_per_side_ = 1;  // fall back to one cell
+  cell_edge_ = box_ / cells_per_side_;
+  const std::size_t total = static_cast<std::size_t>(cells_per_side_) *
+                            cells_per_side_ * cells_per_side_;
+  cells_.assign(total, {});
+  for (std::uint32_t i = 0; i < pos_.size(); ++i) {
+    auto cell_of = [&](double c) {
+      int k = static_cast<int>(c / cell_edge_);
+      if (k >= cells_per_side_) k = cells_per_side_ - 1;
+      if (k < 0) k = 0;
+      return k;
+    };
+    const int cx = cell_of(pos_[i].x);
+    const int cy = cell_of(pos_[i].y);
+    const int cz = cell_of(pos_[i].z);
+    cells_[static_cast<std::size_t>((cx * cells_per_side_ + cy) *
+                                    cells_per_side_ + cz)]
+        .push_back(i);
+  }
+}
+
+void LjEngine::compute_forces() {
+  for (auto& f : force_) f = Vec3{};
+  potential_ = 0.0;
+  rebuild_cells();
+
+  auto pair_interaction = [&](std::uint32_t i, std::uint32_t j) {
+    double dx = pos_[i].x - pos_[j].x;
+    double dy = pos_[i].y - pos_[j].y;
+    double dz = pos_[i].z - pos_[j].z;
+    apply_minimum_image(dx, dy, dz);
+    const double r2 = dx * dx + dy * dy + dz * dz;
+    if (r2 >= cutoff_sq_ || r2 == 0.0) return;
+    const double inv_r2 = 1.0 / r2;
+    const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+    // U = 4 (r^-12 - r^-6); F = 24 (2 r^-12 - r^-6) / r * rhat
+    const double f_over_r = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+    force_[i].x += f_over_r * dx;
+    force_[i].y += f_over_r * dy;
+    force_[i].z += f_over_r * dz;
+    force_[j].x -= f_over_r * dx;
+    force_[j].y -= f_over_r * dy;
+    force_[j].z -= f_over_r * dz;
+    potential_ += 4.0 * inv_r6 * (inv_r6 - 1.0);
+  };
+
+  if (cells_per_side_ == 1) {
+    for (std::uint32_t i = 0; i < pos_.size(); ++i) {
+      for (std::uint32_t j = i + 1; j < pos_.size(); ++j) {
+        pair_interaction(i, j);
+      }
+    }
+    return;
+  }
+
+  const int n = cells_per_side_;
+  auto cell_at = [&](int x, int y, int z) -> const std::vector<std::uint32_t>& {
+    auto wrap = [n](int k) { return ((k % n) + n) % n; };
+    return cells_[static_cast<std::size_t>(
+        (wrap(x) * n + wrap(y)) * n + wrap(z))];
+  };
+  // Half-shell neighbour offsets: each unordered cell pair visited once.
+  static constexpr int kHalf[13][3] = {
+      {1, 0, 0},  {0, 1, 0},  {0, 0, 1},  {1, 1, 0},   {1, -1, 0},
+      {1, 0, 1},  {1, 0, -1}, {0, 1, 1},  {0, 1, -1},  {1, 1, 1},
+      {1, 1, -1}, {1, -1, 1}, {1, -1, -1}};
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      for (int z = 0; z < n; ++z) {
+        const auto& home = cell_at(x, y, z);
+        for (std::size_t a = 0; a < home.size(); ++a) {
+          for (std::size_t b = a + 1; b < home.size(); ++b) {
+            pair_interaction(home[a], home[b]);
+          }
+        }
+        for (const auto& off : kHalf) {
+          const auto& nb = cell_at(x + off[0], y + off[1], z + off[2]);
+          for (const std::uint32_t i : home) {
+            for (const std::uint32_t j : nb) {
+              pair_interaction(i, j);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void LjEngine::compute_forces_reference(std::vector<Vec3>& out,
+                                        double& pot) const {
+  out.assign(pos_.size(), Vec3{});
+  pot = 0.0;
+  for (std::uint32_t i = 0; i < pos_.size(); ++i) {
+    for (std::uint32_t j = i + 1; j < pos_.size(); ++j) {
+      double dx = pos_[i].x - pos_[j].x;
+      double dy = pos_[i].y - pos_[j].y;
+      double dz = pos_[i].z - pos_[j].z;
+      apply_minimum_image(dx, dy, dz);
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= cutoff_sq_ || r2 == 0.0) continue;
+      const double inv_r2 = 1.0 / r2;
+      const double inv_r6 = inv_r2 * inv_r2 * inv_r2;
+      const double f_over_r = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+      out[i].x += f_over_r * dx;
+      out[i].y += f_over_r * dy;
+      out[i].z += f_over_r * dz;
+      out[j].x -= f_over_r * dx;
+      out[j].y -= f_over_r * dy;
+      out[j].z -= f_over_r * dz;
+      pot += 4.0 * inv_r6 * (inv_r6 - 1.0);
+    }
+  }
+}
+
+double LjEngine::force_error_vs_bruteforce() {
+  compute_forces();
+  std::vector<Vec3> ref;
+  double ref_pot = 0.0;
+  compute_forces_reference(ref, ref_pot);
+  double err = std::abs(potential_ - ref_pot);
+  for (std::size_t i = 0; i < force_.size(); ++i) {
+    err = std::max(err, std::abs(force_[i].x - ref[i].x));
+    err = std::max(err, std::abs(force_[i].y - ref[i].y));
+    err = std::max(err, std::abs(force_[i].z - ref[i].z));
+  }
+  return err;
+}
+
+void LjEngine::step(std::uint64_t n) {
+  const double dt = params_.dt;
+  const double half_dt = 0.5 * dt;
+  for (std::uint64_t s = 0; s < n; ++s) {
+    for (std::size_t i = 0; i < pos_.size(); ++i) {
+      vel_[i].x += half_dt * force_[i].x;
+      vel_[i].y += half_dt * force_[i].y;
+      vel_[i].z += half_dt * force_[i].z;
+      pos_[i].x += dt * vel_[i].x;
+      pos_[i].y += dt * vel_[i].y;
+      pos_[i].z += dt * vel_[i].z;
+      // Wrap into the periodic box.
+      pos_[i].x -= box_ * std::floor(pos_[i].x / box_);
+      pos_[i].y -= box_ * std::floor(pos_[i].y / box_);
+      pos_[i].z -= box_ * std::floor(pos_[i].z / box_);
+    }
+    compute_forces();
+    for (std::size_t i = 0; i < pos_.size(); ++i) {
+      vel_[i].x += half_dt * force_[i].x;
+      vel_[i].y += half_dt * force_[i].y;
+      vel_[i].z += half_dt * force_[i].z;
+    }
+    if (params_.thermostat_tau > 0.0) {
+      const double t = temperature();
+      if (t > 0.0) {
+        const double lambda = std::sqrt(
+            1.0 + dt / params_.thermostat_tau *
+                      (params_.target_temperature / t - 1.0));
+        for (auto& v : vel_) {
+          v.x *= lambda;
+          v.y *= lambda;
+          v.z *= lambda;
+        }
+      }
+    }
+    ++steps_;
+  }
+}
+
+double LjEngine::kinetic_energy() const {
+  double ke = 0.0;
+  for (const auto& v : vel_) {
+    ke += 0.5 * (v.x * v.x + v.y * v.y + v.z * v.z);
+  }
+  return ke;
+}
+
+double LjEngine::temperature() const {
+  // Equipartition: KE = (3N - 3)/2 kT with COM motion removed.
+  const double dof = 3.0 * static_cast<double>(pos_.size()) - 3.0;
+  return 2.0 * kinetic_energy() / dof;
+}
+
+Vec3 LjEngine::total_momentum() const {
+  Vec3 p{};
+  for (const auto& v : vel_) {
+    p.x += v.x;
+    p.y += v.y;
+    p.z += v.z;
+  }
+  return p;
+}
+
+Frame LjEngine::snapshot(std::string model_name,
+                         std::uint64_t frame_index) const {
+  Frame f;
+  f.model = std::move(model_name);
+  f.index = frame_index;
+  f.atoms.resize(pos_.size());
+  for (std::uint32_t i = 0; i < pos_.size(); ++i) {
+    f.atoms[i] = Atom{i, pos_[i].x, pos_[i].y, pos_[i].z};
+  }
+  return f;
+}
+
+}  // namespace mdwf::md

@@ -1,0 +1,86 @@
+// Minimal real molecular-dynamics engine (Lennard-Jones fluid).
+//
+// The paper's harness emulates MD with fixed-duration sleeps; this engine
+// exists so the examples and the real-thread backend can produce physically
+// meaningful trajectories end-to-end: N particles in a periodic cubic box,
+// LJ 12-6 interactions with a cutoff, cell-list neighbour search, and
+// velocity-Verlet integration (NVE), with an optional Berendsen thermostat.
+// Reduced LJ units throughout (sigma = epsilon = mass = 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdwf/common/rng.hpp"
+#include "mdwf/md/frame.hpp"
+
+namespace mdwf::md {
+
+struct LjParams {
+  std::uint64_t particle_count = 256;
+  double density = 0.8;   // N / V, sets the box edge
+  double dt = 0.005;      // integration step
+  double cutoff = 2.5;    // interaction cutoff (sigma units)
+  double initial_temperature = 1.0;
+  // Berendsen thermostat coupling; 0 disables (pure NVE).
+  double thermostat_tau = 0.0;
+  double target_temperature = 1.0;
+  std::uint64_t seed = 12345;
+};
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+};
+
+class LjEngine {
+ public:
+  explicit LjEngine(const LjParams& params);
+
+  const LjParams& params() const { return params_; }
+  double box_edge() const { return box_; }
+  std::uint64_t steps_done() const { return steps_; }
+
+  // Advances `n` integration steps.
+  void step(std::uint64_t n = 1);
+
+  // Observables.
+  double kinetic_energy() const;
+  double potential_energy() const { return potential_; }
+  double total_energy() const { return kinetic_energy() + potential_; }
+  double temperature() const;
+  Vec3 total_momentum() const;
+
+  // Current positions as a frame (ids are particle indices).
+  Frame snapshot(std::string model_name, std::uint64_t frame_index) const;
+
+  const std::vector<Vec3>& positions() const { return pos_; }
+  const std::vector<Vec3>& velocities() const { return vel_; }
+
+  // Recomputes forces with an O(N^2) reference loop and compares to the
+  // cell-list result (testing hook); returns the max per-component error.
+  double force_error_vs_bruteforce();
+
+ private:
+  void init_lattice();
+  void init_velocities();
+  void compute_forces();
+  void compute_forces_reference(std::vector<Vec3>& out, double& pot) const;
+  void apply_minimum_image(double& dx, double& dy, double& dz) const;
+  void rebuild_cells();
+
+  LjParams params_;
+  double box_;
+  double cutoff_sq_;
+  std::uint64_t steps_ = 0;
+  double potential_ = 0.0;
+  std::vector<Vec3> pos_;
+  std::vector<Vec3> vel_;
+  std::vector<Vec3> force_;
+
+  // Cell list.
+  int cells_per_side_ = 0;
+  double cell_edge_ = 0.0;
+  std::vector<std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace mdwf::md

@@ -1,0 +1,12 @@
+#include "mdwf/md/models.hpp"
+
+namespace mdwf::md {
+
+std::optional<MolecularModel> find_model(std::string_view name) {
+  for (const auto& m : kAllModels) {
+    if (m.name == name) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mdwf::md

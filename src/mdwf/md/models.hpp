@@ -1,0 +1,58 @@
+// Molecular model registry (the paper's Tables I and II).
+//
+// Four reference systems spanning 23k to 1.07M atoms.  Frame size follows
+// the paper's frame layout of 28 bytes per atom (u32 atom id + 3 x f64
+// coordinates), which reproduces Table I's sizes exactly (JAC: 644.21 KiB,
+// STMV: 28.48 MiB).  Strides are chosen in the paper so every model emits a
+// frame at the same wall frequency (~0.82 s).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/common/time.hpp"
+
+namespace mdwf::md {
+
+// Bytes per atom in a serialized frame: u32 id + 3 x f64 position.
+inline constexpr std::uint64_t kBytesPerAtom = 28;
+
+struct MolecularModel {
+  std::string_view name;
+  std::uint64_t atoms;
+  // MD throughput on the reference GPU platform (paper Table I, derived
+  // from the NAMD benchmark suite).
+  double steps_per_second;
+  // Output stride (paper Table II): steps between emitted frames.
+  std::uint64_t stride;
+
+  // Payload bytes of one frame (Table I "Frame size").
+  constexpr Bytes frame_bytes() const { return Bytes(atoms * kBytesPerAtom); }
+  // Table II "ms/step".
+  double ms_per_step() const { return 1000.0 / steps_per_second; }
+  Duration step_time() const { return Duration::seconds(1.0 / steps_per_second); }
+  // Table II "Frequency (s)": seconds between frames at the default stride.
+  double frame_period_seconds() const {
+    return static_cast<double>(stride) / steps_per_second;
+  }
+  Duration frame_period() const {
+    return Duration::seconds(frame_period_seconds());
+  }
+};
+
+// Table I / II rows.
+constexpr MolecularModel kJac{"JAC", 23'558, 1072.92, 880};
+constexpr MolecularModel kApoA1{"ApoA1", 92'224, 358.22, 294};
+constexpr MolecularModel kF1Atpase{"F1 ATPase", 327'506, 115.74, 92};
+constexpr MolecularModel kStmv{"STMV", 1'066'628, 34.14, 28};
+
+constexpr std::array<MolecularModel, 4> kAllModels{kJac, kApoA1, kF1Atpase,
+                                                   kStmv};
+
+// Lookup by name ("JAC", "ApoA1", "F1 ATPase", "STMV").
+std::optional<MolecularModel> find_model(std::string_view name);
+
+}  // namespace mdwf::md

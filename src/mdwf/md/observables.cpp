@@ -1,0 +1,138 @@
+#include "mdwf/md/observables.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::md {
+
+RadialDistribution::RadialDistribution(double box, double r_max,
+                                       std::size_t bins)
+    : box_(box), r_max_(r_max), hist_(bins, 0) {
+  MDWF_ASSERT(bins > 0);
+  MDWF_ASSERT_MSG(r_max <= box / 2.0,
+                  "g(r) beyond half the box is ill-defined (minimum image)");
+}
+
+void RadialDistribution::accumulate(const Frame& frame) {
+  const std::size_t n = frame.atoms.size();
+  MDWF_ASSERT(n >= 2);
+  if (particles_ == 0) particles_ = n;
+  MDWF_ASSERT_MSG(particles_ == n, "particle count changed mid-trajectory");
+  const double bw = bin_width();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double dx = frame.atoms[i].x - frame.atoms[j].x;
+      double dy = frame.atoms[i].y - frame.atoms[j].y;
+      double dz = frame.atoms[i].z - frame.atoms[j].z;
+      dx -= box_ * std::round(dx / box_);
+      dy -= box_ * std::round(dy / box_);
+      dz -= box_ * std::round(dz / box_);
+      const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+      if (r < r_max_) {
+        hist_[static_cast<std::size_t>(r / bw)] += 2;  // both orderings
+      }
+    }
+  }
+  ++frames_;
+}
+
+std::vector<double> RadialDistribution::g() const {
+  std::vector<double> out(hist_.size(), 0.0);
+  if (frames_ == 0 || particles_ == 0) return out;
+  const double volume = box_ * box_ * box_;
+  const double density = static_cast<double>(particles_) / volume;
+  const double bw = bin_width();
+  for (std::size_t i = 0; i < hist_.size(); ++i) {
+    const double r_lo = static_cast<double>(i) * bw;
+    const double r_hi = r_lo + bw;
+    const double shell =
+        4.0 / 3.0 * std::numbers::pi *
+        (r_hi * r_hi * r_hi - r_lo * r_lo * r_lo);
+    const double ideal = density * shell * static_cast<double>(particles_) *
+                         static_cast<double>(frames_);
+    out[i] = ideal > 0.0 ? static_cast<double>(hist_[i]) / ideal : 0.0;
+  }
+  return out;
+}
+
+void MeanSquaredDisplacement::accumulate(const Frame& frame) {
+  const std::size_t n = frame.atoms.size();
+  std::vector<double> wrapped(3 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    wrapped[3 * i + 0] = frame.atoms[i].x;
+    wrapped[3 * i + 1] = frame.atoms[i].y;
+    wrapped[3 * i + 2] = frame.atoms[i].z;
+  }
+  if (reference_.empty()) {
+    reference_ = wrapped;
+    unwrapped_ = wrapped;
+    previous_ = std::move(wrapped);
+    series_.push_back(0.0);
+    return;
+  }
+  MDWF_ASSERT_MSG(wrapped.size() == reference_.size(),
+                  "particle count changed mid-trajectory");
+  // Unwrap: add the minimum-image displacement since the previous frame.
+  for (std::size_t k = 0; k < wrapped.size(); ++k) {
+    double d = wrapped[k] - previous_[k];
+    d -= box_ * std::round(d / box_);
+    unwrapped_[k] += d;
+  }
+  previous_ = std::move(wrapped);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < unwrapped_.size(); ++k) {
+    const double d = unwrapped_[k] - reference_[k];
+    acc += d * d;
+  }
+  series_.push_back(acc / static_cast<double>(unwrapped_.size() / 3));
+}
+
+double MeanSquaredDisplacement::diffusion_estimate() const {
+  if (series_.size() < 4) return 0.0;
+  // Least-squares slope over the second half of MSD(t); D = slope / 6.
+  const std::size_t start = series_.size() / 2;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double n = 0;
+  for (std::size_t t = start; t < series_.size(); ++t) {
+    const auto x = static_cast<double>(t);
+    sx += x;
+    sy += series_[t];
+    sxx += x * x;
+    sxy += x * series_[t];
+    n += 1.0;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 0.0;
+  const double slope = (n * sxy - sx * sy) / denom;
+  return slope / 6.0;
+}
+
+void VelocityAutocorrelation::accumulate(const std::vector<Vec3>& velocities) {
+  if (snapshots_.size() < window_) {
+    snapshots_.push_back(velocities);
+  }
+}
+
+std::vector<double> VelocityAutocorrelation::normalized() const {
+  std::vector<double> out;
+  if (snapshots_.empty()) return out;
+  auto dot_frames = [this](std::size_t a, std::size_t b) {
+    double acc = 0.0;
+    const auto& va = snapshots_[a];
+    const auto& vb = snapshots_[b];
+    for (std::size_t i = 0; i < va.size(); ++i) {
+      acc += va[i].x * vb[i].x + va[i].y * vb[i].y + va[i].z * vb[i].z;
+    }
+    return acc / static_cast<double>(va.size());
+  };
+  const double c0 = dot_frames(0, 0);
+  if (c0 == 0.0) return out;
+  for (std::size_t t = 0; t < snapshots_.size(); ++t) {
+    out.push_back(dot_frames(0, t) / c0);
+  }
+  return out;
+}
+
+}  // namespace mdwf::md

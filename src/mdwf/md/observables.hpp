@@ -1,0 +1,88 @@
+// Trajectory observables for in-situ analysis.
+//
+// Beyond the per-frame gyration analytics, consumers of a streaming MD
+// workflow typically accumulate structural and dynamical observables over
+// the trajectory; these are the standard three:
+//
+//   RadialDistribution  - g(r): pair-correlation histogram (structure);
+//   MeanSquaredDisplacement - MSD(t) against a reference frame, with
+//       periodic-boundary unwrapping (diffusion);
+//   VelocityAutocorrelation - normalized VACF over a window (dynamics).
+//
+// All are streaming accumulators: feed frames (or velocity snapshots) as
+// they arrive, read results at any time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mdwf/md/frame.hpp"
+#include "mdwf/md/lj_engine.hpp"
+
+namespace mdwf::md {
+
+class RadialDistribution {
+ public:
+  // `box` is the periodic cube edge; r ranges over [0, r_max) in `bins`.
+  RadialDistribution(double box, double r_max, std::size_t bins);
+
+  void accumulate(const Frame& frame);
+
+  std::size_t frames_seen() const { return frames_; }
+  double bin_width() const { return r_max_ / static_cast<double>(hist_.size()); }
+  // Normalized g(r) per bin midpoint; empty if nothing accumulated.
+  std::vector<double> g() const;
+  // Midpoint radius of bin i.
+  double r_of(std::size_t i) const {
+    return (static_cast<double>(i) + 0.5) * bin_width();
+  }
+
+ private:
+  double box_;
+  double r_max_;
+  std::size_t frames_ = 0;
+  std::uint64_t particles_ = 0;
+  std::vector<std::uint64_t> hist_;
+};
+
+class MeanSquaredDisplacement {
+ public:
+  explicit MeanSquaredDisplacement(double box) : box_(box) {}
+
+  // First frame becomes the reference; later frames are unwrapped against
+  // the previous frame (minimum image) so box wrapping does not reset
+  // displacements.
+  void accumulate(const Frame& frame);
+
+  std::size_t frames_seen() const { return series_.size(); }
+  // MSD value per accumulated frame (series_[0] == 0 for the reference).
+  const std::vector<double>& series() const { return series_; }
+  // Diffusion-coefficient estimate from the last half of the series via
+  // MSD ~ 6 D t (t measured in frame intervals); 0 until enough data.
+  double diffusion_estimate() const;
+
+ private:
+  double box_;
+  std::vector<double> reference_;  // flattened xyz
+  std::vector<double> unwrapped_;  // running unwrapped positions
+  std::vector<double> previous_;   // last wrapped positions
+  std::vector<double> series_;
+};
+
+class VelocityAutocorrelation {
+ public:
+  explicit VelocityAutocorrelation(std::size_t window) : window_(window) {}
+
+  void accumulate(const std::vector<Vec3>& velocities);
+
+  std::size_t frames_seen() const { return snapshots_.size(); }
+  // C(t) = <v(0).v(t)> / <v(0).v(0)> for t in [0, window); values beyond
+  // the available data are omitted.
+  std::vector<double> normalized() const;
+
+ private:
+  std::size_t window_;
+  std::vector<std::vector<Vec3>> snapshots_;
+};
+
+}  // namespace mdwf::md

@@ -1,0 +1,108 @@
+#include "mdwf/net/fair_share.hpp"
+
+#include <cmath>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::net {
+namespace {
+
+// Flows with less than this many bytes left are complete (absorbs the
+// floating-point residue of progress accounting).
+constexpr double kEpsilonBytes = 1e-6;
+
+}  // namespace
+
+FairShareChannel::FairShareChannel(sim::Simulation& sim,
+                                   double bytes_per_second, std::string name)
+    : sim_(&sim), capacity_(bytes_per_second), name_(std::move(name)) {
+  MDWF_ASSERT_MSG(bytes_per_second > 0.0, "channel capacity must be positive");
+}
+
+FairShareChannel::~FairShareChannel() {
+  if (timer_armed_) sim_->cancel(timer_);
+}
+
+sim::Task<void> FairShareChannel::transfer(Bytes n) {
+  if (n.is_zero()) co_return;
+  total_requested_ += n;
+  advance_progress();
+  auto flow =
+      std::make_unique<Flow>(*sim_, static_cast<double>(n.count()));
+  Flow& ref = *flow;
+  flows_.push_back(std::move(flow));
+  settle_and_rearm();
+  co_await ref.done.wait();
+}
+
+void FairShareChannel::set_background_load(double fraction) {
+  MDWF_ASSERT(fraction >= 0.0 && fraction < 1.0);
+  advance_progress();
+  background_load_ = fraction;
+  settle_and_rearm();
+}
+
+void FairShareChannel::advance_progress() {
+  const TimePoint now = sim_->now();
+  if (!flows_.empty()) {
+    const double elapsed_s = (now - last_update_).to_seconds();
+    if (elapsed_s > 0.0) {
+      const double rate =
+          effective_capacity() / static_cast<double>(flows_.size());
+      const double progressed = rate * elapsed_s;
+      for (auto& f : flows_) {
+        f->remaining_bytes -= progressed;
+        if (f->remaining_bytes < 0.0) f->remaining_bytes = 0.0;
+      }
+    }
+  }
+  last_update_ = now;
+}
+
+void FairShareChannel::settle_and_rearm() {
+  // Complete flows that have drained.
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if ((*it)->remaining_bytes <= kEpsilonBytes) {
+      // Account completed bytes by what was requested minus residue (the
+      // residue is fp noise, so just count the original request).
+      (*it)->done.trigger();
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  total_completed_ = total_requested_;
+  for (const auto& f : flows_) {
+    total_completed_ -= Bytes(static_cast<std::uint64_t>(
+        std::ceil(f->remaining_bytes - kEpsilonBytes < 0.0
+                      ? 0.0
+                      : f->remaining_bytes)));
+  }
+
+  if (timer_armed_) {
+    sim_->cancel(timer_);
+    timer_armed_ = false;
+  }
+  if (flows_.empty()) return;
+
+  double min_remaining = flows_.front()->remaining_bytes;
+  for (const auto& f : flows_) {
+    min_remaining = std::min(min_remaining, f->remaining_bytes);
+  }
+  const double rate =
+      effective_capacity() / static_cast<double>(flows_.size());
+  const double secs = min_remaining / rate;
+  // Ceil to a whole nanosecond (and at least 1) so the timer never fires
+  // before the flow has truly drained and zero-delay spinning is impossible.
+  const auto ns = static_cast<std::int64_t>(std::ceil(secs * 1e9));
+  timer_ = sim_->call_after(Duration(ns < 1 ? 1 : ns), [this] { on_timer(); });
+  timer_armed_ = true;
+}
+
+void FairShareChannel::on_timer() {
+  timer_armed_ = false;
+  advance_progress();
+  settle_and_rearm();
+}
+
+}  // namespace mdwf::net

@@ -1,0 +1,77 @@
+// Processor-sharing bandwidth channel.
+//
+// Models a capacity-limited resource (NIC port, switch bisection slice, SSD
+// channel) shared equally among concurrent byte streams: with k active flows
+// each progresses at capacity/k.  Arrivals and departures re-rate the channel
+// exactly — progress is advanced to the event instant, the completion timer
+// recomputed — which yields the same completion times an ideal fluid model
+// would, independent of event interleaving.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/sim/primitives.hpp"
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/sim/task.hpp"
+
+namespace mdwf::net {
+
+class FairShareChannel {
+ public:
+  FairShareChannel(sim::Simulation& sim, double bytes_per_second,
+                   std::string name = "channel");
+  ~FairShareChannel();
+
+  FairShareChannel(const FairShareChannel&) = delete;
+  FairShareChannel& operator=(const FairShareChannel&) = delete;
+
+  // Streams `n` bytes through the channel; completes when the last byte has
+  // passed.  Zero-byte transfers complete immediately.
+  sim::Task<void> transfer(Bytes n);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  double capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+  // Fraction of capacity stolen by modelled background load (interference
+  // from other cluster jobs).  Applies to future progress immediately.
+  void set_background_load(double fraction);
+  double background_load() const { return background_load_; }
+
+  // Lifetime totals for conservation checks and utilization reports.
+  Bytes total_requested() const { return total_requested_; }
+  Bytes total_completed() const { return total_completed_; }
+
+ private:
+  struct Flow {
+    double remaining_bytes;
+    sim::Event done;
+    Flow(sim::Simulation& sim, double n) : remaining_bytes(n), done(sim) {}
+  };
+
+  double effective_capacity() const {
+    return capacity_ * (1.0 - background_load_);
+  }
+  // Advances every active flow to the current instant.
+  void advance_progress();
+  // Completes exhausted flows and re-arms the completion timer.
+  void settle_and_rearm();
+  void on_timer();
+
+  sim::Simulation* sim_;
+  double capacity_;
+  std::string name_;
+  double background_load_ = 0.0;
+  std::list<std::unique_ptr<Flow>> flows_;
+  TimePoint last_update_ = TimePoint::origin();
+  sim::TimerId timer_{};
+  bool timer_armed_ = false;
+  Bytes total_requested_ = Bytes::zero();
+  Bytes total_completed_ = Bytes::zero();
+};
+
+}  // namespace mdwf::net

@@ -1,0 +1,65 @@
+#include "mdwf/net/network.hpp"
+
+#include "mdwf/common/assert.hpp"
+#include "mdwf/sim/primitives.hpp"
+
+namespace mdwf::net {
+
+Network::Network(sim::Simulation& sim, const NetworkParams& params,
+                 std::uint32_t node_count)
+    : sim_(&sim), params_(params) {
+  MDWF_ASSERT(node_count >= 1);
+  nodes_.reserve(node_count);
+  for (std::uint32_t i = 0; i < node_count; ++i) {
+    Nic nic;
+    nic.tx = std::make_unique<FairShareChannel>(
+        sim, params.nic_bandwidth_bps, "nic" + std::to_string(i) + ".tx");
+    nic.rx = std::make_unique<FairShareChannel>(
+        sim, params.nic_bandwidth_bps, "nic" + std::to_string(i) + ".rx");
+    nodes_.push_back(std::move(nic));
+  }
+  if (params.bisection_bandwidth_bps > 0.0) {
+    bisection_ = std::make_unique<FairShareChannel>(
+        sim, params.bisection_bandwidth_bps, "bisection");
+  }
+}
+
+FairShareChannel& Network::tx(NodeId n) {
+  MDWF_ASSERT(n.value < nodes_.size());
+  return *nodes_[n.value].tx;
+}
+
+FairShareChannel& Network::rx(NodeId n) {
+  MDWF_ASSERT(n.value < nodes_.size());
+  return *nodes_[n.value].rx;
+}
+
+sim::Task<void> Network::transfer(NodeId src, NodeId dst, Bytes payload) {
+  if (src == dst) co_return;  // loopback is free at this layer
+  co_await sim_->delay(params_.latency);
+  if (payload.is_zero()) co_return;
+  // The payload occupies every traversed segment simultaneously; completion
+  // is gated by the slowest.
+  std::vector<sim::Task<void>> segments;
+  segments.push_back(tx(src).transfer(payload));
+  segments.push_back(rx(dst).transfer(payload));
+  if (bisection_) segments.push_back(bisection_->transfer(payload));
+  co_await sim::all(*sim_, std::move(segments));
+}
+
+sim::Task<void> Network::send_control(NodeId src, NodeId dst) {
+  co_await transfer(src, dst, params_.control_message_size);
+}
+
+sim::Task<void> Network::rdma_get(NodeId requester, NodeId owner,
+                                  Bytes payload) {
+  co_await send_control(requester, owner);
+  co_await transfer(owner, requester, payload);
+}
+
+sim::Task<void> Network::rdma_put(NodeId src, NodeId dst, Bytes payload) {
+  co_await transfer(src, dst, payload);
+  co_await send_control(dst, src);
+}
+
+}  // namespace mdwf::net

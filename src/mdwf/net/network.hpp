@@ -1,0 +1,84 @@
+// Cluster interconnect model (InfiniBand-style fabric).
+//
+// Every node owns a full-duplex NIC (independent tx/rx fair-share channels).
+// A transfer from A to B pays the base one-way latency once and then streams
+// its payload through A's tx channel and B's rx channel concurrently; the
+// slower (more contended) side gates completion, which is how a fat-tree
+// fabric with adequate bisection behaves.  An optional shared bisection
+// channel models a constrained core.
+//
+// RDMA primitives mirror one-sided verbs: a small request message to the
+// owner followed by a payload stream back, with no remote CPU involvement
+// modelled beyond the responder's NIC.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/common/time.hpp"
+#include "mdwf/net/fair_share.hpp"
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/sim/task.hpp"
+
+namespace mdwf::net {
+
+struct NodeId {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(NodeId, NodeId) = default;
+};
+
+struct NetworkParams {
+  // InfiniBand QDR: 32 Gbit/s ~= 3.2 GB/s effective per direction.
+  double nic_bandwidth_bps = 3.2e9;
+  // One-way small-message latency.
+  Duration latency = Duration::nanoseconds(1500);
+  // Shared core capacity; 0 disables the bisection constraint.
+  double bisection_bandwidth_bps = 0.0;
+  // Size charged for control messages (headers, acks).
+  Bytes control_message_size = Bytes(256);
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, const NetworkParams& params,
+          std::uint32_t node_count);
+
+  std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  const NetworkParams& params() const { return params_; }
+
+  // Bulk data transfer src -> dst.  Intra-node transfers pay no network cost
+  // (the caller models local memory/storage costs).
+  sim::Task<void> transfer(NodeId src, NodeId dst, Bytes payload);
+
+  // Control-plane message (fixed small size + latency).
+  sim::Task<void> send_control(NodeId src, NodeId dst);
+
+  // One-sided read: requester sends a control request to `owner`, then the
+  // payload streams owner -> requester.
+  sim::Task<void> rdma_get(NodeId requester, NodeId owner, Bytes payload);
+
+  // One-sided write: payload streams src -> dst, then a completion control
+  // message returns.
+  sim::Task<void> rdma_put(NodeId src, NodeId dst, Bytes payload);
+
+  // Channel access for tests and interference injection.
+  FairShareChannel& tx(NodeId n);
+  FairShareChannel& rx(NodeId n);
+  FairShareChannel* bisection() { return bisection_.get(); }
+
+ private:
+  struct Nic {
+    std::unique_ptr<FairShareChannel> tx;
+    std::unique_ptr<FairShareChannel> rx;
+  };
+
+  sim::Simulation* sim_;
+  NetworkParams params_;
+  std::vector<Nic> nodes_;
+  std::unique_ptr<FairShareChannel> bisection_;
+};
+
+}  // namespace mdwf::net

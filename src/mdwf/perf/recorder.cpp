@@ -1,0 +1,31 @@
+#include "mdwf/perf/recorder.hpp"
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::perf {
+
+Recorder::Recorder(sim::Simulation& sim, std::string process_name)
+    : sim_(&sim), name_(std::move(process_name)) {}
+
+void Recorder::begin(std::string_view region, Category cat) {
+  CallNode& parent = stack_.empty() ? tree_.root() : *stack_.back().node;
+  CallNode& node = parent.child(region, cat);
+  if (node.category == Category::kOther && cat != Category::kOther) {
+    node.category = cat;
+  }
+  stack_.push_back(Open{&node, sim_->now()});
+}
+
+void Recorder::end(std::string_view region) {
+  MDWF_ASSERT_MSG(!stack_.empty(), "Recorder::end with no open region");
+  Open open = stack_.back();
+  MDWF_ASSERT_MSG(open.node->name == region,
+                  "Recorder::end does not match innermost open region");
+  stack_.pop_back();
+  open.node->count += 1;
+  const Duration elapsed = sim_->now() - open.began;
+  open.node->inclusive += elapsed;
+  if (elapsed > open.node->max_single) open.node->max_single = elapsed;
+}
+
+}  // namespace mdwf::perf

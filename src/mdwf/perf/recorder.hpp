@@ -1,0 +1,77 @@
+// Caliper-style annotation recorder for simulated processes.
+//
+// Each process (producer, consumer, broker) owns a `Recorder`.  Code brackets
+// activities with begin/end — normally via the RAII `ScopedRegion` — and the
+// recorder accumulates a call tree of inclusive virtual-time durations.
+// Region nesting follows the process's sequential coroutine control flow, so
+// a plain stack suffices.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mdwf/common/time.hpp"
+#include "mdwf/perf/calltree.hpp"
+#include "mdwf/sim/simulation.hpp"
+
+namespace mdwf::perf {
+
+class Recorder {
+ public:
+  Recorder(sim::Simulation& sim, std::string process_name);
+
+  const std::string& process_name() const { return name_; }
+
+  void begin(std::string_view region, Category cat = Category::kOther);
+  void end(std::string_view region);
+
+  // Depth of currently open regions (0 at quiescence).
+  std::size_t open_regions() const { return stack_.size(); }
+
+  // The live tree (regions still open have their partial time excluded).
+  const CallTree& tree() const { return tree_; }
+  CallTree snapshot() const { return tree_.clone(); }
+
+ private:
+  struct Open {
+    CallNode* node;
+    TimePoint began;
+  };
+
+  sim::Simulation* sim_;
+  std::string name_;
+  CallTree tree_;
+  std::vector<Open> stack_;
+};
+
+// RAII region. Safe across co_await points: suspension keeps the coroutine
+// frame (and therefore this object) alive, and the elapsed virtual time of
+// the suspension is exactly what the region should account.
+class ScopedRegion {
+ public:
+  ScopedRegion(Recorder& rec, std::string_view name,
+               Category cat = Category::kOther)
+      : rec_(&rec), name_(name) {
+    rec_->begin(name_, cat);
+  }
+  ScopedRegion(const ScopedRegion&) = delete;
+  ScopedRegion& operator=(const ScopedRegion&) = delete;
+  ~ScopedRegion() {
+    if (rec_ != nullptr) rec_->end(name_);
+  }
+
+  // Ends the region early (idempotent).
+  void close() {
+    if (rec_ != nullptr) {
+      rec_->end(name_);
+      rec_ = nullptr;
+    }
+  }
+
+ private:
+  Recorder* rec_;
+  std::string name_;
+};
+
+}  // namespace mdwf::perf

@@ -1,0 +1,98 @@
+#include "mdwf/rt/file_channel.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mdwf::rt {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+FileChannel::FileChannel(fs::path dir, SyncProtocol protocol,
+                         std::chrono::milliseconds poll_interval)
+    : dir_(std::move(dir)), protocol_(protocol), poll_interval_(poll_interval) {
+  fs::remove_all(dir_);
+  fs::create_directories(dir_);
+}
+
+FileChannel::~FileChannel() {
+  close();
+  std::error_code ec;
+  fs::remove_all(dir_, ec);  // best-effort cleanup
+}
+
+void FileChannel::put(const std::string& name, const md::Frame& frame) {
+  const auto t0 = Clock::now();
+  const auto buf = frame.serialize();
+  const fs::path final_path = dir_ / name;
+  const fs::path tmp_path = dir_ / (name + ".tmp");
+  fs::create_directories(final_path.parent_path());
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open " + tmp_path.string());
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    if (!out) throw std::runtime_error("short write to " + tmp_path.string());
+  }
+  fs::rename(tmp_path, final_path);  // atomic commit
+  const auto t1 = Clock::now();
+
+  std::lock_guard lock(mu_);
+  committed_[name] = buf.size();
+  stats_.frames += 1;
+  stats_.bytes += buf.size();
+  stats_.producer_io += t1 - t0;
+  if (protocol_ == SyncProtocol::kEventful) cv_.notify_all();
+}
+
+std::optional<md::Frame> FileChannel::get(const std::string& name) {
+  const auto wait_start = Clock::now();
+  {
+    std::unique_lock lock(mu_);
+    if (protocol_ == SyncProtocol::kEventful) {
+      cv_.wait(lock, [&] { return closed_ || committed_unlocked(name); });
+    } else {
+      // Coarse protocol: poll for the committed file at a fixed interval
+      // (what a filesystem-only workflow does in the absence of any
+      // notification channel).
+      while (!closed_ && !committed_unlocked(name)) {
+        lock.unlock();
+        std::this_thread::sleep_for(poll_interval_);
+        lock.lock();
+      }
+    }
+    if (!committed_unlocked(name)) return std::nullopt;  // closed early
+    stats_.consumer_wait += Clock::now() - wait_start;
+  }
+
+  const auto t0 = Clock::now();
+  const fs::path path = dir_ / name;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::vector<std::byte> buf(fs::file_size(path));
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  if (!in) throw std::runtime_error("short read from " + path.string());
+  md::Frame frame = md::Frame::deserialize(buf);
+  const auto t1 = Clock::now();
+  {
+    std::lock_guard lock(mu_);
+    stats_.consumer_io += t1 - t0;
+  }
+  return frame;
+}
+
+void FileChannel::close() {
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+ChannelStats FileChannel::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace mdwf::rt

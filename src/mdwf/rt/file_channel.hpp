@@ -1,0 +1,85 @@
+// Real-thread, real-filesystem producer-consumer channel.
+//
+// The simulation models timing; this backend demonstrates the same
+// workflow semantics on an actual filesystem with actual threads, and is
+// what the in-situ analytics example runs on.  Frames are serialized with
+// the md codec (CRC-checked), written to `<dir>/<name>.tmp` and renamed to
+// commit — the rename gives atomic visibility, mirroring how DYAD's
+// producer makes a file appear only when complete.
+//
+// Two synchronization protocols mirror the paper's contrast:
+//   kCoarse   - the consumer discovers files by polling the directory at a
+//               fixed interval (manual, filesystem-only synchronization);
+//   kEventful - the producer notifies an in-process registry (the role the
+//               Flux KVS plays for DYAD): consumers block on a condition
+//               variable and wake as soon as the frame is committed.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "mdwf/md/frame.hpp"
+
+namespace mdwf::rt {
+
+enum class SyncProtocol { kCoarse, kEventful };
+
+struct ChannelStats {
+  std::uint64_t frames = 0;
+  std::uint64_t bytes = 0;
+  // Wall time the consumer spent blocked waiting for data.
+  std::chrono::nanoseconds consumer_wait{0};
+  // Wall time spent in actual file I/O (producer writes + consumer reads).
+  std::chrono::nanoseconds producer_io{0};
+  std::chrono::nanoseconds consumer_io{0};
+};
+
+class FileChannel {
+ public:
+  // Creates (and cleans) the staging directory.
+  FileChannel(std::filesystem::path dir, SyncProtocol protocol,
+              std::chrono::milliseconds poll_interval =
+                  std::chrono::milliseconds(2));
+  ~FileChannel();
+
+  FileChannel(const FileChannel&) = delete;
+  FileChannel& operator=(const FileChannel&) = delete;
+
+  SyncProtocol protocol() const { return protocol_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  // Producer: serialize and publish a frame under `name` (thread-safe).
+  void put(const std::string& name, const md::Frame& frame);
+
+  // Consumer: block until `name` is available, then read and deserialize.
+  // Returns nullopt if `close()` was called before the frame appeared.
+  std::optional<md::Frame> get(const std::string& name);
+
+  // Unblocks all waiting consumers (end of stream).
+  void close();
+
+  ChannelStats stats() const;
+
+ private:
+  bool committed_unlocked(const std::string& name) const {
+    return committed_.contains(name);
+  }
+
+  std::filesystem::path dir_;
+  SyncProtocol protocol_;
+  std::chrono::milliseconds poll_interval_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::uintmax_t> committed_;  // name -> size
+  bool closed_ = false;
+  ChannelStats stats_;
+};
+
+}  // namespace mdwf::rt

@@ -1,0 +1,74 @@
+#include "mdwf/rt/pipeline.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+namespace mdwf::rt {
+
+namespace {
+
+std::string frame_name(std::uint64_t f) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "frame%05llu",
+                static_cast<unsigned long long>(f));
+  return buf;
+}
+
+}  // namespace
+
+PipelineResult run_insitu_pipeline(const PipelineConfig& config) {
+  FileChannel channel(config.staging_dir, config.protocol,
+                      config.poll_interval);
+  PipelineResult result;
+  result.series.resize(config.frames);
+
+  std::exception_ptr producer_error;
+  std::exception_ptr consumer_error;
+  double final_temperature = 0.0;
+  std::uint64_t md_steps = 0;
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::thread producer([&] {
+    try {
+      md::LjEngine engine(config.lj);
+      for (std::uint64_t f = 0; f < config.frames; ++f) {
+        engine.step(config.stride);
+        channel.put(frame_name(f), engine.snapshot("LJ", f));
+      }
+      final_temperature = engine.temperature();
+      md_steps = engine.steps_done();
+      channel.close();
+    } catch (...) {
+      producer_error = std::current_exception();
+      channel.close();
+    }
+  });
+
+  std::thread consumer([&] {
+    try {
+      for (std::uint64_t f = 0; f < config.frames; ++f) {
+        auto frame = channel.get(frame_name(f));
+        if (!frame.has_value()) break;  // producer failed and closed early
+        result.series[f] = md::analyze_frame(*frame);
+      }
+    } catch (...) {
+      consumer_error = std::current_exception();
+    }
+  });
+
+  producer.join();
+  consumer.join();
+
+  if (producer_error) std::rethrow_exception(producer_error);
+  if (consumer_error) std::rethrow_exception(consumer_error);
+
+  result.wall = std::chrono::steady_clock::now() - t0;
+  result.channel = channel.stats();
+  result.final_temperature = final_temperature;
+  result.md_steps = md_steps;
+  return result;
+}
+
+}  // namespace mdwf::rt

@@ -1,0 +1,44 @@
+// End-to-end real pipeline: a Lennard-Jones MD producer thread streaming
+// frames through a FileChannel to an in-situ analytics consumer thread.
+//
+// This is the workflow of the paper's Fig. 1 made concrete: simulation ->
+// frame capture -> staging -> in-situ analytics (gyration-tensor largest
+// eigenvalue per frame), running on real threads and a real filesystem.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "mdwf/md/analytics.hpp"
+#include "mdwf/md/lj_engine.hpp"
+#include "mdwf/rt/file_channel.hpp"
+
+namespace mdwf::rt {
+
+struct PipelineConfig {
+  md::LjParams lj{};
+  // MD steps between emitted frames and number of frames to stream.
+  std::uint64_t stride = 20;
+  std::uint64_t frames = 16;
+  SyncProtocol protocol = SyncProtocol::kEventful;
+  // Directory-poll period for the coarse protocol.
+  std::chrono::milliseconds poll_interval{2};
+  std::filesystem::path staging_dir = "mdwf_staging";
+};
+
+struct PipelineResult {
+  // Per-frame in-situ analytics, in frame order.
+  std::vector<md::FrameAnalytics> series;
+  ChannelStats channel;
+  std::chrono::nanoseconds wall{0};
+  double final_temperature = 0.0;
+  std::uint64_t md_steps = 0;
+};
+
+// Runs producer and consumer concurrently to completion.  Exceptions from
+// either thread propagate to the caller.
+PipelineResult run_insitu_pipeline(const PipelineConfig& config);
+
+}  // namespace mdwf::rt

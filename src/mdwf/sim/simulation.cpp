@@ -1,0 +1,149 @@
+#include "mdwf/sim/simulation.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mdwf::sim {
+
+// Root wrapper coroutine: adapts a user Task<void> into a detached process
+// whose completion (or failure) reports back to the kernel.  The wrapper's
+// frame owns the user task; both frames are destroyed together.
+struct RootTask {
+  struct promise_type {
+    Simulation* sim = nullptr;
+    std::uint64_t id = 0;
+
+    RootTask get_return_object() noexcept {
+      return RootTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() const noexcept { return {}; }
+    // Not suspending at the final point lets the frame self-destroy right
+    // after we deregister from the kernel.
+    std::suspend_never final_suspend() const noexcept {
+      sim->internal_root_finished(id);
+      return {};
+    }
+    void return_void() const noexcept {}
+    void unhandled_exception() noexcept {
+      // Surface the failure from the run loop; the process still counts as
+      // finished so teardown does not double-destroy the frame.
+      sim->internal_report_error(std::current_exception());
+    }
+  };
+
+  std::coroutine_handle<promise_type> handle;
+};
+
+namespace {
+
+RootTask run_root(Task<void> task) {
+  co_await std::move(task);
+}
+
+}  // namespace
+
+Simulation::~Simulation() {
+  // Destroy still-suspended processes.  Their frames own any child task
+  // frames, so destruction cascades.  Pending queue entries may reference
+  // destroyed coroutines but are never fired.
+  for (auto& [id, h] : live_roots_) h.destroy();
+}
+
+void Simulation::spawn(Task<void> task) {
+  MDWF_ASSERT_MSG(task.valid(), "spawn of an empty Task");
+  RootTask root = run_root(std::move(task));
+  auto& promise = root.handle.promise();
+  promise.sim = this;
+  promise.id = next_root_id_++;
+  live_roots_.emplace(promise.id, root.handle);
+  schedule_resume(root.handle, Duration::zero());
+}
+
+void Simulation::internal_root_finished(std::uint64_t id) {
+  const auto erased = live_roots_.erase(id);
+  MDWF_ASSERT(erased == 1);
+}
+
+void Simulation::push_event(TimePoint t, std::function<void()> fn,
+                            std::uint64_t seq) {
+  MDWF_ASSERT_MSG(t >= now_, "scheduling into the past");
+  queue_.push(QueueEntry{t, seq, std::move(fn)});
+}
+
+void Simulation::schedule_resume(std::coroutine_handle<> h, Duration after) {
+  push_event(now_ + after, [h] { h.resume(); }, next_seq_++);
+}
+
+TimerId Simulation::call_at(TimePoint t, std::function<void()> fn) {
+  const std::uint64_t seq = next_seq_++;
+  push_event(t, std::move(fn), seq);
+  return TimerId{seq};
+}
+
+TimerId Simulation::call_after(Duration d, std::function<void()> fn) {
+  return call_at(now_ + d, std::move(fn));
+}
+
+void Simulation::cancel(TimerId id) { cancelled_.insert(id.seq); }
+
+void Simulation::fire(QueueEntry& e) {
+  now_ = e.at;
+  ++events_fired_;
+  MDWF_ASSERT_MSG(events_fired_ <= max_events_,
+                  "event budget exceeded (runaway model?)");
+  e.fn();
+  if (pending_error_) {
+    auto err = std::exchange(pending_error_, nullptr);
+    std::rethrow_exception(err);
+  }
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    // const_cast: priority_queue::top() is const but we pop immediately; the
+    // move is safe because the entry is removed before anything re-observes
+    // the heap.
+    auto& top = const_cast<QueueEntry&>(queue_.top());
+    QueueEntry e{top.at, top.seq, std::move(top.fn)};
+    queue_.pop();
+    if (cancelled_.erase(e.seq) > 0) continue;
+    fire(e);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Simulation::run() {
+  const std::uint64_t before = events_fired_;
+  while (step()) {
+  }
+  return events_fired_ - before;
+}
+
+std::uint64_t Simulation::run_until(TimePoint limit) {
+  const std::uint64_t before = events_fired_;
+  while (!queue_.empty()) {
+    if (queue_.top().at > limit) break;
+    step();
+  }
+  if (now_ < limit) now_ = limit;
+  return events_fired_ - before;
+}
+
+bool Simulation::deadlocked() const {
+  if (!live_roots_.empty() && queue_.empty()) return true;
+  return false;
+}
+
+std::uint64_t Simulation::run_to_quiescence() {
+  const std::uint64_t n = run();
+  if (!live_roots_.empty()) {
+    throw std::runtime_error(
+        "simulation deadlock: " + std::to_string(live_roots_.size()) +
+        " process(es) blocked with an empty event queue");
+  }
+  return n;
+}
+
+}  // namespace mdwf::sim

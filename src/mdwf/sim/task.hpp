@@ -1,0 +1,149 @@
+// Lazy coroutine task type for simulated processes.
+//
+// `Task<T>` is the unit of simulated control flow: every modelled activity
+// (an MD producer, a Lustre RPC, an RDMA transfer) is a coroutine returning
+// Task.  Tasks are lazy — they begin executing when first awaited or when
+// handed to `Simulation::spawn` — and chain via symmetric transfer, so deep
+// await stacks cost no native stack depth.
+//
+// Ownership: a Task owns its coroutine frame; destroying an un-awaited or
+// suspended Task destroys the frame (and, recursively, the frames of any
+// child task it is awaiting, since those are owned by locals in the frame).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::sim {
+
+template <typename T = void>
+class Task;
+
+namespace detail {
+
+template <typename Promise>
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) const noexcept {
+    // Resume whoever awaited us; if nobody did (detached completion), return
+    // to the scheduler.
+    auto cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() const noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase {
+  std::optional<T> value;
+
+  Task<T> get_return_object() noexcept;
+  FinalAwaiter<Promise<T>> final_suspend() const noexcept { return {}; }
+  void return_value(T v) { value.emplace(std::move(v)); }
+
+  T take_result() {
+    if (error) std::rethrow_exception(error);
+    MDWF_ASSERT_MSG(value.has_value(), "task completed without a value");
+    return std::move(*value);
+  }
+};
+
+template <>
+struct Promise<void> : PromiseBase {
+  Task<void> get_return_object() noexcept;
+  FinalAwaiter<Promise<void>> final_suspend() const noexcept { return {}; }
+  void return_void() const noexcept {}
+
+  void take_result() const {
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace detail
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = detail::Promise<T>;
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  explicit Task(handle_type h) : h_(h) {}
+
+  Task(Task&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  Task& operator=(Task&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(h_); }
+  bool done() const { return h_ && h_.done(); }
+
+  // Awaiting a task starts it and suspends the awaiter until it completes;
+  // the task's return value (or exception) is propagated.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      handle_type h;
+      bool await_ready() const noexcept {
+        // A task may be awaited only once and is lazy, so it cannot be done.
+        return false;
+      }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) const noexcept {
+        h.promise().continuation = cont;
+        return h;  // symmetric transfer into the child
+      }
+      T await_resume() const { return h.promise().take_result(); }
+    };
+    MDWF_ASSERT_MSG(h_, "co_await on an empty Task");
+    return Awaiter{h_};
+  }
+
+  // Release ownership (used by the scheduler's root-process machinery).
+  handle_type release() { return std::exchange(h_, {}); }
+  handle_type handle() const { return h_; }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+
+  handle_type h_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() noexcept {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() noexcept {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace detail
+
+}  // namespace mdwf::sim

@@ -1,0 +1,36 @@
+#include "mdwf/storage/block_device.hpp"
+
+namespace mdwf::storage {
+
+BlockDevice::BlockDevice(sim::Simulation& sim, const BlockDeviceParams& params,
+                         std::string name)
+    : sim_(&sim),
+      params_(params),
+      name_(std::move(name)),
+      read_channel_(sim, params.read_bandwidth_bps, name_ + ".read"),
+      write_channel_(sim, params.write_bandwidth_bps, name_ + ".write"),
+      queue_slots_(sim, params.queue_depth) {}
+
+sim::Task<void> BlockDevice::submit(net::FairShareChannel& channel, Bytes n) {
+  co_await queue_slots_.acquire();
+  sim::SemaphoreGuard slot(queue_slots_);
+  co_await sim_->delay(params_.op_latency);
+  co_await channel.transfer(n);
+}
+
+sim::Task<void> BlockDevice::read(Bytes n) {
+  co_await submit(read_channel_, n);
+  ++reads_;
+}
+
+sim::Task<void> BlockDevice::write(Bytes n) {
+  co_await submit(write_channel_, n);
+  ++writes_;
+}
+
+void BlockDevice::set_background_load(double fraction) {
+  read_channel_.set_background_load(fraction);
+  write_channel_.set_background_load(fraction);
+}
+
+}  // namespace mdwf::storage

@@ -1,0 +1,62 @@
+// Node-local storage device model (NVMe SSD class).
+//
+// Costs per operation: a fixed submission/completion latency, a queue-depth
+// limit (ops beyond it wait FIFO), and byte streaming through per-direction
+// fair-share bandwidth channels.  Corona's 3.5 TB node-local NVMe is the
+// reference configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/common/time.hpp"
+#include "mdwf/net/fair_share.hpp"
+#include "mdwf/sim/primitives.hpp"
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/sim/task.hpp"
+
+namespace mdwf::storage {
+
+struct BlockDeviceParams {
+  double read_bandwidth_bps = 3.2e9;
+  double write_bandwidth_bps = 3.0e9;
+  Duration op_latency = Duration::microseconds(20);
+  std::int64_t queue_depth = 16;
+  Bytes capacity = Bytes::gib(3584);  // 3.5 TB
+};
+
+class BlockDevice {
+ public:
+  BlockDevice(sim::Simulation& sim, const BlockDeviceParams& params,
+              std::string name = "nvme");
+
+  const BlockDeviceParams& params() const { return params_; }
+  const std::string& name() const { return name_; }
+
+  sim::Task<void> read(Bytes n);
+  sim::Task<void> write(Bytes n);
+
+  // Interference hook: fraction of device bandwidth consumed by other
+  // tenants (applies to both directions).
+  void set_background_load(double fraction);
+
+  std::uint64_t reads_completed() const { return reads_; }
+  std::uint64_t writes_completed() const { return writes_; }
+  Bytes bytes_read() const { return read_channel_.total_requested(); }
+  Bytes bytes_written() const { return write_channel_.total_requested(); }
+
+ private:
+  sim::Task<void> submit(net::FairShareChannel& channel, Bytes n);
+
+  sim::Simulation* sim_;
+  BlockDeviceParams params_;
+  std::string name_;
+  net::FairShareChannel read_channel_;
+  net::FairShareChannel write_channel_;
+  sim::Semaphore queue_slots_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace mdwf::storage

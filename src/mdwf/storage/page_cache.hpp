@@ -1,0 +1,95 @@
+// OS page-cache model.
+//
+// Buffered file I/O hits memory at memcpy speed; misses and evictions of
+// dirty pages touch the backing device.  The cache is an LRU over fixed-size
+// pages keyed by (file id, page index).  Only timing and residency are
+// modelled — file *contents* live in the filesystem layer (or nowhere, for
+// byte-count workloads).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/storage/block_device.hpp"
+
+namespace mdwf::storage {
+
+struct PageCacheParams {
+  Bytes capacity = Bytes::gib(8);
+  Bytes page_size = Bytes::kib(256);
+  // Sustained single-stream memcpy bandwidth.
+  double memcpy_bps = 8.0e9;
+};
+
+class PageCache {
+ public:
+  PageCache(sim::Simulation& sim, const PageCacheParams& params,
+            BlockDevice& device);
+
+  const PageCacheParams& params() const { return params_; }
+
+  // Buffered write of [offset, offset+len) in file `file_id`: memcpy into
+  // cache pages, marking them dirty; evictions may write back to the device.
+  sim::Task<void> write(std::uint64_t file_id, Bytes offset, Bytes len);
+
+  // Buffered read: memcpy from resident pages; missing ranges are read from
+  // the device first (read-ahead = exactly the requested pages).
+  sim::Task<void> read(std::uint64_t file_id, Bytes offset, Bytes len);
+
+  // Writes back all dirty pages of the file (fsync).
+  sim::Task<void> flush(std::uint64_t file_id);
+
+  // Drops every page of the file without writeback (unlink).
+  void drop(std::uint64_t file_id);
+
+  // True when the whole byte range is resident.
+  bool resident(std::uint64_t file_id, Bytes offset, Bytes len) const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::size_t resident_pages() const { return pages_.size(); }
+  std::size_t dirty_pages() const { return dirty_count_; }
+
+ private:
+  // (file_id, page_index) packed; both fit 32 bits for any modelled load.
+  using Key = std::uint64_t;
+  static Key make_key(std::uint64_t file_id, std::uint64_t page);
+
+  struct Entry {
+    std::list<Key>::iterator lru_pos;
+    bool dirty = false;
+  };
+
+  std::uint64_t first_page(Bytes offset) const {
+    return offset.count() / params_.page_size.count();
+  }
+  std::uint64_t last_page(Bytes offset, Bytes len) const {
+    return (offset.count() + len.count() - 1) / params_.page_size.count();
+  }
+
+  void touch(Key k, Entry& e);
+  // Makes room for one page.  Clean pages are preferred victims; evicting a
+  // dirty page returns its size so the caller can launch the write-back.
+  Bytes evict_one();
+  // Asynchronous write-back of evicted dirty bytes: the device sees the
+  // traffic, the foreground operation does not wait (kernel flusher
+  // behaviour).
+  void writeback_async(Bytes n);
+  sim::Task<void> memcpy_cost(Bytes n);
+
+  sim::Simulation* sim_;
+  PageCacheParams params_;
+  BlockDevice* device_;
+  std::size_t max_pages_;
+  std::list<Key> lru_;  // front = most recent
+  std::unordered_map<Key, Entry> pages_;
+  std::size_t dirty_count_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace mdwf::storage

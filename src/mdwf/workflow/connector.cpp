@@ -1,0 +1,55 @@
+#include "mdwf/workflow/connector.hpp"
+
+namespace mdwf::workflow {
+
+sim::Task<void> XfsConnector::put(const std::string& path, Bytes size) {
+  perf::ScopedRegion write(*rec_, "write", perf::Category::kMovement);
+  const fs::InodeId ino = co_await fs_->create(path);
+  co_await fs_->write(ino, Bytes::zero(), size);
+  write.close();
+  sync_->signal_ready();
+}
+
+sim::Task<void> XfsConnector::producer_sync() {
+  perf::ScopedRegion wait(*rec_, "producer_sync", perf::Category::kIdle);
+  co_await sync_->wait_done();
+}
+
+sim::Task<void> XfsConnector::get(const std::string& path, Bytes size) {
+  {
+    perf::ScopedRegion sync(*rec_, "explicit_sync", perf::Category::kIdle);
+    co_await sync_->wait_ready();
+  }
+  perf::ScopedRegion read(*rec_, "FilesystemReader::read_single_buf",
+                          perf::Category::kMovement);
+  const fs::InodeId ino = co_await fs_->open(path);
+  co_await fs_->read(ino, Bytes::zero(), size);
+}
+
+sim::Task<void> LustreConnector::put(const std::string& path, Bytes size) {
+  perf::ScopedRegion write(*rec_, "write", perf::Category::kMovement);
+  const fs::LustreHandle h = co_await client_.create(path);
+  co_await client_.write(h, Bytes::zero(), size);
+  co_await client_.close(h, /*wrote=*/true);
+  write.close();
+  sync_->signal_ready();
+}
+
+sim::Task<void> LustreConnector::producer_sync() {
+  perf::ScopedRegion wait(*rec_, "producer_sync", perf::Category::kIdle);
+  co_await sync_->wait_done();
+}
+
+sim::Task<void> LustreConnector::get(const std::string& path, Bytes size) {
+  {
+    perf::ScopedRegion sync(*rec_, "explicit_sync", perf::Category::kIdle);
+    co_await sync_->wait_ready();
+  }
+  perf::ScopedRegion read(*rec_, "FilesystemReader::read_single_buf",
+                          perf::Category::kMovement);
+  const fs::LustreHandle h = co_await client_.open(path);
+  co_await client_.read(h, Bytes::zero(), size);
+  co_await client_.close(h, /*wrote=*/false);
+}
+
+}  // namespace mdwf::workflow

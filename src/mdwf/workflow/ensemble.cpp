@@ -1,0 +1,270 @@
+#include "mdwf/workflow/ensemble.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::workflow {
+
+std::string frame_path(std::uint32_t pair, std::uint64_t f) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "pair%04u/frame%05llu", pair,
+                static_cast<unsigned long long>(f));
+  return buf;
+}
+
+std::string pair_prefix(std::uint32_t pair) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "pair%04u/", pair);
+  return buf;
+}
+
+std::string_view to_string(Solution s) {
+  switch (s) {
+    case Solution::kDyad:
+      return "DYAD";
+    case Solution::kXfs:
+      return "XFS";
+    case Solution::kLustre:
+      return "Lustre";
+  }
+  return "?";
+}
+
+sim::Task<void> run_producer(sim::Simulation& sim, Connector& connector,
+                             perf::Recorder& recorder, WorkloadConfig workload,
+                             std::uint32_t pair, Rng rng) {
+  const Bytes wire_bytes = workload.wire_bytes();
+  if (workload.start_stagger > 0.0) {
+    // Launch/equilibration phase offset; desynchronizes ensemble members.
+    co_await sim.delay(workload.frame_compute() *
+                       (workload.start_stagger * rng.next_double()));
+  }
+  for (std::uint64_t f = 0; f < workload.frames; ++f) {
+    {
+      // MD steps between output frames; jitter models run-to-run rate
+      // variability of a real simulation.
+      perf::ScopedRegion compute(recorder, "md_compute",
+                                 perf::Category::kCompute);
+      const double jitter =
+          std::max(-0.5, rng.normal(0.0, workload.step_jitter_sigma));
+      co_await sim.delay(workload.frame_compute() * (1.0 + jitter));
+    }
+    {
+      perf::ScopedRegion ser(recorder, "serialize", perf::Category::kCompute);
+      co_await sim.delay(workload.serialize_time());
+    }
+    if (workload.compress) {
+      perf::ScopedRegion comp(recorder, "compress", perf::Category::kCompute);
+      co_await sim.delay(workload.compress_time());
+    }
+    {
+      perf::ScopedRegion produce(recorder, "produce");
+      co_await connector.put(frame_path(pair, f), wire_bytes);
+    }
+    co_await connector.producer_sync();
+  }
+}
+
+sim::Task<void> run_consumer(sim::Simulation& sim, Connector& connector,
+                             perf::Recorder& recorder, WorkloadConfig workload,
+                             std::uint32_t pair) {
+  const Bytes wire_bytes = workload.wire_bytes();
+  for (std::uint64_t f = 0; f < workload.frames; ++f) {
+    {
+      perf::ScopedRegion consume(recorder, "consume");
+      co_await connector.get(frame_path(pair, f), wire_bytes);
+    }
+    if (workload.compress) {
+      perf::ScopedRegion dec(recorder, "decompress",
+                             perf::Category::kCompute);
+      co_await sim.delay(workload.decompress_time());
+    }
+    {
+      perf::ScopedRegion des(recorder, "deserialize",
+                             perf::Category::kCompute);
+      co_await sim.delay(workload.serialize_time());
+    }
+    {
+      // Analytics emulation matches the frame-generation frequency
+      // (paper Sec. IV-C).
+      perf::ScopedRegion ana(recorder, "analytics", perf::Category::kCompute);
+      co_await sim.delay(workload.frame_compute());
+    }
+    connector.acknowledge();
+  }
+}
+
+namespace {
+
+sim::Task<void> run_all_and_mark(sim::Simulation& sim,
+                                 std::vector<sim::Task<void>> tasks,
+                                 TimePoint& end) {
+  co_await sim::all(sim, std::move(tasks));
+  end = sim.now();
+}
+
+// Per-frame mean of a category inside a region subtree, in microseconds.
+double per_frame_us(const perf::CallTree& tree, std::string_view subtree,
+                    perf::Category cat, std::uint64_t frames) {
+  return tree.category_time(subtree, cat).to_micros() /
+         static_cast<double>(frames);
+}
+
+}  // namespace
+
+EnsembleResult run_ensemble(const EnsembleConfig& config) {
+  MDWF_ASSERT(config.pairs >= 1);
+  const bool colocated =
+      config.nodes == 1 || config.placement == Placement::kColocated;
+  MDWF_ASSERT_MSG(colocated || config.nodes % 2 == 0,
+                  "split multi-node ensembles need an even node count");
+  MDWF_ASSERT_MSG(config.solution != Solution::kXfs || colocated,
+                  "XFS cannot move data between nodes (paper Sec. III-B)");
+
+  EnsembleResult result;
+
+  for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
+    TestbedParams tp = config.testbed;
+    tp.compute_nodes = config.nodes;
+    Testbed tb(tp);
+    auto& sim = tb.simulation();
+
+    const std::uint32_t producer_nodes =
+        colocated ? config.nodes : config.nodes / 2;
+    const std::uint32_t ranks_per_node =
+        (config.pairs + producer_nodes - 1) / producer_nodes;
+
+    auto producer_node = [&](std::uint32_t pair) {
+      return pair / ranks_per_node;
+    };
+    auto consumer_node = [&](std::uint32_t pair) {
+      return colocated ? pair / ranks_per_node
+                       : producer_nodes + pair / ranks_per_node;
+    };
+
+    std::vector<std::unique_ptr<perf::Recorder>> prod_recs;
+    std::vector<std::unique_ptr<perf::Recorder>> cons_recs;
+    std::vector<std::unique_ptr<ExplicitSync>> syncs;
+    std::vector<std::unique_ptr<Connector>> prod_conn;
+    std::vector<std::unique_ptr<Connector>> cons_conn;
+    std::vector<sim::Task<void>> tasks;
+
+    const Rng rep_rng(config.base_seed + rep);
+
+    for (std::uint32_t pair = 0; pair < config.pairs; ++pair) {
+      prod_recs.push_back(std::make_unique<perf::Recorder>(
+          sim, "producer" + std::to_string(pair)));
+      cons_recs.push_back(std::make_unique<perf::Recorder>(
+          sim, "consumer" + std::to_string(pair)));
+      auto& prec = *prod_recs.back();
+      auto& crec = *cons_recs.back();
+      const std::uint32_t pnode = producer_node(pair);
+      const std::uint32_t cnode = consumer_node(pair);
+
+      switch (config.solution) {
+        case Solution::kDyad:
+          prod_conn.push_back(std::make_unique<DyadConnector>(
+              *tb.node(pnode).dyad, prec));
+          cons_conn.push_back(std::make_unique<DyadConnector>(
+              *tb.node(cnode).dyad, crec));
+          if (tp.dyad.push_mode) {
+            tb.dyad_domain().subscribe(pair_prefix(pair), net::NodeId{cnode});
+          }
+          break;
+        case Solution::kXfs: {
+          syncs.push_back(std::make_unique<ExplicitSync>(sim));
+          auto& sync = *syncs.back();
+          // Colocated by construction: both ranks share pnode's local FS.
+          prod_conn.push_back(std::make_unique<XfsConnector>(
+              sim, *tb.node(pnode).local_fs, sync, prec));
+          cons_conn.push_back(std::make_unique<XfsConnector>(
+              sim, *tb.node(pnode).local_fs, sync, crec));
+          break;
+        }
+        case Solution::kLustre: {
+          syncs.push_back(std::make_unique<ExplicitSync>(sim));
+          auto& sync = *syncs.back();
+          prod_conn.push_back(std::make_unique<LustreConnector>(
+              sim, tb.lustre(), net::NodeId{pnode}, sync, prec));
+          cons_conn.push_back(std::make_unique<LustreConnector>(
+              sim, tb.lustre(), net::NodeId{cnode}, sync, crec));
+          break;
+        }
+      }
+
+      tasks.push_back(run_producer(sim, *prod_conn.back(), prec,
+                                   config.workload, pair,
+                                   rep_rng.fork("pair" + std::to_string(pair))));
+      tasks.push_back(
+          run_consumer(sim, *cons_conn.back(), crec, config.workload, pair));
+    }
+
+    if (config.lustre_interference) {
+      // Horizon generously beyond the serialized-workflow makespan.
+      const Duration per_frame = config.workload.frame_compute();
+      const TimePoint horizon =
+          TimePoint::origin() +
+          per_frame * static_cast<std::int64_t>(3 * config.workload.frames) +
+          Duration::seconds_i(30);
+      sim.spawn(fs::run_ost_interference(sim, tb.lustre(),
+                                         config.interference,
+                                         rep_rng.fork("interference"),
+                                         horizon));
+    }
+
+    TimePoint workload_end;
+    sim.spawn(run_all_and_mark(sim, std::move(tasks), workload_end));
+    sim.run_to_quiescence();
+
+    // --- Per-repetition aggregation ------------------------------------
+    double pm = 0, pi = 0, cm = 0, ci = 0;
+    for (std::uint32_t pair = 0; pair < config.pairs; ++pair) {
+      const auto& pt = prod_recs[pair]->tree();
+      const auto& ct = cons_recs[pair]->tree();
+      pm += per_frame_us(pt, "produce", perf::Category::kMovement,
+                         config.workload.frames);
+      pi += per_frame_us(pt, "produce", perf::Category::kIdle,
+                         config.workload.frames);
+      cm += per_frame_us(ct, "consume", perf::Category::kMovement,
+                         config.workload.frames);
+      ci += per_frame_us(ct, "consume", perf::Category::kIdle,
+                         config.workload.frames);
+
+      perf::Metadata meta{
+          {"solution", std::string(to_string(config.solution))},
+          {"rep", std::to_string(rep)},
+          {"pair", std::to_string(pair)},
+          {"pairs", std::to_string(config.pairs)},
+          {"nodes", std::to_string(config.nodes)},
+          {"model", std::string(config.workload.model.name)},
+          {"stride", std::to_string(config.workload.stride)},
+      };
+      meta["role"] = "producer";
+      result.thicket.add(meta, prod_recs[pair]->snapshot());
+      meta["role"] = "consumer";
+      result.thicket.add(meta, cons_recs[pair]->snapshot());
+
+      if (config.solution == Solution::kDyad) {
+        const auto& dc =
+            static_cast<const DyadConnector&>(*cons_conn[pair]).consumer();
+        result.dyad_warm_hits += dc.warm_hits();
+        result.dyad_kvs_waits += dc.kvs_waits();
+        result.dyad_kvs_retries += dc.kvs_retries();
+      }
+    }
+    const auto npairs = static_cast<double>(config.pairs);
+    result.prod_movement_us.add(pm / npairs);
+    result.prod_idle_us.add(pi / npairs);
+    result.cons_movement_us.add(cm / npairs);
+    result.cons_idle_us.add(ci / npairs);
+    result.makespan_s.add((workload_end - TimePoint::origin()).to_seconds());
+  }
+
+  return result;
+}
+
+}  // namespace mdwf::workflow

@@ -1,0 +1,147 @@
+// MD-inspired point-to-point workflow and ensemble runner (paper Sec. IV-C).
+//
+// Producer ranks emulate an MD simulation: `stride` steps of fixed-duration
+// compute (with seeded relative jitter) per frame, then serialize and put the
+// frame through a data-management connector.  Consumer ranks get the frame,
+// deserialize, and emulate analytics for exactly one frame period.  An
+// ensemble runs `pairs` independent producer-consumer pairs, placed either
+// on a single node (DYAD/XFS) or split across producer nodes and consumer
+// nodes (DYAD/Lustre), repeated `repetitions` times with different seeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "mdwf/common/rng.hpp"
+#include "mdwf/common/stats.hpp"
+#include "mdwf/fs/interference.hpp"
+#include "mdwf/md/models.hpp"
+#include "mdwf/perf/thicket.hpp"
+#include "mdwf/workflow/connector.hpp"
+#include "mdwf/workflow/testbed.hpp"
+
+namespace mdwf::workflow {
+
+struct WorkloadConfig {
+  md::MolecularModel model = md::kJac;
+  // Steps between frames; defaults to the model's Table II stride.
+  std::uint64_t stride = md::kJac.stride;
+  std::uint64_t frames = 128;
+  // Relative std-dev of per-frame MD compute time (rate variability).
+  double step_jitter_sigma = 0.01;
+  // Producers begin with a random offset uniform in [0, stagger *
+  // frame_period): ensemble members are launched/equilibrated
+  // independently, so their output phases are not aligned.  0 disables.
+  double start_stagger = 1.0;
+  // CPU throughput for frame (de)serialization.
+  double serialize_bps = 4.0e9;
+
+  // In-situ data reduction (paper Sec. II-B): producers compress frames
+  // before the put, consumers decompress after the get.  Fewer bytes move
+  // at the price of codec CPU on both sides — worthwhile when the data
+  // path, not the CPU, is the bottleneck (see bench/ablation_reduction).
+  bool compress = false;
+  // Calibrated against md::compress_frame on synthetic frames.
+  double compression_ratio = 1.9;
+  double compress_bps = 1.2e9;
+  double decompress_bps = 1.8e9;
+
+  Duration frame_compute() const {
+    return model.step_time() * static_cast<std::int64_t>(stride);
+  }
+  Duration serialize_time() const {
+    return Duration::seconds(
+        static_cast<double>(model.frame_bytes().count()) / serialize_bps);
+  }
+  // Bytes that actually cross the data-management solution per frame.
+  Bytes wire_bytes() const {
+    if (!compress) return model.frame_bytes();
+    return Bytes(static_cast<std::uint64_t>(
+        static_cast<double>(model.frame_bytes().count()) /
+        compression_ratio));
+  }
+  Duration compress_time() const {
+    return compress ? Duration::seconds(
+                          static_cast<double>(model.frame_bytes().count()) /
+                          compress_bps)
+                    : Duration::zero();
+  }
+  Duration decompress_time() const {
+    return compress ? Duration::seconds(
+                          static_cast<double>(model.frame_bytes().count()) /
+                          decompress_bps)
+                    : Duration::zero();
+  }
+};
+
+// Frame file path for pair `pair` frame `f`, and the pair's path prefix
+// (push-mode subscription key).
+std::string frame_path(std::uint32_t pair, std::uint64_t f);
+std::string pair_prefix(std::uint32_t pair);
+
+// One producer rank: regions md_compute / serialize / produce /
+// producer_sync.
+sim::Task<void> run_producer(sim::Simulation& sim, Connector& connector,
+                             perf::Recorder& recorder, WorkloadConfig workload,
+                             std::uint32_t pair, Rng rng);
+
+// One consumer rank: regions consume / deserialize / analytics.
+sim::Task<void> run_consumer(sim::Simulation& sim, Connector& connector,
+                             perf::Recorder& recorder, WorkloadConfig workload,
+                             std::uint32_t pair);
+
+enum class Solution { kDyad, kXfs, kLustre };
+std::string_view to_string(Solution s);
+
+// Where consumer ranks live relative to their producers:
+//   kSplit     - producers on the first nodes/2 nodes, consumers on the
+//                rest (the paper's multi-node setup; "in transit");
+//   kColocated - each pair's two ranks share a node ("in situ"), available
+//                for DYAD/XFS on any node count.
+enum class Placement { kSplit, kColocated };
+
+struct EnsembleConfig {
+  Solution solution = Solution::kDyad;
+  std::uint32_t pairs = 1;
+  // 1 = single node; otherwise per `placement` (paper Sec. IV-C).
+  std::uint32_t nodes = 1;
+  Placement placement = Placement::kSplit;
+  WorkloadConfig workload{};
+  std::uint32_t repetitions = 10;
+  std::uint64_t base_seed = 1;
+  // Background load on the Lustre OSTs (other cluster tenants).
+  bool lustre_interference = false;
+  fs::InterferenceParams interference{};
+  TestbedParams testbed{};
+};
+
+struct EnsembleResult {
+  // Per-repetition means of per-frame time, microseconds.
+  Samples prod_movement_us;
+  Samples prod_idle_us;
+  Samples cons_movement_us;
+  Samples cons_idle_us;
+  Samples makespan_s;
+
+  // All per-rank call trees across repetitions, tagged with metadata
+  // (solution, role, rep, pair).
+  perf::Thicket thicket;
+
+  // DYAD synchronization-protocol counters summed over ranks and reps.
+  std::uint64_t dyad_warm_hits = 0;
+  std::uint64_t dyad_kvs_waits = 0;
+  std::uint64_t dyad_kvs_retries = 0;
+
+  double mean_production_us() const {
+    return prod_movement_us.mean() + prod_idle_us.mean();
+  }
+  double mean_consumption_us() const {
+    return cons_movement_us.mean() + cons_idle_us.mean();
+  }
+};
+
+// Runs the configured ensemble (repetitions x pairs) and aggregates.
+EnsembleResult run_ensemble(const EnsembleConfig& config);
+
+}  // namespace mdwf::workflow

@@ -1,0 +1,235 @@
+#include "mdwf/workflow/steering.hpp"
+
+#include <cmath>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::workflow {
+
+std::string_view to_string(SteeringCommand c) {
+  switch (c) {
+    case SteeringCommand::kContinue:
+      return "continue";
+    case SteeringCommand::kTerminate:
+      return "terminate";
+    case SteeringCommand::kExtend:
+      return "extend";
+  }
+  return "?";
+}
+
+SteeringChannel::SteeringChannel(sim::Simulation& sim, net::Network& network,
+                                 net::NodeId consumer_node,
+                                 net::NodeId producer_node)
+    : sim_(&sim),
+      network_(&network),
+      consumer_node_(consumer_node),
+      producer_node_(producer_node),
+      queue_(sim) {}
+
+sim::Task<void> SteeringChannel::send(SteeringCommand cmd) {
+  co_await network_->send_control(consumer_node_, producer_node_);
+  ++sent_;
+  co_await queue_.put(cmd);
+}
+
+std::optional<SteeringCommand> SteeringChannel::poll() {
+  return queue_.try_get();
+}
+
+sim::Task<SteeringCommand> SteeringChannel::receive() {
+  co_return co_await queue_.get();
+}
+
+ThresholdMonitor::ThresholdMonitor(double threshold_sigmas, int patience,
+                                   std::size_t warmup)
+    : threshold_(threshold_sigmas), patience_(patience), warmup_(warmup) {
+  MDWF_ASSERT(threshold_sigmas > 0.0 && patience >= 1);
+}
+
+SteeringCommand ThresholdMonitor::observe(double value) {
+  auto absorb = [this](double v) {
+    ++n_;
+    const double d = v - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (v - mean_);
+  };
+  if (n_ < warmup_) {
+    // Establish the baseline before judging deviations.
+    absorb(value);
+    return SteeringCommand::kContinue;
+  }
+  const double var = m2_ / static_cast<double>(n_ > 1 ? n_ - 1 : 1);
+  // Sigma floor guards against a degenerate baseline from few samples.
+  const double sigma =
+      std::max(std::sqrt(var), 1e-3 * std::abs(mean_) + 1e-12);
+  if (std::abs(value - mean_) > threshold_ * sigma) {
+    if (++strikes_ >= patience_) return SteeringCommand::kTerminate;
+  } else {
+    strikes_ = 0;
+    // Quiet observations keep refining the baseline (adaptive monitor).
+    absorb(value);
+  }
+  return SteeringCommand::kContinue;
+}
+
+CvGenerator make_event_cv(std::uint64_t seed, std::uint64_t event_frame,
+                          double baseline, double noise, double jump) {
+  return [=](std::uint64_t frame) {
+    // Stateless deterministic draw per (seed, frame).
+    Rng rng(seed ^ (frame * 0x9E3779B97F4A7C15ull) ^ 0xD1B54A32D192ED03ull);
+    const double v = baseline + rng.normal(0.0, noise);
+    return frame >= event_frame ? v + jump : v;
+  };
+}
+
+void ProgressLatch::advance() {
+  ++produced_;
+  wake();
+}
+
+void ProgressLatch::finish() {
+  finished_ = true;
+  wake();
+}
+
+void ProgressLatch::wake() {
+  std::vector<Waiter> pending;
+  pending.swap(waiters_);
+  for (const auto& w : pending) {
+    if (finished_ || produced_ >= w.target) {
+      sim_->schedule_resume(w.h, Duration::zero());
+    } else {
+      waiters_.push_back(w);
+    }
+  }
+}
+
+sim::Task<bool> ProgressLatch::wait_for(std::uint64_t target) {
+  if (!(finished_ || produced_ >= target)) {
+    struct Awaiter {
+      ProgressLatch* latch;
+      std::uint64_t target;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        latch->waiters_.push_back(Waiter{h, target});
+      }
+      void await_resume() const noexcept {}
+    };
+    co_await Awaiter{this, target};
+  }
+  co_return produced_ >= target;
+}
+
+sim::Task<void> run_steered_producer(sim::Simulation& sim,
+                                     Connector& connector,
+                                     perf::Recorder& recorder,
+                                     WorkloadConfig workload,
+                                     std::uint32_t pair, Rng rng,
+                                     SteeringChannel& channel,
+                                     ProgressLatch& progress,
+                                     std::uint64_t extension,
+                                     SteeredPairResult& result) {
+  const Bytes frame_bytes = workload.model.frame_bytes();
+  std::uint64_t target = workload.frames;
+  bool extended = false;
+  std::uint64_t f = 0;
+  while (f < target) {
+    // Steering check between frames.
+    while (auto cmd = channel.poll()) {
+      if (*cmd == SteeringCommand::kTerminate) {
+        result.terminated_early = true;
+        target = f;  // stop now
+      } else if (*cmd == SteeringCommand::kExtend && !extended) {
+        extended = true;
+        result.extended = true;
+        target += extension;
+      }
+    }
+    if (f >= target) break;
+    {
+      perf::ScopedRegion compute(recorder, "md_compute",
+                                 perf::Category::kCompute);
+      const double jitter =
+          std::max(-0.5, rng.normal(0.0, workload.step_jitter_sigma));
+      co_await sim.delay(workload.frame_compute() * (1.0 + jitter));
+    }
+    {
+      perf::ScopedRegion ser(recorder, "serialize", perf::Category::kCompute);
+      co_await sim.delay(workload.serialize_time());
+    }
+    {
+      perf::ScopedRegion produce(recorder, "produce");
+      co_await connector.put(frame_path(pair, f), frame_bytes);
+    }
+    progress.advance();
+    result.frames_produced = progress.produced();
+    co_await connector.producer_sync();
+    ++f;
+
+    // Plan-end decision handshake: when an extension is on the table and no
+    // early verdict arrived, wait for the consumer's call on the final
+    // planned frame before declaring the trajectory finished.  (A paired
+    // consumer running with extend_on_quiet always sends one.)
+    if (f == target && extension > 0 && !extended &&
+        !result.terminated_early) {
+      const SteeringCommand decision = co_await channel.receive();
+      if (decision == SteeringCommand::kExtend) {
+        extended = true;
+        result.extended = true;
+        target += extension;
+      } else if (decision == SteeringCommand::kTerminate) {
+        result.terminated_early = true;
+      }
+    }
+  }
+  progress.finish();
+  result.frames_produced = progress.produced();
+}
+
+sim::Task<void> run_steered_consumer(sim::Simulation& sim,
+                                     Connector& connector,
+                                     perf::Recorder& recorder,
+                                     WorkloadConfig workload,
+                                     std::uint32_t pair, CvGenerator cv,
+                                     ThresholdMonitor monitor,
+                                     SteeringChannel& channel,
+                                     ProgressLatch& progress,
+                                     bool extend_on_quiet,
+                                     SteeredPairResult& result) {
+  const Bytes frame_bytes = workload.model.frame_bytes();
+  bool terminate_sent = false;
+  bool extend_sent = false;
+  for (std::uint64_t f = 0;; ++f) {
+    if (!co_await progress.wait_for(f + 1)) break;  // stream ended
+    {
+      perf::ScopedRegion consume(recorder, "consume");
+      co_await connector.get(frame_path(pair, f), frame_bytes);
+    }
+    {
+      perf::ScopedRegion des(recorder, "deserialize",
+                             perf::Category::kCompute);
+      co_await sim.delay(workload.serialize_time());
+    }
+    SteeringCommand decision = SteeringCommand::kContinue;
+    {
+      perf::ScopedRegion ana(recorder, "analytics", perf::Category::kCompute);
+      co_await sim.delay(workload.frame_compute());
+      decision = monitor.observe(cv(f));
+    }
+    if (decision == SteeringCommand::kTerminate && !terminate_sent) {
+      terminate_sent = true;
+      co_await channel.send(SteeringCommand::kTerminate);
+    }
+    if (extend_on_quiet && !terminate_sent && !extend_sent &&
+        f + 1 == workload.frames) {
+      extend_sent = true;
+      co_await channel.send(SteeringCommand::kExtend);
+    }
+    connector.acknowledge();
+    result.frames_consumed = f + 1;
+    result.commands = channel.commands_sent();
+  }
+}
+
+}  // namespace mdwf::workflow

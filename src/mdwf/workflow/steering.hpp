@@ -1,0 +1,170 @@
+// Runtime steering of simulated MD workflows.
+//
+// The paper motivates in-situ analytics with *steering*: "study the data as
+// it is generated to steer the simulation (e.g., terminate or fork a
+// trajectory)" (Sec. II-B).  This module adds the control path:
+//
+//   - a consumer evaluates a per-frame collective variable (CV),
+//   - a `ThresholdMonitor` turns the CV stream into steering commands,
+//   - a `SteeringChannel` carries commands back to the producer (paying a
+//     control-message cost when the ranks are on different nodes),
+//   - the steered producer polls between frames and terminates or extends
+//     the trajectory accordingly.
+//
+// CV values come from a pluggable generator so simulated runs can inject
+// deterministic "events" (a real deployment would feed analyze_frame
+// results; the rt backend does exactly that).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mdwf/net/network.hpp"
+#include "mdwf/perf/recorder.hpp"
+#include "mdwf/sim/primitives.hpp"
+#include "mdwf/workflow/connector.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace mdwf::workflow {
+
+enum class SteeringCommand : std::uint8_t {
+  kContinue = 0,
+  kTerminate,  // stop producing after the current frame
+  kExtend,     // produce extra frames beyond the plan
+};
+
+std::string_view to_string(SteeringCommand c);
+
+// One-directional consumer -> producer command path.
+class SteeringChannel {
+ public:
+  SteeringChannel(sim::Simulation& sim, net::Network& network,
+                  net::NodeId consumer_node, net::NodeId producer_node);
+
+  // Consumer side: deliver a command (control-message cost across nodes).
+  sim::Task<void> send(SteeringCommand cmd);
+
+  // Producer side: non-blocking check between frames.
+  std::optional<SteeringCommand> poll();
+
+  // Producer side: blocking receive (the plan-end decision handshake).
+  sim::Task<SteeringCommand> receive();
+
+  std::uint64_t commands_sent() const { return sent_; }
+
+ private:
+  sim::Simulation* sim_;
+  net::Network* network_;
+  net::NodeId consumer_node_;
+  net::NodeId producer_node_;
+  sim::Queue<SteeringCommand> queue_;
+  std::uint64_t sent_ = 0;
+};
+
+// Turns a CV stream into commands: fires kTerminate when the CV deviates
+// from its running mean by more than `threshold_sigmas` for `patience`
+// consecutive frames (an "event" was found; stop exploring), or kExtend
+// when the trajectory ends quietly but `extend_on_quiet` is set.
+class ThresholdMonitor {
+ public:
+  ThresholdMonitor(double threshold_sigmas = 3.0, int patience = 2,
+                   std::size_t warmup = 4);
+
+  SteeringCommand observe(double value);
+
+  double running_mean() const { return mean_; }
+  std::size_t observed() const { return n_; }
+
+ private:
+  double threshold_;
+  int patience_;
+  std::size_t warmup_;
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  int strikes_ = 0;
+};
+
+// Deterministic CV generator: baseline noise plus a step event at
+// `event_frame` (SIZE_MAX = no event), seeded per pair.
+using CvGenerator = std::function<double(std::uint64_t frame)>;
+CvGenerator make_event_cv(std::uint64_t seed,
+                          std::uint64_t event_frame = SIZE_MAX,
+                          double baseline = 10.0, double noise = 0.05,
+                          double jump = 3.0);
+
+// Monotone produced-frame counter with an end-of-stream marker.  Stands in
+// for DYAD's metadata namespace (a real deployment would publish an EOS
+// record through the KVS): consumers learn how far the trajectory actually
+// went so they never block on frames a terminated producer will not write.
+class ProgressLatch {
+ public:
+  explicit ProgressLatch(sim::Simulation& sim) : sim_(&sim) {}
+
+  void advance();
+  void finish();
+
+  std::uint64_t produced() const { return produced_; }
+  bool finished() const { return finished_; }
+
+  // Resumes when `target` frames exist (returns true) or the stream ended
+  // first (returns false).
+  sim::Task<bool> wait_for(std::uint64_t target);
+
+ private:
+  void wake();
+
+  struct Waiter {
+    std::coroutine_handle<> h;
+    std::uint64_t target;
+  };
+
+  sim::Simulation* sim_;
+  std::uint64_t produced_ = 0;
+  bool finished_ = false;
+  std::vector<Waiter> waiters_;
+};
+
+struct SteeredPairResult {
+  std::uint64_t frames_produced = 0;
+  std::uint64_t frames_consumed = 0;
+  bool terminated_early = false;
+  bool extended = false;
+  std::uint64_t commands = 0;
+};
+
+// Producer that polls the channel between frames: `workload.frames` planned
+// frames; kTerminate stops after the current frame; kExtend (honoured once)
+// adds `extension` frames.  With extension > 0 the producer *waits for a
+// decision at the end of the plan* (the consumer always sends one when
+// extend_on_quiet is set): extend, or anything else to finish.  This closes
+// the race between the consumer's verdict on the final frame and the
+// producer's natural completion.
+sim::Task<void> run_steered_producer(sim::Simulation& sim,
+                                     Connector& connector,
+                                     perf::Recorder& recorder,
+                                     WorkloadConfig workload,
+                                     std::uint32_t pair, Rng rng,
+                                     SteeringChannel& channel,
+                                     ProgressLatch& progress,
+                                     std::uint64_t extension,
+                                     SteeredPairResult& result);
+
+// Consumer that evaluates the CV per frame and steers: sends kTerminate
+// when the monitor flags an event; optionally sends kExtend when the
+// planned trajectory ends without one.
+sim::Task<void> run_steered_consumer(sim::Simulation& sim,
+                                     Connector& connector,
+                                     perf::Recorder& recorder,
+                                     WorkloadConfig workload,
+                                     std::uint32_t pair, CvGenerator cv,
+                                     ThresholdMonitor monitor,
+                                     SteeringChannel& channel,
+                                     ProgressLatch& progress,
+                                     bool extend_on_quiet,
+                                     SteeredPairResult& result);
+
+}  // namespace mdwf::workflow

@@ -1,0 +1,43 @@
+#include "mdwf/workflow/testbed.hpp"
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::workflow {
+
+Testbed::Testbed(const TestbedParams& params) : params_(params) {
+  MDWF_ASSERT(params.compute_nodes >= 1);
+  const std::uint32_t total_endpoints =
+      params.compute_nodes + 1 /*kvs*/ + 1 /*mds*/ + params.lustre.ost_count;
+  network_ = std::make_unique<net::Network>(sim_, params.network,
+                                            total_endpoints);
+  kvs_ = std::make_unique<kvs::KvsServer>(sim_, params.kvs, *network_,
+                                          kvs_node());
+  std::vector<net::NodeId> ost_nodes;
+  for (std::uint32_t i = 0; i < params.lustre.ost_count; ++i) {
+    ost_nodes.push_back(net::NodeId{params.compute_nodes + 2 + i});
+  }
+  lustre_ = std::make_unique<fs::LustreServers>(sim_, params.lustre, *network_,
+                                                mds_node(), ost_nodes);
+
+  nodes_.reserve(params.compute_nodes);
+  for (std::uint32_t i = 0; i < params.compute_nodes; ++i) {
+    NodeResources r;
+    r.ssd = std::make_unique<storage::BlockDevice>(
+        sim_, params.node_ssd, "node" + std::to_string(i) + ".nvme");
+    r.cache = std::make_unique<storage::PageCache>(sim_, params.page_cache,
+                                                   *r.ssd);
+    r.local_fs = std::make_unique<fs::LocalFs>(sim_, params.local_fs, *r.ssd,
+                                               *r.cache);
+    r.dyad = std::make_unique<dyad::DyadNode>(sim_, params.dyad, dyad_domain_,
+                                              net::NodeId{i}, *r.local_fs,
+                                              *network_, *kvs_);
+    nodes_.push_back(std::move(r));
+  }
+}
+
+NodeResources& Testbed::node(std::uint32_t i) {
+  MDWF_ASSERT(i < nodes_.size());
+  return nodes_[i];
+}
+
+}  // namespace mdwf::workflow

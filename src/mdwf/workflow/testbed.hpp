@@ -1,0 +1,92 @@
+// Simulated cluster testbed (a Corona-like slice).
+//
+// Owns the simulation kernel, the fabric, per-compute-node resources (NVMe
+// SSD, page cache, XFS-like local filesystem, DYAD runtime), the Flux-style
+// KVS broker, and the Lustre servers.  Fabric endpoints are laid out as:
+//
+//   [0, compute_nodes)                     compute nodes
+//   compute_nodes                          KVS broker node
+//   compute_nodes + 1                      Lustre MDS
+//   compute_nodes + 2 ... + 1 + ost_count  Lustre OSTs
+//
+// Reference parameter values follow DESIGN.md Sec. 5 (Corona: 8 GPUs and a
+// 3.5 TB NVMe per node, IB QDR fabric, shared Lustre).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mdwf/dyad/dyad.hpp"
+#include "mdwf/fs/local_fs.hpp"
+#include "mdwf/fs/lustre.hpp"
+#include "mdwf/kvs/kvs.hpp"
+#include "mdwf/net/network.hpp"
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/storage/block_device.hpp"
+#include "mdwf/storage/page_cache.hpp"
+
+namespace mdwf::workflow {
+
+struct TestbedParams {
+  std::uint32_t compute_nodes = 1;
+
+  net::NetworkParams network{};
+  storage::BlockDeviceParams node_ssd{
+      .read_bandwidth_bps = 3.2e9,
+      .write_bandwidth_bps = 3.0e9,
+      .op_latency = Duration::microseconds(20),
+      .queue_depth = 16,
+      .capacity = Bytes::gib(3584),
+  };
+  // Corona nodes carry 256 GB of RAM; most of it is page cache for the
+  // burst-buffer staging workload.
+  storage::PageCacheParams page_cache{
+      .capacity = Bytes::gib(48),
+      .page_size = Bytes::kib(256),
+      .memcpy_bps = 8.0e9,
+  };
+  fs::LocalFsParams local_fs{};
+  fs::LustreParams lustre{};
+  kvs::KvsParams kvs{};
+  dyad::DyadParams dyad{};
+};
+
+// Everything attached to one compute node.
+struct NodeResources {
+  std::unique_ptr<storage::BlockDevice> ssd;
+  std::unique_ptr<storage::PageCache> cache;
+  std::unique_ptr<fs::LocalFs> local_fs;
+  std::unique_ptr<dyad::DyadNode> dyad;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(const TestbedParams& params);
+
+  const TestbedParams& params() const { return params_; }
+
+  sim::Simulation& simulation() { return sim_; }
+  net::Network& network() { return *network_; }
+  kvs::KvsServer& kvs() { return *kvs_; }
+  fs::LustreServers& lustre() { return *lustre_; }
+  dyad::DyadDomain& dyad_domain() { return dyad_domain_; }
+
+  std::uint32_t compute_nodes() const { return params_.compute_nodes; }
+  NodeResources& node(std::uint32_t i);
+
+  net::NodeId kvs_node() const { return net::NodeId{params_.compute_nodes}; }
+  net::NodeId mds_node() const {
+    return net::NodeId{params_.compute_nodes + 1};
+  }
+
+ private:
+  TestbedParams params_;
+  sim::Simulation sim_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<kvs::KvsServer> kvs_;
+  std::unique_ptr<fs::LustreServers> lustre_;
+  dyad::DyadDomain dyad_domain_;
+  std::vector<NodeResources> nodes_;
+};
+
+}  // namespace mdwf::workflow

@@ -1,0 +1,231 @@
+// Unit tests for mdwf/common: time/byte types, RNG, CRC, stats, tables.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/common/crc32c.hpp"
+#include "mdwf/common/format.hpp"
+#include "mdwf/common/rng.hpp"
+#include "mdwf/common/stats.hpp"
+#include "mdwf/common/table.hpp"
+#include "mdwf/common/time.hpp"
+
+namespace mdwf {
+namespace {
+
+using namespace mdwf::literals;
+
+TEST(DurationTest, LiteralsAndArithmetic) {
+  EXPECT_EQ((1_s).ns(), 1'000'000'000);
+  EXPECT_EQ((3_ms).ns(), 3'000'000);
+  EXPECT_EQ((7_us).ns(), 7'000);
+  EXPECT_EQ((42_ns).ns(), 42);
+  EXPECT_EQ((1_s + 500_ms).ns(), 1'500'000'000);
+  EXPECT_EQ((1_s - 1_ms).ns(), 999'000'000);
+  EXPECT_EQ((2_us * 3).ns(), 6'000);
+  EXPECT_EQ((10_us / 4).ns(), 2'500);
+  EXPECT_EQ(1_s / 1_ms, 1000);
+  EXPECT_LT(1_us, 1_ms);
+}
+
+TEST(DurationTest, FromSecondsRounds) {
+  EXPECT_EQ(Duration::seconds(0.82).ns(), 820'000'000);
+  EXPECT_EQ(Duration::seconds(0.00093).ns(), 930'000);
+  EXPECT_EQ(Duration::seconds(0.0).ns(), 0);
+}
+
+TEST(DurationTest, ScalingByDouble) {
+  EXPECT_EQ((1_s * 0.5).ns(), 500'000'000);
+  EXPECT_EQ((100_ns * 1.4).ns(), 140);
+}
+
+TEST(TimePointTest, Arithmetic) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + 5_ms;
+  EXPECT_EQ((t1 - t0).ns(), (5_ms).ns());
+  EXPECT_EQ((t1 - 2_ms).ns(), (3_ms).ns());
+  EXPECT_LT(t0, t1);
+}
+
+TEST(BytesTest, LiteralsAndArithmetic) {
+  EXPECT_EQ((1_KiB).count(), 1024u);
+  EXPECT_EQ((2_MiB).count(), 2u * 1024 * 1024);
+  EXPECT_EQ((1_GiB).count(), 1024u * 1024 * 1024);
+  EXPECT_EQ((1_MiB + 1_KiB).count(), 1049600u);
+  EXPECT_EQ((1_MiB / 1_KiB), 1024u);
+  EXPECT_EQ(min(3_KiB, 2_KiB), 2_KiB);
+  EXPECT_EQ(max(3_KiB, 2_KiB), 3_KiB);
+}
+
+TEST(BytesTest, JacFrameSizeMatchesPaper) {
+  // Table I: JAC frame is 644.21 KiB at 28 bytes/atom for 23,558 atoms.
+  const Bytes frame = Bytes(23558u * 28u);
+  EXPECT_NEAR(frame.to_kib(), 644.21, 0.2);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.next_u64() == b.next_u64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> vals;
+  for (int i = 0; i < 16; ++i) vals.insert(r.next_u64());
+  EXPECT_GT(vals.size(), 10u);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+  }
+  // Bound of 1 always yields 0.
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng r(123);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng r(321);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.02);
+}
+
+TEST(RngTest, ForkIndependentAndDeterministic) {
+  Rng a(77);
+  Rng c1 = a.fork("interference");
+  Rng c2 = a.fork("interference");
+  Rng c3 = a.fork("jitter");
+  EXPECT_EQ(c1.next_u64(), c2.next_u64());
+  Rng c1b = Rng(77).fork("interference");
+  c1b.next_u64();
+  EXPECT_EQ(c1.next_u64(), c1b.next_u64());
+  EXPECT_NE(c1.next_u64(), c3.next_u64());
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  unsigned char zeros[32] = {};
+  EXPECT_EQ(crc32c(zeros, sizeof(zeros)), 0x8A9136AAu);
+  unsigned char ones[32];
+  std::memset(ones, 0xFF, sizeof(ones));
+  EXPECT_EQ(crc32c(ones, sizeof(ones)), 0x62A8AB43u);
+  const char* s = "123456789";
+  EXPECT_EQ(crc32c(s, 9), 0xE3069283u);
+}
+
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = crc32c(data.data(), data.size());
+  const std::uint32_t part1 = crc32c(data.data(), 10);
+  const std::uint32_t part2 = crc32c(data.data() + 10, data.size() - 10, part1);
+  EXPECT_EQ(whole, part2);
+}
+
+TEST(RunningStatsTest, Basics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  Rng r(5);
+  RunningStats a, b, combined;
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.normal(0, 1);
+    combined.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStatsTest, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SamplesTest, QuantilesAndSummary) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);
+  EXPECT_NEAR(s.quantile(0.9), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SamplesTest, EmptyIsZero) {
+  Samples s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.median(), 0.0);
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(format_bytes(Bytes(23558u * 28u)), "644.16 KiB");
+  EXPECT_EQ(format_bytes(12_B), "12 B");
+  EXPECT_EQ(format_bytes(Bytes::mib(2) + Bytes::kib(512)), "2.50 MiB");
+}
+
+TEST(FormatTest, Duration) {
+  EXPECT_EQ(format_duration(1500_ns), "1.500 us");
+  EXPECT_EQ(format_duration(820_ms), "820.000 ms");
+  EXPECT_EQ(format_duration(3_ns), "3 ns");
+  EXPECT_EQ(format_duration(2_s), "2.000 s");
+}
+
+TEST(TableTest, RendersAligned) {
+  TextTable t({"Name", "Atoms"});
+  t.add_row({"JAC", "23558"});
+  t.add_row({"STMV", "1066628"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| Name | "), std::string::npos);
+  EXPECT_NE(out.find("JAC"), std::string::npos);
+  EXPECT_NE(out.find("1066628"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|------"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdwf

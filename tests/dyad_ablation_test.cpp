@@ -1,0 +1,94 @@
+// Tests for DYAD's ablation switches and edge paths.
+#include <gtest/gtest.h>
+
+#include "mdwf/common/time.hpp"
+#include "mdwf/md/models.hpp"
+#include "mdwf/perf/recorder.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+#include "mdwf/workflow/testbed.hpp"
+
+namespace mdwf::dyad {
+namespace {
+
+using namespace mdwf::literals;
+using sim::Task;
+using workflow::Testbed;
+using workflow::TestbedParams;
+
+TEST(DyadAblationTest, ForceKvsSyncSkipsWarmPath) {
+  TestbedParams tp;
+  tp.compute_nodes = 1;
+  tp.dyad.force_kvs_sync = true;
+  Testbed tb(tp);
+  auto& sim = tb.simulation();
+  perf::Recorder prec(sim, "p"), crec(sim, "c");
+  sim.spawn([](Testbed& t, perf::Recorder& pr, perf::Recorder& cr)
+                -> Task<void> {
+    DyadProducer producer(*t.node(0).dyad, pr);
+    DyadConsumer consumer(*t.node(0).dyad, cr);
+    co_await producer.produce("f", Bytes::kib(64));
+    co_await t.simulation().delay(10_ms);
+    co_await consumer.consume("f", Bytes::kib(64));
+    EXPECT_EQ(consumer.warm_hits(), 0u);
+  }(tb, prec, crec));
+  sim.run_to_quiescence();
+  // The consumer went through the KVS even though the file was local, and
+  // then staged a copy through the self-broker.
+  EXPECT_GE(tb.kvs().lookups(), 1u);
+  EXPECT_NE(crec.tree().find("dyad_consume/dyad_get_data"), nullptr);
+}
+
+TEST(DyadAblationTest, SkipStagingOmitsConsStoreAndLocalFiles) {
+  TestbedParams tp;
+  tp.compute_nodes = 2;
+  tp.dyad.skip_consumer_staging = true;
+  Testbed tb(tp);
+  auto& sim = tb.simulation();
+  perf::Recorder prec(sim, "p"), crec(sim, "c");
+  sim.spawn([](Testbed& t, perf::Recorder& pr, perf::Recorder& cr)
+                -> Task<void> {
+    DyadProducer producer(*t.node(0).dyad, pr);
+    DyadConsumer consumer(*t.node(1).dyad, cr);
+    co_await producer.produce("f", Bytes::mib(4));
+    co_await t.simulation().delay(10_ms);
+    co_await consumer.consume("f", Bytes::mib(4));
+  }(tb, prec, crec));
+  sim.run_to_quiescence();
+  EXPECT_EQ(crec.tree().find("dyad_consume/dyad_cons_store"), nullptr);
+  EXPECT_FALSE(tb.node(1).local_fs->exists("dyad_cache/f"));
+  // read_single_buf still appears (the in-memory hand-off).
+  EXPECT_NE(crec.tree().find("dyad_consume/read_single_buf"), nullptr);
+}
+
+TEST(DyadAblationTest, SkipStagingIsFasterForSingleConsumption) {
+  auto consumption_us = [](bool skip) {
+    TestbedParams tp;
+    tp.compute_nodes = 2;
+    tp.dyad.skip_consumer_staging = skip;
+    Testbed tb(tp);
+    auto& sim = tb.simulation();
+    perf::Recorder prec(sim, "p"), crec(sim, "c");
+    sim.spawn([](Testbed& t, perf::Recorder& pr, perf::Recorder& cr)
+                  -> Task<void> {
+      DyadProducer producer(*t.node(0).dyad, pr);
+      DyadConsumer consumer(*t.node(1).dyad, cr);
+      co_await producer.produce("f", md::kStmv.frame_bytes());
+      co_await t.simulation().delay(10_ms);
+      co_await consumer.consume("f", md::kStmv.frame_bytes());
+    }(tb, prec, crec));
+    sim.run_to_quiescence();
+    return crec.tree()
+        .category_time("dyad_consume", perf::Category::kMovement)
+        .to_micros();
+  };
+  EXPECT_LT(consumption_us(true), consumption_us(false));
+}
+
+TEST(DyadAblationTest, MalformedMetadataIsRejected) {
+  EXPECT_DEATH((void)DyadMetadata::decode("garbage"), "malformed");
+  EXPECT_DEATH((void)DyadMetadata::decode("12:"), "malformed");
+  EXPECT_DEATH((void)DyadMetadata::decode(":7"), "malformed");
+}
+
+}  // namespace
+}  // namespace mdwf::dyad

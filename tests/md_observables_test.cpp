@@ -1,0 +1,240 @@
+// Tests for trajectory observables (RDF, MSD, VACF) and the lossy frame
+// compressor (in-situ data reduction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdwf/common/rng.hpp"
+#include "mdwf/md/compress.hpp"
+#include "mdwf/md/lj_engine.hpp"
+#include "mdwf/md/observables.hpp"
+
+namespace mdwf::md {
+namespace {
+
+Frame box_frame(double box, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Frame f;
+  f.model = "uniform";
+  f.atoms.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    f.atoms[i] = Atom{static_cast<std::uint32_t>(i), rng.uniform(0, box),
+                      rng.uniform(0, box), rng.uniform(0, box)};
+  }
+  return f;
+}
+
+// --- RadialDistribution ------------------------------------------------------
+
+TEST(RdfTest, IdealGasIsFlatAtOne) {
+  const double box = 20.0;
+  RadialDistribution rdf(box, box / 2.0, 40);
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    rdf.accumulate(box_frame(box, 800, s));
+  }
+  const auto g = rdf.g();
+  // Away from tiny-r noise, an ideal (uncorrelated) gas has g(r) ~= 1.
+  for (std::size_t i = 8; i < g.size(); ++i) {
+    EXPECT_NEAR(g[i], 1.0, 0.15) << "bin " << i;
+  }
+  EXPECT_EQ(rdf.frames_seen(), 5u);
+}
+
+TEST(RdfTest, LjFluidShowsFirstShellPeak) {
+  LjParams p;
+  p.particle_count = 256;
+  p.density = 0.8;
+  p.seed = 4;
+  LjEngine engine(p);
+  engine.step(400);  // equilibrate off the lattice
+  RadialDistribution rdf(engine.box_edge(), engine.box_edge() / 2.0, 60);
+  for (int s = 0; s < 5; ++s) {
+    engine.step(40);
+    rdf.accumulate(engine.snapshot("LJ", s));
+  }
+  const auto g = rdf.g();
+  // The LJ first coordination shell peaks near r ~= 1.1 sigma with
+  // g >> 1, and g ~= 0 inside the core (r < 0.9).
+  double peak = 0.0;
+  double peak_r = 0.0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g[i] > peak) {
+      peak = g[i];
+      peak_r = rdf.r_of(i);
+    }
+  }
+  EXPECT_GT(peak, 2.0);
+  EXPECT_NEAR(peak_r, 1.1, 0.2);
+  EXPECT_LT(g[static_cast<std::size_t>(0.5 / rdf.bin_width())], 0.01);
+}
+
+TEST(RdfTest, RejectsRangeBeyondHalfBox) {
+  EXPECT_DEATH(RadialDistribution(10.0, 6.0, 10), "half the box");
+}
+
+// --- MeanSquaredDisplacement ---------------------------------------------------
+
+TEST(MsdTest, StaticSystemHasZeroMsd) {
+  const Frame f = box_frame(10.0, 50, 1);
+  MeanSquaredDisplacement msd(10.0);
+  for (int i = 0; i < 4; ++i) msd.accumulate(f);
+  for (const double v : msd.series()) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_DOUBLE_EQ(msd.diffusion_estimate(), 0.0);
+}
+
+TEST(MsdTest, UniformDriftGrowsQuadratically) {
+  MeanSquaredDisplacement msd(100.0);
+  Frame f = box_frame(100.0, 20, 2);
+  for (int t = 0; t < 6; ++t) {
+    msd.accumulate(f);
+    for (auto& a : f.atoms) a.x += 0.5;  // drift 0.5/frame in x
+  }
+  const auto& s = msd.series();
+  ASSERT_EQ(s.size(), 6u);
+  for (int t = 1; t < 6; ++t) {
+    EXPECT_NEAR(s[static_cast<std::size_t>(t)], 0.25 * t * t, 1e-9);
+  }
+}
+
+TEST(MsdTest, UnwrapsAcrossPeriodicBoundary) {
+  const double box = 10.0;
+  MeanSquaredDisplacement msd(box);
+  Frame f;
+  f.model = "one";
+  f.atoms = {Atom{0, 9.8, 5.0, 5.0}};
+  msd.accumulate(f);
+  // Cross the boundary: 9.8 -> 0.2 is a +0.4 move, not -9.6.
+  f.atoms[0].x = 0.2;
+  msd.accumulate(f);
+  EXPECT_NEAR(msd.series()[1], 0.4 * 0.4, 1e-12);
+}
+
+TEST(MsdTest, LjFluidDiffuses) {
+  LjParams p;
+  p.particle_count = 125;
+  p.density = 0.6;
+  p.initial_temperature = 1.5;
+  p.seed = 11;
+  LjEngine engine(p);
+  engine.step(200);
+  MeanSquaredDisplacement msd(engine.box_edge());
+  for (int t = 0; t < 12; ++t) {
+    msd.accumulate(engine.snapshot("LJ", t));
+    engine.step(20);
+  }
+  // A warm fluid must show monotone-ish growth and positive diffusion.
+  EXPECT_GT(msd.series().back(), msd.series()[1]);
+  EXPECT_GT(msd.diffusion_estimate(), 0.0);
+}
+
+// --- VelocityAutocorrelation -----------------------------------------------------
+
+TEST(VacfTest, StartsAtOneAndDecays) {
+  LjParams p;
+  p.particle_count = 125;
+  p.density = 0.8;
+  p.initial_temperature = 1.2;
+  p.seed = 21;
+  LjEngine engine(p);
+  engine.step(200);
+  VelocityAutocorrelation vacf(10);
+  for (int t = 0; t < 10; ++t) {
+    vacf.accumulate(engine.velocities());
+    engine.step(10);
+  }
+  const auto c = vacf.normalized();
+  ASSERT_EQ(c.size(), 10u);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  // Collisions decorrelate velocities: C(t) well below 1 by the window end.
+  EXPECT_LT(std::abs(c.back()), 0.5);
+}
+
+TEST(VacfTest, WindowCapsSnapshots) {
+  VelocityAutocorrelation vacf(3);
+  const std::vector<Vec3> v(10, Vec3{1, 0, 0});
+  for (int i = 0; i < 7; ++i) vacf.accumulate(v);
+  EXPECT_EQ(vacf.frames_seen(), 3u);
+  const auto c = vacf.normalized();
+  for (const double x : c) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+// --- Compression ------------------------------------------------------------------
+
+TEST(CompressTest, RoundTripWithinPrecision) {
+  const Frame f = synthesize_frame("JAC", 5000, 3, 7);
+  const auto c = compress_frame(f, 1e-3);
+  const Frame g = decompress_frame(c.data);
+  ASSERT_EQ(g.atoms.size(), f.atoms.size());
+  EXPECT_EQ(g.index, f.index);
+  EXPECT_EQ(g.model, f.model);
+  for (std::size_t i = 0; i < f.atoms.size(); ++i) {
+    EXPECT_NEAR(g.atoms[i].x, f.atoms[i].x, 5.1e-4);
+    EXPECT_NEAR(g.atoms[i].y, f.atoms[i].y, 5.1e-4);
+    EXPECT_NEAR(g.atoms[i].z, f.atoms[i].z, 5.1e-4);
+  }
+}
+
+TEST(CompressTest, ReducesSizeSubstantially) {
+  const Frame f = synthesize_frame("STMV-slice", 50000, 0, 9);
+  const auto c = compress_frame(f, 1e-3);
+  EXPECT_GT(c.ratio(), 1.5) << "compressed " << c.compressed_size.count()
+                            << " of " << c.raw_size.count();
+}
+
+TEST(CompressTest, CoarserPrecisionCompressesHarder) {
+  const Frame f = synthesize_frame("X", 20000, 0, 5);
+  const auto fine = compress_frame(f, 1e-4);
+  const auto coarse = compress_frame(f, 1e-2);
+  EXPECT_LT(coarse.compressed_size, fine.compressed_size);
+}
+
+TEST(CompressTest, CorruptionDetected) {
+  const Frame f = synthesize_frame("X", 100, 0, 5);
+  auto c = compress_frame(f);
+  c.data[c.data.size() / 2] ^= std::byte{0x40};
+  EXPECT_THROW((void)decompress_frame(c.data), FrameError);
+}
+
+TEST(CompressTest, TruncationDetected) {
+  const Frame f = synthesize_frame("X", 100, 0, 5);
+  auto c = compress_frame(f);
+  c.data.resize(c.data.size() - 3);
+  EXPECT_THROW((void)decompress_frame(c.data), FrameError);
+}
+
+TEST(CompressTest, SmoothTrajectoriesCompressBetterThanNoise) {
+  // Lattice-like (spatially sorted) coordinates have small deltas.
+  Frame smooth;
+  smooth.model = "lattice";
+  for (int i = 0; i < 20000; ++i) {
+    smooth.atoms.push_back(Atom{static_cast<std::uint32_t>(i),
+                                0.01 * i, 0.005 * i, 0.0025 * i});
+  }
+  const Frame noisy = synthesize_frame("noise", 20000, 0, 3);
+  const auto cs = compress_frame(smooth, 1e-3);
+  const auto cn = compress_frame(noisy, 1e-3);
+  EXPECT_LT(cs.compressed_size.count(), cn.compressed_size.count() / 2);
+}
+
+// Parameterized fuzz: random frames always round-trip or fail loudly.
+class CompressFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompressFuzz, RandomFramesRoundTrip) {
+  Rng rng(GetParam());
+  const auto atoms = 1 + rng.next_below(3000);
+  const Frame f = synthesize_frame("fuzz", atoms, rng.next_below(100),
+                                   GetParam());
+  const double precision = std::pow(10.0, -1.0 - rng.next_below(4));
+  const auto c = compress_frame(f, precision);
+  const Frame g = decompress_frame(c.data);
+  ASSERT_EQ(g.atoms.size(), f.atoms.size());
+  for (std::size_t i = 0; i < f.atoms.size(); i += 97) {
+    EXPECT_NEAR(g.atoms[i].x, f.atoms[i].x, precision * 0.51);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace mdwf::md

@@ -1,0 +1,243 @@
+// Unit tests for molecular models, the frame format, the LJ engine, and the
+// in-situ analytics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mdwf/md/analytics.hpp"
+#include "mdwf/md/frame.hpp"
+#include "mdwf/md/lj_engine.hpp"
+#include "mdwf/md/models.hpp"
+
+namespace mdwf::md {
+namespace {
+
+// --- Models (paper Tables I and II) -----------------------------------------
+
+TEST(ModelsTest, FrameSizesMatchTableI) {
+  EXPECT_NEAR(kJac.frame_bytes().to_kib(), 644.21, 0.3);
+  EXPECT_NEAR(kApoA1.frame_bytes().to_mib(), 2.46, 0.01);
+  EXPECT_NEAR(kF1Atpase.frame_bytes().to_mib(), 8.75, 0.01);
+  EXPECT_NEAR(kStmv.frame_bytes().to_mib(), 28.48, 0.01);
+}
+
+TEST(ModelsTest, AtomCountsMatchTableI) {
+  EXPECT_EQ(kJac.atoms, 23'558u);
+  EXPECT_EQ(kApoA1.atoms, 92'224u);
+  EXPECT_EQ(kF1Atpase.atoms, 327'506u);
+  EXPECT_EQ(kStmv.atoms, 1'066'628u);
+}
+
+TEST(ModelsTest, MsPerStepMatchesTableII) {
+  EXPECT_NEAR(kJac.ms_per_step(), 0.93, 0.01);
+  EXPECT_NEAR(kApoA1.ms_per_step(), 2.79, 0.01);
+  EXPECT_NEAR(kF1Atpase.ms_per_step(), 8.64, 0.01);
+  EXPECT_NEAR(kStmv.ms_per_step(), 29.29, 0.01);
+}
+
+TEST(ModelsTest, FramePeriodsAreEqualAcrossModels) {
+  // Table II: strides are chosen so every model emits at ~0.82 s.
+  for (const auto& m : kAllModels) {
+    EXPECT_NEAR(m.frame_period_seconds(), 0.82, 0.03) << m.name;
+  }
+}
+
+TEST(ModelsTest, StmvToJacDataRatioMatchesPaper) {
+  // Paper Sec. IV-E: STMV moves 45.3x more data than JAC.
+  const double ratio =
+      static_cast<double>(kStmv.frame_bytes().count()) /
+      static_cast<double>(kJac.frame_bytes().count());
+  EXPECT_NEAR(ratio, 45.3, 0.1);
+}
+
+TEST(ModelsTest, FindModelByName) {
+  ASSERT_TRUE(find_model("JAC").has_value());
+  EXPECT_EQ(find_model("JAC")->atoms, kJac.atoms);
+  ASSERT_TRUE(find_model("F1 ATPase").has_value());
+  EXPECT_FALSE(find_model("unknown").has_value());
+}
+
+// --- Frame serialization -----------------------------------------------------
+
+TEST(FrameTest, RoundTripPreservesEverything) {
+  Frame f = synthesize_frame("JAC", 1000, 42, 7);
+  const auto buf = f.serialize();
+  EXPECT_EQ(Bytes(buf.size()), f.serialized_size());
+  const Frame g = Frame::deserialize(buf);
+  EXPECT_EQ(f, g);
+}
+
+TEST(FrameTest, SerializedSizeTracksTableISizes) {
+  const Frame f = synthesize_frame("JAC", kJac.atoms, 0, 1);
+  // Header+trailer overhead is ~31 bytes on top of 28 B/atom.
+  const auto payload = kJac.frame_bytes().count();
+  EXPECT_GE(f.serialized_size().count(), payload);
+  EXPECT_LE(f.serialized_size().count(), payload + 64);
+}
+
+TEST(FrameTest, CorruptionIsDetected) {
+  Frame f = synthesize_frame("STMV", 100, 1, 2);
+  auto buf = f.serialize();
+  buf[40] ^= std::byte{0x01};
+  EXPECT_THROW((void)Frame::deserialize(buf), FrameError);
+}
+
+TEST(FrameTest, TruncationIsDetected) {
+  Frame f = synthesize_frame("JAC", 100, 1, 2);
+  auto buf = f.serialize();
+  buf.resize(buf.size() - 10);
+  EXPECT_THROW((void)Frame::deserialize(buf), FrameError);
+}
+
+TEST(FrameTest, EmptyFrameRoundTrips) {
+  Frame f;
+  f.model = "empty";
+  f.index = 0;
+  const Frame g = Frame::deserialize(f.serialize());
+  EXPECT_EQ(f, g);
+}
+
+TEST(FrameTest, SynthesisIsDeterministic) {
+  const Frame a = synthesize_frame("JAC", 500, 3, 11);
+  const Frame b = synthesize_frame("JAC", 500, 3, 11);
+  const Frame c = synthesize_frame("JAC", 500, 4, 11);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+// --- LJ engine ------------------------------------------------------------------
+
+LjParams small_params() {
+  LjParams p;
+  p.particle_count = 125;
+  p.density = 0.7;
+  p.dt = 0.004;
+  p.initial_temperature = 0.9;
+  p.seed = 99;
+  return p;
+}
+
+TEST(LjEngineTest, CellListMatchesBruteForce) {
+  LjEngine engine(small_params());
+  engine.step(20);
+  EXPECT_LT(engine.force_error_vs_bruteforce(), 1e-9);
+}
+
+TEST(LjEngineTest, EnergyConservationNve) {
+  LjEngine engine(small_params());
+  engine.step(50);  // settle from the lattice start
+  const double e0 = engine.total_energy();
+  engine.step(500);
+  const double e1 = engine.total_energy();
+  // NVE drift should be a small fraction of the kinetic energy scale.
+  EXPECT_NEAR(e1, e0, 0.02 * std::abs(engine.kinetic_energy()) + 0.05);
+}
+
+TEST(LjEngineTest, MomentumConservation) {
+  LjEngine engine(small_params());
+  engine.step(300);
+  const Vec3 p = engine.total_momentum();
+  EXPECT_NEAR(p.x, 0.0, 1e-8);
+  EXPECT_NEAR(p.y, 0.0, 1e-8);
+  EXPECT_NEAR(p.z, 0.0, 1e-8);
+}
+
+TEST(LjEngineTest, ThermostatDrivesTemperature) {
+  LjParams p = small_params();
+  p.thermostat_tau = 0.05;
+  p.target_temperature = 1.4;
+  p.initial_temperature = 0.7;
+  LjEngine engine(p);
+  engine.step(2000);
+  EXPECT_NEAR(engine.temperature(), 1.4, 0.25);
+}
+
+TEST(LjEngineTest, DeterministicTrajectories) {
+  LjEngine a(small_params());
+  LjEngine b(small_params());
+  a.step(100);
+  b.step(100);
+  EXPECT_EQ(a.positions()[17].x, b.positions()[17].x);
+  EXPECT_EQ(a.total_energy(), b.total_energy());
+}
+
+TEST(LjEngineTest, PositionsStayInBox) {
+  LjEngine engine(small_params());
+  engine.step(500);
+  for (const auto& r : engine.positions()) {
+    EXPECT_GE(r.x, 0.0);
+    EXPECT_LT(r.x, engine.box_edge());
+    EXPECT_GE(r.y, 0.0);
+    EXPECT_LT(r.y, engine.box_edge());
+    EXPECT_GE(r.z, 0.0);
+    EXPECT_LT(r.z, engine.box_edge());
+  }
+}
+
+TEST(LjEngineTest, SnapshotProducesValidFrame) {
+  LjEngine engine(small_params());
+  engine.step(10);
+  const Frame f = engine.snapshot("LJ", 3);
+  EXPECT_EQ(f.atoms.size(), 125u);
+  EXPECT_EQ(f.index, 3u);
+  const Frame g = Frame::deserialize(f.serialize());
+  EXPECT_EQ(f, g);
+}
+
+// --- Analytics --------------------------------------------------------------------
+
+TEST(AnalyticsTest, EigenvaluesOfDiagonalMatrix) {
+  const auto ev = eigenvalues_sym3(Sym3{.xx = 3, .yy = 1, .zz = 2});
+  EXPECT_NEAR(ev[0], 3.0, 1e-12);
+  EXPECT_NEAR(ev[1], 2.0, 1e-12);
+  EXPECT_NEAR(ev[2], 1.0, 1e-12);
+}
+
+TEST(AnalyticsTest, EigenvaluesOfKnownSymmetricMatrix) {
+  // [[2,1,0],[1,2,0],[0,0,5]] has eigenvalues 5, 3, 1.
+  const auto ev = eigenvalues_sym3(Sym3{.xx = 2, .xy = 1, .yy = 2, .zz = 5});
+  EXPECT_NEAR(ev[0], 5.0, 1e-9);
+  EXPECT_NEAR(ev[1], 3.0, 1e-9);
+  EXPECT_NEAR(ev[2], 1.0, 1e-9);
+}
+
+TEST(AnalyticsTest, EigenvalueSumEqualsTrace) {
+  const Frame f = synthesize_frame("JAC", 2000, 0, 5);
+  const Sym3 g = gyration_tensor(f);
+  const auto ev = eigenvalues_sym3(g);
+  EXPECT_NEAR(ev[0] + ev[1] + ev[2], g.xx + g.yy + g.zz, 1e-6);
+  EXPECT_GE(ev[0], ev[1]);
+  EXPECT_GE(ev[1], ev[2]);
+  EXPECT_GE(ev[2], -1e-9);  // gyration tensor is PSD
+}
+
+TEST(AnalyticsTest, LinearChainIsHighlyAnisotropic) {
+  Frame f;
+  f.model = "chain";
+  for (int i = 0; i < 100; ++i) {
+    f.atoms.push_back(Atom{static_cast<std::uint32_t>(i),
+                           static_cast<double>(i), 0.0, 0.0});
+  }
+  const auto a = analyze_frame(f);
+  // All variance along one axis: largest eigenvalue ~= Rg^2.
+  EXPECT_NEAR(a.largest_eigenvalue, a.radius_of_gyration * a.radius_of_gyration,
+              1e-9);
+  EXPECT_GT(a.asphericity, 0.9 * a.largest_eigenvalue);
+}
+
+TEST(AnalyticsTest, CompactSphereIsNearlyIsotropic) {
+  const Frame f = synthesize_frame("iso", 20000, 0, 3);
+  const auto ev = eigenvalues_sym3(gyration_tensor(f));
+  // Uniform box: eigenvalues within a few percent of each other.
+  EXPECT_LT((ev[0] - ev[2]) / ev[0], 0.05);
+}
+
+TEST(AnalyticsTest, SubrangeSelectsHelix) {
+  Frame f = synthesize_frame("helices", 1000, 0, 9);
+  const Sym3 whole = gyration_tensor(f);
+  const Sym3 first_half = gyration_tensor(f, 0, 500);
+  EXPECT_NE(whole.xx, first_half.xx);
+}
+
+}  // namespace
+}  // namespace mdwf::md

@@ -1,0 +1,132 @@
+// Additional network-model tests: RDMA put, control sizing, mid-transfer
+// re-rating, and multi-segment bottlenecks.
+#include <gtest/gtest.h>
+
+#include "mdwf/common/time.hpp"
+#include "mdwf/net/network.hpp"
+#include "mdwf/sim/primitives.hpp"
+
+namespace mdwf::net {
+namespace {
+
+using namespace mdwf::literals;
+using sim::Simulation;
+using sim::Task;
+
+TEST(NetworkExtraTest, RdmaPutStreamsThenAcks) {
+  Simulation sim;
+  NetworkParams p;
+  p.nic_bandwidth_bps = 1e9;
+  p.latency = 5_us;
+  p.control_message_size = Bytes(0);
+  Network net(sim, p, 2);
+  TimePoint done;
+  sim.spawn([](Simulation& s, Network& n, TimePoint& t) -> Task<void> {
+    co_await n.rdma_put(NodeId{0}, NodeId{1}, Bytes(1'000'000));
+    t = s.now();
+  }(sim, net, done));
+  sim.run_to_quiescence();
+  // payload latency 5us + 1ms stream + ack latency 5us.
+  EXPECT_EQ(done, TimePoint::origin() + 10_us + 1_ms);
+}
+
+TEST(NetworkExtraTest, ControlMessageSizeCharged) {
+  Simulation sim;
+  NetworkParams p;
+  p.nic_bandwidth_bps = 1e6;  // 1 MB/s: control bytes visible
+  p.latency = Duration::zero();
+  p.control_message_size = Bytes(1000);
+  Network net(sim, p, 2);
+  sim.spawn([](Simulation& s, Network& n) -> Task<void> {
+    const TimePoint t0 = s.now();
+    co_await n.send_control(NodeId{0}, NodeId{1});
+    EXPECT_EQ(s.now() - t0, 1_ms);  // 1000 B at 1 MB/s
+  }(sim, net));
+  sim.run_to_quiescence();
+}
+
+TEST(NetworkExtraTest, BackgroundLoadChangeMidTransferReRates) {
+  Simulation sim;
+  FairShareChannel ch(sim, 1e9);
+  TimePoint done;
+  sim.spawn([](Simulation& s, FairShareChannel& c, TimePoint& t) -> Task<void> {
+    co_await c.transfer(Bytes(100'000'000));
+    t = s.now();
+  }(sim, ch, done));
+  sim.call_after(50_ms, [&ch] { ch.set_background_load(0.5); });
+  sim.run_to_quiescence();
+  // 50 MB at full rate (50 ms), then 50 MB at half rate (100 ms).
+  EXPECT_EQ(done, TimePoint::origin() + 150_ms);
+}
+
+TEST(NetworkExtraTest, SlowestSegmentGatesTransfer) {
+  Simulation sim;
+  NetworkParams p;
+  p.nic_bandwidth_bps = 2e9;
+  p.bisection_bandwidth_bps = 0.5e9;  // core is 4x slower than NICs
+  p.latency = Duration::zero();
+  Network net(sim, p, 2);
+  sim.spawn([](Simulation& s, Network& n) -> Task<void> {
+    const TimePoint t0 = s.now();
+    co_await n.transfer(NodeId{0}, NodeId{1}, Bytes(100'000'000));
+    EXPECT_NEAR((s.now() - t0).to_seconds(), 0.2, 1e-6);  // core-bound
+  }(sim, net));
+  sim.run_to_quiescence();
+}
+
+TEST(NetworkExtraTest, DuplexDirectionsAreIndependent) {
+  Simulation sim;
+  NetworkParams p;
+  p.nic_bandwidth_bps = 1e9;
+  p.latency = Duration::zero();
+  Network net(sim, p, 2);
+  std::vector<Task<void>> both;
+  both.push_back([](Network& n) -> Task<void> {
+    co_await n.transfer(NodeId{0}, NodeId{1}, Bytes(100'000'000));
+  }(net));
+  both.push_back([](Network& n) -> Task<void> {
+    co_await n.transfer(NodeId{1}, NodeId{0}, Bytes(100'000'000));
+  }(net));
+  sim.spawn(all(sim, std::move(both)));
+  sim.run_to_quiescence();
+  // Opposite directions use distinct tx/rx channels: full overlap.
+  EXPECT_NEAR(sim.now().to_seconds(), 0.1, 1e-6);
+}
+
+TEST(NetworkExtraTest, TotalsTrackEveryTransfer) {
+  Simulation sim;
+  NetworkParams p;
+  p.latency = Duration::zero();
+  p.control_message_size = Bytes(256);
+  Network net(sim, p, 3);
+  sim.spawn([](Network& n) -> Task<void> {
+    co_await n.transfer(NodeId{0}, NodeId{1}, Bytes(1000));
+    co_await n.transfer(NodeId{0}, NodeId{2}, Bytes(2000));
+    co_await n.send_control(NodeId{0}, NodeId{1});
+  }(net));
+  sim.run_to_quiescence();
+  EXPECT_EQ(net.tx(NodeId{0}).total_requested(), Bytes(3256));
+  EXPECT_EQ(net.rx(NodeId{1}).total_requested(), Bytes(1256));
+  EXPECT_EQ(net.rx(NodeId{2}).total_requested(), Bytes(2000));
+}
+
+TEST(NetworkExtraTest, FlowCountIsLiveDuringTransfer) {
+  Simulation sim;
+  NetworkParams p;
+  p.nic_bandwidth_bps = 1e6;
+  p.latency = Duration::zero();
+  Network net(sim, p, 2);
+  sim.spawn([](Network& n) -> Task<void> {
+    co_await n.transfer(NodeId{0}, NodeId{1}, Bytes(10'000));
+  }(net));
+  sim.spawn([](Simulation& s, Network& n) -> Task<void> {
+    co_await s.delay(1_ms);
+    EXPECT_EQ(n.tx(NodeId{0}).active_flows(), 1u);
+    EXPECT_EQ(n.rx(NodeId{1}).active_flows(), 1u);
+  }(sim, net));
+  sim.run_to_quiescence();
+  EXPECT_EQ(net.tx(NodeId{0}).active_flows(), 0u);
+}
+
+}  // namespace
+}  // namespace mdwf::net

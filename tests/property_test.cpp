@@ -1,0 +1,346 @@
+// Property-based tests: randomized stress against invariants and reference
+// models, parameterized over seeds.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "mdwf/common/rng.hpp"
+#include "mdwf/common/time.hpp"
+#include "mdwf/fs/file_lock.hpp"
+#include "mdwf/fs/lustre.hpp"
+#include "mdwf/md/frame.hpp"
+#include "mdwf/net/fair_share.hpp"
+#include "mdwf/perf/recorder.hpp"
+#include "mdwf/perf/thicket.hpp"
+#include "mdwf/sim/primitives.hpp"
+#include "mdwf/storage/page_cache.hpp"
+
+namespace mdwf {
+namespace {
+
+using namespace mdwf::literals;
+using sim::Simulation;
+using sim::Task;
+
+class Seeded : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- Kernel stress: random agents over every primitive ------------------------
+
+TEST_P(Seeded, KernelSurvivesRandomAgentSoup) {
+  Simulation sim;
+  Rng rng(GetParam());
+  sim::Semaphore sem(sim, 3);
+  sim::Queue<int> queue(sim, 8);
+  sim::Barrier barrier(sim, 4);
+  int sem_holders = 0;
+  int peak_holders = 0;
+  std::uint64_t queue_puts = 0;
+  std::uint64_t queue_gets = 0;
+
+  // 4 barrier-synchronized agents doing random mixes; 8 queue producers and
+  // 8 consumers with matched counts so everything drains.
+  std::vector<Task<void>> tasks;
+  for (int a = 0; a < 4; ++a) {
+    tasks.push_back([](Simulation& s, Rng r, sim::Semaphore& sm,
+                       sim::Barrier& b, int& held, int& peak) -> Task<void> {
+      for (int round = 0; round < 20; ++round) {
+        co_await s.delay(Duration::microseconds(
+            static_cast<std::int64_t>(r.next_below(500))));
+        co_await sm.acquire();
+        ++held;
+        peak = std::max(peak, held);
+        co_await s.delay(Duration::microseconds(
+            static_cast<std::int64_t>(1 + r.next_below(50))));
+        --held;
+        sm.release();
+        co_await b.arrive_and_wait();
+      }
+    }(sim, rng.fork("agent" + std::to_string(a)), sem, barrier, sem_holders,
+      peak_holders));
+  }
+  for (int p = 0; p < 8; ++p) {
+    tasks.push_back([](Simulation& s, Rng r, sim::Queue<int>& q,
+                       std::uint64_t& puts) -> Task<void> {
+      for (int i = 0; i < 25; ++i) {
+        co_await s.delay(Duration::microseconds(
+            static_cast<std::int64_t>(r.next_below(300))));
+        co_await q.put(i);
+        ++puts;
+      }
+    }(sim, rng.fork("prod" + std::to_string(p)), queue, queue_puts));
+    tasks.push_back([](Simulation& s, Rng r, sim::Queue<int>& q,
+                       std::uint64_t& gets) -> Task<void> {
+      for (int i = 0; i < 25; ++i) {
+        co_await s.delay(Duration::microseconds(
+            static_cast<std::int64_t>(r.next_below(300))));
+        (void)co_await q.get();
+        ++gets;
+      }
+    }(sim, rng.fork("cons" + std::to_string(p)), queue, queue_gets));
+  }
+  sim.spawn(all(sim, std::move(tasks)));
+  ASSERT_NO_THROW(sim.run_to_quiescence());
+  EXPECT_EQ(sem.available(), 3);
+  EXPECT_LE(peak_holders, 3);
+  EXPECT_EQ(queue_puts, 200u);
+  EXPECT_EQ(queue_gets, 200u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+// --- PageCache vs a reference LRU model ----------------------------------------
+
+struct ReferenceLru {
+  std::size_t capacity;
+  std::list<std::uint64_t> order;  // front = MRU
+  std::map<std::uint64_t, bool> dirty;
+
+  // Mirrors PageCache: bounded clean-first victim scan from the LRU end.
+  static constexpr int kScanLimit = 128;
+
+  void touch(std::uint64_t key, bool make_dirty) {
+    auto it = std::find(order.begin(), order.end(), key);
+    if (it != order.end()) {
+      order.erase(it);
+      order.push_front(key);
+      if (make_dirty) dirty[key] = true;
+      return;
+    }
+    if (order.size() >= capacity) evict();
+    order.push_front(key);
+    dirty[key] = make_dirty;
+  }
+
+  void evict() {
+    auto victim = std::prev(order.end());
+    int scanned = 0;
+    for (auto it = std::prev(order.end());; --it) {
+      if (!dirty[*it]) {
+        victim = it;
+        break;
+      }
+      if (++scanned >= kScanLimit || it == order.begin()) break;
+    }
+    dirty.erase(*victim);
+    order.erase(victim);
+  }
+
+  bool resident(std::uint64_t key) const { return dirty.contains(key); }
+};
+
+TEST_P(Seeded, PageCacheMatchesReferenceLru) {
+  Simulation sim;
+  storage::BlockDevice dev(sim, storage::BlockDeviceParams{}, "d");
+  storage::PageCacheParams pcp;
+  pcp.capacity = Bytes::kib(256) * 16;  // 16 pages
+  pcp.page_size = Bytes::kib(256);
+  storage::PageCache cache(sim, pcp, dev);
+  ReferenceLru ref{16, {}, {}};
+  Rng rng(GetParam());
+
+  sim.spawn([](storage::PageCache& c, ReferenceLru& r, Rng rg) -> Task<void> {
+    for (int op = 0; op < 600; ++op) {
+      const std::uint64_t file = 1 + rg.next_below(6);
+      const std::uint64_t page = rg.next_below(8);
+      const Bytes offset = Bytes::kib(256) * page;
+      const bool is_write = rg.bernoulli(0.5);
+      if (is_write) {
+        co_await c.write(file, offset, Bytes::kib(256));
+      } else {
+        co_await c.read(file, offset, Bytes::kib(256));
+      }
+      r.touch((file << 32) | page, is_write);
+      EXPECT_EQ(c.resident(file, offset, Bytes::kib(256)),
+                r.resident((file << 32) | page))
+          << "op " << op;
+    }
+    EXPECT_EQ(c.resident_pages(), r.order.size());
+  }(cache, ref, rng));
+  sim.run_to_quiescence();
+}
+
+// --- FileLock: exclusion invariant + no starvation -------------------------------
+
+TEST_P(Seeded, FileLockExclusionHoldsUnderRandomLoad) {
+  Simulation sim;
+  fs::FileLock lock(sim);
+  Rng rng(GetParam());
+  int readers = 0, writers = 0;
+  bool violated = false;
+  std::vector<Task<void>> tasks;
+  for (int a = 0; a < 12; ++a) {
+    const bool writer = a % 3 == 0;
+    tasks.push_back([](Simulation& s, fs::FileLock& l, Rng r, bool w,
+                       int& rd, int& wr, bool& bad) -> Task<void> {
+      for (int i = 0; i < 15; ++i) {
+        co_await s.delay(Duration::microseconds(
+            static_cast<std::int64_t>(r.next_below(200))));
+        if (w) {
+          co_await l.lock_exclusive();
+          ++wr;
+          if (rd != 0 || wr != 1) bad = true;
+          co_await s.delay(Duration::microseconds(
+              static_cast<std::int64_t>(1 + r.next_below(20))));
+          --wr;
+          l.unlock_exclusive();
+        } else {
+          co_await l.lock_shared();
+          ++rd;
+          if (wr != 0) bad = true;
+          co_await s.delay(Duration::microseconds(
+              static_cast<std::int64_t>(1 + r.next_below(20))));
+          --rd;
+          l.unlock_shared();
+        }
+      }
+    }(sim, lock, rng.fork("locker" + std::to_string(a)), writer, readers,
+      writers, violated));
+  }
+  sim.spawn(all(sim, std::move(tasks)));
+  ASSERT_NO_THROW(sim.run_to_quiescence());  // no starvation: all finish
+  EXPECT_FALSE(violated);
+  EXPECT_FALSE(lock.exclusive_held());
+  EXPECT_EQ(lock.shared_holders(), 0u);
+}
+
+// --- FairShareChannel: lower bounds and conservation -------------------------------
+
+TEST_P(Seeded, FairShareRespectsPhysicalBounds) {
+  Simulation sim;
+  const double capacity = 1.5e9;
+  net::FairShareChannel ch(sim, capacity);
+  Rng rng(GetParam());
+  struct FlowLog {
+    TimePoint start, end;
+    std::uint64_t bytes;
+  };
+  auto logs = std::make_shared<std::vector<FlowLog>>();
+  std::vector<Task<void>> tasks;
+  std::uint64_t total = 0;
+  for (int i = 0; i < 24; ++i) {
+    const std::uint64_t bytes = 100'000 + rng.next_below(30'000'000);
+    const auto start_us = static_cast<std::int64_t>(rng.next_below(40'000));
+    total += bytes;
+    tasks.push_back([](Simulation& s, net::FairShareChannel& c,
+                       std::shared_ptr<std::vector<FlowLog>> lg,
+                       std::uint64_t n, std::int64_t at) -> Task<void> {
+      co_await s.delay(Duration::microseconds(at));
+      const TimePoint t0 = s.now();
+      co_await c.transfer(Bytes(n));
+      lg->push_back(FlowLog{t0, s.now(), n});
+    }(sim, ch, logs, bytes, start_us));
+  }
+  sim.spawn(all(sim, std::move(tasks)));
+  sim.run_to_quiescence();
+  ASSERT_EQ(logs->size(), 24u);
+  for (const auto& f : *logs) {
+    // No flow can beat the raw capacity.
+    const double min_secs = static_cast<double>(f.bytes) / capacity;
+    EXPECT_GE((f.end - f.start).to_seconds(), min_secs - 1e-9);
+  }
+  // Aggregate work conservation.
+  const double makespan = sim.now().to_seconds();
+  EXPECT_GE(makespan, static_cast<double>(total) / capacity - 0.04);
+  EXPECT_EQ(ch.total_completed(), Bytes(total));
+}
+
+// --- Lustre striping: byte placement matches the analytic layout -------------------
+
+TEST_P(Seeded, StripingPlacesBytesPerLayout) {
+  Simulation sim;
+  net::NetworkParams np;
+  np.latency = Duration::zero();
+  net::Network network(sim, np, 8);
+  Rng rng(GetParam());
+  fs::LustreParams lp;
+  lp.ost_count = 4;
+  lp.stripe_count = 1 + static_cast<std::uint32_t>(rng.next_below(4));
+  lp.client_writeback = false;  // synchronous so counters settle per write
+  fs::LustreServers servers(sim, lp, network, net::NodeId{3},
+                            {net::NodeId{4}, net::NodeId{5}, net::NodeId{6},
+                             net::NodeId{7}});
+  const std::uint64_t len = 1 + rng.next_below(24'000'000);
+
+  sim.spawn([](Simulation& s, fs::LustreServers& sv, std::uint64_t n,
+               std::uint32_t stripes) -> Task<void> {
+    fs::LustreClient client(s, sv, net::NodeId{0});
+    auto h = co_await client.create("file");
+    co_await client.write(h, Bytes::zero(), Bytes(n));
+    // Reference layout: 1 MiB stripes round-robin over `stripes` OSTs
+    // starting at the file's first assigned OST.
+    std::vector<std::uint64_t> expect(sv.ost_count(), 0);
+    const std::uint64_t stripe = 1024 * 1024;
+    for (std::uint64_t pos = 0; pos < n;) {
+      const std::uint64_t chunk = std::min(stripe - pos % stripe, n - pos);
+      expect[(pos / stripe) % stripes] += chunk;
+      pos += chunk;
+    }
+    for (std::uint32_t i = 0; i < sv.ost_count(); ++i) {
+      // OST assignment for file 1 starts at OST 0 (round-robin from zero).
+      EXPECT_EQ(sv.ost_device(i).bytes_written().count(),
+                i < stripes ? expect[i] : 0u)
+          << "ost " << i << " n=" << n << " stripes=" << stripes;
+    }
+  }(sim, servers, len, lp.stripe_count));
+  sim.run_to_quiescence();
+}
+
+// --- Frame codec: arbitrary corruption never passes ---------------------------------
+
+TEST_P(Seeded, FrameCodecRejectsRandomCorruption) {
+  Rng rng(GetParam());
+  md::Frame f = md::synthesize_frame("fuzz", 200 + rng.next_below(800),
+                                     rng.next_below(50), GetParam());
+  auto buf = f.serialize();
+  for (int trial = 0; trial < 50; ++trial) {
+    auto copy = buf;
+    const auto flips = 1 + rng.next_below(4);
+    for (std::uint64_t k = 0; k < flips; ++k) {
+      copy[rng.next_below(copy.size())] ^=
+          std::byte{static_cast<unsigned char>(1 + rng.next_below(255))};
+    }
+    if (copy == buf) continue;  // flips cancelled out
+    EXPECT_THROW((void)md::Frame::deserialize(copy), md::FrameError);
+  }
+}
+
+// --- Thicket aggregation is order-insensitive ----------------------------------------
+
+TEST_P(Seeded, ThicketAggregationOrderInsensitive) {
+  Rng rng(GetParam());
+  std::vector<perf::CallTree> trees;
+  for (int t = 0; t < 6; ++t) {
+    Simulation sim;
+    perf::Recorder rec(sim, "r");
+    sim.spawn([](Simulation& s, perf::Recorder& r, Rng rg) -> Task<void> {
+      perf::ScopedRegion outer(r, "consume");
+      for (int i = 0; i < 3; ++i) {
+        perf::ScopedRegion inner(r, "read", perf::Category::kMovement);
+        co_await s.delay(Duration::microseconds(
+            static_cast<std::int64_t>(1 + rg.next_below(5000))));
+      }
+    }(sim, rec, rng.fork("t" + std::to_string(t))));
+    sim.run_to_quiescence();
+    trees.push_back(rec.snapshot());
+  }
+  perf::Thicket fwd, rev;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    fwd.add({}, trees[i].clone());
+    rev.add({}, trees[trees.size() - 1 - i].clone());
+  }
+  const auto* a = fwd.aggregate().find("consume/read");
+  const auto* b = rev.aggregate().find("consume/read");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NEAR(a->inclusive_us.mean(), b->inclusive_us.mean(), 1e-9);
+  EXPECT_NEAR(a->inclusive_us.stddev(), b->inclusive_us.stddev(), 1e-6);
+  EXPECT_DOUBLE_EQ(a->max_single_us.max(), b->max_single_us.max());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Seeded,
+                         ::testing::Values(1, 7, 42, 123, 999, 31337));
+
+}  // namespace
+}  // namespace mdwf

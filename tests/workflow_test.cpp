@@ -1,0 +1,142 @@
+// Integration tests for the workflow layer: connectors, producer/consumer
+// tasks, and the ensemble runner across all three data-management solutions.
+#include <gtest/gtest.h>
+
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace mdwf::workflow {
+namespace {
+
+using namespace mdwf::literals;
+
+WorkloadConfig small_workload(md::MolecularModel model = md::kJac,
+                              std::uint64_t frames = 8) {
+  WorkloadConfig w;
+  w.model = model;
+  w.stride = model.stride;
+  w.frames = frames;
+  return w;
+}
+
+EnsembleConfig quick_config(Solution s, std::uint32_t pairs,
+                            std::uint32_t nodes) {
+  EnsembleConfig c;
+  c.solution = s;
+  c.pairs = pairs;
+  c.nodes = nodes;
+  c.workload = small_workload();
+  c.repetitions = 2;
+  return c;
+}
+
+TEST(EnsembleTest, DyadSingleNodeRuns) {
+  const auto r = run_ensemble(quick_config(Solution::kDyad, 2, 1));
+  EXPECT_EQ(r.prod_movement_us.count(), 2u);  // one sample per repetition
+  EXPECT_GT(r.mean_production_us(), 0.0);
+  EXPECT_GT(r.mean_consumption_us(), 0.0);
+  // Warm path dominates on a single node: all but the first frame per pair.
+  EXPECT_GT(r.dyad_warm_hits, 0u);
+}
+
+TEST(EnsembleTest, XfsSingleNodeRuns) {
+  const auto r = run_ensemble(quick_config(Solution::kXfs, 2, 1));
+  EXPECT_GT(r.mean_production_us(), 0.0);
+  // Coarse-grained sync: consumption is dominated by idle (~one frame
+  // period = 0.82 s).
+  EXPECT_GT(r.cons_idle_us.mean(), 500'000.0);
+}
+
+TEST(EnsembleTest, LustreTwoNodesRuns) {
+  const auto r = run_ensemble(quick_config(Solution::kLustre, 2, 2));
+  EXPECT_GT(r.mean_production_us(), 0.0);
+  EXPECT_GT(r.cons_idle_us.mean(), 500'000.0);
+}
+
+TEST(EnsembleTest, DyadTwoNodesRuns) {
+  const auto r = run_ensemble(quick_config(Solution::kDyad, 2, 2));
+  EXPECT_GT(r.mean_production_us(), 0.0);
+  // Remote path: no warm hits, every frame moves via RDMA.
+  EXPECT_EQ(r.dyad_warm_hits, 0u);
+}
+
+TEST(EnsembleTest, XfsAcrossNodesIsRejected) {
+  EXPECT_DEATH((void)run_ensemble(quick_config(Solution::kXfs, 2, 2)),
+               "XFS cannot move data between nodes");
+}
+
+TEST(EnsembleTest, DyadConsumptionFarFasterThanXfs) {
+  // The paper's headline single-node finding (Fig. 5): DYAD production is
+  // modestly slower (metadata), consumption is orders of magnitude faster.
+  // Enough frames to amortize the first-frame cold-path wait.
+  auto cfg = quick_config(Solution::kDyad, 1, 1);
+  cfg.workload.frames = 32;
+  const auto dyad = run_ensemble(cfg);
+  cfg.solution = Solution::kXfs;
+  const auto xfs = run_ensemble(cfg);
+  EXPECT_GT(dyad.mean_production_us(), xfs.mean_production_us());
+  EXPECT_LT(dyad.mean_production_us(), 3.0 * xfs.mean_production_us());
+  EXPECT_GT(xfs.mean_consumption_us() / dyad.mean_consumption_us(), 20.0);
+}
+
+TEST(EnsembleTest, ResultsAreReproducible) {
+  const auto a = run_ensemble(quick_config(Solution::kDyad, 2, 2));
+  const auto b = run_ensemble(quick_config(Solution::kDyad, 2, 2));
+  EXPECT_EQ(a.prod_movement_us.values(), b.prod_movement_us.values());
+  EXPECT_EQ(a.cons_movement_us.values(), b.cons_movement_us.values());
+  EXPECT_EQ(a.cons_idle_us.values(), b.cons_idle_us.values());
+  EXPECT_EQ(a.makespan_s.values(), b.makespan_s.values());
+}
+
+TEST(EnsembleTest, DifferentSeedsChangeJitterButNotScale) {
+  auto c1 = quick_config(Solution::kDyad, 1, 2);
+  auto c2 = c1;
+  c2.base_seed = 999;
+  const auto a = run_ensemble(c1);
+  const auto b = run_ensemble(c2);
+  EXPECT_NE(a.makespan_s.values(), b.makespan_s.values());
+  EXPECT_NEAR(a.makespan_s.mean(), b.makespan_s.mean(),
+              0.2 * a.makespan_s.mean());
+}
+
+TEST(EnsembleTest, ThicketCarriesTaggedTrees) {
+  const auto r = run_ensemble(quick_config(Solution::kDyad, 2, 2));
+  // 2 reps x 2 pairs x 2 roles.
+  EXPECT_EQ(r.thicket.size(), 8u);
+  EXPECT_EQ(r.thicket.filter("role", "consumer").size(), 4u);
+  perf::StatTree agg = r.thicket.filter("role", "consumer").aggregate();
+  EXPECT_NE(agg.find("consume/dyad_consume/dyad_get_data"), nullptr);
+}
+
+TEST(EnsembleTest, MakespanReflectsSerialization) {
+  // Coarse-grained sync serializes producer and consumer: the Lustre/XFS
+  // makespan approaches 2x the DYAD (pipelined) makespan.
+  auto cfg_dyad = quick_config(Solution::kDyad, 1, 2);
+  auto cfg_lustre = quick_config(Solution::kLustre, 1, 2);
+  const auto dyad = run_ensemble(cfg_dyad);
+  const auto lustre = run_ensemble(cfg_lustre);
+  EXPECT_GT(lustre.makespan_s.mean(), 1.6 * dyad.makespan_s.mean());
+}
+
+TEST(EnsembleTest, FramePathFormatting) {
+  EXPECT_EQ(frame_path(3, 17), "pair0003/frame00017");
+}
+
+TEST(WorkloadTest, DerivedTimes) {
+  const WorkloadConfig w = small_workload();
+  EXPECT_NEAR(w.frame_compute().to_seconds(), 0.82, 0.01);
+  EXPECT_NEAR(w.serialize_time().to_micros(),
+              659'624.0 / 4.0e9 * 1e6, 1.0);
+}
+
+TEST(TestbedTest, TopologyLayout) {
+  TestbedParams p;
+  p.compute_nodes = 4;
+  Testbed tb(p);
+  EXPECT_EQ(tb.kvs_node(), net::NodeId{4});
+  EXPECT_EQ(tb.mds_node(), net::NodeId{5});
+  EXPECT_EQ(tb.network().node_count(), 4u + 2u + p.lustre.ost_count);
+  EXPECT_EQ(tb.dyad_domain().size(), 4u);
+}
+
+}  // namespace
+}  // namespace mdwf::workflow

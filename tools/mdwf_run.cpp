@@ -1,0 +1,151 @@
+// mdwf_run: command-line driver for arbitrary workflow experiments.
+//
+//   mdwf_run [config-file] [key=value ...]
+//
+// Keys (all optional):
+//   solution   = dyad | xfs | lustre        (default dyad)
+//   pairs      = <n>                        (default 4)
+//   nodes      = <n>                        (default 2; 1 for xfs)
+//   model      = JAC | ApoA1 | "F1 ATPase" | STMV   (default JAC)
+//   stride     = <steps>                    (default: the model's Table II stride)
+//   frames     = <n>                        (default 64)
+//   reps       = <n>                        (default 5)
+//   seed       = <n>                        (default 1)
+//   interference = 0|1                      (Lustre OST background load)
+//   push       = 0|1                        (DYAD push-mode routing)
+//   jitter     = <sigma>                    (MD rate variability, default 0.01)
+//   output     = table | csv                (default table)
+//   tree       = 0|1                        (print the consumer call tree)
+//
+// Example:
+//   mdwf_run solution=lustre pairs=16 model=STMV frames=32 output=csv
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "mdwf/common/format.hpp"
+#include "mdwf/common/keyval.hpp"
+#include "mdwf/common/table.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace {
+
+using namespace mdwf;
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "mdwf_run: %s\n", msg.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  KeyValueConfig cfg;
+  std::vector<std::string> positional;
+  try {
+    positional = cfg.parse_args(argc, argv);
+    for (const auto& file : positional) {
+      std::ifstream in(file);
+      if (!in) return fail("cannot open config file '" + file + "'");
+      cfg.parse_stream(in);
+    }
+
+    workflow::EnsembleConfig config;
+    const std::string solution = cfg.get_string("solution", "dyad");
+    if (solution == "dyad") {
+      config.solution = workflow::Solution::kDyad;
+    } else if (solution == "xfs") {
+      config.solution = workflow::Solution::kXfs;
+    } else if (solution == "lustre") {
+      config.solution = workflow::Solution::kLustre;
+    } else {
+      return fail("unknown solution '" + solution + "'");
+    }
+
+    const std::string model_name = cfg.get_string("model", "JAC");
+    const auto model = md::find_model(model_name);
+    if (!model.has_value()) return fail("unknown model '" + model_name + "'");
+
+    config.pairs = static_cast<std::uint32_t>(cfg.get_uint("pairs", 4));
+    const std::uint32_t default_nodes =
+        config.solution == workflow::Solution::kXfs ? 1 : 2;
+    config.nodes =
+        static_cast<std::uint32_t>(cfg.get_uint("nodes", default_nodes));
+    config.workload.model = *model;
+    config.workload.stride = cfg.get_uint("stride", model->stride);
+    config.workload.frames = cfg.get_uint("frames", 64);
+    config.workload.step_jitter_sigma = cfg.get_double("jitter", 0.01);
+    config.repetitions =
+        static_cast<std::uint32_t>(cfg.get_uint("reps", 5));
+    config.base_seed = cfg.get_uint("seed", 1);
+    config.lustre_interference = cfg.get_bool("interference", false);
+    config.testbed.dyad.push_mode = cfg.get_bool("push", false);
+    config.workload.compress = cfg.get_bool("compress", false);
+    if (cfg.get_bool("colocate", false)) {
+      config.placement = workflow::Placement::kColocated;
+    }
+    const std::string output = cfg.get_string("output", "table");
+    const bool print_tree = cfg.get_bool("tree", false);
+
+    if (const auto unknown = cfg.unknown_keys(); !unknown.empty()) {
+      std::string msg = "unknown key(s):";
+      for (const auto& k : unknown) msg += " " + k;
+      return fail(msg);
+    }
+
+    const auto r = workflow::run_ensemble(config);
+
+    if (output == "csv") {
+      std::printf(
+          "solution,model,pairs,nodes,stride,frames,reps,"
+          "prod_move_us,prod_idle_us,cons_move_us,cons_idle_us,makespan_s\n");
+      std::printf("%s,%s,%u,%u,%llu,%llu,%u,%.3f,%.3f,%.3f,%.3f,%.4f\n",
+                  solution.c_str(), model_name.c_str(), config.pairs,
+                  config.nodes,
+                  static_cast<unsigned long long>(config.workload.stride),
+                  static_cast<unsigned long long>(config.workload.frames),
+                  config.repetitions, r.prod_movement_us.mean(),
+                  r.prod_idle_us.mean(), r.cons_movement_us.mean(),
+                  r.cons_idle_us.mean(), r.makespan_s.mean());
+    } else if (output == "table") {
+      TextTable t({"metric", "movement", "idle", "total"});
+      auto row = [&](const char* name, const Samples& move,
+                     const Samples& idle) {
+        t.add_row({name,
+                   format_double(move.mean(), 1) + " +/- " +
+                       format_double(move.stddev(), 1) + " us",
+                   format_double(idle.mean(), 1) + " +/- " +
+                       format_double(idle.stddev(), 1) + " us",
+                   format_double(move.mean() + idle.mean(), 1) + " us"});
+      };
+      row("production/frame", r.prod_movement_us, r.prod_idle_us);
+      row("consumption/frame", r.cons_movement_us, r.cons_idle_us);
+      std::printf("%s, %s, %u pair(s), %u node(s), stride %llu, %llu "
+                  "frames, %u repetition(s)\n\n%s\nmakespan %.3f +/- %.3f s\n",
+                  solution.c_str(), model_name.c_str(), config.pairs,
+                  config.nodes,
+                  static_cast<unsigned long long>(config.workload.stride),
+                  static_cast<unsigned long long>(config.workload.frames),
+                  config.repetitions, t.render().c_str(), r.makespan_s.mean(),
+                  r.makespan_s.stddev());
+      if (config.solution == workflow::Solution::kDyad) {
+        std::printf("dyad: %llu warm hits, %llu kvs waits, %llu retries\n",
+                    static_cast<unsigned long long>(r.dyad_warm_hits),
+                    static_cast<unsigned long long>(r.dyad_kvs_waits),
+                    static_cast<unsigned long long>(r.dyad_kvs_retries));
+      }
+    } else {
+      return fail("unknown output '" + output + "'");
+    }
+
+    if (print_tree) {
+      const auto agg = r.thicket.filter("role", "consumer").aggregate();
+      std::printf("\nconsumer call tree:\n%s", agg.render().c_str());
+    }
+  } catch (const ConfigError& e) {
+    return fail(e.what());
+  } catch (const std::exception& e) {
+    return fail(std::string("error: ") + e.what());
+  }
+  return 0;
+}
