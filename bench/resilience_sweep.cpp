@@ -1,0 +1,101 @@
+// Resilience sweep: producer-consumer makespan under injected faults.
+//
+// A what-if study the paper never ran: how do DYAD (with its recovery
+// protocol enabled), colocated XFS, and Lustre respond when the cluster
+// misbehaves?  Each named fault scenario (mdwf/fault/plan.hpp) is applied to
+// the same small JAC ensemble on every solution:
+//
+//   none           healthy baseline
+//   broker-outage  the Flux KVS broker dies briefly and loses pending
+//                  commits — only DYAD depends on the broker, and only its
+//                  retry/re-publish protocol carries it through
+//   slow-nvme      every node SSD at 30% bandwidth — hits the node-local
+//                  solutions (DYAD, XFS) where they live
+//   ost-storm      recurring heavy load on random OSTs — hits Lustre's
+//                  data path and DYAD's background write-through only
+//   flaky-fabric   recurring NIC degradation episodes — hits anything that
+//                  moves bytes between nodes
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mdwf/common/format.hpp"
+#include "mdwf/common/table.hpp"
+#include "mdwf/fault/plan.hpp"
+
+namespace {
+
+using namespace mdwf;
+using namespace mdwf::bench;
+using workflow::Placement;
+using workflow::Solution;
+
+const std::vector<std::string> kScenarios = {
+    "none", "broker-outage", "slow-nvme", "ost-storm", "flaky-fabric"};
+
+std::string label_for(Solution solution, const std::string& scenario) {
+  return std::string(workflow::to_string(solution)) + "/" + scenario;
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  for (const auto solution :
+       {Solution::kDyad, Solution::kXfs, Solution::kLustre}) {
+    for (const auto& scenario : kScenarios) {
+      Case c;
+      c.label = label_for(solution, scenario);
+      c.config = make_config(solution, /*pairs=*/2, /*nodes=*/2, md::kJac,
+                             md::kJac.stride, /*frames=*/16);
+      c.config.repetitions = 2;
+      if (solution == Solution::kXfs) {
+        c.config.placement = Placement::kColocated;
+      }
+      fault::ScenarioShape shape;
+      shape.compute_nodes = c.config.nodes;
+      shape.ost_count = c.config.testbed.lustre.ost_count;
+      shape.seed = c.config.base_seed;
+      c.config.testbed.faults = fault::make_scenario(scenario, shape);
+      // DYAD runs with the full recovery protocol; XFS and Lustre have no
+      // broker dependence and need no retry to survive these scenarios.
+      if (solution == Solution::kDyad) {
+        c.config.testbed.dyad.retry.enabled = true;
+        c.config.testbed.dyad.retry.lustre_fallback = true;
+      }
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+void report(const std::vector<Case>& cases) {
+  std::printf(
+      "\nResilience sweep: makespan under fault injection "
+      "(JAC, 2 pairs, 2 nodes, 16 frames)\n\n");
+  TextTable t({"scenario", "DYAD", "XFS", "Lustre", "DYAD recovery"});
+  for (const auto& scenario : kScenarios) {
+    auto cell = [&](Solution s) {
+      const auto& r = Registry::instance().at(label_for(s, scenario));
+      return format_double(r.makespan_s.mean(), 3) + " s";
+    };
+    const auto& dyad = Registry::instance().at(
+        label_for(Solution::kDyad, scenario));
+    const std::string recovery =
+        std::to_string(dyad.dyad_recovery_retries) + " retries, " +
+        std::to_string(dyad.dyad_republishes) + " republishes, " +
+        std::to_string(dyad.dyad_failovers) + " failovers";
+    t.add_row({scenario, cell(Solution::kDyad), cell(Solution::kXfs),
+               cell(Solution::kLustre), recovery});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Reading guide: broker-outage perturbs only DYAD (its recovery\n"
+      "re-publish closes the gap); slow-nvme hits node-local staging;\n"
+      "ost-storm hits Lustre; flaky-fabric hits every cross-node byte.\n");
+  (void)cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return run_bench_main(argc, argv, make_cases(), report);
+}

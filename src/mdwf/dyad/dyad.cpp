@@ -62,7 +62,8 @@ std::optional<net::NodeId> DyadDomain::subscriber_for(
 DyadNode::DyadNode(sim::Simulation& sim, const DyadParams& params,
                    DyadDomain& domain, net::NodeId node,
                    fs::LocalFs& local_fs, net::Network& network,
-                   kvs::KvsServer& kvs_server)
+                   kvs::KvsServer& kvs_server,
+                   fs::LustreServers* fallback_servers)
     : sim_(&sim),
       params_(params),
       domain_(&domain),
@@ -72,6 +73,41 @@ DyadNode::DyadNode(sim::Simulation& sim, const DyadParams& params,
       kvs_(sim, kvs_server, node),
       service_slots_(sim, params.broker_concurrency) {
   domain.add(*this);
+  if (params.retry.enabled && params.retry.lustre_fallback &&
+      fallback_servers != nullptr) {
+    fallback_client_ =
+        std::make_unique<fs::LustreClient>(sim, *fallback_servers, node);
+  }
+  if (params.retry.enabled) {
+    // Producer half of the recovery protocol: when the broker comes back
+    // from an outage, replay exactly the metadata commits it lost.
+    kvs_server.add_recovery_listener(
+        [this](const std::vector<std::string>& lost) {
+          for (const auto& key : lost) {
+            const auto it = published_.find(key);
+            if (it != published_.end()) {
+              sim_->spawn(republish(it->first, it->second));
+            }
+          }
+        });
+  }
+}
+
+void DyadNode::note_published(const std::string& key, std::string value) {
+  published_.insert_or_assign(key, std::move(value));
+}
+
+sim::Task<void> DyadNode::republish(std::string key, std::string value) {
+  co_await sim_->delay(params_.mdm_cpu);
+  co_await kvs_.commit(std::move(key), std::move(value));
+  ++republishes_;
+}
+
+sim::Task<void> DyadNode::write_through(std::string path, Bytes size) {
+  auto* lc = fallback_client_.get();
+  const fs::LustreHandle h = co_await lc->create(std::move(path));
+  co_await lc->write(h, Bytes::zero(), size);
+  co_await lc->close(h, /*wrote=*/true);
 }
 
 sim::Task<void> DyadNode::serve_remote_read(net::NodeId requester,
@@ -135,7 +171,17 @@ sim::Task<void> DyadProducer::produce(const std::string& path, Bytes size) {
     perf::ScopedRegion commit(*rec_, "dyad_commit", perf::Category::kMovement);
     co_await node_->simulation().delay(node_->params().mdm_cpu);
     DyadMetadata meta{node_->node(), size};
-    co_await node_->kvs().commit(metadata_key(path), meta.encode());
+    const std::string encoded = meta.encode();
+    if (node_->params().retry.enabled) {
+      node_->note_published(metadata_key(path), encoded);
+    }
+    co_await node_->kvs().commit(metadata_key(path), encoded);
+  }
+  if (node_->params().retry.enabled && node_->params().retry.lustre_fallback &&
+      node_->fallback_client() != nullptr) {
+    // Keep a cold replica on the shared FS in the background; the consumer
+    // failover path reads it when DYAD's own paths stay broken.
+    node_->simulation().spawn(node_->write_through(path, size));
   }
   if (node_->params().push_mode) {
     // Dynamic routing: stream the file toward its subscriber in the
@@ -154,11 +200,16 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
   perf::ScopedRegion consume(*rec_, "dyad_consume");
   auto& sim = node_->simulation();
   auto& local = node_->local_fs();
+  const DyadRetryParams& retry = node_->params().retry;
+  const bool can_fail_over =
+      retry.enabled && retry.lustre_fallback &&
+      node_->fallback_client() != nullptr;
 
   // --- Synchronization: multi-protocol (flock warm path / KVS cold path).
   const std::string staged_path = node_->params().staging_prefix + path;
   net::NodeId owner = node_->node();
   bool have_local_copy = false;
+  bool failed_over = false;  // DYAD paths exhausted; read the Lustre replica
   std::string local_copy_path = path;
   {
     perf::ScopedRegion fetch(*rec_, "dyad_fetch", perf::Category::kIdle);
@@ -179,46 +230,118 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
       ++warm_hits_;
     } else {
       auto found = co_await node_->kvs().lookup(metadata_key(path));
+      std::uint32_t attempt = 0;
+      Duration backoff = retry.backoff_base;
       while (!found.has_value()) {
         ++kvs_retries_;
-        {
+        if (!retry.enabled) {
+          // Healthy-cluster protocol: watches are unbounded — the paper's
+          // consumers trust the producer's metadata to arrive eventually.
           perf::ScopedRegion wait(*rec_, "dyad_watch_wait",
                                   perf::Category::kIdle);
           co_await node_->kvs().watch_until_visible(metadata_key(path));
           ++kvs_waits_;
+        } else {
+          // Recovery protocol: bound each watch, back off exponentially,
+          // and after max_attempts fail over to the Lustre cold replica.
+          bool visible = false;
+          {
+            perf::ScopedRegion wait(*rec_, "dyad_watch_wait",
+                                    perf::Category::kIdle);
+            visible = co_await node_->kvs().watch_for(metadata_key(path),
+                                                      retry.timeout);
+            if (visible) ++kvs_waits_;
+          }
+          if (!visible) {
+            ++recovery_retries_;
+            if (++attempt >= retry.max_attempts) {
+              // The namespace stayed silent through a full backoff cycle.
+              // A Lustre replica proves the frame was produced and DYAD's
+              // paths are what failed: fail over.  No replica means the
+              // producer is merely slow — restart the cycle, keep watching.
+              if (can_fail_over) {
+                bool replica = false;
+                {
+                  perf::ScopedRegion probe(*rec_, "dyad_failover_probe",
+                                           perf::Category::kIdle);
+                  replica = co_await node_->fallback_client()->exists(path);
+                }
+                if (replica) {
+                  failed_over = true;
+                  break;
+                }
+              }
+              attempt = 0;
+              backoff = retry.backoff_base;
+            }
+            perf::ScopedRegion wait_retry(*rec_, "dyad_retry",
+                                          perf::Category::kIdle);
+            co_await sim.delay(backoff);
+            backoff = backoff * retry.backoff_factor;
+          }
         }
         found = co_await node_->kvs().lookup(metadata_key(path));
       }
-      const DyadMetadata meta = DyadMetadata::decode(found->data);
-      MDWF_ASSERT_MSG(meta.size == size, "DYAD metadata size mismatch");
-      owner = meta.owner;
-      if (owner == node_->node() && !node_->params().force_kvs_sync) {
-        // Producer is co-located after all (single-node config): the file
-        // is local once the metadata is visible.
-        co_await sim.delay(node_->params().flock_cpu);
-        const fs::InodeId ino = co_await local.open(path);
-        co_await local.lock(ino).lock_shared();
-        local.lock(ino).unlock_shared();
-        have_local_copy = true;
+      if (found.has_value()) {
+        const DyadMetadata meta = DyadMetadata::decode(found->data);
+        MDWF_ASSERT_MSG(meta.size == size, "DYAD metadata size mismatch");
+        owner = meta.owner;
+        if (owner == node_->node() && !node_->params().force_kvs_sync) {
+          // Producer is co-located after all (single-node config): the file
+          // is local once the metadata is visible.
+          co_await sim.delay(node_->params().flock_cpu);
+          const fs::InodeId ino = co_await local.open(path);
+          co_await local.lock(ino).lock_shared();
+          local.lock(ino).unlock_shared();
+          have_local_copy = true;
+        }
       }
     }
   }
 
   const std::string& staged = staged_path;
   bool in_memory = false;
-  if (!have_local_copy) {
+  if (!have_local_copy && !failed_over) {
     // --- dyad_get_data: RDMA the payload from the owner's node-local
-    // storage (request to the owner broker, payload streams back).
-    {
-      perf::ScopedRegion get(*rec_, "dyad_get_data", perf::Category::kMovement);
-      co_await node_->network().send_control(node_->node(), owner);
-      // The owner-side broker does the local read + streaming; its costs
-      // (queueing, read, transfer) land in this region, matching how the
-      // paper attributes dyad_get_data to the consumer.
-      co_await node_->domain().at(owner).serve_remote_read(node_->node(), path,
-                                                           size);
+    // storage (request to the owner broker, payload streams back).  Under
+    // the recovery protocol, fail-fast errors (partitioned fabric, SSD I/O
+    // errors on the owner) retry with backoff, then fail over.
+    std::uint32_t attempt = 0;
+    Duration backoff = retry.backoff_base;
+    for (;;) {
+      std::exception_ptr failure;
+      try {
+        perf::ScopedRegion get(*rec_, "dyad_get_data",
+                               perf::Category::kMovement);
+        co_await node_->network().send_control(node_->node(), owner);
+        // The owner-side broker does the local read + streaming; its costs
+        // (queueing, read, transfer) land in this region, matching how the
+        // paper attributes dyad_get_data to the consumer.
+        co_await node_->domain().at(owner).serve_remote_read(node_->node(),
+                                                             path, size);
+      } catch (const net::NetError&) {
+        failure = std::current_exception();
+      } catch (const storage::IoError&) {
+        failure = std::current_exception();
+      }
+      if (!failure) break;
+      if (!retry.enabled) std::rethrow_exception(failure);
+      ++recovery_retries_;
+      if (++attempt >= retry.max_attempts) {
+        if (!can_fail_over) std::rethrow_exception(failure);
+        failed_over = true;
+        break;
+      }
+      {
+        perf::ScopedRegion wait_retry(*rec_, "dyad_retry",
+                                      perf::Category::kIdle);
+        co_await sim.delay(backoff);
+      }
+      backoff = backoff * retry.backoff_factor;
     }
-    if (node_->params().skip_consumer_staging) {
+    if (failed_over) {
+      // fall through to the failover read below
+    } else if (node_->params().skip_consumer_staging) {
       // Ablation: consume the RDMA stream in place, no local copy.
       in_memory = true;
     } else if (local.exists(staged)) {
@@ -230,6 +353,24 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
       const fs::InodeId ino = co_await local.create(staged);
       co_await local.write(ino, Bytes::zero(), size);
     }
+  }
+
+  if (failed_over) {
+    // --- dyad_failover_read: last-resort read of the producer's background
+    // write-through replica on the shared parallel FS.
+    perf::ScopedRegion fo(*rec_, "dyad_failover_read",
+                          perf::Category::kMovement);
+    auto* lc = node_->fallback_client();
+    while (!co_await lc->exists(path)) {
+      // Metadata said the frame exists but the write-through is still in
+      // flight; poll until the replica lands.
+      co_await sim.delay(retry.timeout);
+    }
+    const fs::LustreHandle h = co_await lc->open(path);
+    co_await lc->read(h, Bytes::zero(), size);
+    co_await lc->close(h, /*wrote=*/false);
+    ++failovers_;
+    in_memory = true;  // consumed straight from the Lustre stream
   }
 
   // --- read_single_buf: the analytics-facing local read.

@@ -28,6 +28,7 @@
 
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/fs/local_fs.hpp"
+#include "mdwf/fs/lustre.hpp"
 #include "mdwf/kvs/kvs.hpp"
 #include "mdwf/net/network.hpp"
 #include "mdwf/perf/recorder.hpp"
@@ -35,6 +36,25 @@
 #include "mdwf/sim/simulation.hpp"
 
 namespace mdwf::dyad {
+
+// Recovery protocol knobs (DESIGN.md "Fault model and recovery").  All off
+// by default: the healthy-cluster paths the paper measures are unchanged.
+struct DyadRetryParams {
+  // Master switch.  Enables consumer RPC timeout+retry and producer-side
+  // metadata re-publish after a broker recovery.
+  bool enabled = false;
+  // Per-attempt bound on a KVS metadata watch; a remote read that fails
+  // fast (partition) retries immediately after backoff.
+  Duration timeout = Duration::milliseconds(40);
+  // Exponential backoff between attempts.
+  Duration backoff_base = Duration::milliseconds(5);
+  double backoff_factor = 2.0;
+  std::uint32_t max_attempts = 6;
+  // After max_attempts the consumer fails over to reading the frame from
+  // the shared parallel FS; producers write frames through to Lustre in the
+  // background to keep that cold replica available.
+  bool lustre_fallback = false;
+};
 
 struct DyadParams {
   // CPU on the producer per publish (global namespace management).
@@ -65,6 +85,9 @@ struct DyadParams {
   // next MD stride).  Consumers then find the data already staged locally
   // and synchronize via the cheap flock path instead of pulling over RDMA.
   bool push_mode = false;
+
+  // --- Resilience (mdwf::fault) -------------------------------------------
+  DyadRetryParams retry{};
 };
 
 class DyadNode;
@@ -93,9 +116,13 @@ class DyadDomain {
 // Registers itself with `domain` on construction.
 class DyadNode {
  public:
+  // `fallback_servers`, when provided and `params.retry.lustre_fallback` is
+  // set, backs the failover path: producers write frames through to Lustre
+  // and consumers read from it when DYAD's own paths stay broken.
   DyadNode(sim::Simulation& sim, const DyadParams& params, DyadDomain& domain,
            net::NodeId node, fs::LocalFs& local_fs, net::Network& network,
-           kvs::KvsServer& kvs_server);
+           kvs::KvsServer& kvs_server,
+           fs::LustreServers* fallback_servers = nullptr);
 
   net::NodeId node() const { return node_; }
   fs::LocalFs& local_fs() { return *local_fs_; }
@@ -119,7 +146,19 @@ class DyadNode {
   std::uint64_t remote_reads_served() const { return remote_reads_; }
   std::uint64_t pushes_sent() const { return pushes_; }
 
+  // --- Recovery (mdwf::fault) ---------------------------------------------
+  // Lustre client for the failover cold tier; nullptr when not configured.
+  fs::LustreClient* fallback_client() { return fallback_client_.get(); }
+  // Producer bookkeeping: metadata this node has published, so a broker
+  // recovery can replay exactly the lost commits.
+  void note_published(const std::string& key, std::string value);
+  // Background write-through of a produced frame to the Lustre cold tier.
+  sim::Task<void> write_through(std::string path, Bytes size);
+  std::uint64_t republishes() const { return republishes_; }
+
  private:
+  sim::Task<void> republish(std::string key, std::string value);
+
   sim::Simulation* sim_;
   DyadParams params_;
   DyadDomain* domain_;
@@ -128,8 +167,11 @@ class DyadNode {
   net::Network* network_;
   kvs::KvsClient kvs_;
   sim::Semaphore service_slots_;
+  std::unique_ptr<fs::LustreClient> fallback_client_;
+  std::map<std::string, std::string> published_;
   std::uint64_t remote_reads_ = 0;
   std::uint64_t pushes_ = 0;
+  std::uint64_t republishes_ = 0;
 };
 
 // Metadata record stored in the KVS per produced file.
@@ -161,13 +203,19 @@ class DyadConsumer {
   DyadConsumer(DyadNode& node, perf::Recorder& recorder);
 
   // Acquires `path` (expected `size` bytes) and reads it locally.
-  // Regions (paper Fig. 9): dyad_consume / {dyad_fetch[/dyad_watch_wait],
-  // dyad_get_data, dyad_cons_store, read_single_buf}.
+  // Regions (paper Fig. 9): dyad_consume / {dyad_fetch[/dyad_watch_wait,
+  // dyad_retry], dyad_get_data, dyad_cons_store, dyad_failover_read,
+  // read_single_buf}.  dyad_retry / dyad_failover_read appear only when the
+  // recovery protocol (DyadParams::retry) engages.
   sim::Task<void> consume(const std::string& path, Bytes size);
 
   std::uint64_t warm_hits() const { return warm_hits_; }
   std::uint64_t kvs_waits() const { return kvs_waits_; }
   std::uint64_t kvs_retries() const { return kvs_retries_; }
+  // Recovery-protocol attempts (timed-out watches + failed remote reads).
+  std::uint64_t recovery_retries() const { return recovery_retries_; }
+  // Frames satisfied from the Lustre cold tier after DYAD paths failed.
+  std::uint64_t failovers() const { return failovers_; }
 
  private:
   DyadNode* node_;
@@ -175,6 +223,8 @@ class DyadConsumer {
   std::uint64_t warm_hits_ = 0;
   std::uint64_t kvs_waits_ = 0;
   std::uint64_t kvs_retries_ = 0;
+  std::uint64_t recovery_retries_ = 0;
+  std::uint64_t failovers_ = 0;
 };
 
 }  // namespace mdwf::dyad

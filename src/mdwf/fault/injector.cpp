@@ -1,0 +1,157 @@
+#include "mdwf/fault/injector.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::fault {
+
+namespace {
+
+// Combined capacity loss of overlapping degradations: each window removes
+// its severity fraction of what the previous ones left.  Capped below 1 so
+// fair-share channels keep a nonzero rate (an offline window is the way to
+// model a total loss).
+double combined_degrade(const std::vector<double>& severities) {
+  double remaining = 1.0;
+  for (const double s : severities) remaining *= (1.0 - s);
+  return std::min(1.0 - remaining, 0.95);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(sim::Simulation& sim, FaultPlan plan)
+    : sim_(&sim), plan_(std::move(plan)) {}
+
+void FaultInjector::attach_node_ssd(std::uint32_t node,
+                                    storage::BlockDevice& device) {
+  node_ssds_[node] = &device;
+  device.reseed_fault_rng(
+      Rng(plan_.seed).fork("io-error/node" + std::to_string(node)));
+}
+
+void FaultInjector::attach_network(net::Network& network) {
+  network_ = &network;
+}
+
+void FaultInjector::attach_kvs(kvs::KvsServer& server) { kvs_ = &server; }
+
+void FaultInjector::attach_lustre(fs::LustreServers& servers) {
+  lustre_ = &servers;
+  for (std::uint32_t i = 0; i < servers.ost_count(); ++i) {
+    servers.ost_device(i).reseed_fault_rng(
+        Rng(plan_.seed).fork("io-error/ost" + std::to_string(i)));
+  }
+}
+
+void FaultInjector::arm() {
+  MDWF_ASSERT_MSG(!armed_, "fault injector armed twice");
+  armed_ = true;
+  for (const FaultWindow& w : plan_.windows) {
+    sim_->call_at(w.start, [this, w] { apply(w, /*begin=*/true); });
+    sim_->call_at(w.end(), [this, w] { apply(w, /*begin=*/false); });
+  }
+}
+
+storage::BlockDevice* FaultInjector::device_for(FaultTarget target,
+                                                std::uint32_t index) {
+  if (target == FaultTarget::kNodeSsd) {
+    const auto it = node_ssds_.find(index);
+    return it == node_ssds_.end() ? nullptr : it->second;
+  }
+  if (target == FaultTarget::kLustreOst) {
+    if (lustre_ == nullptr || index >= lustre_->ost_count()) return nullptr;
+    return &lustre_->ost_device(index);
+  }
+  return nullptr;
+}
+
+void FaultInjector::refresh_device(storage::BlockDevice& device,
+                                   const Active& a) {
+  device.set_fault_degradation(combined_degrade(a.degrades));
+  device.set_offline(a.offline_depth > 0);
+  device.set_io_error_p(
+      a.io_errors.empty()
+          ? 0.0
+          : *std::max_element(a.io_errors.begin(), a.io_errors.end()));
+}
+
+void FaultInjector::apply(const FaultWindow& w, bool begin) {
+  auto& a = active_[{static_cast<std::uint8_t>(w.target), w.index}];
+  auto toggle = [begin](std::vector<double>& v, double s) {
+    if (begin) {
+      v.push_back(s);
+    } else {
+      const auto it = std::find(v.begin(), v.end(), s);
+      MDWF_ASSERT_MSG(it != v.end(), "fault window ended but never began");
+      v.erase(it);
+    }
+  };
+
+  switch (w.target) {
+    case FaultTarget::kNodeSsd:
+    case FaultTarget::kLustreOst: {
+      storage::BlockDevice* device = device_for(w.target, w.index);
+      if (device == nullptr) {
+        ++skipped_;
+        return;
+      }
+      switch (w.mode) {
+        case FaultMode::kDegrade:
+          toggle(a.degrades, w.severity);
+          break;
+        case FaultMode::kOffline:
+          a.offline_depth += begin ? 1 : -1;
+          break;
+        case FaultMode::kIoError:
+          toggle(a.io_errors, w.severity);
+          break;
+        default:
+          MDWF_ASSERT_MSG(false, "unsupported fault mode for a block device");
+      }
+      refresh_device(*device, a);
+      break;
+    }
+    case FaultTarget::kNodeLink: {
+      if (network_ == nullptr) {
+        ++skipped_;
+        return;
+      }
+      switch (w.mode) {
+        case FaultMode::kDegrade:
+          toggle(a.degrades, w.severity);
+          network_->set_link_degradation(net::NodeId{w.index},
+                                         combined_degrade(a.degrades));
+          break;
+        case FaultMode::kOffline:
+          a.offline_depth += begin ? 1 : -1;
+          network_->set_link_down(net::NodeId{w.index}, a.offline_depth > 0);
+          break;
+        default:
+          MDWF_ASSERT_MSG(false, "unsupported fault mode for a network link");
+      }
+      break;
+    }
+    case FaultTarget::kKvsBroker: {
+      if (kvs_ == nullptr) {
+        ++skipped_;
+        return;
+      }
+      switch (w.mode) {
+        case FaultMode::kStall:
+          begin ? kvs_->fault_stall_begin() : kvs_->fault_stall_end();
+          break;
+        case FaultMode::kOutage:
+          begin ? kvs_->fault_outage_begin() : kvs_->fault_outage_end();
+          break;
+        default:
+          MDWF_ASSERT_MSG(false, "unsupported fault mode for the KVS broker");
+      }
+      break;
+    }
+  }
+  if (begin) ++applied_;
+}
+
+}  // namespace mdwf::fault

@@ -1,0 +1,77 @@
+// Fault injector: applies a `FaultPlan` to live resources.
+//
+// The injector is attached to concrete resources (node SSDs, the network,
+// the KVS broker, Lustre OSTs) and, once `arm()`ed, schedules plain-callback
+// timers at every window's start and end.  All state transitions happen at
+// exact plan instants through the simulation's timer queue, so injection
+// perturbs neither process scheduling order nor any model's random stream —
+// the run stays bit-reproducible for a fixed (plan, workload) pair.
+//
+// Overlapping windows compose:
+//   degrade   combined loss = 1 - prod(1 - severity_i), capped at 0.95
+//   offline   depth-counted (resource back up when every window ended)
+//   io-error  effective probability = max of active severities
+//   stall / outage  stack through the broker's own depth counter
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "mdwf/fault/plan.hpp"
+#include "mdwf/fs/lustre.hpp"
+#include "mdwf/kvs/kvs.hpp"
+#include "mdwf/net/network.hpp"
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/storage/block_device.hpp"
+
+namespace mdwf::fault {
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulation& sim, FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // --- Resource attachment (before arm) -------------------------------------
+  // Also reseeds the device's fault RNG from the plan seed so per-op I/O
+  // error draws are a function of (plan.seed, node) alone.
+  void attach_node_ssd(std::uint32_t node, storage::BlockDevice& device);
+  void attach_network(net::Network& network);
+  void attach_kvs(kvs::KvsServer& server);
+  void attach_lustre(fs::LustreServers& servers);
+
+  // Schedules begin/end callbacks for every plan window.  Call once, after
+  // attaching resources and before running the simulation.
+  void arm();
+
+  // Windows whose target had no attached resource at fire time.
+  std::uint64_t windows_skipped() const { return skipped_; }
+  std::uint64_t windows_applied() const { return applied_; }
+
+ private:
+  // Active-fault bookkeeping per (target, index).
+  struct Active {
+    std::vector<double> degrades;
+    std::vector<double> io_errors;
+    int offline_depth = 0;
+  };
+
+  storage::BlockDevice* device_for(FaultTarget target, std::uint32_t index);
+  void apply(const FaultWindow& w, bool begin);
+  void refresh_device(storage::BlockDevice& device, const Active& a);
+
+  sim::Simulation* sim_;
+  FaultPlan plan_;
+  std::map<std::uint32_t, storage::BlockDevice*> node_ssds_;
+  net::Network* network_ = nullptr;
+  kvs::KvsServer* kvs_ = nullptr;
+  fs::LustreServers* lustre_ = nullptr;
+  std::map<std::pair<std::uint8_t, std::uint32_t>, Active> active_;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t applied_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace mdwf::fault

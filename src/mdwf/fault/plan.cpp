@@ -1,0 +1,150 @@
+#include "mdwf/fault/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mdwf::fault {
+
+std::string_view to_string(FaultTarget t) {
+  switch (t) {
+    case FaultTarget::kNodeSsd:
+      return "node-ssd";
+    case FaultTarget::kNodeLink:
+      return "node-link";
+    case FaultTarget::kKvsBroker:
+      return "kvs-broker";
+    case FaultTarget::kLustreOst:
+      return "lustre-ost";
+  }
+  return "?";
+}
+
+std::string_view to_string(FaultMode m) {
+  switch (m) {
+    case FaultMode::kDegrade:
+      return "degrade";
+    case FaultMode::kOffline:
+      return "offline";
+    case FaultMode::kStall:
+      return "stall";
+    case FaultMode::kOutage:
+      return "outage";
+    case FaultMode::kIoError:
+      return "io-error";
+  }
+  return "?";
+}
+
+TimePoint FaultPlan::horizon() const {
+  TimePoint h = TimePoint::origin();
+  for (const auto& w : windows) h = std::max(h, w.end());
+  return h;
+}
+
+void FaultClock::materialize(const FaultProcess& process, TimePoint from,
+                             TimePoint horizon, FaultPlan& plan) {
+  const double rate = 1.0 / process.mean_interarrival.to_seconds();
+  TimePoint t = from;
+  for (;;) {
+    t = t + Duration::seconds(rng_.exponential(rate));
+    if (t >= horizon) break;
+    FaultWindow w;
+    w.target = process.target;
+    w.index = static_cast<std::uint32_t>(rng_.next_below(process.target_pool));
+    w.mode = process.mode;
+    w.start = t;
+    w.duration = Duration::seconds(
+        rng_.lognormal(process.duration_mu, process.duration_sigma));
+    w.severity = rng_.uniform(process.min_severity, process.max_severity);
+    plan.windows.push_back(w);
+  }
+}
+
+namespace {
+
+FaultWindow window(FaultTarget target, std::uint32_t index, FaultMode mode,
+                   TimePoint start, Duration duration, double severity) {
+  return FaultWindow{target, index, mode, start, duration, severity};
+}
+
+}  // namespace
+
+FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape) {
+  FaultPlan plan;
+  plan.seed = shape.seed;
+  const TimePoint start = shape.start;
+  const TimePoint horizon = shape.start + shape.span;
+  FaultClock clock(Rng(shape.seed).fork(name));
+
+  if (name == "none") {
+    return plan;
+  }
+  if (name == "broker-blip") {
+    plan.windows.push_back(window(FaultTarget::kKvsBroker, 0, FaultMode::kStall,
+                                  start, Duration::milliseconds(80), 1.0));
+    return plan;
+  }
+  if (name == "broker-outage") {
+    plan.windows.push_back(window(FaultTarget::kKvsBroker, 0,
+                                  FaultMode::kOutage, start,
+                                  Duration::milliseconds(250), 1.0));
+    return plan;
+  }
+  if (name == "slow-nvme") {
+    // Every node's NVMe runs at 30% of nominal bandwidth for the span —
+    // a worn/thermally-throttled burst buffer.
+    for (std::uint32_t n = 0; n < shape.compute_nodes; ++n) {
+      plan.windows.push_back(window(FaultTarget::kNodeSsd, n,
+                                    FaultMode::kDegrade, start, shape.span,
+                                    0.7));
+    }
+    return plan;
+  }
+  if (name == "flaky-fabric") {
+    FaultProcess p;
+    p.target = FaultTarget::kNodeLink;
+    p.mode = FaultMode::kDegrade;
+    p.target_pool = shape.compute_nodes;
+    p.mean_interarrival = Duration::milliseconds(600);
+    p.duration_mu = -2.0;  // median ~135 ms
+    p.duration_sigma = 0.6;
+    p.min_severity = 0.3;
+    p.max_severity = 0.85;
+    clock.materialize(p, start, horizon, plan);
+    return plan;
+  }
+  if (name == "partition") {
+    // The last compute node (a consumer node under split placement) drops
+    // off the fabric; in-flight and new operations fail fast.
+    const std::uint32_t victim =
+        shape.compute_nodes > 0 ? shape.compute_nodes - 1 : 0;
+    plan.windows.push_back(window(FaultTarget::kNodeLink, victim,
+                                  FaultMode::kOffline, start,
+                                  Duration::milliseconds(150), 1.0));
+    return plan;
+  }
+  if (name == "ost-storm") {
+    FaultProcess p;
+    p.target = FaultTarget::kLustreOst;
+    p.mode = FaultMode::kDegrade;
+    p.target_pool = shape.ost_count;
+    p.mean_interarrival = Duration::milliseconds(300);
+    p.duration_mu = -1.6;  // median ~200 ms
+    p.duration_sigma = 0.7;
+    p.min_severity = 0.5;
+    p.max_severity = 0.9;
+    clock.materialize(p, start, horizon, plan);
+    return plan;
+  }
+  throw std::invalid_argument("unknown fault scenario '" + std::string(name) +
+                              "'");
+}
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> names = {
+      "none",      "broker-blip", "broker-outage", "slow-nvme",
+      "flaky-fabric", "partition", "ost-storm"};
+  return names;
+}
+
+}  // namespace mdwf::fault

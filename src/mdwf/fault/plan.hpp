@@ -1,0 +1,123 @@
+// Deterministic fault plans.
+//
+// A `FaultPlan` is a declarative list of fault windows — which resource
+// degrades/fails, when, for how long, how badly — resolved to concrete
+// virtual-time instants *before* the simulation runs.  All randomness (window
+// arrival times, durations, severities, victim choice) is drawn from the
+// seeded `mdwf::Rng` at plan-construction time by `FaultClock`, so a given
+// (seed, scenario) pair always yields the identical plan and therefore a
+// bit-identical run: the determinism contract of `mdwf::sim` is preserved
+// under fault injection.
+//
+// Named scenarios (`make_scenario`) package the what-if studies the paper
+// never ran: degraded brokers, slow NVMe, fabric congestion, OST storms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mdwf/common/rng.hpp"
+#include "mdwf/common/time.hpp"
+
+namespace mdwf::fault {
+
+// Which resource class a window strikes.
+enum class FaultTarget : std::uint8_t {
+  kNodeSsd,    // a compute node's NVMe (index = node)
+  kNodeLink,   // a compute node's NIC (index = node)
+  kKvsBroker,  // the Flux-style KVS broker (index ignored)
+  kLustreOst,  // one Lustre OST device (index = OST)
+};
+
+// What happens to the target during the window.
+enum class FaultMode : std::uint8_t {
+  kDegrade,  // severity = fraction of capacity lost (bandwidth/service)
+  kOffline,  // resource unreachable: SSD ops queue, link ops fail fast
+  kStall,    // broker only: requests queue, none serviced
+  kOutage,   // broker only: stall + loss of not-yet-visible commits
+  kIoError,  // SSD only: severity = per-op I/O error probability
+};
+
+std::string_view to_string(FaultTarget t);
+std::string_view to_string(FaultMode m);
+
+struct FaultWindow {
+  FaultTarget target = FaultTarget::kNodeSsd;
+  std::uint32_t index = 0;
+  FaultMode mode = FaultMode::kDegrade;
+  TimePoint start = TimePoint::origin();
+  Duration duration = Duration::zero();
+  double severity = 0.0;
+
+  TimePoint end() const { return start + duration; }
+};
+
+struct FaultPlan {
+  std::vector<FaultWindow> windows;
+  // Stream for probabilistic per-op faults (I/O error draws), forked per
+  // device so adding one device's draws never perturbs another's.
+  std::uint64_t seed = 42;
+
+  bool empty() const { return windows.empty(); }
+  // Latest window end (origin when empty): the instant after which every
+  // resource is healthy again.
+  TimePoint horizon() const;
+};
+
+// A recurring stochastic fault source: windows arrive at exponential
+// intervals, last a lognormal duration, claim a uniform severity, and strike
+// a uniformly chosen victim among `target_pool` instances.
+struct FaultProcess {
+  FaultTarget target = FaultTarget::kNodeSsd;
+  FaultMode mode = FaultMode::kDegrade;
+  std::uint32_t target_pool = 1;
+  Duration mean_interarrival = Duration::milliseconds(500);
+  // Window length: lognormal(mu, sigma) seconds.
+  double duration_mu = -2.5;
+  double duration_sigma = 0.6;
+  // Severity uniform in [min, max).
+  double min_severity = 0.2;
+  double max_severity = 0.8;
+};
+
+// Materializes stochastic fault processes into concrete windows, consuming
+// the seeded stream deterministically.  This is the only place randomness
+// enters the fault subsystem: by run time a plan is pure data.
+class FaultClock {
+ public:
+  explicit FaultClock(Rng rng) : rng_(rng) {}
+
+  // Appends windows for `process` arriving in [from, horizon) to `plan`.
+  void materialize(const FaultProcess& process, TimePoint from,
+                   TimePoint horizon, FaultPlan& plan);
+
+ private:
+  Rng rng_;
+};
+
+// Cluster shape a scenario is instantiated against.
+struct ScenarioShape {
+  std::uint32_t compute_nodes = 2;
+  std::uint32_t ost_count = 8;
+  // Window in which faults may strike (should cover the workload).
+  TimePoint start = TimePoint::origin() + Duration::milliseconds(200);
+  Duration span = Duration::seconds_i(30);
+  std::uint64_t seed = 42;
+};
+
+// Named what-if scenarios; throws std::invalid_argument on unknown names.
+//   none           healthy cluster (empty plan)
+//   broker-blip    one short KVS broker stall
+//   broker-outage  KVS broker outage (stall + loss of pending commits)
+//   slow-nvme      every node SSD at a fraction of its bandwidth
+//   flaky-fabric   recurring NIC degradation episodes on random nodes
+//   partition      one consumer-side node link down for a window
+//   ost-storm      recurring heavy load episodes on random OSTs
+FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape);
+
+// Every name `make_scenario` accepts, in a stable order.
+const std::vector<std::string>& scenario_names();
+
+}  // namespace mdwf::fault

@@ -49,7 +49,8 @@ LustreClient::LustreClient(sim::Simulation& sim, LustreServers& servers,
     : sim_(&sim),
       servers_(&servers),
       node_(node),
-      rpcs_in_flight_(sim, servers.params().max_rpcs_in_flight) {}
+      rpcs_in_flight_(std::make_shared<sim::Semaphore>(
+          sim, servers.params().max_rpcs_in_flight)) {}
 
 sim::Task<LustreHandle> LustreClient::create(std::string path) {
   co_await sim_->delay(servers_->params_.client_rpc_cpu);
@@ -80,37 +81,43 @@ sim::Task<LustreHandle> LustreClient::open(const std::string& path) {
   co_return LustreHandle{it->second.id, path};
 }
 
-sim::Task<void> LustreClient::brw_rpc(std::uint32_t ost_idx, Bytes chunk,
+sim::Task<void> LustreClient::brw_rpc(sim::Simulation& sim,
+                                      LustreServers& servers, net::NodeId node,
+                                      sim::Semaphore& window,
+                                      std::uint32_t ost_idx, Bytes chunk,
                                       bool is_write) {
-  auto& ost = servers_->osts_[ost_idx];
-  co_await rpcs_in_flight_.acquire();
-  sim::SemaphoreGuard window(rpcs_in_flight_);
-  co_await sim_->delay(servers_->params_.client_rpc_cpu);
+  auto& ost = servers.osts_[ost_idx];
+  co_await window.acquire();
+  sim::SemaphoreGuard slot_in_window(window);
+  co_await sim.delay(servers.params_.client_rpc_cpu);
   if (is_write) {
     // Payload travels with the request; the OST commits it to its device.
-    co_await servers_->network_->transfer(node_, ost.node, chunk);
+    co_await servers.network_->transfer(node, ost.node, chunk);
     co_await ost.service_slots->acquire();
     {
       sim::SemaphoreGuard slot(*ost.service_slots);
-      co_await sim_->delay(servers_->params_.ost_service);
+      co_await sim.delay(servers.params_.ost_service);
       co_await ost.device->write(chunk);
     }
-    co_await servers_->network_->send_control(ost.node, node_);
+    co_await servers.network_->send_control(ost.node, node);
   } else {
-    co_await servers_->network_->send_control(node_, ost.node);
+    co_await servers.network_->send_control(node, ost.node);
     co_await ost.service_slots->acquire();
     {
       sim::SemaphoreGuard slot(*ost.service_slots);
-      co_await sim_->delay(servers_->params_.ost_service);
+      co_await sim.delay(servers.params_.ost_service);
       co_await ost.device->read(chunk);
     }
-    co_await servers_->network_->transfer(ost.node, node_, chunk);
+    co_await servers.network_->transfer(ost.node, node, chunk);
   }
 }
 
-sim::Task<void> LustreClient::bulk_io(std::vector<std::uint32_t> stripe_osts,
+sim::Task<void> LustreClient::bulk_io(sim::Simulation& sim,
+                                      LustreServers& servers, net::NodeId node,
+                                      std::shared_ptr<sim::Semaphore> window,
+                                      std::vector<std::uint32_t> stripe_osts,
                                       Bytes offset, Bytes len, bool is_write) {
-  const auto& p = servers_->params_;
+  const auto& p = servers.params_;
   // Walk stripe_size windows, binning bytes per OST, then emit RPCs of at
   // most max_rpc_size per OST bin.
   std::vector<sim::Task<void>> rpcs;
@@ -125,7 +132,8 @@ sim::Task<void> LustreClient::bulk_io(std::vector<std::uint32_t> stripe_osts,
     const std::size_t bin = stripe_index % stripe_osts.size();
     pending[bin] += Bytes(in_stripe);
     while (pending[bin] >= p.max_rpc_size) {
-      rpcs.push_back(brw_rpc(stripe_osts[bin], p.max_rpc_size, is_write));
+      rpcs.push_back(brw_rpc(sim, servers, node, *window, stripe_osts[bin],
+                             p.max_rpc_size, is_write));
       pending[bin] -= p.max_rpc_size;
     }
     pos += in_stripe;
@@ -133,10 +141,11 @@ sim::Task<void> LustreClient::bulk_io(std::vector<std::uint32_t> stripe_osts,
   }
   for (std::size_t bin = 0; bin < pending.size(); ++bin) {
     if (!pending[bin].is_zero()) {
-      rpcs.push_back(brw_rpc(stripe_osts[bin], pending[bin], is_write));
+      rpcs.push_back(brw_rpc(sim, servers, node, *window, stripe_osts[bin],
+                             pending[bin], is_write));
     }
   }
-  co_await sim::all(*sim_, std::move(rpcs));
+  co_await sim::all(sim, std::move(rpcs));
 }
 
 sim::Task<void> LustreClient::write(const LustreHandle& h, Bytes offset,
@@ -152,10 +161,12 @@ sim::Task<void> LustreClient::write(const LustreHandle& h, Bytes offset,
     // OSTs in the background.  The OSTs and fabric still see every byte.
     co_await sim_->delay(Duration::seconds(
         static_cast<double>(len.count()) / p.client_cache_bps));
-    sim_->spawn(bulk_io(it->second.stripe_osts, offset, len,
+    sim_->spawn(bulk_io(*sim_, *servers_, node_, rpcs_in_flight_,
+                        it->second.stripe_osts, offset, len,
                         /*is_write=*/true));
   } else {
-    co_await bulk_io(it->second.stripe_osts, offset, len, /*is_write=*/true);
+    co_await bulk_io(*sim_, *servers_, node_, rpcs_in_flight_,
+                     it->second.stripe_osts, offset, len, /*is_write=*/true);
   }
   if (offset + len > it->second.size) it->second.size = offset + len;
   it->second.written_by = node_;
@@ -178,7 +189,8 @@ sim::Task<void> LustreClient::read(const LustreHandle& h, Bytes offset,
     co_await servers_->mds_rpc(node_);
     co_await sim_->delay(servers_->params_.first_read_lock);
   }
-  co_await bulk_io(it->second.stripe_osts, offset, len, /*is_write=*/false);
+  co_await bulk_io(*sim_, *servers_, node_, rpcs_in_flight_,
+                   it->second.stripe_osts, offset, len, /*is_write=*/false);
 }
 
 sim::Task<void> LustreClient::close(const LustreHandle& h, bool wrote) {

@@ -132,9 +132,10 @@ struct LustreHandle {
 
 // Per-compute-node client.
 //
-// Lifetime: buffered writes flush in background tasks that reference this
-// client; keep the client (and its servers) alive until the simulation has
-// run to quiescence, as the ensemble runner does.
+// Lifetime: buffered writes flush in background tasks that are independent
+// of this client object (they share the RPC window and reference only the
+// servers), so the client may be destroyed while a flush is still in
+// flight.  The servers and simulation must outlive the flush as usual.
 class LustreClient {
  public:
   LustreClient(sim::Simulation& sim, LustreServers& servers,
@@ -154,17 +155,26 @@ class LustreClient {
 
  private:
   // One bulk RPC: request -> OST service -> device IO -> payload/ack.
-  sim::Task<void> brw_rpc(std::uint32_t ost_idx, Bytes chunk, bool is_write);
+  // Static (all state passed explicitly) so frames spawned as detached
+  // background flushes never dangle on a destroyed client.
+  static sim::Task<void> brw_rpc(sim::Simulation& sim, LustreServers& servers,
+                                 net::NodeId node, sim::Semaphore& window,
+                                 std::uint32_t ost_idx, Bytes chunk,
+                                 bool is_write);
   // Splits [offset, offset+len) into per-OST chunks of <= max_rpc_size and
   // runs them with bounded concurrency.  Stripe assignment is taken by
-  // value so background flushes survive namespace changes.
-  sim::Task<void> bulk_io(std::vector<std::uint32_t> stripe_osts,
-                          Bytes offset, Bytes len, bool is_write);
+  // value so background flushes survive namespace changes; the shared RPC
+  // window keeps the semaphore alive past the client.
+  static sim::Task<void> bulk_io(sim::Simulation& sim, LustreServers& servers,
+                                 net::NodeId node,
+                                 std::shared_ptr<sim::Semaphore> window,
+                                 std::vector<std::uint32_t> stripe_osts,
+                                 Bytes offset, Bytes len, bool is_write);
 
   sim::Simulation* sim_;
   LustreServers* servers_;
   net::NodeId node_;
-  sim::Semaphore rpcs_in_flight_;
+  std::shared_ptr<sim::Semaphore> rpcs_in_flight_;
 };
 
 }  // namespace mdwf::fs

@@ -11,9 +11,54 @@ KvsServer::KvsServer(sim::Simulation& sim, const KvsParams& params,
 }
 
 sim::Task<void> KvsServer::serve(Duration service) {
+  while (stall_depth_ > 0) {
+    // Keep a reference: the gate is replaced by the next stall window.
+    auto gate = stall_gate_;
+    co_await gate->wait();
+  }
   co_await slots_->acquire();
   sim::SemaphoreGuard slot(*slots_);
   co_await sim_->delay(service);
+}
+
+void KvsServer::fault_stall_begin() {
+  if (stall_depth_++ == 0) {
+    stall_gate_ = std::make_shared<sim::Event>(*sim_);
+  }
+}
+
+void KvsServer::fault_stall_end() {
+  MDWF_ASSERT_MSG(stall_depth_ > 0, "stall end without begin");
+  if (--stall_depth_ == 0) stall_gate_->trigger();
+}
+
+void KvsServer::fault_outage_begin() {
+  fault_stall_begin();
+  // The commit pipeline dies with the broker: entries applied but not yet
+  // propagated to visibility are lost.  Their already-armed watch wake-ups
+  // still fire, but the woken consumers find nothing — exactly the stale
+  // namespace a restarted Flux broker presents.
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (it->second.visible_at > sim_->now()) {
+      lost_keys_.push_back(it->first);
+      ++lost_commits_;
+      it = store_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void KvsServer::fault_outage_end() {
+  auto lost = std::move(lost_keys_);
+  lost_keys_.clear();
+  fault_stall_end();
+  for (const auto& fn : recovery_listeners_) fn(lost);
+}
+
+void KvsServer::add_recovery_listener(
+    std::function<void(const std::vector<std::string>&)> fn) {
+  recovery_listeners_.push_back(std::move(fn));
 }
 
 std::size_t KvsServer::visible_entries() const {
@@ -87,6 +132,25 @@ sim::Task<void> KvsClient::watch_until_visible(const std::string& key) {
     server_->arm_watch_wakeup(key, it->second.visible_at);
   }
   co_await ev->wait();
+}
+
+sim::Task<bool> KvsClient::watch_for(const std::string& key,
+                                     Duration timeout) {
+  const auto it = server_->store_.find(key);
+  if (it != server_->store_.end() && it->second.visible_at <= sim_->now()) {
+    co_return true;
+  }
+  auto ev = std::make_shared<sim::Event>(*sim_);
+  server_->watchers_[key].push_back(ev);
+  if (it != server_->store_.end()) {
+    server_->arm_watch_wakeup(key, it->second.visible_at);
+  }
+  const sim::TimerId timer = sim_->call_after(timeout, [ev] { ev->trigger(); });
+  co_await ev->wait();
+  sim_->cancel(timer);
+  const auto again = server_->store_.find(key);
+  co_return again != server_->store_.end() &&
+      again->second.visible_at <= sim_->now();
 }
 
 sim::Task<KvsValue> KvsClient::wait_for(const std::string& key,

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -58,6 +59,23 @@ class KvsServer {
   // Entries currently visible (test/introspection helper; no cost).
   std::size_t visible_entries() const;
 
+  // --- Fault hooks (mdwf::fault) ------------------------------------------
+  // Broker stall: requests queue at the broker but none are serviced until
+  // the matching end call.  Nested windows stack.
+  void fault_stall_begin();
+  void fault_stall_end();
+  bool stalled() const { return stall_depth_ > 0; }
+
+  // Broker outage: a stall plus state loss — commits applied but not yet
+  // *visible* are dropped (the Flux commit pipeline between apply and
+  // propagation dies with the broker).  Recovery notifies listeners with
+  // the lost keys so publishers can re-commit (DYAD's re-publish protocol).
+  void fault_outage_begin();
+  void fault_outage_end();
+  void add_recovery_listener(
+      std::function<void(const std::vector<std::string>&)> fn);
+  std::uint64_t lost_commits() const { return lost_commits_; }
+
  private:
   friend class KvsClient;
 
@@ -80,6 +98,12 @@ class KvsServer {
   std::map<std::string, std::vector<std::shared_ptr<sim::Event>>> watchers_;
   std::uint64_t commits_ = 0;
   std::uint64_t lookups_ = 0;
+  int stall_depth_ = 0;
+  std::shared_ptr<sim::Event> stall_gate_;
+  std::vector<std::string> lost_keys_;
+  std::vector<std::function<void(const std::vector<std::string>&)>>
+      recovery_listeners_;
+  std::uint64_t lost_commits_ = 0;
 };
 
 class KvsClient {
@@ -104,6 +128,11 @@ class KvsClient {
   // Blocks until `key` becomes visible (push notification; no lookup RPC).
   // Returns immediately if it already is.
   sim::Task<void> watch_until_visible(const std::string& key);
+
+  // Bounded watch: like watch_until_visible but gives up after `timeout`.
+  // Returns whether the key is visible (the building block of DYAD's
+  // timeout-and-retry recovery path).
+  sim::Task<bool> watch_for(const std::string& key, Duration timeout);
 
  private:
   sim::Task<void> rpc_to_server();

@@ -34,8 +34,33 @@ FairShareChannel& Network::rx(NodeId n) {
   return *nodes_[n.value].rx;
 }
 
+void Network::set_link_degradation(NodeId n, double fraction) {
+  tx(n).set_background_load(fraction);
+  rx(n).set_background_load(fraction);
+}
+
+void Network::set_link_down(NodeId n, bool down) {
+  MDWF_ASSERT(n.value < nodes_.size());
+  nodes_[n.value].down = down;
+}
+
+bool Network::link_down(NodeId n) const {
+  MDWF_ASSERT(n.value < nodes_.size());
+  return nodes_[n.value].down;
+}
+
+void Network::check_reachable(NodeId src, NodeId dst) const {
+  for (const NodeId n : {src, dst}) {
+    if (nodes_[n.value].down) {
+      throw NetError("network: node " + std::to_string(n.value) +
+                     " unreachable (partition)");
+    }
+  }
+}
+
 sim::Task<void> Network::transfer(NodeId src, NodeId dst, Bytes payload) {
   if (src == dst) co_return;  // loopback is free at this layer
+  check_reachable(src, dst);
   co_await sim_->delay(params_.latency);
   if (payload.is_zero()) co_return;
   // The payload occupies every traversed segment simultaneously; completion

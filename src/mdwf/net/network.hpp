@@ -13,6 +13,7 @@
 #pragma once
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "mdwf/common/bytes.hpp"
@@ -22,6 +23,14 @@
 #include "mdwf/sim/task.hpp"
 
 namespace mdwf::net {
+
+// Raised fail-fast by transfers touching a partitioned endpoint (the
+// behaviour of a timed-out RDMA queue pair / RPC).  Healthy runs never see
+// it; fault-aware callers (DYAD retry) catch it and recover.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
 
 struct NodeId {
   std::uint32_t value = 0;
@@ -69,11 +78,24 @@ class Network {
   FairShareChannel& rx(NodeId n);
   FairShareChannel* bisection() { return bisection_.get(); }
 
+  // --- Fault hooks (mdwf::fault) ------------------------------------------
+  // Congestion on one node's links: fraction of NIC capacity lost in both
+  // directions.
+  void set_link_degradation(NodeId n, double fraction);
+  // Partition: while down, any transfer/control/RDMA touching the node
+  // throws NetError at issue time (fail fast, like a broken QP).
+  void set_link_down(NodeId n, bool down);
+  bool link_down(NodeId n) const;
+
  private:
   struct Nic {
     std::unique_ptr<FairShareChannel> tx;
     std::unique_ptr<FairShareChannel> rx;
+    bool down = false;
   };
+
+  // Throws NetError if either endpoint is partitioned.
+  void check_reachable(NodeId src, NodeId dst) const;
 
   sim::Simulation* sim_;
   NetworkParams params_;

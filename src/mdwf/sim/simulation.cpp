@@ -1,5 +1,6 @@
 #include "mdwf/sim/simulation.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -47,16 +48,18 @@ Simulation::~Simulation() {
   // Destroy still-suspended processes.  Their frames own any child task
   // frames, so destruction cascades.  Pending queue entries may reference
   // destroyed coroutines but are never fired.
-  for (auto& [id, h] : live_roots_) h.destroy();
+  for (auto& [id, rec] : live_roots_) rec.handle.destroy();
 }
 
-void Simulation::spawn(Task<void> task) {
+void Simulation::spawn(Task<void> task) { spawn(std::move(task), {}); }
+
+void Simulation::spawn(Task<void> task, std::string name) {
   MDWF_ASSERT_MSG(task.valid(), "spawn of an empty Task");
   RootTask root = run_root(std::move(task));
   auto& promise = root.handle.promise();
   promise.sim = this;
   promise.id = next_root_id_++;
-  live_roots_.emplace(promise.id, root.handle);
+  live_roots_.emplace(promise.id, RootRecord{root.handle, std::move(name)});
   schedule_resume(root.handle, Duration::zero());
 }
 
@@ -139,9 +142,21 @@ bool Simulation::deadlocked() const {
 std::uint64_t Simulation::run_to_quiescence() {
   const std::uint64_t n = run();
   if (!live_roots_.empty()) {
-    throw std::runtime_error(
-        "simulation deadlock: " + std::to_string(live_roots_.size()) +
-        " process(es) blocked with an empty event queue");
+    // Name every blocked process (sorted for a stable message): a deadlock
+    // report that says *who* is stuck — "consumer[1]" waiting on a KVS watch
+    // that will never fire — is actionable; a bare count is not.
+    std::vector<std::string> blocked;
+    blocked.reserve(live_roots_.size());
+    for (const auto& [id, rec] : live_roots_) {
+      blocked.push_back(rec.name.empty() ? "proc#" + std::to_string(id)
+                                         : rec.name);
+    }
+    std::sort(blocked.begin(), blocked.end());
+    std::string msg = "simulation deadlock: " +
+                      std::to_string(blocked.size()) +
+                      " process(es) blocked with an empty event queue:";
+    for (const auto& b : blocked) msg += " " + b;
+    throw std::runtime_error(msg);
   }
   return n;
 }

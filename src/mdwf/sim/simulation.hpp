@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -44,8 +45,10 @@ class Simulation {
 
   // Registers and starts a detached process.  The first slice of the task
   // body executes when the event queue reaches the current time, not inside
-  // spawn itself.
+  // spawn itself.  The optional `name` labels the process in diagnostics
+  // (deadlock reports name every still-blocked process).
   void spawn(Task<void> task);
+  void spawn(Task<void> task, std::string name);
 
   // Number of spawned processes that have not yet completed.
   std::size_t live_processes() const { return live_roots_.size(); }
@@ -129,8 +132,13 @@ class Simulation {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_fired_ = 0;
   std::uint64_t max_events_ = 2'000'000'000;
+  struct RootRecord {
+    std::coroutine_handle<> handle;
+    std::string name;  // empty for anonymous spawns
+  };
+
   std::unordered_set<std::uint64_t> cancelled_;
-  std::unordered_map<std::uint64_t, std::coroutine_handle<>> live_roots_;
+  std::unordered_map<std::uint64_t, RootRecord> live_roots_;
   std::uint64_t next_root_id_ = 0;
   std::exception_ptr pending_error_;
 };

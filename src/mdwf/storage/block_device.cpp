@@ -12,9 +12,19 @@ BlockDevice::BlockDevice(sim::Simulation& sim, const BlockDeviceParams& params,
       queue_slots_(sim, params.queue_depth) {}
 
 sim::Task<void> BlockDevice::submit(net::FairShareChannel& channel, Bytes n) {
+  while (offline_) {
+    // Hold a local reference: the gate object is replaced on the next
+    // offline window, but this waiter belongs to the current one.
+    auto gate = online_gate_;
+    co_await gate->wait();
+  }
   co_await queue_slots_.acquire();
   sim::SemaphoreGuard slot(queue_slots_);
   co_await sim_->delay(params_.op_latency);
+  if (io_error_p_ > 0.0 && fault_rng_.bernoulli(io_error_p_)) {
+    ++io_errors_;
+    throw IoError(name_ + ": simulated I/O error");
+  }
   co_await channel.transfer(n);
 }
 
@@ -29,8 +39,35 @@ sim::Task<void> BlockDevice::write(Bytes n) {
 }
 
 void BlockDevice::set_background_load(double fraction) {
-  read_channel_.set_background_load(fraction);
-  write_channel_.set_background_load(fraction);
+  background_load_ = fraction;
+  apply_channel_load();
 }
+
+void BlockDevice::set_fault_degradation(double fraction) {
+  fault_degradation_ = fraction;
+  apply_channel_load();
+}
+
+void BlockDevice::apply_channel_load() {
+  // Interference and fault windows steal capacity independently; compose
+  // the surviving fractions and cap so the channel keeps making progress.
+  const double combined =
+      1.0 - (1.0 - background_load_) * (1.0 - fault_degradation_);
+  const double capped = combined > 0.95 ? 0.95 : combined;
+  read_channel_.set_background_load(capped);
+  write_channel_.set_background_load(capped);
+}
+
+void BlockDevice::set_offline(bool offline) {
+  if (offline == offline_) return;
+  offline_ = offline;
+  if (offline) {
+    online_gate_ = std::make_shared<sim::Event>(*sim_);
+  } else if (online_gate_ != nullptr) {
+    online_gate_->trigger();
+  }
+}
+
+void BlockDevice::set_io_error_p(double p) { io_error_p_ = p; }
 
 }  // namespace mdwf::storage

@@ -7,9 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "mdwf/common/bytes.hpp"
+#include "mdwf/common/rng.hpp"
 #include "mdwf/common/time.hpp"
 #include "mdwf/net/fair_share.hpp"
 #include "mdwf/sim/primitives.hpp"
@@ -17,6 +20,13 @@
 #include "mdwf/sim/task.hpp"
 
 namespace mdwf::storage {
+
+// A simulated device-level I/O failure (media error, controller reset).
+// Raised by read/write when a fault plan arms a per-op error probability.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
 
 struct BlockDeviceParams {
   double read_bandwidth_bps = 3.2e9;
@@ -38,16 +48,32 @@ class BlockDevice {
   sim::Task<void> write(Bytes n);
 
   // Interference hook: fraction of device bandwidth consumed by other
-  // tenants (applies to both directions).
+  // tenants (applies to both directions).  Composes with fault degradation.
   void set_background_load(double fraction);
+
+  // --- Fault hooks (mdwf::fault) ------------------------------------------
+  // Additional capacity loss from an injected fault window; composes
+  // multiplicatively with the interference background load.
+  void set_fault_degradation(double fraction);
+  // While offline, newly submitted ops queue (device-missing semantics);
+  // in-flight transfers complete.  They resume when the device returns.
+  void set_offline(bool offline);
+  bool offline() const { return offline_; }
+  // Per-op failure probability; an affected op charges its submission
+  // latency then throws IoError without moving bytes.  Draws come from a
+  // dedicated stream so p == 0 consumes no randomness.
+  void set_io_error_p(double p);
+  void reseed_fault_rng(Rng rng) { fault_rng_ = rng; }
 
   std::uint64_t reads_completed() const { return reads_; }
   std::uint64_t writes_completed() const { return writes_; }
+  std::uint64_t io_errors() const { return io_errors_; }
   Bytes bytes_read() const { return read_channel_.total_requested(); }
   Bytes bytes_written() const { return write_channel_.total_requested(); }
 
  private:
   sim::Task<void> submit(net::FairShareChannel& channel, Bytes n);
+  void apply_channel_load();
 
   sim::Simulation* sim_;
   BlockDeviceParams params_;
@@ -57,6 +83,13 @@ class BlockDevice {
   sim::Semaphore queue_slots_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  double background_load_ = 0.0;
+  double fault_degradation_ = 0.0;
+  bool offline_ = false;
+  std::shared_ptr<sim::Event> online_gate_;
+  double io_error_p_ = 0.0;
+  Rng fault_rng_{1};
+  std::uint64_t io_errors_ = 0;
 };
 
 }  // namespace mdwf::storage

@@ -254,6 +254,13 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
         result.dyad_warm_hits += dc.warm_hits();
         result.dyad_kvs_waits += dc.kvs_waits();
         result.dyad_kvs_retries += dc.kvs_retries();
+        result.dyad_recovery_retries += dc.recovery_retries();
+        result.dyad_failovers += dc.failovers();
+      }
+    }
+    if (config.solution == Solution::kDyad) {
+      for (std::uint32_t n = 0; n < config.nodes; ++n) {
+        result.dyad_republishes += tb.node(n).dyad->republishes();
       }
     }
     const auto npairs = static_cast<double>(config.pairs);

@@ -133,6 +133,12 @@ struct EnsembleResult {
   std::uint64_t dyad_kvs_waits = 0;
   std::uint64_t dyad_kvs_retries = 0;
 
+  // Recovery-protocol counters (non-zero only with DyadParams::retry enabled
+  // and a fault plan injecting broker/fabric/storage failures).
+  std::uint64_t dyad_recovery_retries = 0;
+  std::uint64_t dyad_failovers = 0;
+  std::uint64_t dyad_republishes = 0;
+
   double mean_production_us() const {
     return prod_movement_us.mean() + prod_idle_us.mean();
   }

@@ -28,10 +28,25 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
                                                    *r.ssd);
     r.local_fs = std::make_unique<fs::LocalFs>(sim_, params.local_fs, *r.ssd,
                                                *r.cache);
+    fs::LustreServers* fallback =
+        params.dyad.retry.enabled && params.dyad.retry.lustre_fallback
+            ? lustre_.get()
+            : nullptr;
     r.dyad = std::make_unique<dyad::DyadNode>(sim_, params.dyad, dyad_domain_,
                                               net::NodeId{i}, *r.local_fs,
-                                              *network_, *kvs_);
+                                              *network_, *kvs_, fallback);
     nodes_.push_back(std::move(r));
+  }
+
+  if (!params.faults.empty()) {
+    injector_ = std::make_unique<fault::FaultInjector>(sim_, params.faults);
+    for (std::uint32_t i = 0; i < params.compute_nodes; ++i) {
+      injector_->attach_node_ssd(i, *nodes_[i].ssd);
+    }
+    injector_->attach_network(*network_);
+    injector_->attach_kvs(*kvs_);
+    injector_->attach_lustre(*lustre_);
+    injector_->arm();
   }
 }
 

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "mdwf/dyad/dyad.hpp"
+#include "mdwf/fault/injector.hpp"
+#include "mdwf/fault/plan.hpp"
 #include "mdwf/fs/local_fs.hpp"
 #include "mdwf/fs/lustre.hpp"
 #include "mdwf/kvs/kvs.hpp"
@@ -49,6 +51,9 @@ struct TestbedParams {
   fs::LustreParams lustre{};
   kvs::KvsParams kvs{};
   dyad::DyadParams dyad{};
+  // Fault windows to inject (empty = healthy cluster).  The testbed attaches
+  // an injector to every resource and arms it before the workload runs.
+  fault::FaultPlan faults{};
 };
 
 // Everything attached to one compute node.
@@ -70,6 +75,8 @@ class Testbed {
   kvs::KvsServer& kvs() { return *kvs_; }
   fs::LustreServers& lustre() { return *lustre_; }
   dyad::DyadDomain& dyad_domain() { return dyad_domain_; }
+  // Non-null iff the testbed was built with a non-empty fault plan.
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
 
   std::uint32_t compute_nodes() const { return params_.compute_nodes; }
   NodeResources& node(std::uint32_t i);
@@ -87,6 +94,7 @@ class Testbed {
   std::unique_ptr<fs::LustreServers> lustre_;
   dyad::DyadDomain dyad_domain_;
   std::vector<NodeResources> nodes_;
+  std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 }  // namespace mdwf::workflow

@@ -133,7 +133,8 @@ TEST(ThicketExtraTest, SteadyPerCallExcludesColdStart) {
   sim.run_to_quiescence();
   perf::Thicket th;
   th.add({}, rec.snapshot());
-  const auto* fetch = th.aggregate().find("fetch");
+  const auto agg = th.aggregate();
+  const auto* fetch = agg.find("fetch");
   ASSERT_NE(fetch, nullptr);
   EXPECT_NEAR(fetch->steady_per_call_us(), 1000.0, 1e-6);
   EXPECT_NEAR(fetch->inclusive_us.mean() / 10.0, 82'900.0, 1.0);

@@ -330,8 +330,10 @@ TEST_P(Seeded, ThicketAggregationOrderInsensitive) {
     fwd.add({}, trees[i].clone());
     rev.add({}, trees[trees.size() - 1 - i].clone());
   }
-  const auto* a = fwd.aggregate().find("consume/read");
-  const auto* b = rev.aggregate().find("consume/read");
+  const auto fwd_agg = fwd.aggregate();
+  const auto rev_agg = rev.aggregate();
+  const auto* a = fwd_agg.find("consume/read");
+  const auto* b = rev_agg.find("consume/read");
   ASSERT_NE(a, nullptr);
   ASSERT_NE(b, nullptr);
   EXPECT_NEAR(a->inclusive_us.mean(), b->inclusive_us.mean(), 1e-9);

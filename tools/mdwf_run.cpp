@@ -14,11 +14,18 @@
 //   interference = 0|1                      (Lustre OST background load)
 //   push       = 0|1                        (DYAD push-mode routing)
 //   jitter     = <sigma>                    (MD rate variability, default 0.01)
+//   faults     = <scenario>                 (fault injection: none, broker-blip,
+//                                            broker-outage, slow-nvme,
+//                                            flaky-fabric, partition, ost-storm)
+//   retry      = 0|1                        (DYAD recovery protocol: RPC
+//                                            timeout+retry and Lustre failover;
+//                                            default 1 when faults are injected)
 //   output     = table | csv                (default table)
 //   tree       = 0|1                        (print the consumer call tree)
 //
 // Example:
 //   mdwf_run solution=lustre pairs=16 model=STMV frames=32 output=csv
+//   mdwf_run solution=dyad faults=broker-outage retry=1
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -26,6 +33,7 @@
 #include "mdwf/common/format.hpp"
 #include "mdwf/common/keyval.hpp"
 #include "mdwf/common/table.hpp"
+#include "mdwf/fault/plan.hpp"
 #include "mdwf/workflow/ensemble.hpp"
 
 namespace {
@@ -84,6 +92,20 @@ int main(int argc, char** argv) {
     if (cfg.get_bool("colocate", false)) {
       config.placement = workflow::Placement::kColocated;
     }
+
+    const std::string faults = cfg.get_string("faults", "none");
+    if (faults != "none") {
+      fault::ScenarioShape shape;
+      shape.compute_nodes = config.nodes;
+      shape.ost_count = config.testbed.lustre.ost_count;
+      shape.seed = config.base_seed;
+      config.testbed.faults = fault::make_scenario(faults, shape);
+    }
+    // Recovery protocol defaults on under injected faults (a retry-less DYAD
+    // consumer deadlocks through a broker outage); retry=0 reproduces that.
+    const bool retry = cfg.get_bool("retry", faults != "none");
+    config.testbed.dyad.retry.enabled = retry;
+    config.testbed.dyad.retry.lustre_fallback = retry;
     const std::string output = cfg.get_string("output", "table");
     const bool print_tree = cfg.get_bool("tree", false);
 
@@ -133,6 +155,14 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(r.dyad_warm_hits),
                     static_cast<unsigned long long>(r.dyad_kvs_waits),
                     static_cast<unsigned long long>(r.dyad_kvs_retries));
+        if (retry) {
+          std::printf(
+              "recovery: %llu retry attempts, %llu failover reads, "
+              "%llu republishes\n",
+              static_cast<unsigned long long>(r.dyad_recovery_retries),
+              static_cast<unsigned long long>(r.dyad_failovers),
+              static_cast<unsigned long long>(r.dyad_republishes));
+        }
       }
     } else {
       return fail("unknown output '" + output + "'");
