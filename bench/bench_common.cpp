@@ -4,10 +4,13 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <string_view>
 
 #include "mdwf/common/assert.hpp"
 #include "mdwf/common/format.hpp"
+#include "mdwf/common/keyval.hpp"
 #include "mdwf/common/table.hpp"
+#include "mdwf/workflow/config.hpp"
 
 namespace mdwf::bench {
 
@@ -139,16 +142,54 @@ double cons_movement_us(const std::string& label) {
 
 int run_bench_main(int argc, char** argv, const std::vector<Case>& cases,
                    void (*report)(const std::vector<Case>&)) {
-  for (const auto& c : cases) register_case(c);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // `key=value` tokens override every case's ensemble config (the same keys
+  // mdwf_run accepts: frames, reps, seed, trace, faults, ...); everything
+  // else is handed to google-benchmark.
+  KeyValueConfig cfg;
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto eq = arg.find('=');
+    if (!arg.starts_with('-') && eq != std::string_view::npos && eq > 0) {
+      cfg.set(std::string(arg.substr(0, eq)),
+              std::string(arg.substr(eq + 1)));
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+
+  std::vector<Case> bound = cases;
+  if (!cfg.keys().empty()) {
+    try {
+      for (auto& c : bound) {
+        c.config = workflow::parse_ensemble_config(cfg, c.config);
+      }
+    } catch (const ConfigError& e) {
+      std::fprintf(stderr, "bench: %s\n", e.what());
+      return 1;
+    }
+    if (const auto unknown = cfg.unknown_keys(); !unknown.empty()) {
+      std::string msg = "bench: unknown key(s):";
+      for (const auto& k : unknown) msg += " " + k;
+      std::fprintf(stderr, "%s\n", msg.c_str());
+      return 1;
+    }
+  }
+
+  for (const auto& c : bound) register_case(c);
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   // Benchmark filters can skip cases; only report when everything ran.
-  for (const auto& c : cases) {
+  for (const auto& c : bound) {
     if (!Registry::instance().contains(c.label)) return 0;
   }
-  report(cases);
+  report(bound);
   return 0;
 }
 

@@ -80,9 +80,9 @@ void report(const std::vector<Case>& cases) {
     const auto& dyad = Registry::instance().at(
         label_for(Solution::kDyad, scenario));
     const std::string recovery =
-        std::to_string(dyad.dyad_recovery_retries) + " retries, " +
-        std::to_string(dyad.dyad_republishes) + " republishes, " +
-        std::to_string(dyad.dyad_failovers) + " failovers";
+        std::to_string(dyad.dyad_recovery_retries()) + " retries, " +
+        std::to_string(dyad.dyad_republishes()) + " republishes, " +
+        std::to_string(dyad.dyad_failovers()) + " failovers";
     t.add_row({scenario, cell(Solution::kDyad), cell(Solution::kXfs),
                cell(Solution::kLustre), recovery});
   }

@@ -101,6 +101,18 @@ sim::Task<void> DyadNode::republish(std::string key, std::string value) {
   co_await sim_->delay(params_.mdm_cpu);
   co_await kvs_.commit(std::move(key), std::move(value));
   ++republishes_;
+  trace_total("dyad.republishes", republishes_);
+}
+
+void DyadNode::set_trace(obs::TraceSink* sink, obs::TrackId track) {
+  trace_ = sink;
+  trace_track_ = track;
+}
+
+void DyadNode::trace_total(const char* name, std::uint64_t value) {
+  if (trace_ == nullptr) return;
+  trace_->counter(trace_track_, name, sim_->now(),
+                  static_cast<std::int64_t>(value));
 }
 
 sim::Task<void> DyadNode::write_through(std::string path, Bytes size) {
@@ -122,6 +134,7 @@ sim::Task<void> DyadNode::serve_remote_read(net::NodeId requester,
   co_await local_fs_->read(ino, Bytes::zero(), size);
   co_await network_->transfer(node_, requester, size);
   ++remote_reads_;
+  trace_total("dyad.remote_reads", remote_reads_);
 }
 
 sim::Task<void> DyadNode::push_to(net::NodeId dest, std::string path,
@@ -143,6 +156,7 @@ sim::Task<void> DyadNode::push_to(net::NodeId dest, std::string path,
     co_await peer.local_fs().write(staged_ino, Bytes::zero(), size);
     peer.local_fs().lock(staged_ino).unlock_exclusive();
     ++pushes_;
+    trace_total("dyad.pushes", pushes_);
   } catch (const fs::FsError&) {
     // Lost the race against a concurrent pull-side store; harmless.
   }

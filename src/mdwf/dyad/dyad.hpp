@@ -31,6 +31,7 @@
 #include "mdwf/fs/lustre.hpp"
 #include "mdwf/kvs/kvs.hpp"
 #include "mdwf/net/network.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/perf/recorder.hpp"
 #include "mdwf/sim/primitives.hpp"
 #include "mdwf/sim/simulation.hpp"
@@ -156,8 +157,14 @@ class DyadNode {
   sim::Task<void> write_through(std::string path, Bytes size);
   std::uint64_t republishes() const { return republishes_; }
 
+  // --- Observability (mdwf::obs) ------------------------------------------
+  // Samples cumulative broker activity ("dyad.remote_reads", "dyad.pushes",
+  // "dyad.republishes") onto `track` as it happens.
+  void set_trace(obs::TraceSink* sink, obs::TrackId track);
+
  private:
   sim::Task<void> republish(std::string key, std::string value);
+  void trace_total(const char* name, std::uint64_t value);
 
   sim::Simulation* sim_;
   DyadParams params_;
@@ -172,6 +179,8 @@ class DyadNode {
   std::uint64_t remote_reads_ = 0;
   std::uint64_t pushes_ = 0;
   std::uint64_t republishes_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_{};
 };
 
 // Metadata record stored in the KVS per produced file.

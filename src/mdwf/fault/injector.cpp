@@ -1,6 +1,7 @@
 #include "mdwf/fault/injector.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 
 #include "mdwf/common/assert.hpp"
@@ -8,6 +9,31 @@
 namespace mdwf::fault {
 
 namespace {
+
+// Trace lane (thread name) a fault window appears on: one per resource.
+std::string trace_lane(const FaultWindow& w) {
+  switch (w.target) {
+    case FaultTarget::kNodeSsd:
+      return "node" + std::to_string(w.index) + ".nvme";
+    case FaultTarget::kNodeLink:
+      return "node" + std::to_string(w.index) + ".nic";
+    case FaultTarget::kKvsBroker:
+      return "kvs";
+    case FaultTarget::kLustreOst:
+      return "ost" + std::to_string(w.index);
+  }
+  return "unknown";
+}
+
+std::string trace_name(const FaultWindow& w) {
+  std::string name(to_string(w.mode));
+  if (w.severity > 0.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " s=%.2f", w.severity);
+    name += buf;
+  }
+  return name;
+}
 
 // Combined capacity loss of overlapping degradations: each window removes
 // its severity fraction of what the previous ones left.  Capped below 1 so
@@ -45,12 +71,23 @@ void FaultInjector::attach_lustre(fs::LustreServers& servers) {
   }
 }
 
+void FaultInjector::set_trace(obs::TraceSink* sink) {
+  MDWF_ASSERT_MSG(!armed_, "set_trace after arm");
+  trace_ = sink;
+}
+
 void FaultInjector::arm() {
   MDWF_ASSERT_MSG(!armed_, "fault injector armed twice");
   armed_ = true;
   for (const FaultWindow& w : plan_.windows) {
     sim_->call_at(w.start, [this, w] { apply(w, /*begin=*/true); });
     sim_->call_at(w.end(), [this, w] { apply(w, /*begin=*/false); });
+    if (trace_ != nullptr) {
+      // The plan is pure data: windows are known (and deterministic) before
+      // the run, so annotate them up front.
+      const obs::TrackId track = trace_->track("faults", trace_lane(w));
+      trace_->span(track, trace_name(w), "fault", w.start, w.duration);
+    }
   }
 }
 

@@ -23,6 +23,7 @@
 #include "mdwf/fs/lustre.hpp"
 #include "mdwf/kvs/kvs.hpp"
 #include "mdwf/net/network.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/simulation.hpp"
 #include "mdwf/storage/block_device.hpp"
 
@@ -41,6 +42,11 @@ class FaultInjector {
   void attach_network(net::Network& network);
   void attach_kvs(kvs::KvsServer& server);
   void attach_lustre(fs::LustreServers& servers);
+
+  // Annotates the trace with one "fault"-category span per plan window, on
+  // a "faults" process with one lane per struck resource.  Windows are pure
+  // data by arm() time, so they are emitted up front; call before arm().
+  void set_trace(obs::TraceSink* sink);
 
   // Schedules begin/end callbacks for every plan window.  Call once, after
   // attaching resources and before running the simulation.
@@ -72,6 +78,7 @@ class FaultInjector {
   std::uint64_t skipped_ = 0;
   std::uint64_t applied_ = 0;
   bool armed_ = false;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace mdwf::fault

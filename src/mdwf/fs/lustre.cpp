@@ -35,13 +35,31 @@ void LustreServers::set_ost_background_load(double fraction) {
 
 sim::Task<void> LustreServers::mds_rpc(net::NodeId client) {
   ++mds_requests_;
+  trace_mds_pending(+1);
   co_await network_->send_control(client, mds_node_);
   co_await mds_slots_->acquire();
   {
     sim::SemaphoreGuard slot(*mds_slots_);
     co_await sim_->delay(params_.mds_service);
   }
+  trace_mds_pending(-1);
   co_await network_->send_control(mds_node_, client);
+}
+
+void LustreServers::set_trace(obs::TraceSink* sink) {
+  trace_ = sink;
+  if (sink == nullptr) return;
+  trace_mds_track_ = sink->track("lustre", "mds");
+  for (std::size_t i = 0; i < osts_.size(); ++i) {
+    const std::string lane = "ost" + std::to_string(i);
+    osts_[i].device->set_trace(sink, sink->track("lustre", lane), lane);
+  }
+}
+
+void LustreServers::trace_mds_pending(int delta) {
+  mds_pending_ += delta;
+  if (trace_ == nullptr) return;
+  trace_->counter(trace_mds_track_, "mds.pending", sim_->now(), mds_pending_);
 }
 
 LustreClient::LustreClient(sim::Simulation& sim, LustreServers& servers,

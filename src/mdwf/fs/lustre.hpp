@@ -26,6 +26,7 @@
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/fs/local_fs.hpp"  // FsError
 #include "mdwf/net/network.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/primitives.hpp"
 #include "mdwf/storage/block_device.hpp"
 
@@ -92,6 +93,12 @@ class LustreServers {
 
   std::uint64_t mds_requests() const { return mds_requests_; }
 
+  // --- Observability (mdwf::obs) ------------------------------------------
+  // Registers a "lustre" process with one "mds" lane (queue depth +
+  // cumulative request count) and one lane per OST (device inflight/flow
+  // counters via BlockDevice::set_trace).
+  void set_trace(obs::TraceSink* sink);
+
  private:
   friend class LustreClient;
 
@@ -112,6 +119,7 @@ class LustreServers {
 
   // MDS round-trip from `client`: request + queued service + reply.
   sim::Task<void> mds_rpc(net::NodeId client);
+  void trace_mds_pending(int delta);
 
   sim::Simulation* sim_;
   LustreParams params_;
@@ -123,6 +131,9 @@ class LustreServers {
   std::uint64_t next_file_id_ = 1;
   std::uint32_t next_ost_rr_ = 0;
   std::uint64_t mds_requests_ = 0;
+  std::int64_t mds_pending_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_mds_track_{};
 };
 
 struct LustreHandle {

@@ -11,6 +11,7 @@ KvsServer::KvsServer(sim::Simulation& sim, const KvsParams& params,
 }
 
 sim::Task<void> KvsServer::serve(Duration service) {
+  trace_pending(+1);
   while (stall_depth_ > 0) {
     // Keep a reference: the gate is replaced by the next stall window.
     auto gate = stall_gate_;
@@ -19,6 +20,24 @@ sim::Task<void> KvsServer::serve(Duration service) {
   co_await slots_->acquire();
   sim::SemaphoreGuard slot(*slots_);
   co_await sim_->delay(service);
+  trace_pending(-1);
+}
+
+void KvsServer::set_trace(obs::TraceSink* sink, obs::TrackId track) {
+  trace_ = sink;
+  trace_track_ = track;
+}
+
+void KvsServer::trace_pending(int delta) {
+  pending_ += delta;
+  if (trace_ == nullptr) return;
+  trace_->counter(trace_track_, "kvs.pending", sim_->now(), pending_);
+}
+
+void KvsServer::trace_total(const char* name, std::uint64_t value) {
+  if (trace_ == nullptr) return;
+  trace_->counter(trace_track_, name, sim_->now(),
+                  static_cast<std::int64_t>(value));
 }
 
 void KvsServer::fault_stall_begin() {
@@ -98,6 +117,7 @@ sim::Task<void> KvsClient::commit(std::string key, std::string value) {
   co_await rpc_to_server();
   co_await server_->serve(server_->params_.commit_service);
   ++server_->commits_;
+  server_->trace_total("kvs.commits", server_->commits_);
   auto& entry = server_->store_[key];
   entry.value.data = std::move(value);
   entry.value.version += 1;
@@ -110,6 +130,7 @@ sim::Task<std::optional<KvsValue>> KvsClient::lookup(const std::string& key) {
   co_await rpc_to_server();
   co_await server_->serve(server_->params_.lookup_service);
   ++server_->lookups_;
+  server_->trace_total("kvs.lookups", server_->lookups_);
   std::optional<KvsValue> result;
   const auto it = server_->store_.find(key);
   if (it != server_->store_.end() && it->second.visible_at <= sim_->now()) {

@@ -24,6 +24,7 @@
 
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/net/network.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/primitives.hpp"
 #include "mdwf/sim/simulation.hpp"
 
@@ -76,6 +77,12 @@ class KvsServer {
       std::function<void(const std::vector<std::string>&)> fn);
   std::uint64_t lost_commits() const { return lost_commits_; }
 
+  // --- Observability (mdwf::obs) ------------------------------------------
+  // Samples broker queue depth ("kvs.pending": requests queued or in
+  // service, including those parked behind a stall gate) and cumulative
+  // commit/lookup totals onto `track` as they change.
+  void set_trace(obs::TraceSink* sink, obs::TrackId track);
+
  private:
   friend class KvsClient;
 
@@ -87,6 +94,8 @@ class KvsServer {
   // Queued service-time charge on the broker.
   sim::Task<void> serve(Duration service);
   void arm_watch_wakeup(const std::string& key, TimePoint when);
+  void trace_pending(int delta);
+  void trace_total(const char* name, std::uint64_t value);
 
   sim::Simulation* sim_;
   KvsParams params_;
@@ -104,6 +113,9 @@ class KvsServer {
   std::vector<std::function<void(const std::vector<std::string>&)>>
       recovery_listeners_;
   std::uint64_t lost_commits_ = 0;
+  std::int64_t pending_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_{};
 };
 
 class KvsClient {

@@ -32,7 +32,24 @@ sim::Task<void> FairShareChannel::transfer(Bytes n) {
   Flow& ref = *flow;
   flows_.push_back(std::move(flow));
   settle_and_rearm();
+  trace_flows();
   co_await ref.done.wait();
+}
+
+void FairShareChannel::set_trace(obs::TraceSink* sink, obs::TrackId track,
+                                 std::string counter_name) {
+  trace_ = sink;
+  trace_track_ = track;
+  trace_counter_ = std::move(counter_name);
+  traced_flows_ = -1;
+}
+
+void FairShareChannel::trace_flows() {
+  if (trace_ == nullptr) return;
+  const auto n = static_cast<std::int64_t>(flows_.size());
+  if (n == traced_flows_) return;  // sample only on change
+  traced_flows_ = n;
+  trace_->counter(trace_track_, trace_counter_, sim_->now(), n);
 }
 
 void FairShareChannel::set_background_load(double fraction) {
@@ -103,6 +120,7 @@ void FairShareChannel::on_timer() {
   timer_armed_ = false;
   advance_progress();
   settle_and_rearm();
+  trace_flows();
 }
 
 }  // namespace mdwf::net

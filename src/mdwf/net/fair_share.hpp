@@ -14,6 +14,7 @@
 #include <string>
 
 #include "mdwf/common/bytes.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/primitives.hpp"
 #include "mdwf/sim/simulation.hpp"
 #include "mdwf/sim/task.hpp"
@@ -46,6 +47,11 @@ class FairShareChannel {
   Bytes total_requested() const { return total_requested_; }
   Bytes total_completed() const { return total_completed_; }
 
+  // Samples the active-flow count (the channel's queue depth) into `sink`
+  // whenever it changes, as counter `counter_name` on `track` (mdwf::obs).
+  void set_trace(obs::TraceSink* sink, obs::TrackId track,
+                 std::string counter_name);
+
  private:
   struct Flow {
     double remaining_bytes;
@@ -61,6 +67,7 @@ class FairShareChannel {
   // Completes exhausted flows and re-arms the completion timer.
   void settle_and_rearm();
   void on_timer();
+  void trace_flows();
 
   sim::Simulation* sim_;
   double capacity_;
@@ -72,6 +79,10 @@ class FairShareChannel {
   bool timer_armed_ = false;
   Bytes total_requested_ = Bytes::zero();
   Bytes total_completed_ = Bytes::zero();
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_{};
+  std::string trace_counter_;
+  std::int64_t traced_flows_ = -1;
 };
 
 }  // namespace mdwf::net

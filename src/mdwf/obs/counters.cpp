@@ -1,0 +1,45 @@
+#include "mdwf/obs/counters.hpp"
+
+namespace mdwf::obs {
+
+std::uint64_t& CounterMap::slot(std::string_view name) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return items_[it->second].second;
+  items_.emplace_back(std::string(name), 0);
+  index_.emplace(std::string(name), items_.size() - 1);
+  return items_.back().second;
+}
+
+void CounterMap::add(std::string_view name, std::uint64_t delta) {
+  slot(name) += delta;
+}
+
+void CounterMap::set(std::string_view name, std::uint64_t value) {
+  slot(name) = value;
+}
+
+std::uint64_t CounterMap::get(std::string_view name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? 0 : items_[it->second].second;
+}
+
+bool CounterMap::contains(std::string_view name) const {
+  return index_.find(name) != index_.end();
+}
+
+void CounterMap::merge(const CounterMap& other) {
+  for (const auto& [name, value] : other.items_) add(name, value);
+}
+
+std::string CounterMap::to_csv() const {
+  std::string out = "counter,value\n";
+  for (const auto& [name, value] : items_) {
+    out += name;
+    out += ',';
+    out += std::to_string(value);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mdwf::obs

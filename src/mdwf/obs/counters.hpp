@@ -1,0 +1,54 @@
+// Generic named counters (mdwf::obs).
+//
+// A `CounterMap` is an ordered set of name -> u64 counters.  Iteration
+// follows first-insertion order, so any output path (tables, CSV headers)
+// renders counters deterministically without knowing their names in
+// advance: a subsystem adds a counter and every report picks it up.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mdwf::obs {
+
+class CounterMap {
+ public:
+  using Item = std::pair<std::string, std::uint64_t>;
+
+  // Adds `delta` to `name`, creating it at zero first (insertion order is
+  // the order of first use).
+  void add(std::string_view name, std::uint64_t delta);
+
+  // Sets `name` to `value` (creates on first use).
+  void set(std::string_view name, std::uint64_t value);
+
+  // Current value; absent counters read as zero.
+  std::uint64_t get(std::string_view name) const;
+
+  bool contains(std::string_view name) const;
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // Counters in first-insertion order.
+  const std::vector<Item>& items() const { return items_; }
+  std::vector<Item>::const_iterator begin() const { return items_.begin(); }
+  std::vector<Item>::const_iterator end() const { return items_.end(); }
+
+  // Adds every counter of `other` into this map.
+  void merge(const CounterMap& other);
+
+  // "counter,value" lines (with header), insertion order.
+  std::string to_csv() const;
+
+ private:
+  std::uint64_t& slot(std::string_view name);
+
+  std::vector<Item> items_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+}  // namespace mdwf::obs

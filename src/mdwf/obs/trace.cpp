@@ -1,0 +1,253 @@
+#include "mdwf/obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::obs {
+namespace {
+
+// Integer nanoseconds rendered as microseconds with exactly three decimals:
+// deterministic (no floating point) and lossless.
+void append_us(std::string& out, std::int64_t ns) {
+  MDWF_ASSERT(ns >= 0);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::uint32_t TraceSink::intern(std::string_view s) {
+  const auto it = name_index_.find(s);
+  if (it != name_index_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(s);
+  name_index_.emplace(std::string(s), id);
+  return id;
+}
+
+TrackId TraceSink::track(std::string_view process, std::string_view thread) {
+  std::uint32_t pid;
+  const auto pit = process_index_.find(process);
+  if (pit != process_index_.end()) {
+    pid = pit->second;
+  } else {
+    pid = static_cast<std::uint32_t>(processes_.size());
+    processes_.push_back(Process{std::string(process), {}, {}});
+    process_index_.emplace(std::string(process), pid);
+  }
+  Process& proc = processes_[pid];
+  std::uint32_t tid;
+  const auto tit = proc.thread_index.find(thread);
+  if (tit != proc.thread_index.end()) {
+    tid = tit->second;
+  } else {
+    tid = static_cast<std::uint32_t>(proc.threads.size());
+    proc.threads.emplace_back(thread);
+    proc.thread_index.emplace(std::string(thread), tid);
+  }
+  return TrackId{pid, tid};
+}
+
+void TraceSink::span(TrackId t, std::string_view name,
+                     std::string_view category, TimePoint start,
+                     Duration duration) {
+  events_.push_back(Event{Kind::kSpan, t, intern(name), intern(category),
+                          start.ns(), duration.ns(), 0});
+  ++span_count_;
+}
+
+void TraceSink::instant(TrackId t, std::string_view name, TimePoint at) {
+  events_.push_back(
+      Event{Kind::kInstant, t, intern(name), 0, at.ns(), 0, 0});
+}
+
+void TraceSink::counter(TrackId t, std::string_view name, TimePoint at,
+                        std::int64_t value) {
+  events_.push_back(
+      Event{Kind::kCounter, t, intern(name), 0, at.ns(), 0, value});
+  ++counter_samples_;
+}
+
+std::vector<std::uint32_t> TraceSink::sorted_order() const {
+  std::vector<std::uint32_t> order(events_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  // Stable: events at the same instant keep emission order (FIFO, like the
+  // simulator's own event queue).
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return events_[a].ts_ns < events_[b].ts_ns;
+                   });
+  return order;
+}
+
+std::string TraceSink::chrome_json() const {
+  std::string out;
+  out.reserve(128 + events_.size() * 96);
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+
+  // Metadata: name and sort order for every registered lane.
+  for (std::uint32_t pid = 0; pid < processes_.size(); ++pid) {
+    const Process& proc = processes_[pid];
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    append_json_string(out, proc.name);
+    out += "}}";
+    sep();
+    out += "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":";
+    out += std::to_string(pid);
+    out += ",\"tid\":0,\"args\":{\"sort_index\":";
+    out += std::to_string(pid);
+    out += "}}";
+    for (std::uint32_t tid = 0; tid < proc.threads.size(); ++tid) {
+      sep();
+      out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+      out += std::to_string(pid);
+      out += ",\"tid\":";
+      out += std::to_string(tid);
+      out += ",\"args\":{\"name\":";
+      append_json_string(out, proc.threads[tid]);
+      out += "}}";
+      sep();
+      out += "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":";
+      out += std::to_string(pid);
+      out += ",\"tid\":";
+      out += std::to_string(tid);
+      out += ",\"args\":{\"sort_index\":";
+      out += std::to_string(tid);
+      out += "}}";
+    }
+  }
+
+  for (const std::uint32_t i : sorted_order()) {
+    const Event& e = events_[i];
+    sep();
+    switch (e.kind) {
+      case Kind::kSpan:
+        out += "{\"ph\":\"X\",\"name\":";
+        append_json_string(out, names_[e.name]);
+        out += ",\"cat\":";
+        append_json_string(out, names_[e.cat]);
+        out += ",\"pid\":";
+        out += std::to_string(e.track.pid);
+        out += ",\"tid\":";
+        out += std::to_string(e.track.tid);
+        out += ",\"ts\":";
+        append_us(out, e.ts_ns);
+        out += ",\"dur\":";
+        append_us(out, e.dur_ns);
+        out += "}";
+        break;
+      case Kind::kInstant:
+        out += "{\"ph\":\"i\",\"name\":";
+        append_json_string(out, names_[e.name]);
+        out += ",\"pid\":";
+        out += std::to_string(e.track.pid);
+        out += ",\"tid\":";
+        out += std::to_string(e.track.tid);
+        out += ",\"ts\":";
+        append_us(out, e.ts_ns);
+        out += ",\"s\":\"t\"}";
+        break;
+      case Kind::kCounter:
+        out += "{\"ph\":\"C\",\"name\":";
+        append_json_string(out, names_[e.name]);
+        out += ",\"pid\":";
+        out += std::to_string(e.track.pid);
+        out += ",\"tid\":";
+        out += std::to_string(e.track.tid);
+        out += ",\"ts\":";
+        append_us(out, e.ts_ns);
+        out += ",\"args\":{\"value\":";
+        out += std::to_string(e.value);
+        out += "}}";
+        break;
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string TraceSink::metrics_csv() const {
+  std::string out = "ts_us,process,track,counter,value\n";
+  for (const std::uint32_t i : sorted_order()) {
+    const Event& e = events_[i];
+    if (e.kind != Kind::kCounter) continue;
+    append_us(out, e.ts_ns);
+    out += ',';
+    out += processes_[e.track.pid].name;
+    out += ',';
+    out += processes_[e.track.pid].threads[e.track.tid];
+    out += ',';
+    out += names_[e.name];
+    out += ',';
+    out += std::to_string(e.value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceSink::metrics_csv_path(const std::string& json_path) {
+  return json_path + ".metrics.csv";
+}
+
+void TraceSink::write(const std::string& json_path) const {
+  std::ofstream json(json_path, std::ios::binary | std::ios::trunc);
+  if (!json) {
+    throw std::runtime_error("trace: cannot open '" + json_path +
+                             "' for writing");
+  }
+  json << chrome_json();
+  const std::string csv_path = metrics_csv_path(json_path);
+  std::ofstream csv(csv_path, std::ios::binary | std::ios::trunc);
+  if (!csv) {
+    throw std::runtime_error("trace: cannot open '" + csv_path +
+                             "' for writing");
+  }
+  csv << metrics_csv();
+}
+
+}  // namespace mdwf::obs

@@ -1,0 +1,114 @@
+// Deterministic event tracing (mdwf::obs).
+//
+// A `TraceSink` records the timeline of one simulated run: spans (region
+// enter/exit, via perf::Recorder), counter samples (queue depths, active
+// flows, cache state, sampled at the emitting resource's own event points),
+// instant markers, and fault-window annotations.  Events carry virtual-time
+// timestamps only, so two runs with the same seed produce byte-identical
+// traces.
+//
+// Tracks give each event a home in the timeline: a *process* per simulated
+// node (or server group), a *thread* per rank or resource on it — the
+// Chrome trace-event pid/tid mapping, so an exported trace opens directly
+// in chrome://tracing or Perfetto with one lane per rank/resource.
+//
+// Export formats:
+//   chrome_json()  - Chrome trace-event JSON (one event per line, events
+//                    sorted by timestamp, metadata first)
+//   metrics_csv()  - flat CSV of every counter sample for offline analysis
+//
+// The sink depends only on mdwf::common; emitters pass timestamps in.  All
+// instrumentation hooks are no-ops while no sink is attached (a null check),
+// so tracing disabled costs nothing measurable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mdwf/common/time.hpp"
+
+namespace mdwf::obs {
+
+// A (process, thread) lane in the exported timeline.
+struct TrackId {
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+};
+
+class TraceSink {
+ public:
+  TraceSink() = default;
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  // Registers (or finds) the lane for `process`/`thread`.  Ids are assigned
+  // in first-registration order, which is deterministic because testbed
+  // construction is.
+  TrackId track(std::string_view process, std::string_view thread);
+
+  // Completed region [start, start+duration) on a lane.  `category` is a
+  // short tag ("compute", "movement", "idle", "other", "fault").
+  void span(TrackId t, std::string_view name, std::string_view category,
+            TimePoint start, Duration duration);
+
+  // Point event on a lane (e.g. "frame12 ready").
+  void instant(TrackId t, std::string_view name, TimePoint at);
+
+  // Sample of a named metric.  Counter names should be unique within their
+  // process (Chrome keys counter series by pid + name), so emitters qualify
+  // them ("nvme.inflight", "nic.tx.flows").
+  void counter(TrackId t, std::string_view name, TimePoint at,
+               std::int64_t value);
+
+  std::size_t event_count() const { return events_.size(); }
+  std::size_t counter_samples() const { return counter_samples_; }
+  std::size_t span_count() const { return span_count_; }
+
+  // Chrome trace-event JSON; loadable by chrome://tracing and Perfetto.
+  std::string chrome_json() const;
+
+  // Every counter sample: ts_us,process,track,counter,value.
+  std::string metrics_csv() const;
+
+  // Writes chrome_json() to `json_path` and metrics_csv() next to it (see
+  // metrics_csv_path).  Throws std::runtime_error when a file cannot be
+  // opened.
+  void write(const std::string& json_path) const;
+  static std::string metrics_csv_path(const std::string& json_path);
+
+ private:
+  enum class Kind : std::uint8_t { kSpan, kInstant, kCounter };
+
+  struct Event {
+    Kind kind;
+    TrackId track;
+    std::uint32_t name;  // interned
+    std::uint32_t cat;   // interned; spans only
+    std::int64_t ts_ns;
+    std::int64_t dur_ns;
+    std::int64_t value;
+  };
+
+  struct Process {
+    std::string name;
+    std::vector<std::string> threads;
+    std::map<std::string, std::uint32_t, std::less<>> thread_index;
+  };
+
+  std::uint32_t intern(std::string_view s);
+  // Indices into events_, sorted by (ts, insertion order).
+  std::vector<std::uint32_t> sorted_order() const;
+
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> name_index_;
+  std::vector<Process> processes_;
+  std::map<std::string, std::uint32_t, std::less<>> process_index_;
+  std::vector<Event> events_;
+  std::size_t counter_samples_ = 0;
+  std::size_t span_count_ = 0;
+};
+
+}  // namespace mdwf::obs

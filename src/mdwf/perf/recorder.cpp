@@ -26,6 +26,10 @@ void Recorder::end(std::string_view region) {
   const Duration elapsed = sim_->now() - open.began;
   open.node->inclusive += elapsed;
   if (elapsed > open.node->max_single) open.node->max_single = elapsed;
+  if (trace_ != nullptr) {
+    trace_->span(trace_track_, open.node->name,
+                 to_string(open.node->category), open.began, elapsed);
+  }
 }
 
 }  // namespace mdwf::perf

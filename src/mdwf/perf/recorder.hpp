@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "mdwf/common/time.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/perf/calltree.hpp"
 #include "mdwf/sim/simulation.hpp"
 
@@ -33,6 +34,13 @@ class Recorder {
   const CallTree& tree() const { return tree_; }
   CallTree snapshot() const { return tree_.clone(); }
 
+  // Mirrors every closed region into `sink` as a timeline span on `track`
+  // (mdwf::obs); the aggregated call tree is unaffected.
+  void set_trace(obs::TraceSink* sink, obs::TrackId track) {
+    trace_ = sink;
+    trace_track_ = track;
+  }
+
  private:
   struct Open {
     CallNode* node;
@@ -43,6 +51,8 @@ class Recorder {
   std::string name_;
   CallTree tree_;
   std::vector<Open> stack_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_{};
 };
 
 // RAII region. Safe across co_await points: suspension keeps the coroutine

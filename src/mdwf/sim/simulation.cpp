@@ -61,11 +61,19 @@ void Simulation::spawn(Task<void> task, std::string name) {
   promise.id = next_root_id_++;
   live_roots_.emplace(promise.id, RootRecord{root.handle, std::move(name)});
   schedule_resume(root.handle, Duration::zero());
+  trace_live_processes();
 }
 
 void Simulation::internal_root_finished(std::uint64_t id) {
   const auto erased = live_roots_.erase(id);
   MDWF_ASSERT(erased == 1);
+  trace_live_processes();
+}
+
+void Simulation::trace_live_processes() {
+  if (trace_ == nullptr) return;
+  trace_->counter(trace_track_, "sim.live_processes", now_,
+                  static_cast<std::int64_t>(live_roots_.size()));
 }
 
 void Simulation::push_event(TimePoint t, std::function<void()> fn,

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "mdwf/common/time.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/task.hpp"
 
 namespace mdwf::sim {
@@ -107,6 +108,14 @@ class Simulation {
   void set_max_events(std::uint64_t n) { max_events_ = n; }
   std::uint64_t events_fired() const { return events_fired_; }
 
+  // --- Observability (mdwf::obs) ------------------------------------------
+  // Attaches a trace sink; the kernel then samples its live-process count on
+  // every spawn/completion (the timeline's "what was running" backdrop).
+  void set_trace(obs::TraceSink* sink, obs::TrackId track) {
+    trace_ = sink;
+    trace_track_ = track;
+  }
+
   // --- Internal: root-process bookkeeping (used by the spawn machinery) ----
   void internal_root_finished(std::uint64_t id);
   void internal_report_error(std::exception_ptr e) { pending_error_ = e; }
@@ -137,10 +146,14 @@ class Simulation {
     std::string name;  // empty for anonymous spawns
   };
 
+  void trace_live_processes();
+
   std::unordered_set<std::uint64_t> cancelled_;
   std::unordered_map<std::uint64_t, RootRecord> live_roots_;
   std::uint64_t next_root_id_ = 0;
   std::exception_ptr pending_error_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_{};
 };
 
 }  // namespace mdwf::sim

@@ -18,14 +18,32 @@ sim::Task<void> BlockDevice::submit(net::FairShareChannel& channel, Bytes n) {
     auto gate = online_gate_;
     co_await gate->wait();
   }
+  trace_inflight(+1);
   co_await queue_slots_.acquire();
   sim::SemaphoreGuard slot(queue_slots_);
   co_await sim_->delay(params_.op_latency);
   if (io_error_p_ > 0.0 && fault_rng_.bernoulli(io_error_p_)) {
     ++io_errors_;
+    trace_inflight(-1);
     throw IoError(name_ + ": simulated I/O error");
   }
   co_await channel.transfer(n);
+  trace_inflight(-1);
+}
+
+void BlockDevice::set_trace(obs::TraceSink* sink, obs::TrackId track,
+                            const std::string& prefix) {
+  trace_ = sink;
+  trace_track_ = track;
+  trace_counter_ = prefix + ".inflight";
+  read_channel_.set_trace(sink, track, prefix + ".read.flows");
+  write_channel_.set_trace(sink, track, prefix + ".write.flows");
+}
+
+void BlockDevice::trace_inflight(int delta) {
+  inflight_ += delta;
+  if (trace_ == nullptr) return;
+  trace_->counter(trace_track_, trace_counter_, sim_->now(), inflight_);
 }
 
 sim::Task<void> BlockDevice::read(Bytes n) {

@@ -15,6 +15,7 @@
 #include "mdwf/common/rng.hpp"
 #include "mdwf/common/time.hpp"
 #include "mdwf/net/fair_share.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/primitives.hpp"
 #include "mdwf/sim/simulation.hpp"
 #include "mdwf/sim/task.hpp"
@@ -71,9 +72,18 @@ class BlockDevice {
   Bytes bytes_read() const { return read_channel_.total_requested(); }
   Bytes bytes_written() const { return write_channel_.total_requested(); }
 
+  // --- Observability (mdwf::obs) ------------------------------------------
+  // Samples device queue occupancy ("<prefix>.inflight": submitted ops not
+  // yet complete, including those waiting for a queue slot) and the per-
+  // direction active-stream counts ("<prefix>.read.flows" / ".write.flows")
+  // onto `track` whenever they change.
+  void set_trace(obs::TraceSink* sink, obs::TrackId track,
+                 const std::string& prefix);
+
  private:
   sim::Task<void> submit(net::FairShareChannel& channel, Bytes n);
   void apply_channel_load();
+  void trace_inflight(int delta);
 
   sim::Simulation* sim_;
   BlockDeviceParams params_;
@@ -90,6 +100,10 @@ class BlockDevice {
   double io_error_p_ = 0.0;
   Rng fault_rng_{1};
   std::uint64_t io_errors_ = 0;
+  std::int64_t inflight_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_{};
+  std::string trace_counter_;
 };
 
 }  // namespace mdwf::storage

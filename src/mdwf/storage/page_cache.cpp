@@ -66,6 +66,30 @@ sim::Task<void> PageCache::memcpy_cost(Bytes n) {
   co_await sim_->delay(Duration::seconds(secs));
 }
 
+void PageCache::set_trace(obs::TraceSink* sink, obs::TrackId track,
+                          const std::string& prefix) {
+  trace_ = sink;
+  trace_track_ = track;
+  trace_resident_ = prefix + ".resident_pages";
+  trace_dirty_ = prefix + ".dirty_pages";
+  traced_resident_ = -1;
+  traced_dirty_ = -1;
+}
+
+void PageCache::trace_state() {
+  if (trace_ == nullptr) return;
+  const auto resident = static_cast<std::int64_t>(pages_.size());
+  const auto dirty = static_cast<std::int64_t>(dirty_count_);
+  if (resident != traced_resident_) {
+    traced_resident_ = resident;
+    trace_->counter(trace_track_, trace_resident_, sim_->now(), resident);
+  }
+  if (dirty != traced_dirty_) {
+    traced_dirty_ = dirty;
+    trace_->counter(trace_track_, trace_dirty_, sim_->now(), dirty);
+  }
+}
+
 sim::Task<void> PageCache::write(std::uint64_t file_id, Bytes offset,
                                  Bytes len) {
   if (len.is_zero()) co_return;
@@ -89,6 +113,7 @@ sim::Task<void> PageCache::write(std::uint64_t file_id, Bytes offset,
     pages_.emplace(k, Entry{lru_.begin(), true});
     ++dirty_count_;
   }
+  trace_state();
   // Evicted dirty victims flush in the background; the buffered write only
   // pays the memory copy.
   writeback_async(writeback);
@@ -116,6 +141,7 @@ sim::Task<void> PageCache::read(std::uint64_t file_id, Bytes offset,
     lru_.push_front(k);
     pages_.emplace(k, Entry{lru_.begin(), false});
   }
+  trace_state();
   writeback_async(writeback);
   if (!to_fetch.is_zero()) co_await device_->read(to_fetch);
   co_await memcpy_cost(len);
@@ -130,6 +156,7 @@ sim::Task<void> PageCache::flush(std::uint64_t file_id) {
       writeback += params_.page_size;
     }
   }
+  trace_state();
   if (!writeback.is_zero()) co_await device_->write(writeback);
 }
 
@@ -143,6 +170,7 @@ void PageCache::drop(std::uint64_t file_id) {
       ++it;
     }
   }
+  trace_state();
 }
 
 bool PageCache::resident(std::uint64_t file_id, Bytes offset, Bytes len) const {

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "mdwf/common/bytes.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/storage/block_device.hpp"
 
 namespace mdwf::storage {
@@ -53,6 +54,12 @@ class PageCache {
   std::size_t resident_pages() const { return pages_.size(); }
   std::size_t dirty_pages() const { return dirty_count_; }
 
+  // Samples residency/dirty state ("<prefix>.resident_pages",
+  // "<prefix>.dirty_pages") onto `track` after each cache operation that
+  // changed them (mdwf::obs).
+  void set_trace(obs::TraceSink* sink, obs::TrackId track,
+                 const std::string& prefix);
+
  private:
   // (file_id, page_index) packed; both fit 32 bits for any modelled load.
   using Key = std::uint64_t;
@@ -79,6 +86,7 @@ class PageCache {
   // behaviour).
   void writeback_async(Bytes n);
   sim::Task<void> memcpy_cost(Bytes n);
+  void trace_state();
 
   sim::Simulation* sim_;
   PageCacheParams params_;
@@ -90,6 +98,12 @@ class PageCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  obs::TrackId trace_track_{};
+  std::string trace_resident_;
+  std::string trace_dirty_;
+  std::int64_t traced_resident_ = -1;
+  std::int64_t traced_dirty_ = -1;
 };
 
 }  // namespace mdwf::storage

@@ -1,0 +1,105 @@
+#include "mdwf/workflow/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "mdwf/fault/plan.hpp"
+#include "mdwf/md/models.hpp"
+
+namespace mdwf::workflow {
+
+namespace {
+
+std::string solution_key(Solution s) {
+  switch (s) {
+    case Solution::kDyad:
+      return "dyad";
+    case Solution::kXfs:
+      return "xfs";
+    case Solution::kLustre:
+      return "lustre";
+  }
+  return "dyad";
+}
+
+}  // namespace
+
+EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
+                                     const EnsembleConfig& defaults) {
+  EnsembleConfig config = defaults;
+
+  const std::string solution =
+      cfg.get_string("solution", solution_key(defaults.solution));
+  if (solution == "dyad") {
+    config.solution = Solution::kDyad;
+  } else if (solution == "xfs") {
+    config.solution = Solution::kXfs;
+  } else if (solution == "lustre") {
+    config.solution = Solution::kLustre;
+  } else {
+    throw ConfigError("unknown solution '" + solution + "'");
+  }
+
+  const std::string model_name =
+      cfg.get_string("model", std::string(defaults.workload.model.name));
+  const auto model = md::find_model(model_name);
+  if (!model.has_value()) {
+    throw ConfigError("unknown model '" + model_name + "'");
+  }
+  config.workload.model = *model;
+  // A different model resets the stride to its Table II default; an explicit
+  // stride key always wins.
+  const std::uint64_t default_stride =
+      model->name == defaults.workload.model.name ? defaults.workload.stride
+                                                  : model->stride;
+  config.workload.stride = cfg.get_uint("stride", default_stride);
+
+  config.pairs = static_cast<std::uint32_t>(cfg.get_uint("pairs",
+                                                         defaults.pairs));
+  // XFS cannot move data between nodes, so it defaults to a single one.
+  const std::uint32_t default_nodes =
+      config.solution == Solution::kXfs ? 1 : defaults.nodes;
+  config.nodes =
+      static_cast<std::uint32_t>(cfg.get_uint("nodes", default_nodes));
+  config.workload.frames = cfg.get_uint("frames", defaults.workload.frames);
+  config.workload.step_jitter_sigma =
+      cfg.get_double("jitter", defaults.workload.step_jitter_sigma);
+  config.repetitions =
+      static_cast<std::uint32_t>(cfg.get_uint("reps", defaults.repetitions));
+  config.base_seed = cfg.get_uint("seed", defaults.base_seed);
+  config.lustre_interference =
+      cfg.get_bool("interference", defaults.lustre_interference);
+  config.testbed.dyad.push_mode =
+      cfg.get_bool("push", defaults.testbed.dyad.push_mode);
+  config.workload.compress =
+      cfg.get_bool("compress", defaults.workload.compress);
+  if (cfg.get_bool("colocate",
+                   defaults.placement == Placement::kColocated)) {
+    config.placement = Placement::kColocated;
+  }
+
+  const std::string faults = cfg.get_string("faults", "none");
+  if (faults != "none") {
+    fault::ScenarioShape shape;
+    shape.compute_nodes = config.nodes;
+    shape.ost_count = config.testbed.lustre.ost_count;
+    shape.seed = config.base_seed;
+    try {
+      config.testbed.faults = fault::make_scenario(faults, shape);
+    } catch (const std::invalid_argument& e) {
+      throw ConfigError(e.what());
+    }
+  }
+  // Recovery protocol defaults on under injected faults (a retry-less DYAD
+  // consumer deadlocks through a broker outage); retry=0 reproduces that.
+  const bool retry = cfg.get_bool(
+      "retry", faults != "none" || defaults.testbed.dyad.retry.enabled);
+  config.testbed.dyad.retry.enabled = retry;
+  config.testbed.dyad.retry.lustre_fallback = retry;
+
+  config.trace_path = cfg.get_string("trace", defaults.trace_path);
+
+  return config;
+}
+
+}  // namespace mdwf::workflow

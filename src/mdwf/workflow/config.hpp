@@ -1,0 +1,23 @@
+// key=value -> EnsembleConfig binding, shared by the CLI driver and the
+// benchmark binaries.
+//
+// `parse_ensemble_config` reads the experiment keys (solution, pairs, nodes,
+// model, stride, frames, reps, seed, interference, push, jitter, compress,
+// colocate, faults, retry, trace) from a KeyValueConfig on top of a caller-
+// provided defaults object, applies the cross-key rules (XFS defaults to one
+// node; injected faults turn the DYAD recovery protocol on; fault scenarios
+// are materialized against the configured cluster shape), and returns the
+// bound config.  Unknown-key detection stays with the caller: every key this
+// function understands is marked known on `cfg`.
+#pragma once
+
+#include "mdwf/common/keyval.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace mdwf::workflow {
+
+// Throws mdwf::ConfigError on an unknown solution, model, or fault scenario.
+EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
+                                     const EnsembleConfig& defaults = {});
+
+}  // namespace mdwf::workflow

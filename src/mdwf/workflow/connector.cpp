@@ -1,6 +1,42 @@
 #include "mdwf/workflow/connector.hpp"
 
+#include "mdwf/common/assert.hpp"
+#include "mdwf/workflow/testbed.hpp"
+
 namespace mdwf::workflow {
+
+std::string_view to_string(Solution s) {
+  switch (s) {
+    case Solution::kDyad:
+      return "DYAD";
+    case Solution::kXfs:
+      return "XFS";
+    case Solution::kLustre:
+      return "Lustre";
+  }
+  return "?";
+}
+
+std::unique_ptr<Connector> make_connector(const ConnectorSpec& spec) {
+  MDWF_ASSERT(spec.testbed != nullptr && spec.recorder != nullptr);
+  Testbed& tb = *spec.testbed;
+  switch (spec.solution) {
+    case Solution::kDyad:
+      return std::make_unique<DyadConnector>(*tb.node(spec.node).dyad,
+                                             *spec.recorder);
+    case Solution::kXfs:
+      MDWF_ASSERT_MSG(spec.sync != nullptr, "XFS connector needs a sync");
+      return std::make_unique<XfsConnector>(tb.simulation(),
+                                            *tb.node(spec.node).local_fs,
+                                            *spec.sync, *spec.recorder);
+    case Solution::kLustre:
+      MDWF_ASSERT_MSG(spec.sync != nullptr, "Lustre connector needs a sync");
+      return std::make_unique<LustreConnector>(
+          tb.simulation(), tb.lustre(), net::NodeId{spec.node}, *spec.sync,
+          *spec.recorder);
+  }
+  return nullptr;
+}
 
 sim::Task<void> XfsConnector::put(const std::string& path, Bytes size) {
   perf::ScopedRegion write(*rec_, "write", perf::Category::kMovement);

@@ -26,6 +26,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/dyad/dyad.hpp"
@@ -35,6 +36,12 @@
 #include "mdwf/sim/primitives.hpp"
 
 namespace mdwf::workflow {
+
+class Testbed;
+
+// The paper's three data-management solutions.
+enum class Solution { kDyad, kXfs, kLustre };
+std::string_view to_string(Solution s);
 
 // Producer/consumer-pair rendezvous for the manual-sync connectors.
 class ExplicitSync {
@@ -132,5 +139,20 @@ class LustreConnector final : public Connector {
   ExplicitSync* sync_;
   perf::Recorder* rec_;
 };
+
+// Everything needed to build one rank's connector against a testbed.  The
+// manual-sync solutions (XFS, Lustre) require `sync`; DYAD ignores it.
+struct ConnectorSpec {
+  Testbed* testbed = nullptr;
+  Solution solution = Solution::kDyad;
+  // Compute node the rank runs on.  For XFS this is also the node whose
+  // local filesystem both ranks share (colocated by construction).
+  std::uint32_t node = 0;
+  ExplicitSync* sync = nullptr;
+  perf::Recorder* recorder = nullptr;
+};
+
+// Factory for the solution-appropriate connector.
+std::unique_ptr<Connector> make_connector(const ConnectorSpec& spec);
 
 }  // namespace mdwf::workflow

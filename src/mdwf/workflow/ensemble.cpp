@@ -22,26 +22,25 @@ std::string pair_prefix(std::uint32_t pair) {
   return buf;
 }
 
-std::string_view to_string(Solution s) {
-  switch (s) {
-    case Solution::kDyad:
-      return "DYAD";
-    case Solution::kXfs:
-      return "XFS";
-    case Solution::kLustre:
-      return "Lustre";
-  }
-  return "?";
+namespace {
+
+// Frame-boundary timeline marker ("f=<n>") on the rank's trace lane.
+void trace_frame(const RankContext& ctx, std::uint64_t f) {
+  if (ctx.trace == nullptr) return;
+  ctx.trace->instant(ctx.track, "f=" + std::to_string(f), ctx.sim->now());
 }
 
-sim::Task<void> run_producer(sim::Simulation& sim, Connector& connector,
-                             perf::Recorder& recorder, WorkloadConfig workload,
-                             std::uint32_t pair, Rng rng) {
+}  // namespace
+
+sim::Task<void> run_producer(RankContext ctx) {
+  auto& sim = *ctx.sim;
+  auto& recorder = *ctx.recorder;
+  const WorkloadConfig& workload = ctx.workload;
   const Bytes wire_bytes = workload.wire_bytes();
   if (workload.start_stagger > 0.0) {
     // Launch/equilibration phase offset; desynchronizes ensemble members.
     co_await sim.delay(workload.frame_compute() *
-                       (workload.start_stagger * rng.next_double()));
+                       (workload.start_stagger * ctx.rng.next_double()));
   }
   for (std::uint64_t f = 0; f < workload.frames; ++f) {
     {
@@ -50,7 +49,7 @@ sim::Task<void> run_producer(sim::Simulation& sim, Connector& connector,
       perf::ScopedRegion compute(recorder, "md_compute",
                                  perf::Category::kCompute);
       const double jitter =
-          std::max(-0.5, rng.normal(0.0, workload.step_jitter_sigma));
+          std::max(-0.5, ctx.rng.normal(0.0, workload.step_jitter_sigma));
       co_await sim.delay(workload.frame_compute() * (1.0 + jitter));
     }
     {
@@ -63,21 +62,24 @@ sim::Task<void> run_producer(sim::Simulation& sim, Connector& connector,
     }
     {
       perf::ScopedRegion produce(recorder, "produce");
-      co_await connector.put(frame_path(pair, f), wire_bytes);
+      co_await ctx.connector->put(frame_path(ctx.pair, f), wire_bytes);
     }
-    co_await connector.producer_sync();
+    trace_frame(ctx, f);
+    co_await ctx.connector->producer_sync();
   }
 }
 
-sim::Task<void> run_consumer(sim::Simulation& sim, Connector& connector,
-                             perf::Recorder& recorder, WorkloadConfig workload,
-                             std::uint32_t pair) {
+sim::Task<void> run_consumer(RankContext ctx) {
+  auto& sim = *ctx.sim;
+  auto& recorder = *ctx.recorder;
+  const WorkloadConfig& workload = ctx.workload;
   const Bytes wire_bytes = workload.wire_bytes();
   for (std::uint64_t f = 0; f < workload.frames; ++f) {
     {
       perf::ScopedRegion consume(recorder, "consume");
-      co_await connector.get(frame_path(pair, f), wire_bytes);
+      co_await ctx.connector->get(frame_path(ctx.pair, f), wire_bytes);
     }
+    trace_frame(ctx, f);
     if (workload.compress) {
       perf::ScopedRegion dec(recorder, "decompress",
                              perf::Category::kCompute);
@@ -94,7 +96,7 @@ sim::Task<void> run_consumer(sim::Simulation& sim, Connector& connector,
       perf::ScopedRegion ana(recorder, "analytics", perf::Category::kCompute);
       co_await sim.delay(workload.frame_compute());
     }
-    connector.acknowledge();
+    ctx.connector->acknowledge();
   }
 }
 
@@ -127,11 +129,29 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
 
   EnsembleResult result;
 
+  // Register every counter up front so table/CSV columns are stable across
+  // solutions and fault plans (zero when a path never fired).
+  for (const char* name :
+       {"dyad_warm_hits", "dyad_kvs_waits", "dyad_kvs_retries",
+        "dyad_recovery_retries", "dyad_failovers", "dyad_republishes",
+        "kvs_commits", "kvs_lookups", "cache_hits", "cache_misses",
+        "fault_windows_applied", "sim_events", "trace_events"}) {
+    result.counters.add(name, 0);
+  }
+
+  // Only the first repetition is traced: every rep is an independent
+  // simulation starting at t=0, so a combined timeline would interleave
+  // unrelated runs.
+  obs::TraceSink trace_sink;
+  const bool tracing = !config.trace_path.empty();
+
   for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
     TestbedParams tp = config.testbed;
     tp.compute_nodes = config.nodes;
+    tp.trace = (tracing && rep == 0) ? &trace_sink : nullptr;
     Testbed tb(tp);
     auto& sim = tb.simulation();
+    obs::TraceSink* sink = tp.trace;
 
     const std::uint32_t producer_nodes =
         colocated ? config.nodes : config.nodes / 2;
@@ -165,42 +185,51 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
       const std::uint32_t pnode = producer_node(pair);
       const std::uint32_t cnode = consumer_node(pair);
 
-      switch (config.solution) {
-        case Solution::kDyad:
-          prod_conn.push_back(std::make_unique<DyadConnector>(
-              *tb.node(pnode).dyad, prec));
-          cons_conn.push_back(std::make_unique<DyadConnector>(
-              *tb.node(cnode).dyad, crec));
-          if (tp.dyad.push_mode) {
-            tb.dyad_domain().subscribe(pair_prefix(pair), net::NodeId{cnode});
-          }
-          break;
-        case Solution::kXfs: {
-          syncs.push_back(std::make_unique<ExplicitSync>(sim));
-          auto& sync = *syncs.back();
-          // Colocated by construction: both ranks share pnode's local FS.
-          prod_conn.push_back(std::make_unique<XfsConnector>(
-              sim, *tb.node(pnode).local_fs, sync, prec));
-          cons_conn.push_back(std::make_unique<XfsConnector>(
-              sim, *tb.node(pnode).local_fs, sync, crec));
-          break;
-        }
-        case Solution::kLustre: {
-          syncs.push_back(std::make_unique<ExplicitSync>(sim));
-          auto& sync = *syncs.back();
-          prod_conn.push_back(std::make_unique<LustreConnector>(
-              sim, tb.lustre(), net::NodeId{pnode}, sync, prec));
-          cons_conn.push_back(std::make_unique<LustreConnector>(
-              sim, tb.lustre(), net::NodeId{cnode}, sync, crec));
-          break;
-        }
+      ExplicitSync* sync = nullptr;
+      if (config.solution != Solution::kDyad) {
+        syncs.push_back(std::make_unique<ExplicitSync>(sim));
+        sync = syncs.back().get();
+      }
+      // XFS is colocated by construction: both ranks share pnode's local FS.
+      const std::uint32_t cnode_eff =
+          config.solution == Solution::kXfs ? pnode : cnode;
+      prod_conn.push_back(make_connector({.testbed = &tb,
+                                          .solution = config.solution,
+                                          .node = pnode,
+                                          .sync = sync,
+                                          .recorder = &prec}));
+      cons_conn.push_back(make_connector({.testbed = &tb,
+                                          .solution = config.solution,
+                                          .node = cnode_eff,
+                                          .sync = sync,
+                                          .recorder = &crec}));
+      if (config.solution == Solution::kDyad && tp.dyad.push_mode) {
+        tb.dyad_domain().subscribe(pair_prefix(pair), net::NodeId{cnode});
       }
 
-      tasks.push_back(run_producer(sim, *prod_conn.back(), prec,
-                                   config.workload, pair,
-                                   rep_rng.fork("pair" + std::to_string(pair))));
-      tasks.push_back(
-          run_consumer(sim, *cons_conn.back(), crec, config.workload, pair));
+      RankContext pctx{.sim = &sim,
+                       .connector = prod_conn.back().get(),
+                       .recorder = &prec,
+                       .workload = config.workload,
+                       .pair = pair,
+                       .rng = rep_rng.fork("pair" + std::to_string(pair))};
+      RankContext cctx{.sim = &sim,
+                       .connector = cons_conn.back().get(),
+                       .recorder = &crec,
+                       .workload = config.workload,
+                       .pair = pair};
+      if (sink != nullptr) {
+        // One trace lane per rank, on the process of the node it runs on.
+        pctx.trace = cctx.trace = sink;
+        pctx.track = sink->track("node" + std::to_string(pnode),
+                                 "producer" + std::to_string(pair));
+        cctx.track = sink->track("node" + std::to_string(cnode),
+                                 "consumer" + std::to_string(pair));
+        prec.set_trace(sink, pctx.track);
+        crec.set_trace(sink, cctx.track);
+      }
+      tasks.push_back(run_producer(pctx));
+      tasks.push_back(run_consumer(cctx));
     }
 
     if (config.lustre_interference) {
@@ -218,7 +247,7 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
 
     TimePoint workload_end;
     sim.spawn(run_all_and_mark(sim, std::move(tasks), workload_end));
-    sim.run_to_quiescence();
+    const std::uint64_t events_fired = sim.run_to_quiescence();
 
     // --- Per-repetition aggregation ------------------------------------
     double pm = 0, pi = 0, cm = 0, ci = 0;
@@ -251,24 +280,41 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
       if (config.solution == Solution::kDyad) {
         const auto& dc =
             static_cast<const DyadConnector&>(*cons_conn[pair]).consumer();
-        result.dyad_warm_hits += dc.warm_hits();
-        result.dyad_kvs_waits += dc.kvs_waits();
-        result.dyad_kvs_retries += dc.kvs_retries();
-        result.dyad_recovery_retries += dc.recovery_retries();
-        result.dyad_failovers += dc.failovers();
+        result.counters.add("dyad_warm_hits", dc.warm_hits());
+        result.counters.add("dyad_kvs_waits", dc.kvs_waits());
+        result.counters.add("dyad_kvs_retries", dc.kvs_retries());
+        result.counters.add("dyad_recovery_retries", dc.recovery_retries());
+        result.counters.add("dyad_failovers", dc.failovers());
       }
     }
     if (config.solution == Solution::kDyad) {
       for (std::uint32_t n = 0; n < config.nodes; ++n) {
-        result.dyad_republishes += tb.node(n).dyad->republishes();
+        result.counters.add("dyad_republishes",
+                            tb.node(n).dyad->republishes());
       }
     }
+    result.counters.add("kvs_commits", tb.kvs().commits());
+    result.counters.add("kvs_lookups", tb.kvs().lookups());
+    for (std::uint32_t n = 0; n < config.nodes; ++n) {
+      result.counters.add("cache_hits", tb.node(n).cache->hits());
+      result.counters.add("cache_misses", tb.node(n).cache->misses());
+    }
+    if (tb.fault_injector() != nullptr) {
+      result.counters.add("fault_windows_applied",
+                          tb.fault_injector()->windows_applied());
+    }
+    result.counters.add("sim_events", events_fired);
     const auto npairs = static_cast<double>(config.pairs);
     result.prod_movement_us.add(pm / npairs);
     result.prod_idle_us.add(pi / npairs);
     result.cons_movement_us.add(cm / npairs);
     result.cons_idle_us.add(ci / npairs);
     result.makespan_s.add((workload_end - TimePoint::origin()).to_seconds());
+  }
+
+  if (tracing) {
+    result.counters.set("trace_events", trace_sink.event_count());
+    trace_sink.write(config.trace_path);
   }
 
   return result;

@@ -17,6 +17,8 @@
 #include "mdwf/common/stats.hpp"
 #include "mdwf/fs/interference.hpp"
 #include "mdwf/md/models.hpp"
+#include "mdwf/obs/counters.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/perf/thicket.hpp"
 #include "mdwf/workflow/connector.hpp"
 #include "mdwf/workflow/testbed.hpp"
@@ -80,19 +82,52 @@ struct WorkloadConfig {
 std::string frame_path(std::uint32_t pair, std::uint64_t f);
 std::string pair_prefix(std::uint32_t pair);
 
+// Everything one simulated rank needs: infrastructure handles, its slice of
+// the workload, and (optionally) where its trace events land.  Passed by
+// value into the rank coroutines — a context outlives nothing; the pointed-to
+// objects must outlive the rank as before.
+struct RankContext {
+  sim::Simulation* sim = nullptr;
+  Connector* connector = nullptr;
+  perf::Recorder* recorder = nullptr;
+  // Tracing (null = off): per-frame instants land on `track`; region spans
+  // are emitted by the recorder itself (perf::Recorder::set_trace).
+  obs::TraceSink* trace = nullptr;
+  obs::TrackId track{};
+  WorkloadConfig workload{};
+  std::uint32_t pair = 0;
+  Rng rng{1};  // producers only; consumers draw nothing
+};
+
 // One producer rank: regions md_compute / serialize / produce /
 // producer_sync.
-sim::Task<void> run_producer(sim::Simulation& sim, Connector& connector,
-                             perf::Recorder& recorder, WorkloadConfig workload,
-                             std::uint32_t pair, Rng rng);
+sim::Task<void> run_producer(RankContext ctx);
 
 // One consumer rank: regions consume / deserialize / analytics.
-sim::Task<void> run_consumer(sim::Simulation& sim, Connector& connector,
-                             perf::Recorder& recorder, WorkloadConfig workload,
-                             std::uint32_t pair);
+sim::Task<void> run_consumer(RankContext ctx);
 
-enum class Solution { kDyad, kXfs, kLustre };
-std::string_view to_string(Solution s);
+// Transitional positional-parameter overloads; migrate to RankContext.
+[[deprecated("use run_producer(RankContext)")]] inline sim::Task<void>
+run_producer(sim::Simulation& sim, Connector& connector,
+             perf::Recorder& recorder, WorkloadConfig workload,
+             std::uint32_t pair, Rng rng) {
+  return run_producer(RankContext{.sim = &sim,
+                                  .connector = &connector,
+                                  .recorder = &recorder,
+                                  .workload = workload,
+                                  .pair = pair,
+                                  .rng = rng});
+}
+[[deprecated("use run_consumer(RankContext)")]] inline sim::Task<void>
+run_consumer(sim::Simulation& sim, Connector& connector,
+             perf::Recorder& recorder, WorkloadConfig workload,
+             std::uint32_t pair) {
+  return run_consumer(RankContext{.sim = &sim,
+                                  .connector = &connector,
+                                  .recorder = &recorder,
+                                  .workload = workload,
+                                  .pair = pair});
+}
 
 // Where consumer ranks live relative to their producers:
 //   kSplit     - producers on the first nodes/2 nodes, consumers on the
@@ -114,6 +149,11 @@ struct EnsembleConfig {
   bool lustre_interference = false;
   fs::InterferenceParams interference{};
   TestbedParams testbed{};
+  // When non-empty, the first repetition is traced and exported here as
+  // Chrome trace-event JSON (plus a <path>.metrics.csv sibling).  Only rep 0
+  // is recorded: each repetition is an independent simulation with its own
+  // time origin, so overlaying them in one timeline would be misleading.
+  std::string trace_path;
 };
 
 struct EnsembleResult {
@@ -128,16 +168,33 @@ struct EnsembleResult {
   // (solution, role, rep, pair).
   perf::Thicket thicket;
 
-  // DYAD synchronization-protocol counters summed over ranks and reps.
-  std::uint64_t dyad_warm_hits = 0;
-  std::uint64_t dyad_kvs_waits = 0;
-  std::uint64_t dyad_kvs_retries = 0;
+  // Named counters summed over ranks and repetitions, in registration order
+  // (DYAD protocol counters first, then infrastructure totals).  Consumers
+  // that print results iterate this generically; code that needs a specific
+  // counter uses the accessors below.
+  obs::CounterMap counters;
 
+  // DYAD synchronization-protocol counters.
+  std::uint64_t dyad_warm_hits() const {
+    return counters.get("dyad_warm_hits");
+  }
+  std::uint64_t dyad_kvs_waits() const {
+    return counters.get("dyad_kvs_waits");
+  }
+  std::uint64_t dyad_kvs_retries() const {
+    return counters.get("dyad_kvs_retries");
+  }
   // Recovery-protocol counters (non-zero only with DyadParams::retry enabled
   // and a fault plan injecting broker/fabric/storage failures).
-  std::uint64_t dyad_recovery_retries = 0;
-  std::uint64_t dyad_failovers = 0;
-  std::uint64_t dyad_republishes = 0;
+  std::uint64_t dyad_recovery_retries() const {
+    return counters.get("dyad_recovery_retries");
+  }
+  std::uint64_t dyad_failovers() const {
+    return counters.get("dyad_failovers");
+  }
+  std::uint64_t dyad_republishes() const {
+    return counters.get("dyad_republishes");
+  }
 
   double mean_production_us() const {
     return prod_movement_us.mean() + prod_idle_us.mean();

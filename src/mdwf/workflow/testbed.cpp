@@ -38,6 +38,8 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
     nodes_.push_back(std::move(r));
   }
 
+  if (params.trace != nullptr) attach_trace(*params.trace);
+
   if (!params.faults.empty()) {
     injector_ = std::make_unique<fault::FaultInjector>(sim_, params.faults);
     for (std::uint32_t i = 0; i < params.compute_nodes; ++i) {
@@ -46,8 +48,26 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
     injector_->attach_network(*network_);
     injector_->attach_kvs(*kvs_);
     injector_->attach_lustre(*lustre_);
+    injector_->set_trace(params.trace);
     injector_->arm();
   }
+}
+
+void Testbed::attach_trace(obs::TraceSink& sink) {
+  sim_.set_trace(&sink, sink.track("sim", "kernel"));
+  for (std::uint32_t i = 0; i < params_.compute_nodes; ++i) {
+    const std::string process = "node" + std::to_string(i);
+    NodeResources& r = nodes_[i];
+    r.ssd->set_trace(&sink, sink.track(process, "nvme"), "nvme");
+    r.cache->set_trace(&sink, sink.track(process, "pagecache"), "pagecache");
+    r.dyad->set_trace(&sink, sink.track(process, "dyad"));
+    network_->tx(net::NodeId{i})
+        .set_trace(&sink, sink.track(process, "nic.tx"), "nic.tx.flows");
+    network_->rx(net::NodeId{i})
+        .set_trace(&sink, sink.track(process, "nic.rx"), "nic.rx.flows");
+  }
+  kvs_->set_trace(&sink, sink.track("kvs", "broker"));
+  lustre_->set_trace(&sink);
 }
 
 NodeResources& Testbed::node(std::uint32_t i) {

@@ -23,6 +23,7 @@
 #include "mdwf/fs/lustre.hpp"
 #include "mdwf/kvs/kvs.hpp"
 #include "mdwf/net/network.hpp"
+#include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/simulation.hpp"
 #include "mdwf/storage/block_device.hpp"
 #include "mdwf/storage/page_cache.hpp"
@@ -54,6 +55,11 @@ struct TestbedParams {
   // Fault windows to inject (empty = healthy cluster).  The testbed attaches
   // an injector to every resource and arms it before the workload runs.
   fault::FaultPlan faults{};
+  // Observability sink (non-owning; must outlive the testbed).  When set,
+  // every resource registers its trace lanes: one "node{i}" process per
+  // compute node (nvme / pagecache / dyad / nic lanes), plus "kvs",
+  // "lustre", "faults" and "sim" processes.  Null = tracing off, zero cost.
+  obs::TraceSink* trace = nullptr;
 };
 
 // Everything attached to one compute node.
@@ -87,6 +93,8 @@ class Testbed {
   }
 
  private:
+  void attach_trace(obs::TraceSink& sink);
+
   TestbedParams params_;
   sim::Simulation sim_;
   std::unique_ptr<net::Network> network_;

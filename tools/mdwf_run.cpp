@@ -20,12 +20,16 @@
 //   retry      = 0|1                        (DYAD recovery protocol: RPC
 //                                            timeout+retry and Lustre failover;
 //                                            default 1 when faults are injected)
+//   trace      = <path>                     (export a Chrome trace-event JSON of
+//                                            the first repetition, plus a
+//                                            <path>.metrics.csv of the resource
+//                                            samples; open in ui.perfetto.dev)
 //   output     = table | csv                (default table)
 //   tree       = 0|1                        (print the consumer call tree)
 //
 // Example:
 //   mdwf_run solution=lustre pairs=16 model=STMV frames=32 output=csv
-//   mdwf_run solution=dyad faults=broker-outage retry=1
+//   mdwf_run solution=dyad faults=broker-outage trace=run.json
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -33,7 +37,7 @@
 #include "mdwf/common/format.hpp"
 #include "mdwf/common/keyval.hpp"
 #include "mdwf/common/table.hpp"
-#include "mdwf/fault/plan.hpp"
+#include "mdwf/workflow/config.hpp"
 #include "mdwf/workflow/ensemble.hpp"
 
 namespace {
@@ -43,6 +47,17 @@ using namespace mdwf;
 int fail(const std::string& msg) {
   std::fprintf(stderr, "mdwf_run: %s\n", msg.c_str());
   return 1;
+}
+
+// Driver defaults layered under the key=value overrides: a small standard
+// experiment rather than the library's single-pair defaults.
+workflow::EnsembleConfig driver_defaults() {
+  workflow::EnsembleConfig d;
+  d.pairs = 4;
+  d.nodes = 2;
+  d.workload.frames = 64;
+  d.repetitions = 5;
+  return d;
 }
 
 }  // namespace
@@ -58,54 +73,11 @@ int main(int argc, char** argv) {
       cfg.parse_stream(in);
     }
 
-    workflow::EnsembleConfig config;
+    const workflow::EnsembleConfig config =
+        workflow::parse_ensemble_config(cfg, driver_defaults());
     const std::string solution = cfg.get_string("solution", "dyad");
-    if (solution == "dyad") {
-      config.solution = workflow::Solution::kDyad;
-    } else if (solution == "xfs") {
-      config.solution = workflow::Solution::kXfs;
-    } else if (solution == "lustre") {
-      config.solution = workflow::Solution::kLustre;
-    } else {
-      return fail("unknown solution '" + solution + "'");
-    }
+    const std::string model_name(config.workload.model.name);
 
-    const std::string model_name = cfg.get_string("model", "JAC");
-    const auto model = md::find_model(model_name);
-    if (!model.has_value()) return fail("unknown model '" + model_name + "'");
-
-    config.pairs = static_cast<std::uint32_t>(cfg.get_uint("pairs", 4));
-    const std::uint32_t default_nodes =
-        config.solution == workflow::Solution::kXfs ? 1 : 2;
-    config.nodes =
-        static_cast<std::uint32_t>(cfg.get_uint("nodes", default_nodes));
-    config.workload.model = *model;
-    config.workload.stride = cfg.get_uint("stride", model->stride);
-    config.workload.frames = cfg.get_uint("frames", 64);
-    config.workload.step_jitter_sigma = cfg.get_double("jitter", 0.01);
-    config.repetitions =
-        static_cast<std::uint32_t>(cfg.get_uint("reps", 5));
-    config.base_seed = cfg.get_uint("seed", 1);
-    config.lustre_interference = cfg.get_bool("interference", false);
-    config.testbed.dyad.push_mode = cfg.get_bool("push", false);
-    config.workload.compress = cfg.get_bool("compress", false);
-    if (cfg.get_bool("colocate", false)) {
-      config.placement = workflow::Placement::kColocated;
-    }
-
-    const std::string faults = cfg.get_string("faults", "none");
-    if (faults != "none") {
-      fault::ScenarioShape shape;
-      shape.compute_nodes = config.nodes;
-      shape.ost_count = config.testbed.lustre.ost_count;
-      shape.seed = config.base_seed;
-      config.testbed.faults = fault::make_scenario(faults, shape);
-    }
-    // Recovery protocol defaults on under injected faults (a retry-less DYAD
-    // consumer deadlocks through a broker outage); retry=0 reproduces that.
-    const bool retry = cfg.get_bool("retry", faults != "none");
-    config.testbed.dyad.retry.enabled = retry;
-    config.testbed.dyad.retry.lustre_fallback = retry;
     const std::string output = cfg.get_string("output", "table");
     const bool print_tree = cfg.get_bool("tree", false);
 
@@ -120,8 +92,11 @@ int main(int argc, char** argv) {
     if (output == "csv") {
       std::printf(
           "solution,model,pairs,nodes,stride,frames,reps,"
-          "prod_move_us,prod_idle_us,cons_move_us,cons_idle_us,makespan_s\n");
-      std::printf("%s,%s,%u,%u,%llu,%llu,%u,%.3f,%.3f,%.3f,%.3f,%.4f\n",
+          "prod_move_us,prod_idle_us,cons_move_us,cons_idle_us,makespan_s");
+      for (const auto& [name, value] : r.counters) std::printf(",%s",
+                                                               name.c_str());
+      std::printf("\n");
+      std::printf("%s,%s,%u,%u,%llu,%llu,%u,%.3f,%.3f,%.3f,%.3f,%.4f",
                   solution.c_str(), model_name.c_str(), config.pairs,
                   config.nodes,
                   static_cast<unsigned long long>(config.workload.stride),
@@ -129,6 +104,10 @@ int main(int argc, char** argv) {
                   config.repetitions, r.prod_movement_us.mean(),
                   r.prod_idle_us.mean(), r.cons_movement_us.mean(),
                   r.cons_idle_us.mean(), r.makespan_s.mean());
+      for (const auto& [name, value] : r.counters) {
+        std::printf(",%llu", static_cast<unsigned long long>(value));
+      }
+      std::printf("\n");
     } else if (output == "table") {
       TextTable t({"metric", "movement", "idle", "total"});
       auto row = [&](const char* name, const Samples& move,
@@ -150,19 +129,16 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(config.workload.frames),
                   config.repetitions, t.render().c_str(), r.makespan_s.mean(),
                   r.makespan_s.stddev());
-      if (config.solution == workflow::Solution::kDyad) {
-        std::printf("dyad: %llu warm hits, %llu kvs waits, %llu retries\n",
-                    static_cast<unsigned long long>(r.dyad_warm_hits),
-                    static_cast<unsigned long long>(r.dyad_kvs_waits),
-                    static_cast<unsigned long long>(r.dyad_kvs_retries));
-        if (retry) {
-          std::printf(
-              "recovery: %llu retry attempts, %llu failover reads, "
-              "%llu republishes\n",
-              static_cast<unsigned long long>(r.dyad_recovery_retries),
-              static_cast<unsigned long long>(r.dyad_failovers),
-              static_cast<unsigned long long>(r.dyad_republishes));
-        }
+      std::printf("\ncounters:\n");
+      for (const auto& [name, value] : r.counters) {
+        std::printf("  %-24s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+      if (!config.trace_path.empty()) {
+        std::printf("\ntrace written to %s (+ %s)\n",
+                    config.trace_path.c_str(),
+                    obs::TraceSink::metrics_csv_path(config.trace_path)
+                        .c_str());
       }
     } else {
       return fail("unknown output '" + output + "'");
