@@ -9,7 +9,8 @@ namespace mdwf::dyad {
 std::string metadata_key(const std::string& path) { return "dyad/" + path; }
 
 std::string DyadMetadata::encode() const {
-  return std::to_string(owner.value) + ":" + std::to_string(size.count());
+  return std::to_string(owner.value) + ":" + std::to_string(size.count()) +
+         ":" + std::to_string(crc);
 }
 
 DyadMetadata DyadMetadata::decode(const std::string& s) {
@@ -18,10 +19,20 @@ DyadMetadata DyadMetadata::decode(const std::string& s) {
   DyadMetadata m;
   std::uint32_t owner = 0;
   std::uint64_t size = 0;
+  const auto colon2 = s.find(':', colon + 1);
+  const char* size_end =
+      s.data() + (colon2 == std::string::npos ? s.size() : colon2);
   auto r1 = std::from_chars(s.data(), s.data() + colon, owner);
-  auto r2 = std::from_chars(s.data() + colon + 1, s.data() + s.size(), size);
+  auto r2 = std::from_chars(s.data() + colon + 1, size_end, size);
   MDWF_ASSERT_MSG(r1.ec == std::errc{} && r2.ec == std::errc{},
                   "malformed DYAD metadata");
+  if (colon2 != std::string::npos) {
+    std::uint32_t crc = 0;
+    auto r3 =
+        std::from_chars(s.data() + colon2 + 1, s.data() + s.size(), crc);
+    MDWF_ASSERT_MSG(r3.ec == std::errc{}, "malformed DYAD metadata");
+    m.crc = crc;
+  }
   m.owner = net::NodeId{owner};
   m.size = Bytes(size);
   return m;
@@ -98,10 +109,15 @@ void DyadNode::note_published(const std::string& key, std::string value) {
 }
 
 sim::Task<void> DyadNode::republish(std::string key, std::string value) {
-  co_await sim_->delay(params_.mdm_cpu);
-  co_await kvs_.commit(std::move(key), std::move(value));
-  ++republishes_;
-  trace_total("dyad.republishes", republishes_);
+  try {
+    co_await sim_->delay(params_.mdm_cpu);
+    co_await kvs_.commit(std::move(key), std::move(value));
+    ++republishes_;
+    trace_total("dyad.republishes", republishes_);
+  } catch (const net::NetError&) {
+    // This node crashed mid-replay; the consumer's bounded watch + failover
+    // protocol covers the still-missing key.
+  }
 }
 
 void DyadNode::set_trace(obs::TraceSink* sink, obs::TrackId track) {
@@ -117,9 +133,35 @@ void DyadNode::trace_total(const char* name, std::uint64_t value) {
 
 sim::Task<void> DyadNode::write_through(std::string path, Bytes size) {
   auto* lc = fallback_client_.get();
-  const fs::LustreHandle h = co_await lc->create(std::move(path));
-  co_await lc->write(h, Bytes::zero(), size);
-  co_await lc->close(h, /*wrote=*/true);
+  try {
+    if (co_await lc->exists(path)) {
+      // A previous attempt (torn by a crash, or a re-executed frame) left a
+      // replica behind; replace it.
+      co_await lc->unlink(path);
+    }
+    const fs::LustreHandle h = co_await lc->create(path);
+    co_await lc->write(h, Bytes::zero(), size);
+    co_await lc->close(h, /*wrote=*/true);
+    if (ledger_ != nullptr) ledger_->store_lustre(path, node_.value);
+  } catch (const net::NetError&) {
+    ++lost_writethroughs_;
+  } catch (const storage::IoError&) {
+    ++lost_writethroughs_;
+  } catch (const fs::FsError&) {
+    // Raced another writer for the same replica; theirs is as good as ours.
+    ++lost_writethroughs_;
+  }
+}
+
+sim::Task<void> DyadNode::repair_local(const std::string& path, Bytes size) {
+  const fs::InodeId ino = co_await local_fs_->open(path);
+  co_await local_fs_->write(ino, Bytes::zero(), size);
+  if (params_.durable_puts) co_await local_fs_->fsync(ino);
+  if (ledger_ != nullptr) {
+    co_await ledger_->charge(size);  // re-tag the rewritten replica
+    ledger_->store(path, integrity::Ledger::ssd_location(node_.value),
+                   node_.value);
+  }
 }
 
 sim::Task<void> DyadNode::serve_remote_read(net::NodeId requester,
@@ -139,26 +181,47 @@ sim::Task<void> DyadNode::serve_remote_read(net::NodeId requester,
 
 sim::Task<void> DyadNode::push_to(net::NodeId dest, std::string path,
                                   Bytes size) {
-  co_await service_slots_.acquire();
-  {
-    sim::SemaphoreGuard slot(service_slots_);
-    co_await sim_->delay(params_.broker_request_cpu);
-    const fs::InodeId ino = co_await local_fs_->open(path);
-    co_await local_fs_->read(ino, Bytes::zero(), size);
-    co_await network_->rdma_put(node_, dest, size);
-  }
-  DyadNode& peer = domain_->at(dest);
-  const std::string staged = peer.params().staging_prefix + path;
-  if (peer.local_fs().exists(staged)) co_return;  // consumer pulled it first
   try {
-    const fs::InodeId staged_ino =
-        co_await peer.local_fs().create(staged, /*exclusive_lock=*/true);
-    co_await peer.local_fs().write(staged_ino, Bytes::zero(), size);
-    peer.local_fs().lock(staged_ino).unlock_exclusive();
-    ++pushes_;
-    trace_total("dyad.pushes", pushes_);
+    co_await service_slots_.acquire();
+    {
+      sim::SemaphoreGuard slot(service_slots_);
+      co_await sim_->delay(params_.broker_request_cpu);
+      const fs::InodeId ino = co_await local_fs_->open(path);
+      co_await local_fs_->read(ino, Bytes::zero(), size);
+      co_await network_->rdma_put(node_, dest, size);
+    }
+    DyadNode& peer = domain_->at(dest);
+    const std::string staged = peer.params().staging_prefix + path;
+    if (peer.local_fs().exists(staged)) co_return;  // consumer pulled it first
+    try {
+      const fs::InodeId staged_ino =
+          co_await peer.local_fs().create(staged, /*exclusive_lock=*/true);
+      co_await peer.local_fs().write(staged_ino, Bytes::zero(), size);
+      peer.local_fs().lock(staged_ino).unlock_exclusive();
+      if (ledger_ != nullptr) {
+        const bool bad =
+            ledger_->corrupt(path,
+                             integrity::Ledger::ssd_location(node_.value)) ||
+            ledger_->flip_link(node_.value, dest.value);
+        const std::string dest_loc =
+            integrity::Ledger::ssd_location(dest.value);
+        if (bad) {
+          ledger_->store_corrupt(path, dest_loc);
+        } else {
+          ledger_->store(path, dest_loc, dest.value);
+        }
+      }
+      ++pushes_;
+      trace_total("dyad.pushes", pushes_);
+    } catch (const fs::FsError&) {
+      // Lost the race against a concurrent pull-side store; harmless.
+    }
+  } catch (const net::NetError&) {
+    // Push torn mid-stream (crashed endpoint): the consumer simply pulls.
+  } catch (const storage::IoError&) {
+    // Source read failed; same story.
   } catch (const fs::FsError&) {
-    // Lost the race against a concurrent pull-side store; harmless.
+    // Source file vanished (torn by a crash before the push ran).
   }
 }
 
@@ -168,23 +231,40 @@ DyadProducer::DyadProducer(DyadNode& node, perf::Recorder& recorder)
 sim::Task<void> DyadProducer::produce(const std::string& path, Bytes size) {
   perf::ScopedRegion produce(*rec_, "dyad_produce");
   auto& fs = node_->local_fs();
+  integrity::Ledger* ledger = node_->integrity();
   {
     // Local burst-buffer write under an exclusive flock: consumers on this
     // node synchronize on the lock (warm path).
     perf::ScopedRegion write(*rec_, "dyad_prod_write",
                              perf::Category::kMovement);
+    if (fs.exists(path)) {
+      // Re-executed frame after a crash: replace the (possibly torn) copy.
+      co_await fs.unlink(path);
+    }
     const fs::InodeId ino =
         co_await fs.create(path, /*exclusive_lock=*/true);
     co_await node_->simulation().delay(node_->params().flock_cpu);
     co_await fs.write(ino, Bytes::zero(), size);
+    if (node_->params().durable_puts) {
+      // Commit barrier: the frame is power-loss safe before its metadata
+      // becomes visible, so consumers never chase bytes a crash can undo.
+      co_await fs.fsync(ino);
+    }
     fs.lock(ino).unlock_exclusive();
+    if (ledger != nullptr) {
+      co_await ledger->charge(size);  // producer-side CRC32C tagging
+      ledger->store(path, integrity::Ledger::ssd_location(node_->node().value),
+                    node_->node().value);
+    }
   }
   {
-    // Global namespace management: publish {owner, size} to the KVS.  This
-    // is DYAD's extra production cost relative to raw XFS.
+    // Global namespace management: publish {owner, size, crc} to the KVS.
+    // This is DYAD's extra production cost relative to raw XFS.
     perf::ScopedRegion commit(*rec_, "dyad_commit", perf::Category::kMovement);
     co_await node_->simulation().delay(node_->params().mdm_cpu);
-    DyadMetadata meta{node_->node(), size};
+    DyadMetadata meta{node_->node(), size,
+                      ledger != nullptr ? integrity::Ledger::tag(path, size)
+                                        : 0};
     const std::string encoded = meta.encode();
     if (node_->params().retry.enabled) {
       node_->note_published(metadata_key(path), encoded);
@@ -337,6 +417,10 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
         failure = std::current_exception();
       } catch (const storage::IoError&) {
         failure = std::current_exception();
+      } catch (const fs::FsError&) {
+        // Owner's replica was torn away by a crash (the file shrank or
+        // vanished after the metadata was published).
+        failure = std::current_exception();
       }
       if (!failure) break;
       if (!retry.enabled) std::rethrow_exception(failure);
@@ -366,6 +450,23 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
                                perf::Category::kMovement);
       const fs::InodeId ino = co_await local.create(staged);
       co_await local.write(ino, Bytes::zero(), size);
+      if (auto* ledger = node_->integrity()) {
+        // The staged copy inherits owner-replica corruption plus anything
+        // the fabric flipped in flight, then draws its own SSD coin.
+        const bool delivered_bad =
+            ledger->corrupt(path,
+                            integrity::Ledger::ssd_location(owner.value)) ||
+            ledger->flip_link(owner.value, node_->node().value);
+        // Replicas are keyed by the logical frame path + physical location
+        // (matching push-mode staging), not by the staging-prefixed name.
+        const std::string here =
+            integrity::Ledger::ssd_location(node_->node().value);
+        if (delivered_bad) {
+          ledger->store_corrupt(path, here);
+        } else {
+          ledger->store(path, here, node_->node().value);
+        }
+      }
     }
   }
 
@@ -399,6 +500,120 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
       co_await local.read(ino, Bytes::zero(), size);
     }
   }
+
+  if (auto* ledger = node_->integrity()) {
+    // --- End-to-end verification: recompute the CRC32C over what was just
+    // consumed and compare against the producer's tag carried in the KVS
+    // metadata.  On mismatch, run a bounded re-fetch protocol (repair the
+    // bad replica at its source, pull again) before giving up.
+    const std::uint32_t me = node_->node().value;
+    const std::string read_path = have_local_copy ? local_copy_path : staged;
+    co_await ledger->charge(size);  // consumer-side CRC32C compute
+    bool bad = false;
+    if (failed_over) {
+      bad = ledger->corrupt(path,
+                            std::string(integrity::Ledger::kLustreLocation)) ||
+            ledger->flip_lustre_read(me);
+    } else if (in_memory) {
+      bad = ledger->corrupt(path,
+                            integrity::Ledger::ssd_location(owner.value)) ||
+            ledger->flip_link(owner.value, me);
+    } else {
+      bad = ledger->corrupt(path, integrity::Ledger::ssd_location(me));
+    }
+    ledger->count_verify(!bad);
+    if (bad) {
+      perf::ScopedRegion repair(*rec_, "dyad_refetch",
+                                perf::Category::kMovement);
+      const std::uint32_t rounds = retry.enabled ? retry.max_attempts : 3;
+      for (std::uint32_t i = 0; bad && i < rounds; ++i) {
+        ledger->count_refetch();
+        try {
+          bad = co_await refetch(path, size, owner, failed_over, in_memory,
+                                 read_path);
+        } catch (const net::NetError&) {
+          // Repair path itself hit a fault window; next round retries.
+        } catch (const storage::IoError&) {
+        } catch (const fs::FsError&) {
+        }
+        ledger->count_verify(!bad);
+      }
+      if (bad) ledger->count_unrecovered();
+    }
+  }
+}
+
+sim::Task<bool> DyadConsumer::refetch(const std::string& path, Bytes size,
+                                      net::NodeId owner, bool failed_over,
+                                      bool in_memory,
+                                      const std::string& local_path) {
+  auto& local = node_->local_fs();
+  integrity::Ledger* ledger = node_->integrity();
+  const std::uint32_t me = node_->node().value;
+
+  if (failed_over) {
+    // Journal-tail re-read from the shared FS.  If the striped replica is
+    // itself corrupt, the owner re-stripes it from producer memory (a fresh
+    // write-through) before we pull it again.
+    auto* lc = node_->fallback_client();
+    if (ledger->corrupt(path,
+                        std::string(integrity::Ledger::kLustreLocation))) {
+      co_await node_->domain().at(owner).write_through(path, size);
+    }
+    const fs::LustreHandle h = co_await lc->open(path);
+    co_await lc->read(h, Bytes::zero(), size);
+    co_await lc->close(h, /*wrote=*/false);
+    co_await ledger->charge(size);
+    co_return ledger->corrupt(
+                  path, std::string(integrity::Ledger::kLustreLocation)) ||
+        ledger->flip_lustre_read(me);
+  }
+
+  if (owner == node_->node() && local_path != path) {
+    // Push-mode warm hit: the bad copy was staged here by a remote producer
+    // and the warm path never consulted the KVS.  Learn the true owner so
+    // the repair round can go back to the source.
+    const auto found = co_await node_->kvs().lookup(metadata_key(path));
+    if (found.has_value()) owner = DyadMetadata::decode(found->data).owner;
+  }
+
+  if (owner == node_->node()) {
+    // Our own producer-local replica went bad: rewrite it from producer
+    // memory (rewrite + re-tag), then re-read.
+    co_await node_->repair_local(path, size);
+    const fs::InodeId ino = co_await local.open(path);
+    co_await local.read(ino, Bytes::zero(), size);
+    co_await ledger->charge(size);
+    co_return ledger->corrupt(path, integrity::Ledger::ssd_location(me));
+  }
+
+  // Remote frame: have the owner repair its replica if that is the bad copy,
+  // then pull the payload again over RDMA and restage it here.
+  DyadNode& owner_node = node_->domain().at(owner);
+  const std::string owner_loc = integrity::Ledger::ssd_location(owner.value);
+  if (ledger->corrupt(path, owner_loc)) {
+    co_await owner_node.repair_local(path, size);
+  }
+  co_await node_->network().send_control(node_->node(), owner);
+  co_await owner_node.serve_remote_read(node_->node(), path, size);
+  const bool delivered_bad = ledger->corrupt(path, owner_loc) ||
+                             ledger->flip_link(owner.value, me);
+  if (in_memory) {
+    co_await ledger->charge(size);
+    co_return delivered_bad;
+  }
+  const fs::InodeId ino = co_await local.open(local_path);
+  co_await local.write(ino, Bytes::zero(), size);
+  const std::string here = integrity::Ledger::ssd_location(me);
+  if (delivered_bad) {
+    ledger->store_corrupt(path, here);
+  } else {
+    ledger->store(path, here, me);
+  }
+  const fs::InodeId rino = co_await local.open(local_path);
+  co_await local.read(rino, Bytes::zero(), size);
+  co_await ledger->charge(size);
+  co_return ledger->corrupt(path, here);
 }
 
 }  // namespace mdwf::dyad

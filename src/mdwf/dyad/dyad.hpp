@@ -29,6 +29,7 @@
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/fs/local_fs.hpp"
 #include "mdwf/fs/lustre.hpp"
+#include "mdwf/integrity/ledger.hpp"
 #include "mdwf/kvs/kvs.hpp"
 #include "mdwf/net/network.hpp"
 #include "mdwf/obs/trace.hpp"
@@ -89,6 +90,11 @@ struct DyadParams {
 
   // --- Resilience (mdwf::fault) -------------------------------------------
   DyadRetryParams retry{};
+  // Durable puts: fsync each produced frame before publishing its metadata
+  // (the commit barrier of the crash-consistency model).  Off by default so
+  // healthy-cluster timings match the paper; crash-aware ensembles turn it
+  // on, accepting the fsync cost as the price of checkpointable progress.
+  bool durable_puts = false;
 };
 
 class DyadNode;
@@ -154,8 +160,18 @@ class DyadNode {
   // recovery can replay exactly the lost commits.
   void note_published(const std::string& key, std::string value);
   // Background write-through of a produced frame to the Lustre cold tier.
+  // Guarded: errors (crashed writer, torn fabric) lose the replica, never
+  // the run; a pre-existing (possibly torn) replica is replaced.
   sim::Task<void> write_through(std::string path, Bytes size);
   std::uint64_t republishes() const { return republishes_; }
+  std::uint64_t lost_writethroughs() const { return lost_writethroughs_; }
+
+  // --- Integrity (mdwf::integrity) ----------------------------------------
+  void set_integrity(integrity::Ledger* ledger) { ledger_ = ledger; }
+  integrity::Ledger* integrity() { return ledger_; }
+  // Re-publishes the frame's node-local replica from producer memory (the
+  // DYAD answer to a corrupt or torn local copy): rewrite + re-tag.
+  sim::Task<void> repair_local(const std::string& path, Bytes size);
 
   // --- Observability (mdwf::obs) ------------------------------------------
   // Samples cumulative broker activity ("dyad.remote_reads", "dyad.pushes",
@@ -176,19 +192,26 @@ class DyadNode {
   sim::Semaphore service_slots_;
   std::unique_ptr<fs::LustreClient> fallback_client_;
   std::map<std::string, std::string> published_;
+  integrity::Ledger* ledger_ = nullptr;
   std::uint64_t remote_reads_ = 0;
   std::uint64_t pushes_ = 0;
   std::uint64_t republishes_ = 0;
+  std::uint64_t lost_writethroughs_ = 0;
   obs::TraceSink* trace_ = nullptr;
   obs::TrackId trace_track_{};
 };
 
-// Metadata record stored in the KVS per produced file.
+// Metadata record stored in the KVS per produced file.  `crc` is the
+// producer's CRC32C tag (0 when integrity is off); it rides through the KVS
+// so any consumer — warm path, RDMA, failover — can verify end to end.
 struct DyadMetadata {
   net::NodeId owner;
   Bytes size;
+  std::uint32_t crc = 0;
 
   std::string encode() const;
+  // Accepts both the legacy "owner:size" and the tagged "owner:size:crc"
+  // encodings.
   static DyadMetadata decode(const std::string& s);
 };
 
@@ -227,6 +250,12 @@ class DyadConsumer {
   std::uint64_t failovers() const { return failovers_; }
 
  private:
+  // One integrity re-fetch round after a checksum mismatch; updates and
+  // returns whether the delivered payload is still bad.
+  sim::Task<bool> refetch(const std::string& path, Bytes size,
+                          net::NodeId owner, bool failed_over, bool in_memory,
+                          const std::string& local_path);
+
   DyadNode* node_;
   perf::Recorder* rec_;
   std::uint64_t warm_hits_ = 0;

@@ -21,6 +21,8 @@ std::string trace_lane(const FaultWindow& w) {
       return "kvs";
     case FaultTarget::kLustreOst:
       return "ost" + std::to_string(w.index);
+    case FaultTarget::kNodeCrash:
+      return "node" + std::to_string(w.index);
   }
   return "unknown";
 }
@@ -47,8 +49,46 @@ double combined_degrade(const std::vector<double>& severities) {
 
 }  // namespace
 
+std::uint64_t CrashMonitor::epoch(std::uint32_t node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? 0 : it->second.epoch;
+}
+
+bool CrashMonitor::down(std::uint32_t node) const {
+  const auto it = nodes_.find(node);
+  return it != nodes_.end() && it->second.down_depth > 0;
+}
+
+sim::Task<void> CrashMonitor::wait_up(std::uint32_t node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.down_depth == 0) co_return;
+  // Hold a reference: the monitor swaps in a fresh event per down period.
+  const std::shared_ptr<sim::Event> up = it->second.up;
+  co_await up->wait();
+}
+
+void CrashMonitor::begin_crash(std::uint32_t node, bool power_loss) {
+  NodeState& st = nodes_[node];
+  ++st.epoch;
+  ++crashes_;
+  if (power_loss) {
+    if (st.down_depth++ == 0) {
+      st.up = std::make_shared<sim::Event>(*sim_);
+    }
+  }
+}
+
+void CrashMonitor::end_crash(std::uint32_t node) {
+  NodeState& st = nodes_[node];
+  if (st.down_depth > 0 && --st.down_depth == 0 && st.up) {
+    st.up->trigger();
+  }
+}
+
 FaultInjector::FaultInjector(sim::Simulation& sim, FaultPlan plan)
-    : sim_(&sim), plan_(std::move(plan)) {}
+    : sim_(&sim),
+      plan_(std::move(plan)),
+      monitor_(std::make_unique<CrashMonitor>(sim)) {}
 
 void FaultInjector::attach_node_ssd(std::uint32_t node,
                                     storage::BlockDevice& device) {
@@ -69,6 +109,23 @@ void FaultInjector::attach_lustre(fs::LustreServers& servers) {
     servers.ost_device(i).reseed_fault_rng(
         Rng(plan_.seed).fork("io-error/ost" + std::to_string(i)));
   }
+}
+
+void FaultInjector::attach_node_fs(std::uint32_t node,
+                                   storage::PageCache& cache,
+                                   fs::LocalFs& fs) {
+  node_fs_[node] = NodeFs{&cache, &fs};
+}
+
+void FaultInjector::attach_integrity(integrity::Ledger& ledger) {
+  integrity_ = &ledger;
+}
+
+bool FaultInjector::has_crash_windows() const {
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.target == FaultTarget::kNodeCrash) return true;
+  }
+  return false;
 }
 
 void FaultInjector::set_trace(obs::TraceSink* sink) {
@@ -114,8 +171,108 @@ void FaultInjector::refresh_device(storage::BlockDevice& device,
           : *std::max_element(a.io_errors.begin(), a.io_errors.end()));
 }
 
+void FaultInjector::apply_bitflip(const FaultWindow& w, Active& a,
+                                  bool begin) {
+  if (integrity_ == nullptr) {
+    ++skipped_;
+    return;
+  }
+  if (begin) {
+    a.bitflips.push_back(w.severity);
+  } else {
+    const auto it = std::find(a.bitflips.begin(), a.bitflips.end(),
+                              w.severity);
+    MDWF_ASSERT_MSG(it != a.bitflips.end(),
+                    "bit-flip window ended but never began");
+    a.bitflips.erase(it);
+  }
+  const double rate =
+      a.bitflips.empty()
+          ? 0.0
+          : *std::max_element(a.bitflips.begin(), a.bitflips.end());
+  switch (w.target) {
+    case FaultTarget::kNodeSsd:
+      integrity_->set_ssd_rate(w.index, rate);
+      break;
+    case FaultTarget::kNodeLink:
+      integrity_->set_link_rate(w.index, rate);
+      break;
+    case FaultTarget::kLustreOst:
+      integrity_->set_ost_rate(w.index, rate);
+      break;
+    default:
+      MDWF_ASSERT_MSG(false, "unsupported bit-flip target");
+  }
+  if (begin) ++applied_;
+}
+
+void FaultInjector::apply_crash(const FaultWindow& w, bool begin) {
+  if (w.mode == FaultMode::kKill) {
+    // Instantaneous: the ranks restart from their checkpoints, storage and
+    // page cache survive.  Nothing to undo at window end.
+    if (begin) {
+      monitor_->begin_crash(w.index, /*power_loss=*/false);
+      ++applied_;
+    }
+    return;
+  }
+  MDWF_ASSERT_MSG(w.mode == FaultMode::kCrash,
+                  "unsupported fault mode for a node crash");
+  // The SSD-offline and link-down states share the depth counters of the
+  // per-resource targets so an overlapping kNodeSsd/kNodeLink offline
+  // window composes instead of fighting over the device flag.
+  auto& ssd_a = active_[{static_cast<std::uint8_t>(FaultTarget::kNodeSsd),
+                         w.index}];
+  auto& link_a = active_[{static_cast<std::uint8_t>(FaultTarget::kNodeLink),
+                          w.index}];
+  if (begin) {
+    monitor_->begin_crash(w.index, /*power_loss=*/true);
+    // Volatile state dies first: dirty pages vanish, un-synced extents are
+    // torn back to the last barrier on the local fs and in the Lustre
+    // journal.
+    const auto nf = node_fs_.find(w.index);
+    if (nf != node_fs_.end()) {
+      if (nf->second.cache != nullptr) nf->second.cache->crash_drop_dirty();
+      if (nf->second.fs != nullptr) nf->second.fs->crash();
+    }
+    if (lustre_ != nullptr) lustre_->client_crash(net::NodeId{w.index});
+    // Then the node drops off the fabric, tearing in-flight flows, and its
+    // SSD stops serving (ops queue until "reboot").
+    if (network_ != nullptr) {
+      ++link_a.offline_depth;
+      network_->crash_node(net::NodeId{w.index});
+    }
+    const auto dev = node_ssds_.find(w.index);
+    if (dev != node_ssds_.end()) {
+      ++ssd_a.offline_depth;
+      refresh_device(*dev->second, ssd_a);
+    }
+    ++applied_;
+  } else {
+    if (network_ != nullptr) {
+      --link_a.offline_depth;
+      network_->set_link_down(net::NodeId{w.index},
+                              link_a.offline_depth > 0);
+    }
+    const auto dev = node_ssds_.find(w.index);
+    if (dev != node_ssds_.end()) {
+      --ssd_a.offline_depth;
+      refresh_device(*dev->second, ssd_a);
+    }
+    monitor_->end_crash(w.index);
+  }
+}
+
 void FaultInjector::apply(const FaultWindow& w, bool begin) {
+  if (w.target == FaultTarget::kNodeCrash) {
+    apply_crash(w, begin);
+    return;
+  }
   auto& a = active_[{static_cast<std::uint8_t>(w.target), w.index}];
+  if (w.mode == FaultMode::kBitFlip) {
+    apply_bitflip(w, a, begin);
+    return;
+  }
   auto toggle = [begin](std::vector<double>& v, double s) {
     if (begin) {
       v.push_back(s);
@@ -187,6 +344,8 @@ void FaultInjector::apply(const FaultWindow& w, bool begin) {
       }
       break;
     }
+    case FaultTarget::kNodeCrash:
+      break;  // handled above
   }
   if (begin) ++applied_;
 }

@@ -12,22 +12,63 @@
 //   offline   depth-counted (resource back up when every window ended)
 //   io-error  effective probability = max of active severities
 //   stall / outage  stack through the broker's own depth counter
+//   bit-flip  effective probability = max of active severities
+//   crash     depth-counted node-down state through the CrashMonitor
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "mdwf/fault/plan.hpp"
+#include "mdwf/fs/local_fs.hpp"
 #include "mdwf/fs/lustre.hpp"
+#include "mdwf/integrity/ledger.hpp"
 #include "mdwf/kvs/kvs.hpp"
 #include "mdwf/net/network.hpp"
 #include "mdwf/obs/trace.hpp"
+#include "mdwf/sim/primitives.hpp"
 #include "mdwf/sim/simulation.hpp"
 #include "mdwf/storage/block_device.hpp"
+#include "mdwf/storage/page_cache.hpp"
 
 namespace mdwf::fault {
+
+// Per-node crash state, visible to crash-aware ranks.
+//
+// A node's *epoch* increments on every crash or process kill: a rank
+// comparing the epoch around a unit of work knows whether the node failed
+// underneath it (work completed into a dropped page cache is lost without
+// any exception firing).  While a node is powered off (`down`), restarted
+// ranks park in `wait_up`; kills bump the epoch without a down period.
+class CrashMonitor {
+ public:
+  explicit CrashMonitor(sim::Simulation& sim) : sim_(&sim) {}
+
+  std::uint64_t epoch(std::uint32_t node) const;
+  bool down(std::uint32_t node) const;
+  // Resolves when the node is powered on (immediately if it already is).
+  sim::Task<void> wait_up(std::uint32_t node);
+
+  std::uint64_t crashes() const { return crashes_; }
+
+  // Injector-side transitions.
+  void begin_crash(std::uint32_t node, bool power_loss);
+  void end_crash(std::uint32_t node);
+
+ private:
+  struct NodeState {
+    std::uint64_t epoch = 0;
+    int down_depth = 0;
+    std::shared_ptr<sim::Event> up;  // recreated per down period (one-shot)
+  };
+
+  sim::Simulation* sim_;
+  std::map<std::uint32_t, NodeState> nodes_;
+  std::uint64_t crashes_ = 0;
+};
 
 class FaultInjector {
  public:
@@ -42,6 +83,12 @@ class FaultInjector {
   void attach_network(net::Network& network);
   void attach_kvs(kvs::KvsServer& server);
   void attach_lustre(fs::LustreServers& servers);
+  // Node-local cache + filesystem, needed for crash windows (dirty-page drop
+  // and torn-write truncation).
+  void attach_node_fs(std::uint32_t node, storage::PageCache& cache,
+                      fs::LocalFs& fs);
+  // Integrity ledger, needed for bit-flip windows.
+  void attach_integrity(integrity::Ledger& ledger);
 
   // Annotates the trace with one "fault"-category span per plan window, on
   // a "faults" process with one lane per struck resource.  Windows are pure
@@ -56,24 +103,42 @@ class FaultInjector {
   std::uint64_t windows_skipped() const { return skipped_; }
   std::uint64_t windows_applied() const { return applied_; }
 
+  // Crash state for crash-aware ranks; valid for the injector's lifetime.
+  CrashMonitor& monitor() { return *monitor_; }
+
+  // True if the plan contains any node-crash/kill window (ranks then run
+  // their crash-aware loops).
+  bool has_crash_windows() const;
+
  private:
   // Active-fault bookkeeping per (target, index).
   struct Active {
     std::vector<double> degrades;
     std::vector<double> io_errors;
+    std::vector<double> bitflips;
     int offline_depth = 0;
+  };
+
+  struct NodeFs {
+    storage::PageCache* cache = nullptr;
+    fs::LocalFs* fs = nullptr;
   };
 
   storage::BlockDevice* device_for(FaultTarget target, std::uint32_t index);
   void apply(const FaultWindow& w, bool begin);
   void refresh_device(storage::BlockDevice& device, const Active& a);
+  void apply_bitflip(const FaultWindow& w, Active& a, bool begin);
+  void apply_crash(const FaultWindow& w, bool begin);
 
   sim::Simulation* sim_;
   FaultPlan plan_;
   std::map<std::uint32_t, storage::BlockDevice*> node_ssds_;
+  std::map<std::uint32_t, NodeFs> node_fs_;
   net::Network* network_ = nullptr;
   kvs::KvsServer* kvs_ = nullptr;
   fs::LustreServers* lustre_ = nullptr;
+  integrity::Ledger* integrity_ = nullptr;
+  std::unique_ptr<CrashMonitor> monitor_;
   std::map<std::pair<std::uint8_t, std::uint32_t>, Active> active_;
   std::uint64_t skipped_ = 0;
   std::uint64_t applied_ = 0;

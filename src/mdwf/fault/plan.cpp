@@ -1,6 +1,7 @@
 #include "mdwf/fault/plan.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace mdwf::fault {
@@ -15,6 +16,8 @@ std::string_view to_string(FaultTarget t) {
       return "kvs-broker";
     case FaultTarget::kLustreOst:
       return "lustre-ost";
+    case FaultTarget::kNodeCrash:
+      return "node-crash";
   }
   return "?";
 }
@@ -31,6 +34,12 @@ std::string_view to_string(FaultMode m) {
       return "outage";
     case FaultMode::kIoError:
       return "io-error";
+    case FaultMode::kCrash:
+      return "crash";
+    case FaultMode::kKill:
+      return "kill";
+    case FaultMode::kBitFlip:
+      return "bit-flip";
   }
   return "?";
 }
@@ -65,6 +74,35 @@ namespace {
 FaultWindow window(FaultTarget target, std::uint32_t index, FaultMode mode,
                    TimePoint start, Duration duration, double severity) {
   return FaultWindow{target, index, mode, start, duration, severity};
+}
+
+// One power-loss window on `victim` shortly into the span: long enough for
+// torn writes and in-flight flows to exist, short enough that the rebooted
+// node rejoins and finishes the run.
+void add_node_crash(FaultPlan& plan, std::uint32_t victim, TimePoint start,
+                    Duration span) {
+  const Duration offset =
+      std::min(Duration(span.ns() / 3), Duration::seconds_i(2));
+  plan.windows.push_back(window(FaultTarget::kNodeCrash, victim,
+                                FaultMode::kCrash, start + offset,
+                                Duration::milliseconds(400), 1.0));
+}
+
+// Per-op silent-corruption rates on every SSD, every NIC link, and every
+// OST for the whole span.  The rates are high by hardware standards so a
+// short test run still exercises detect -> re-fetch.
+void add_bit_flips(FaultPlan& plan, const ScenarioShape& shape,
+                   TimePoint start, Duration span) {
+  for (std::uint32_t n = 0; n < shape.compute_nodes; ++n) {
+    plan.windows.push_back(window(FaultTarget::kNodeSsd, n, FaultMode::kBitFlip,
+                                  start, span, 0.02));
+    plan.windows.push_back(window(FaultTarget::kNodeLink, n,
+                                  FaultMode::kBitFlip, start, span, 0.01));
+  }
+  for (std::uint32_t o = 0; o < shape.ost_count; ++o) {
+    plan.windows.push_back(window(FaultTarget::kLustreOst, o,
+                                  FaultMode::kBitFlip, start, span, 0.01));
+  }
 }
 
 }  // namespace
@@ -136,6 +174,42 @@ FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape) {
     clock.materialize(p, start, horizon, plan);
     return plan;
   }
+  if (name == "node-crash" || name == "crash") {
+    add_node_crash(plan, 0, start, shape.span);
+    return plan;
+  }
+  if (name == "rank-kill" || name == "kill") {
+    // An instantaneous SIGKILL of the ranks on node 0: storage survives, the
+    // restarted ranks re-execute everything past their last checkpoint.
+    const Duration offset =
+        std::min(Duration(shape.span.ns() / 3), Duration::seconds_i(2));
+    plan.windows.push_back(window(FaultTarget::kNodeCrash, 0, FaultMode::kKill,
+                                  start + offset, Duration::milliseconds(1),
+                                  1.0));
+    return plan;
+  }
+  if (name == "bit-flip") {
+    add_bit_flips(plan, shape, start, shape.span);
+    return plan;
+  }
+  if (name == "crash-flip") {
+    add_node_crash(plan, 0, start, shape.span);
+    add_bit_flips(plan, shape, start, shape.span);
+    return plan;
+  }
+  if (name.starts_with("crash:")) {
+    const std::string arg(name.substr(6));
+    char* end = nullptr;
+    const unsigned long victim = std::strtoul(arg.c_str(), &end, 10);
+    if (end == arg.c_str() || *end != '\0' ||
+        victim >= shape.compute_nodes) {
+      throw std::invalid_argument("bad crash victim in scenario '" +
+                                  std::string(name) + "'");
+    }
+    add_node_crash(plan, static_cast<std::uint32_t>(victim), start,
+                   shape.span);
+    return plan;
+  }
   throw std::invalid_argument("unknown fault scenario '" + std::string(name) +
                               "'");
 }
@@ -143,7 +217,8 @@ FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape) {
 const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
       "none",      "broker-blip", "broker-outage", "slow-nvme",
-      "flaky-fabric", "partition", "ost-storm"};
+      "flaky-fabric", "partition", "ost-storm",    "node-crash",
+      "rank-kill", "bit-flip",    "crash-flip"};
   return names;
 }
 

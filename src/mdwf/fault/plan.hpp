@@ -29,6 +29,7 @@ enum class FaultTarget : std::uint8_t {
   kNodeLink,   // a compute node's NIC (index = node)
   kKvsBroker,  // the Flux-style KVS broker (index ignored)
   kLustreOst,  // one Lustre OST device (index = OST)
+  kNodeCrash,  // a whole compute node (index = node): crash/kill semantics
 };
 
 // What happens to the target during the window.
@@ -38,6 +39,12 @@ enum class FaultMode : std::uint8_t {
   kStall,    // broker only: requests queue, none serviced
   kOutage,   // broker only: stall + loss of not-yet-visible commits
   kIoError,  // SSD only: severity = per-op I/O error probability
+  kCrash,    // node only: power loss — dirty page cache dropped, un-synced
+             // writes torn back to the last fsync/commit barrier, NIC down
+             // and in-flight flows torn for the window, then reboot
+  kKill,     // node only: process kill — ranks restart from their
+             // checkpoint, but storage and page cache survive intact
+  kBitFlip,  // SSD/link/OST: severity = per-op silent-corruption probability
 };
 
 std::string_view to_string(FaultTarget t);
@@ -115,6 +122,14 @@ struct ScenarioShape {
 //   flaky-fabric   recurring NIC degradation episodes on random nodes
 //   partition      one consumer-side node link down for a window
 //   ost-storm      recurring heavy load episodes on random OSTs
+//   node-crash     node 0 loses power mid-run (dirty pages dropped, torn
+//                  writes, NIC down) and reboots after the window
+//   rank-kill      the ranks on node 0 are killed and restarted (storage
+//                  survives); also accepted as "kill"
+//   bit-flip       nonzero silent-corruption rates on every SSD, NIC link,
+//                  and OST for the span
+//   crash-flip     node-crash + bit-flip combined (the PR-3 acceptance run)
+//   crash:<n>      node <n> loses power mid-run (parameterized node-crash)
 FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape);
 
 // Every name `make_scenario` accepts, in a stable order.

@@ -133,6 +133,9 @@ sim::Task<void> LocalFs::write(InodeId ino, Bytes offset, Bytes len) {
   if (end > node.size) node.size = end;
   if (params_.direct_io) {
     co_await device_->write(len);
+    // O_DIRECT bypasses the cache: the bytes are on the device already.
+    Inode& post = inode(ino);
+    if (end > post.durable) post.durable = end;
   } else {
     co_await cache_->write(ino, offset, len);
   }
@@ -154,9 +157,27 @@ sim::Task<void> LocalFs::fsync(InodeId ino) {
   inode(ino);  // validate
   co_await cache_->flush(ino);
   co_await journal_commit();
+  // Only now — after the data write-back and the journal commit — are the
+  // bytes power-loss safe.
+  Inode& node = inode(ino);
+  if (node.size > node.durable) node.durable = node.size;
+}
+
+std::size_t LocalFs::crash() {
+  std::size_t torn = 0;
+  for (auto& [id, node] : inodes_) {
+    if (node.size > node.durable) {
+      node.size = node.durable;
+      ++torn;
+    }
+  }
+  torn_files_ += torn;
+  return torn;
 }
 
 Bytes LocalFs::size(InodeId ino) const { return inode(ino).size; }
+
+Bytes LocalFs::durable_size(InodeId ino) const { return inode(ino).durable; }
 
 FileLock& LocalFs::lock(InodeId ino) { return *inode(ino).lock; }
 

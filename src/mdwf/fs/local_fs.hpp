@@ -89,19 +89,33 @@ class LocalFs {
   sim::Task<void> fsync(InodeId ino);
 
   Bytes size(InodeId ino) const;
+  // Bytes guaranteed to survive a power loss: advanced to `size` by fsync
+  // (and by direct-I/O writes, which bypass the cache entirely).
+  Bytes durable_size(InodeId ino) const;
   FileLock& lock(InodeId ino);
+
+  // --- Crash consistency ---------------------------------------------------
+
+  // Power loss: every file is torn back to its last durable size (data that
+  // only reached the page cache is gone).  Namespace operations are journaled
+  // and survive.  The caller is responsible for also dropping the page cache
+  // (PageCache::crash_drop_dirty).  Returns the number of files torn.
+  std::size_t crash();
 
   // --- Introspection -----------------------------------------------------------
 
   std::size_t file_count() const { return by_path_.size(); }
   Bytes free_bytes() const { return allocator_.free_bytes(); }
   std::uint64_t journal_commits() const { return journal_commits_; }
+  std::uint64_t torn_files() const { return torn_files_; }
   const ExtentAllocator& allocator() const { return allocator_; }
 
  private:
   struct Inode {
     InodeId id = 0;
     Bytes size = Bytes::zero();
+    // High-water mark of fsync'd (power-loss-safe) bytes.
+    Bytes durable = Bytes::zero();
     Bytes allocated = Bytes::zero();
     std::vector<Extent> extents;
     std::unique_ptr<FileLock> lock;
@@ -123,6 +137,7 @@ class LocalFs {
   std::map<InodeId, Inode> inodes_;
   InodeId next_inode_ = 1;
   std::uint64_t journal_commits_ = 0;
+  std::uint64_t torn_files_ = 0;
 };
 
 }  // namespace mdwf::fs

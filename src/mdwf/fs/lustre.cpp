@@ -56,6 +56,18 @@ void LustreServers::set_trace(obs::TraceSink* sink) {
   }
 }
 
+std::size_t LustreServers::client_crash(net::NodeId node) {
+  std::size_t torn = 0;
+  for (auto& [path, fs] : files_) {
+    if (fs.written_by == node && fs.size > fs.durable) {
+      fs.size = fs.durable;
+      ++torn;
+    }
+  }
+  torn_writes_ += torn;
+  return torn;
+}
+
 void LustreServers::trace_mds_pending(int delta) {
   mds_pending_ += delta;
   if (trace_ == nullptr) return;
@@ -179,9 +191,8 @@ sim::Task<void> LustreClient::write(const LustreHandle& h, Bytes offset,
     // OSTs in the background.  The OSTs and fabric still see every byte.
     co_await sim_->delay(Duration::seconds(
         static_cast<double>(len.count()) / p.client_cache_bps));
-    sim_->spawn(bulk_io(*sim_, *servers_, node_, rpcs_in_flight_,
-                        it->second.stripe_osts, offset, len,
-                        /*is_write=*/true));
+    sim_->spawn(flush_guarded(*sim_, *servers_, node_, rpcs_in_flight_,
+                              it->second.stripe_osts, offset, len));
   } else {
     co_await bulk_io(*sim_, *servers_, node_, rpcs_in_flight_,
                      it->second.stripe_osts, offset, len, /*is_write=*/true);
@@ -211,12 +222,34 @@ sim::Task<void> LustreClient::read(const LustreHandle& h, Bytes offset,
                    it->second.stripe_osts, offset, len, /*is_write=*/false);
 }
 
+sim::Task<void> LustreClient::flush_guarded(
+    sim::Simulation& sim, LustreServers& servers, net::NodeId node,
+    std::shared_ptr<sim::Semaphore> window,
+    std::vector<std::uint32_t> stripe_osts, Bytes offset, Bytes len) {
+  try {
+    co_await bulk_io(sim, servers, node, std::move(window),
+                     std::move(stripe_osts), offset, len, /*is_write=*/true);
+  } catch (const net::NetError&) {
+    ++servers.lost_flushes_;
+  } catch (const storage::IoError&) {
+    ++servers.lost_flushes_;
+  }
+}
+
 sim::Task<void> LustreClient::close(const LustreHandle& h, bool wrote) {
   if (wrote) {
     co_await sim_->delay(servers_->params_.client_rpc_cpu);
     co_await servers_->mds_rpc(node_);
+    // The size/attr update is the MDS journal commit: everything written so
+    // far is now recoverable from the journal tail even if the writer dies.
+    const auto it = servers_->files_.find(h.path);
+    if (it != servers_->files_.end() && it->second.id == h.file_id) {
+      if (it->second.size > it->second.durable) {
+        it->second.durable = it->second.size;
+      }
+      ++servers_->journal_commits_;
+    }
   }
-  (void)h;
 }
 
 sim::Task<void> LustreClient::unlink(const std::string& path) {

@@ -92,6 +92,17 @@ class LustreServers {
   sim::Semaphore& mds_slots() { return *mds_slots_; }
 
   std::uint64_t mds_requests() const { return mds_requests_; }
+  std::uint64_t journal_commits() const { return journal_commits_; }
+  std::uint64_t torn_writes() const { return torn_writes_; }
+  std::uint64_t lost_flushes() const { return lost_flushes_; }
+
+  // --- Crash consistency ----------------------------------------------------
+  // Client `node` lost power: every file it wrote past the last journal
+  // commit (close-after-write publishes size to the MDS journal) is torn
+  // back to the committed size — bytes parked in the client's grant cache or
+  // still in flight in background flushes never reached the journal tail.
+  // Returns the number of files torn.
+  std::size_t client_crash(net::NodeId node);
 
   // --- Observability (mdwf::obs) ------------------------------------------
   // Registers a "lustre" process with one "mds" lane (queue depth +
@@ -105,6 +116,9 @@ class LustreServers {
   struct FileState {
     std::uint64_t id = 0;
     Bytes size = Bytes::zero();
+    // Size recorded in the MDS write journal (advanced by close-after-write,
+    // the commit barrier): what survives a writer crash.
+    Bytes durable = Bytes::zero();
     std::vector<std::uint32_t> stripe_osts;
     // Last writer and coherence state for the first-read lock charge.
     net::NodeId written_by{};
@@ -131,6 +145,9 @@ class LustreServers {
   std::uint64_t next_file_id_ = 1;
   std::uint32_t next_ost_rr_ = 0;
   std::uint64_t mds_requests_ = 0;
+  std::uint64_t journal_commits_ = 0;
+  std::uint64_t torn_writes_ = 0;
+  std::uint64_t lost_flushes_ = 0;
   std::int64_t mds_pending_ = 0;
   obs::TraceSink* trace_ = nullptr;
   obs::TrackId trace_mds_track_{};
@@ -181,6 +198,14 @@ class LustreClient {
                                  std::shared_ptr<sim::Semaphore> window,
                                  std::vector<std::uint32_t> stripe_osts,
                                  Bytes offset, Bytes len, bool is_write);
+  // Detached background flush: a grant-cache flush that dies mid-transfer
+  // (crashed writer NIC, injected I/O error) is lost data, not a sim abort.
+  static sim::Task<void> flush_guarded(sim::Simulation& sim,
+                                       LustreServers& servers,
+                                       net::NodeId node,
+                                       std::shared_ptr<sim::Semaphore> window,
+                                       std::vector<std::uint32_t> stripe_osts,
+                                       Bytes offset, Bytes len);
 
   sim::Simulation* sim_;
   LustreServers* servers_;

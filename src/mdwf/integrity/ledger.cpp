@@ -1,0 +1,131 @@
+#include "mdwf/integrity/ledger.hpp"
+
+#include <algorithm>
+
+#include "mdwf/common/crc32c.hpp"
+
+namespace mdwf::integrity {
+
+Ledger::Ledger(sim::Simulation& sim, const IntegrityParams& params)
+    : sim_(&sim), params_(params), rng_(Rng(params.seed).fork("integrity")) {}
+
+std::uint32_t Ledger::tag(std::string_view path, Bytes size) {
+  std::uint32_t crc = crc32c(path.data(), path.size());
+  const std::uint64_t n = size.count();
+  return crc32c(&n, sizeof(n), crc);
+}
+
+std::uint32_t Ledger::corrupt_tag(std::string_view path, Bytes size) {
+  // Any value != tag() detects; flipping all bits keeps it deterministic.
+  return ~tag(path, size);
+}
+
+sim::Task<void> Ledger::charge(Bytes size) {
+  if (size.is_zero()) co_return;
+  co_await sim_->delay(Duration::seconds(
+      static_cast<double>(size.count()) / params_.checksum_bps));
+}
+
+std::string Ledger::ssd_location(std::uint32_t node) {
+  return "ssd/node" + std::to_string(node);
+}
+
+double Ledger::ssd_rate(std::uint32_t node) const {
+  const auto it = ssd_window_.find(node);
+  return std::max(params_.device_flip_p,
+                  it == ssd_window_.end() ? 0.0 : it->second);
+}
+
+double Ledger::lustre_rate() const {
+  // A striped file touches some subset of OSTs; charge the worst active
+  // window (replica granularity is the file, not the stripe).
+  double w = 0.0;
+  for (const auto& [ost, p] : ost_window_) w = std::max(w, p);
+  return std::max(params_.device_flip_p, w);
+}
+
+double Ledger::link_rate(std::uint32_t node) const {
+  const auto it = link_window_.find(node);
+  return std::max(params_.link_flip_p,
+                  it == link_window_.end() ? 0.0 : it->second);
+}
+
+bool Ledger::draw(double p) {
+  if (p <= 0.0) return false;
+  return rng_.bernoulli(p);
+}
+
+void Ledger::record(const std::string& path, const std::string& location,
+                    bool is_corrupt) {
+  const std::string key = path + "|" + location;
+  if (is_corrupt) {
+    ++corrupt_stores_;
+    corrupt_.insert(key);
+  } else {
+    corrupt_.erase(key);
+  }
+}
+
+void Ledger::store(const std::string& path, const std::string& location,
+                   std::uint32_t node) {
+  record(path, location, draw(ssd_rate(node)));
+}
+
+void Ledger::store_lustre(const std::string& path, std::uint32_t writer_node) {
+  const bool bad = draw(link_rate(writer_node)) || draw(lustre_rate());
+  record(path, std::string(kLustreLocation), bad);
+}
+
+void Ledger::store_corrupt(const std::string& path,
+                           const std::string& location) {
+  record(path, location, true);
+}
+
+bool Ledger::corrupt(const std::string& path,
+                     const std::string& location) const {
+  return corrupt_.contains(path + "|" + location);
+}
+
+void Ledger::drop(const std::string& path, const std::string& location) {
+  corrupt_.erase(path + "|" + location);
+}
+
+bool Ledger::flip_link(std::uint32_t node_a, std::uint32_t node_b) {
+  if (node_a == node_b) return false;  // loopback never touches the fabric
+  return draw(link_rate(node_a)) || draw(link_rate(node_b));
+}
+
+bool Ledger::flip_lustre_read(std::uint32_t reader) {
+  return draw(link_rate(reader));
+}
+
+void Ledger::count_verify(bool ok) {
+  ++verified_;
+  if (!ok) ++failures_;
+}
+
+void Ledger::set_ssd_rate(std::uint32_t node, double p) {
+  if (p <= 0.0) {
+    ssd_window_.erase(node);
+  } else {
+    ssd_window_[node] = p;
+  }
+}
+
+void Ledger::set_ost_rate(std::uint32_t ost, double p) {
+  if (p <= 0.0) {
+    ost_window_.erase(ost);
+  } else {
+    ost_window_[ost] = p;
+  }
+}
+
+void Ledger::set_link_rate(std::uint32_t node, double p) {
+  if (p <= 0.0) {
+    link_window_.erase(node);
+  } else {
+    link_window_[node] = p;
+  }
+}
+
+}  // namespace mdwf::integrity

@@ -1,0 +1,125 @@
+// End-to-end data-integrity model (mdwf::integrity).
+//
+// Frames are byte ranges, not real payloads, so corruption cannot be
+// discovered by hashing actual bytes.  Instead the `Ledger` is the single
+// source of truth for which *replica* of which frame is silently corrupt:
+// every store of a frame copy (node-local SSD, DYAD staging area, Lustre
+// stripes) draws a seeded per-device corruption coin, every fabric traversal
+// draws a per-link coin, and consumers "verify" a read by comparing the CRC
+// they would have computed (the producer's tag when the replica and flight
+// were clean, a perturbed value otherwise) against the tag carried in the
+// frame's metadata.  All draws come from one forked `mdwf::Rng`, so a given
+// seed yields a bit-identical corruption history.
+//
+// Baseline rates model media wear / marginal fabrics; `fault::FaultInjector`
+// raises them during `FaultMode::kBitFlip` windows via the set_*_rate hooks.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "mdwf/common/bytes.hpp"
+#include "mdwf/common/rng.hpp"
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/sim/task.hpp"
+
+namespace mdwf::integrity {
+
+struct IntegrityParams {
+  bool enabled = false;
+  // Baseline per-replica-store / per-link-traversal silent-corruption
+  // probabilities (fault windows raise them temporarily).
+  double device_flip_p = 0.0;
+  double link_flip_p = 0.0;
+  // CRC32C throughput: producers pay size/checksum_bps to tag a frame,
+  // consumers pay it again to verify.
+  double checksum_bps = 8.0e9;
+  std::uint64_t seed = 42;
+};
+
+class Ledger {
+ public:
+  Ledger(sim::Simulation& sim, const IntegrityParams& params);
+
+  const IntegrityParams& params() const { return params_; }
+
+  // The CRC32C a producer computes for a frame.  Frames carry no real bytes,
+  // so the tag is derived deterministically from identity (path) and size —
+  // what matters is that producer and verifier agree on the clean value.
+  static std::uint32_t tag(std::string_view path, Bytes size);
+  // The value a reader computes from a corrupted copy (never equals tag()).
+  static std::uint32_t corrupt_tag(std::string_view path, Bytes size);
+
+  // CPU cost of checksumming `size` bytes (charged by producers and
+  // verifying consumers).
+  sim::Task<void> charge(Bytes size);
+
+  // Canonical replica-location names.
+  static std::string ssd_location(std::uint32_t node);
+  static constexpr std::string_view kLustreLocation = "lustre";
+
+  // --- Replica tracking ----------------------------------------------------
+  // A fresh copy of `path` written to `node`'s SSD: draws that device's
+  // corruption coin and records the replica state.
+  void store(const std::string& path, const std::string& location,
+             std::uint32_t node);
+  // A copy striped across the Lustre OSTs by `writer_node` (the payload also
+  // crossed the writer's link).
+  void store_lustre(const std::string& path, std::uint32_t writer_node);
+  // A copy written from an already-corrupt source (propagation, no draw).
+  void store_corrupt(const std::string& path, const std::string& location);
+  bool corrupt(const std::string& path, const std::string& location) const;
+  void drop(const std::string& path, const std::string& location);
+
+  // One fabric traversal between two endpoints: true = payload flipped in
+  // flight.
+  bool flip_link(std::uint32_t node_a, std::uint32_t node_b);
+  // One Lustre bulk read into `reader` (the server side has no per-node
+  // link windows; the reader's link is what can flip the payload).
+  bool flip_lustre_read(std::uint32_t reader);
+
+  // --- Verification bookkeeping --------------------------------------------
+  void count_verify(bool ok);
+  void count_refetch() { ++refetches_; }
+  void count_unrecovered() { ++unrecovered_; }
+
+  std::uint64_t verified() const { return verified_; }
+  std::uint64_t failures() const { return failures_; }
+  std::uint64_t refetches() const { return refetches_; }
+  std::uint64_t unrecovered() const { return unrecovered_; }
+  std::uint64_t corrupt_stores() const { return corrupt_stores_; }
+
+  // --- Fault-window hooks (mdwf::fault) ------------------------------------
+  // Set 0 to clear; the effective rate is max(baseline, window).
+  void set_ssd_rate(std::uint32_t node, double p);
+  void set_ost_rate(std::uint32_t ost, double p);
+  void set_link_rate(std::uint32_t node, double p);
+
+ private:
+  double ssd_rate(std::uint32_t node) const;
+  double lustre_rate() const;
+  double link_rate(std::uint32_t node) const;
+  bool draw(double p);
+  void record(const std::string& path, const std::string& location,
+              bool is_corrupt);
+
+  sim::Simulation* sim_;
+  IntegrityParams params_;
+  Rng rng_;
+  // Replicas currently known corrupt, keyed "path|location".  Clean replicas
+  // are not tracked: an unknown replica reads clean.
+  std::set<std::string> corrupt_;
+  std::map<std::uint32_t, double> ssd_window_;
+  std::map<std::uint32_t, double> ost_window_;
+  std::map<std::uint32_t, double> link_window_;
+  std::uint64_t verified_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t refetches_ = 0;
+  std::uint64_t unrecovered_ = 0;
+  std::uint64_t corrupt_stores_ = 0;
+};
+
+}  // namespace mdwf::integrity

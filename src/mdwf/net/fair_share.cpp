@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "mdwf/common/assert.hpp"
+#include "mdwf/net/network.hpp"  // NetError
 
 namespace mdwf::net {
 namespace {
@@ -28,12 +29,32 @@ sim::Task<void> FairShareChannel::transfer(Bytes n) {
   total_requested_ += n;
   advance_progress();
   auto flow =
-      std::make_unique<Flow>(*sim_, static_cast<double>(n.count()));
-  Flow& ref = *flow;
-  flows_.push_back(std::move(flow));
+      std::make_shared<Flow>(*sim_, static_cast<double>(n.count()));
+  flows_.push_back(flow);
   settle_and_rearm();
   trace_flows();
-  co_await ref.done.wait();
+  co_await flow->done.wait();
+  if (flow->aborted) {
+    throw NetError("flow torn down on channel '" + name_ + "'");
+  }
+}
+
+std::size_t FairShareChannel::abort_active() {
+  advance_progress();
+  const std::size_t n = flows_.size();
+  for (auto& f : flows_) {
+    f->aborted = true;
+    // Un-count the bytes that never made it: conservation totals then treat
+    // the stream as truncated at the crash instant.
+    total_requested_ -= Bytes(static_cast<std::uint64_t>(
+        std::ceil(f->remaining_bytes < 0.0 ? 0.0 : f->remaining_bytes)));
+    f->done.trigger();
+  }
+  aborted_flows_ += n;
+  flows_.clear();
+  settle_and_rearm();
+  trace_flows();
+  return n;
 }
 
 void FairShareChannel::set_trace(obs::TraceSink* sink, obs::TrackId track,

@@ -31,8 +31,15 @@ class FairShareChannel {
   FairShareChannel& operator=(const FairShareChannel&) = delete;
 
   // Streams `n` bytes through the channel; completes when the last byte has
-  // passed.  Zero-byte transfers complete immediately.
+  // passed.  Zero-byte transfers complete immediately.  Throws NetError if
+  // the flow is torn down mid-stream by `abort_active` (endpoint crash).
   sim::Task<void> transfer(Bytes n);
+
+  // Tears down every in-flight flow (NIC power loss): each waiting transfer
+  // resumes with a NetError.  Bytes not yet streamed are deducted from the
+  // requested totals so conservation checks still balance.  Returns the
+  // number of flows aborted.
+  std::size_t abort_active();
 
   std::size_t active_flows() const { return flows_.size(); }
   double capacity() const { return capacity_; }
@@ -46,6 +53,7 @@ class FairShareChannel {
   // Lifetime totals for conservation checks and utilization reports.
   Bytes total_requested() const { return total_requested_; }
   Bytes total_completed() const { return total_completed_; }
+  std::uint64_t aborted_flows() const { return aborted_flows_; }
 
   // Samples the active-flow count (the channel's queue depth) into `sink`
   // whenever it changes, as counter `counter_name` on `track` (mdwf::obs).
@@ -56,6 +64,7 @@ class FairShareChannel {
   struct Flow {
     double remaining_bytes;
     sim::Event done;
+    bool aborted = false;
     Flow(sim::Simulation& sim, double n) : remaining_bytes(n), done(sim) {}
   };
 
@@ -73,12 +82,15 @@ class FairShareChannel {
   double capacity_;
   std::string name_;
   double background_load_ = 0.0;
-  std::list<std::unique_ptr<Flow>> flows_;
+  // Shared so a transfer coroutine can still read its flow's abort flag
+  // after abort_active() has dropped it from the active list.
+  std::list<std::shared_ptr<Flow>> flows_;
   TimePoint last_update_ = TimePoint::origin();
   sim::TimerId timer_{};
   bool timer_armed_ = false;
   Bytes total_requested_ = Bytes::zero();
   Bytes total_completed_ = Bytes::zero();
+  std::uint64_t aborted_flows_ = 0;
   obs::TraceSink* trace_ = nullptr;
   obs::TrackId trace_track_{};
   std::string trace_counter_;

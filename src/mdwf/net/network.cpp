@@ -49,6 +49,11 @@ bool Network::link_down(NodeId n) const {
   return nodes_[n.value].down;
 }
 
+std::size_t Network::crash_node(NodeId n) {
+  set_link_down(n, true);
+  return tx(n).abort_active() + rx(n).abort_active();
+}
+
 void Network::check_reachable(NodeId src, NodeId dst) const {
   for (const NodeId n : {src, dst}) {
     if (nodes_[n.value].down) {

@@ -86,6 +86,10 @@ class Network {
   // throws NetError at issue time (fail fast, like a broken QP).
   void set_link_down(NodeId n, bool down);
   bool link_down(NodeId n) const;
+  // Node power loss: the link goes down AND every in-flight flow on the
+  // node's NIC is torn mid-transfer (each waiting peer gets a NetError).
+  // Returns the number of flows torn.  `set_link_down(n, false)` restores.
+  std::size_t crash_node(NodeId n);
 
  private:
   struct Nic {

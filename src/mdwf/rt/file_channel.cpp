@@ -1,14 +1,34 @@
 #include "mdwf/rt/file_channel.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "mdwf/common/crc32c.hpp"
+
 namespace mdwf::rt {
 
 namespace fs = std::filesystem;
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Chunked/incremental CRC32C, the way a streaming reader would compute it
+// (and a direct test of crc32c seed chaining on large buffers).
+constexpr std::size_t kCrcChunk = 64 * 1024;
+
+std::uint32_t chunked_crc32c(std::span<const std::byte> data) {
+  std::uint32_t crc = 0;
+  for (std::size_t off = 0; off < data.size(); off += kCrcChunk) {
+    const std::size_t n = std::min(kCrcChunk, data.size() - off);
+    crc = crc32c(data.subspan(off, n), crc);
+  }
+  return crc;
+}
+
+}  // namespace
 
 FileChannel::FileChannel(fs::path dir, SyncProtocol protocol,
                          std::chrono::milliseconds poll_interval)
@@ -40,7 +60,7 @@ void FileChannel::put(const std::string& name, const md::Frame& frame) {
   const auto t1 = Clock::now();
 
   std::lock_guard lock(mu_);
-  committed_[name] = buf.size();
+  committed_[name] = Committed{buf.size(), chunked_crc32c(buf)};
   stats_.frames += 1;
   stats_.bytes += buf.size();
   stats_.producer_io += t1 - t0;
@@ -66,20 +86,42 @@ std::optional<md::Frame> FileChannel::get(const std::string& name) {
     if (!committed_unlocked(name)) return std::nullopt;  // closed early
     stats_.consumer_wait += Clock::now() - wait_start;
   }
+  std::uint32_t expected_crc = 0;
+  {
+    std::lock_guard lock(mu_);
+    expected_crc = committed_.at(name).crc;
+  }
 
   const auto t0 = Clock::now();
   const fs::path path = dir_ / name;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open " + path.string());
-  std::vector<std::byte> buf(fs::file_size(path));
-  in.read(reinterpret_cast<char*>(buf.data()),
-          static_cast<std::streamsize>(buf.size()));
-  if (!in) throw std::runtime_error("short read from " + path.string());
+  std::vector<std::byte> buf;
+  // End-to-end verification: the bytes read back must match the CRC the
+  // producer committed.  One retry absorbs transient read glitches; a
+  // second mismatch means the stored copy itself is bad.
+  std::uint64_t failures = 0;
+  for (int attempt = 0;; ++attempt) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open " + path.string());
+    buf.resize(fs::file_size(path));
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    if (!in) throw std::runtime_error("short read from " + path.string());
+    if (chunked_crc32c(buf) == expected_crc) break;
+    ++failures;
+    if (attempt >= 1) {
+      std::lock_guard lock(mu_);
+      stats_.crc_checks += attempt + 1;
+      stats_.crc_failures += failures;
+      throw std::runtime_error("checksum mismatch reading " + path.string());
+    }
+  }
   md::Frame frame = md::Frame::deserialize(buf);
   const auto t1 = Clock::now();
   {
     std::lock_guard lock(mu_);
     stats_.consumer_io += t1 - t0;
+    stats_.crc_checks += failures + 1;
+    stats_.crc_failures += failures;
   }
   return frame;
 }

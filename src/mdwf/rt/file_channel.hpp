@@ -38,6 +38,11 @@ struct ChannelStats {
   // Wall time spent in actual file I/O (producer writes + consumer reads).
   std::chrono::nanoseconds producer_io{0};
   std::chrono::nanoseconds consumer_io{0};
+  // End-to-end integrity: channel-level CRC32C checks on the bytes read
+  // back (on top of the frame codec's own payload CRC), and how many reads
+  // mismatched the producer's tag before the one retry resolved them.
+  std::uint64_t crc_checks = 0;
+  std::uint64_t crc_failures = 0;
 };
 
 class FileChannel {
@@ -75,9 +80,15 @@ class FileChannel {
   SyncProtocol protocol_;
   std::chrono::milliseconds poll_interval_;
 
+  // Producer-side commit record: what a consumer must see back.
+  struct Committed {
+    std::uintmax_t size = 0;
+    std::uint32_t crc = 0;  // chunked CRC32C over the serialized bytes
+  };
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<std::string, std::uintmax_t> committed_;  // name -> size
+  std::map<std::string, Committed> committed_;
   bool closed_ = false;
   ChannelStats stats_;
 };

@@ -57,7 +57,18 @@ Bytes PageCache::evict_one() {
 
 void PageCache::writeback_async(Bytes n) {
   if (n.is_zero()) return;
-  sim_->spawn(device_->write(n));
+  sim_->spawn(writeback_guarded(n));
+}
+
+sim::Task<void> PageCache::writeback_guarded(Bytes n) {
+  // Background flusher traffic must never abort the run: a write that fails
+  // (injected I/O error) or never completes before a crash just means the
+  // page content is lost — exactly what the durability model expects.
+  try {
+    co_await device_->write(n);
+  } catch (const IoError&) {
+    ++failed_writebacks_;
+  }
 }
 
 sim::Task<void> PageCache::memcpy_cost(Bytes n) {
@@ -171,6 +182,16 @@ void PageCache::drop(std::uint64_t file_id) {
     }
   }
   trace_state();
+}
+
+std::size_t PageCache::crash_drop_dirty() {
+  const std::size_t lost = dirty_count_;
+  dirty_dropped_ += lost;
+  lru_.clear();
+  pages_.clear();
+  dirty_count_ = 0;
+  trace_state();
+  return lost;
 }
 
 bool PageCache::resident(std::uint64_t file_id, Bytes offset, Bytes len) const {

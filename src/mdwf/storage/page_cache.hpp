@@ -45,12 +45,19 @@ class PageCache {
   // Drops every page of the file without writeback (unlink).
   void drop(std::uint64_t file_id);
 
+  // Power-loss: every dirty page vanishes without writeback (clean pages
+  // survive only as far as the model cares — they are dropped too, as a
+  // rebooted node starts cold).  Returns the number of dirty pages lost.
+  std::size_t crash_drop_dirty();
+
   // True when the whole byte range is resident.
   bool resident(std::uint64_t file_id, Bytes offset, Bytes len) const;
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t dirty_dropped() const { return dirty_dropped_; }
+  std::uint64_t failed_writebacks() const { return failed_writebacks_; }
   std::size_t resident_pages() const { return pages_.size(); }
   std::size_t dirty_pages() const { return dirty_count_; }
 
@@ -85,6 +92,7 @@ class PageCache {
   // traffic, the foreground operation does not wait (kernel flusher
   // behaviour).
   void writeback_async(Bytes n);
+  sim::Task<void> writeback_guarded(Bytes n);
   sim::Task<void> memcpy_cost(Bytes n);
   void trace_state();
 
@@ -98,6 +106,8 @@ class PageCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t dirty_dropped_ = 0;
+  std::uint64_t failed_writebacks_ = 0;
   obs::TraceSink* trace_ = nullptr;
   obs::TrackId trace_track_{};
   std::string trace_resident_;

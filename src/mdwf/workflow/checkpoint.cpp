@@ -1,0 +1,31 @@
+#include "mdwf/workflow/checkpoint.hpp"
+
+#include <algorithm>
+
+#include "mdwf/storage/block_device.hpp"
+
+namespace mdwf::workflow {
+
+sim::Task<void> Checkpoint::persist(std::uint64_t frames_done) {
+  if (frames_done == 0 || frames_done % params_.interval != 0) co_return;
+  const std::uint64_t epoch0 =
+      monitor_ != nullptr ? monitor_->epoch(node_) : 0;
+  try {
+    if (!ino_.has_value()) ino_ = co_await fs_->create(path_);
+    co_await fs_->write(*ino_, Bytes::zero(), params_.record_size);
+    co_await fs_->fsync(*ino_);
+  } catch (const storage::IoError&) {
+    co_return;  // crash window struck the device: record lost, run continues
+  } catch (const fs::FsError&) {
+    co_return;
+  }
+  if (monitor_ != nullptr && monitor_->epoch(node_) != epoch0) {
+    // The node died while the barrier was in flight; whatever the fsync
+    // claims, the dirty record pages are gone.
+    co_return;
+  }
+  durable_ = std::max(durable_, frames_done);
+  ++persists_;
+}
+
+}  // namespace mdwf::workflow

@@ -97,6 +97,35 @@ EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
   config.testbed.dyad.retry.enabled = retry;
   config.testbed.dyad.retry.lustre_fallback = retry;
 
+  // End-to-end integrity defaults on whenever the plan can corrupt or tear
+  // frames (bit-flip or node-crash windows): unchecked runs would count
+  // corrupt frames as delivered.  integrity=off reproduces that baseline;
+  // integrity=on forces checksums under a healthy plan.
+  bool flips = false;
+  bool crashes = false;
+  for (const auto& w : config.testbed.faults.windows) {
+    flips = flips || w.mode == fault::FaultMode::kBitFlip;
+    crashes = crashes || w.target == fault::FaultTarget::kNodeCrash;
+  }
+  config.testbed.integrity.enabled = cfg.get_bool(
+      "integrity", flips || crashes || defaults.testbed.integrity.enabled);
+
+  // checkpoint=N persists a rank's progress record every N completed
+  // frames; checkpoint=0 disables records even under crash windows (a
+  // restart then re-executes from frame 0).  Absent = auto: on with
+  // interval 1 iff the plan has crash windows.
+  if (cfg.has("checkpoint")) {
+    const std::uint64_t every = cfg.get_uint("checkpoint", 1);
+    if (every == 0) {
+      config.checkpoint.mode = CheckpointParams::Mode::kOff;
+    } else {
+      config.checkpoint.mode = CheckpointParams::Mode::kOn;
+      config.checkpoint.interval = every;
+    }
+  } else {
+    cfg.note_known("checkpoint");
+  }
+
   config.trace_path = cfg.get_string("trace", defaults.trace_path);
 
   return config;

@@ -3,11 +3,13 @@
 //
 // `parse_ensemble_config` reads the experiment keys (solution, pairs, nodes,
 // model, stride, frames, reps, seed, interference, push, jitter, compress,
-// colocate, faults, retry, trace) from a KeyValueConfig on top of a caller-
-// provided defaults object, applies the cross-key rules (XFS defaults to one
-// node; injected faults turn the DYAD recovery protocol on; fault scenarios
-// are materialized against the configured cluster shape), and returns the
-// bound config.  Unknown-key detection stays with the caller: every key this
+// colocate, faults, retry, integrity, checkpoint, trace) from a
+// KeyValueConfig on top of a caller-provided defaults object, applies the
+// cross-key rules (XFS defaults to one node; injected faults turn the DYAD
+// recovery protocol on; bit-flip/crash scenarios turn end-to-end checksums
+// on; crash windows turn per-rank checkpointing on; fault scenarios are
+// materialized against the configured cluster shape), and returns the bound
+// config.  Unknown-key detection stays with the caller: every key this
 // function understands is marked known on `cfg`.
 #pragma once
 

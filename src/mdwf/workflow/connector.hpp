@@ -22,8 +22,18 @@
 // consumer finishes its iteration before starting the next stride
 // (`producer_sync`; outside the measured produce region, as in the paper
 // where production shows "no significant idle").
+//
+// Crash consistency (PR 3): every verb carries an explicit frame index so
+// re-executed frames stay idempotent.  ExplicitSync is level-triggered on
+// per-frame high-water marks rather than edge-triggered tokens: a producer
+// that rolls back to a checkpoint and re-announces frames it already
+// announced cannot double-release a consumer, and a consumer that re-waits
+// for an already-announced frame proceeds immediately instead of
+// deadlocking on a consumed token.  Callers that predate the crash model
+// omit the index (kAutoFrame) and get the old strictly-in-order behaviour.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -32,6 +42,7 @@
 #include "mdwf/dyad/dyad.hpp"
 #include "mdwf/fs/local_fs.hpp"
 #include "mdwf/fs/lustre.hpp"
+#include "mdwf/integrity/ledger.hpp"
 #include "mdwf/perf/recorder.hpp"
 #include "mdwf/sim/primitives.hpp"
 
@@ -44,40 +55,83 @@ enum class Solution { kDyad, kXfs, kLustre };
 std::string_view to_string(Solution s);
 
 // Producer/consumer-pair rendezvous for the manual-sync connectors.
+//
+// Level-triggered per-frame marks: `signal_ready(f)` declares frames
+// [0, f] visible (idempotent under producer re-execution), `wait_ready(f)`
+// resolves once frame f has ever been announced.  Same for done.  For
+// healthy in-order callers this behaves exactly like the old paired
+// semaphore; under crash/restart it tolerates replayed signals and
+// re-issued waits.
 class ExplicitSync {
  public:
-  explicit ExplicitSync(sim::Simulation& sim)
-      : ready_(sim, 0), done_(sim, 0) {}
+  explicit ExplicitSync(sim::Simulation& sim) : sim_(&sim) {}
 
-  // Producer: frame data is visible.
-  void signal_ready() { ready_.release(); }
-  // Consumer: block until the frame is ready.
-  auto wait_ready() { return ready_.acquire(); }
-  // Consumer: iteration (read + analytics) finished.
-  void signal_done() { done_.release(); }
-  // Producer: block until the consumer finished consuming.
-  auto wait_done() { return done_.acquire(); }
+  // Producer: frame `frame` data is visible.
+  void signal_ready(std::uint64_t frame) { announce(ready_, frame); }
+  // Consumer: block until frame `frame` is ready.
+  sim::Task<void> wait_ready(std::uint64_t frame) {
+    return await(ready_, frame);
+  }
+  // Consumer: iteration `frame` (read + analytics) finished.
+  void signal_done(std::uint64_t frame) { announce(done_, frame); }
+  // Producer: block until the consumer finished iteration `frame`.
+  sim::Task<void> wait_done(std::uint64_t frame) { return await(done_, frame); }
+
+  std::uint64_t ready_frames() const { return ready_.high; }
+  std::uint64_t done_frames() const { return done_.high; }
 
  private:
-  sim::Semaphore ready_;
-  sim::Semaphore done_;
+  struct Mark {
+    std::uint64_t high = 0;              // frames [0, high) announced
+    std::shared_ptr<sim::Event> changed; // recreated per announcement
+  };
+
+  void announce(Mark& m, std::uint64_t frame);
+  sim::Task<void> await(Mark& m, std::uint64_t frame);
+
+  sim::Simulation* sim_;
+  Mark ready_;
+  Mark done_;
 };
 
 // One connector instance per rank (producer or consumer); put() is used by
-// producers, get() by consumers.
+// producers, get() by consumers.  The frame index makes re-execution after
+// a crash explicit; callers that always move forward can omit it and the
+// connector derives it from a per-verb sequence counter.
 class Connector {
  public:
+  // Sentinel frame index: derive from the connector's own in-order counter.
+  static constexpr std::uint64_t kAutoFrame = ~std::uint64_t{0};
+
   virtual ~Connector() = default;
 
-  // Publish `size` bytes under `path`.
-  virtual sim::Task<void> put(const std::string& path, Bytes size) = 0;
+  // Publish `size` bytes under `path` as frame `frame`.
+  virtual sim::Task<void> put(const std::string& path, Bytes size,
+                              std::uint64_t frame = kAutoFrame) = 0;
   // After put: block until the consumer allows the next iteration (manual
   // coarse-grained sync only; no-op for DYAD).
-  virtual sim::Task<void> producer_sync() = 0;
-  // Acquire and read `path`.
-  virtual sim::Task<void> get(const std::string& path, Bytes size) = 0;
+  virtual sim::Task<void> producer_sync(std::uint64_t frame = kAutoFrame) = 0;
+  // Acquire and read `path` (frame `frame`).
+  virtual sim::Task<void> get(const std::string& path, Bytes size,
+                              std::uint64_t frame = kAutoFrame) = 0;
   // Consumer iteration complete (manual sync only; no-op for DYAD).
-  virtual void acknowledge() {}
+  virtual void acknowledge(std::uint64_t frame = kAutoFrame) {}
+
+ protected:
+  // Resolve kAutoFrame against a per-verb monotonic sequence; an explicit
+  // index also fast-forwards the sequence so mixed use stays coherent.
+  static std::uint64_t resolve(std::uint64_t frame, std::uint64_t& seq) {
+    if (frame != kAutoFrame) {
+      seq = frame + 1;
+      return frame;
+    }
+    return seq++;
+  }
+
+  std::uint64_t put_seq_ = 0;
+  std::uint64_t sync_seq_ = 0;
+  std::uint64_t get_seq_ = 0;
+  std::uint64_t ack_seq_ = 0;
 };
 
 class DyadConnector final : public Connector {
@@ -85,11 +139,18 @@ class DyadConnector final : public Connector {
   DyadConnector(dyad::DyadNode& node, perf::Recorder& recorder)
       : producer_(node, recorder), consumer_(node, recorder) {}
 
-  sim::Task<void> put(const std::string& path, Bytes size) override {
+  sim::Task<void> put(const std::string& path, Bytes size,
+                      std::uint64_t frame) override {
+    (void)frame;  // DYAD synchronizes on the namespace, not frame order
     co_await producer_.produce(path, size);
   }
-  sim::Task<void> producer_sync() override { co_return; }
-  sim::Task<void> get(const std::string& path, Bytes size) override {
+  sim::Task<void> producer_sync(std::uint64_t frame) override {
+    (void)frame;
+    co_return;
+  }
+  sim::Task<void> get(const std::string& path, Bytes size,
+                      std::uint64_t frame) override {
+    (void)frame;
     co_await consumer_.consume(path, size);
   }
 
@@ -102,42 +163,75 @@ class DyadConnector final : public Connector {
 
 class XfsConnector final : public Connector {
  public:
+  // `ledger` (optional) enables end-to-end CRC verification on every get;
+  // `durable` makes each put fsync (crash-consistent commit barrier) and
+  // re-puts replace possibly-torn leftovers.  Defaults preserve the
+  // healthy-cluster timings the paper measures.
   XfsConnector(sim::Simulation& sim, fs::LocalFs& fs, ExplicitSync& sync,
-               perf::Recorder& recorder)
-      : sim_(&sim), fs_(&fs), sync_(&sync), rec_(&recorder) {}
+               perf::Recorder& recorder, std::uint32_t node = 0,
+               integrity::Ledger* ledger = nullptr, bool durable = false)
+      : sim_(&sim),
+        fs_(&fs),
+        sync_(&sync),
+        rec_(&recorder),
+        node_(node),
+        ledger_(ledger),
+        durable_(durable) {}
 
-  sim::Task<void> put(const std::string& path, Bytes size) override;
-  sim::Task<void> producer_sync() override;
-  sim::Task<void> get(const std::string& path, Bytes size) override;
-  void acknowledge() override { sync_->signal_done(); }
+  sim::Task<void> put(const std::string& path, Bytes size,
+                      std::uint64_t frame) override;
+  sim::Task<void> producer_sync(std::uint64_t frame) override;
+  sim::Task<void> get(const std::string& path, Bytes size,
+                      std::uint64_t frame) override;
+  void acknowledge(std::uint64_t frame) override {
+    sync_->signal_done(resolve(frame, ack_seq_));
+  }
 
  private:
+  sim::Task<void> verify(const std::string& path, Bytes size);
+
   sim::Simulation* sim_;
   fs::LocalFs* fs_;
   ExplicitSync* sync_;
   perf::Recorder* rec_;
+  std::uint32_t node_;
+  integrity::Ledger* ledger_;
+  bool durable_;
 };
 
 class LustreConnector final : public Connector {
  public:
   LustreConnector(sim::Simulation& sim, fs::LustreServers& servers,
                   net::NodeId node, ExplicitSync& sync,
-                  perf::Recorder& recorder)
+                  perf::Recorder& recorder,
+                  integrity::Ledger* ledger = nullptr, bool durable = false)
       : sim_(&sim),
         client_(sim, servers, node),
         sync_(&sync),
-        rec_(&recorder) {}
+        rec_(&recorder),
+        node_(node.value),
+        ledger_(ledger),
+        durable_(durable) {}
 
-  sim::Task<void> put(const std::string& path, Bytes size) override;
-  sim::Task<void> producer_sync() override;
-  sim::Task<void> get(const std::string& path, Bytes size) override;
-  void acknowledge() override { sync_->signal_done(); }
+  sim::Task<void> put(const std::string& path, Bytes size,
+                      std::uint64_t frame) override;
+  sim::Task<void> producer_sync(std::uint64_t frame) override;
+  sim::Task<void> get(const std::string& path, Bytes size,
+                      std::uint64_t frame) override;
+  void acknowledge(std::uint64_t frame) override {
+    sync_->signal_done(resolve(frame, ack_seq_));
+  }
 
  private:
+  sim::Task<void> verify(const std::string& path, Bytes size);
+
   sim::Simulation* sim_;
   fs::LustreClient client_;
   ExplicitSync* sync_;
   perf::Recorder* rec_;
+  std::uint32_t node_;
+  integrity::Ledger* ledger_;
+  bool durable_;
 };
 
 // Everything needed to build one rank's connector against a testbed.  The
@@ -152,7 +246,9 @@ struct ConnectorSpec {
   perf::Recorder* recorder = nullptr;
 };
 
-// Factory for the solution-appropriate connector.
+// Factory for the solution-appropriate connector.  Integrity verification is
+// wired when the testbed carries a ledger; durable (fsync-barrier) puts are
+// wired when its fault plan contains crash windows.
 std::unique_ptr<Connector> make_connector(const ConnectorSpec& spec);
 
 }  // namespace mdwf::workflow

@@ -30,6 +30,51 @@ void trace_frame(const RankContext& ctx, std::uint64_t f) {
   ctx.trace->instant(ctx.track, "f=" + std::to_string(f), ctx.sim->now());
 }
 
+std::uint64_t rank_epoch(const RankContext& ctx) {
+  return ctx.crash != nullptr ? ctx.crash->epoch(ctx.node) : 0;
+}
+
+// Rank restart after its node failed underneath it: park until power-on,
+// then roll back to the last durable checkpoint.  Returns the frame to
+// resume from.
+sim::Task<std::uint64_t> crash_restart(const RankContext& ctx) {
+  {
+    perf::ScopedRegion down(*ctx.recorder, "crash_restart",
+                            perf::Category::kIdle);
+    co_await ctx.crash->wait_up(ctx.node);
+  }
+  if (ctx.stats != nullptr) ++ctx.stats->crash_recoveries;
+  co_return ctx.checkpoint != nullptr ? ctx.checkpoint->restore() : 0;
+}
+
+// Account a finished frame iteration: distinct progress vs post-rollback
+// re-execution.
+void count_frame(RankStats* stats, std::uint64_t f, std::uint64_t& high) {
+  if (f < high) {
+    if (stats != nullptr) ++stats->reexecuted;
+  } else {
+    high = f + 1;
+    if (stats != nullptr) ++stats->frames_done;
+  }
+}
+
+// Frames below a restored checkpoint are durably complete; credit the ones
+// not yet counted (a crash can land between persist(f+1) and count_frame,
+// rolling the rank *forward* past an uncounted frame).
+void credit_restored(RankStats* stats, std::uint64_t restored,
+                     std::uint64_t& high) {
+  if (restored <= high) return;
+  if (stats != nullptr) stats->frames_done += restored - high;
+  high = restored;
+}
+
+// Backoff between same-frame retries when a *remote* fault (crashed peer,
+// torn fabric) failed the frame but this rank's node kept its state.
+constexpr Duration kFaultRetryBackoff = Duration::milliseconds(50);
+// Hard cap so an unrecoverable configuration surfaces as the original error
+// instead of an endless poll loop.
+constexpr std::uint64_t kMaxFaultRetries = 10'000;
+
 }  // namespace
 
 sim::Task<void> run_producer(RankContext ctx) {
@@ -42,10 +87,14 @@ sim::Task<void> run_producer(RankContext ctx) {
     co_await sim.delay(workload.frame_compute() *
                        (workload.start_stagger * ctx.rng.next_double()));
   }
-  for (std::uint64_t f = 0; f < workload.frames; ++f) {
+  std::uint64_t completed_high = 0;
+  std::uint64_t f = 0;
+  while (f < workload.frames) {
+    const std::uint64_t frame_epoch = rank_epoch(ctx);
     {
       // MD steps between output frames; jitter models run-to-run rate
-      // variability of a real simulation.
+      // variability of a real simulation.  Re-executed frames redo the full
+      // stride: the crash lost the in-memory MD state past the checkpoint.
       perf::ScopedRegion compute(recorder, "md_compute",
                                  perf::Category::kCompute);
       const double jitter =
@@ -60,12 +109,46 @@ sim::Task<void> run_producer(RankContext ctx) {
       perf::ScopedRegion comp(recorder, "compress", perf::Category::kCompute);
       co_await sim.delay(workload.compress_time());
     }
-    {
-      perf::ScopedRegion produce(recorder, "produce");
-      co_await ctx.connector->put(frame_path(ctx.pair, f), wire_bytes);
+    for (std::uint64_t attempts = 0;; ++attempts) {
+      std::exception_ptr failure;
+      try {
+        perf::ScopedRegion produce(recorder, "produce");
+        co_await ctx.connector->put(frame_path(ctx.pair, f), wire_bytes, f);
+        if (ctx.checkpoint != nullptr) co_await ctx.checkpoint->persist(f + 1);
+      } catch (const net::NetError&) {
+        failure = std::current_exception();
+      } catch (const storage::IoError&) {
+        failure = std::current_exception();
+      } catch (const fs::FsError&) {
+        failure = std::current_exception();
+      }
+      if (failure == nullptr) break;
+      // Without a crash model a faulted put is fatal, exactly as before.
+      if (ctx.crash == nullptr || attempts >= kMaxFaultRetries) {
+        std::rethrow_exception(failure);
+      }
+      if (rank_epoch(ctx) != frame_epoch) break;  // our node died: see below
+      if (ctx.stats != nullptr) ++ctx.stats->fault_retries;
+      perf::ScopedRegion wait(recorder, "fault_retry", perf::Category::kIdle);
+      co_await sim.delay(kFaultRetryBackoff);
+    }
+    if (ctx.crash != nullptr && rank_epoch(ctx) != frame_epoch) {
+      f = co_await crash_restart(ctx);
+      credit_restored(ctx.stats, f, completed_high);
+      continue;
     }
     trace_frame(ctx, f);
-    co_await ctx.connector->producer_sync();
+    co_await ctx.connector->producer_sync(f);
+    if (ctx.crash != nullptr && rank_epoch(ctx) != frame_epoch) {
+      // Node failed while parked in producer_sync (consumer acks arrive
+      // from a live node); the put was already durable iff the checkpoint
+      // says so.
+      f = co_await crash_restart(ctx);
+      credit_restored(ctx.stats, f, completed_high);
+      continue;
+    }
+    count_frame(ctx.stats, f, completed_high);
+    ++f;
   }
 }
 
@@ -74,10 +157,37 @@ sim::Task<void> run_consumer(RankContext ctx) {
   auto& recorder = *ctx.recorder;
   const WorkloadConfig& workload = ctx.workload;
   const Bytes wire_bytes = workload.wire_bytes();
-  for (std::uint64_t f = 0; f < workload.frames; ++f) {
-    {
-      perf::ScopedRegion consume(recorder, "consume");
-      co_await ctx.connector->get(frame_path(ctx.pair, f), wire_bytes);
+  std::uint64_t completed_high = 0;
+  std::uint64_t f = 0;
+  while (f < workload.frames) {
+    const std::uint64_t frame_epoch = rank_epoch(ctx);
+    for (std::uint64_t attempts = 0;; ++attempts) {
+      std::exception_ptr failure;
+      try {
+        perf::ScopedRegion consume(recorder, "consume");
+        co_await ctx.connector->get(frame_path(ctx.pair, f), wire_bytes, f);
+      } catch (const net::NetError&) {
+        failure = std::current_exception();
+      } catch (const storage::IoError&) {
+        failure = std::current_exception();
+      } catch (const fs::FsError&) {
+        failure = std::current_exception();
+      }
+      if (failure == nullptr) break;
+      if (ctx.crash == nullptr || attempts >= kMaxFaultRetries) {
+        std::rethrow_exception(failure);
+      }
+      if (rank_epoch(ctx) != frame_epoch) break;
+      // Producer side is crashed or re-executing: poll until the frame
+      // (re)appears.
+      if (ctx.stats != nullptr) ++ctx.stats->fault_retries;
+      perf::ScopedRegion wait(recorder, "fault_retry", perf::Category::kIdle);
+      co_await sim.delay(kFaultRetryBackoff);
+    }
+    if (ctx.crash != nullptr && rank_epoch(ctx) != frame_epoch) {
+      f = co_await crash_restart(ctx);
+      credit_restored(ctx.stats, f, completed_high);
+      continue;
     }
     trace_frame(ctx, f);
     if (workload.compress) {
@@ -96,7 +206,17 @@ sim::Task<void> run_consumer(RankContext ctx) {
       perf::ScopedRegion ana(recorder, "analytics", perf::Category::kCompute);
       co_await sim.delay(workload.frame_compute());
     }
-    ctx.connector->acknowledge();
+    ctx.connector->acknowledge(f);
+    if (ctx.checkpoint != nullptr) co_await ctx.checkpoint->persist(f + 1);
+    if (ctx.crash != nullptr && rank_epoch(ctx) != frame_epoch) {
+      // Crash during analytics/ack/persist: the analytics output since the
+      // last durable record is gone; re-consume from there.
+      f = co_await crash_restart(ctx);
+      credit_restored(ctx.stats, f, completed_high);
+      continue;
+    }
+    count_frame(ctx.stats, f, completed_high);
+    ++f;
   }
 }
 
@@ -134,8 +254,13 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
   for (const char* name :
        {"dyad_warm_hits", "dyad_kvs_waits", "dyad_kvs_retries",
         "dyad_recovery_retries", "dyad_failovers", "dyad_republishes",
-        "kvs_commits", "kvs_lookups", "cache_hits", "cache_misses",
-        "fault_windows_applied", "sim_events", "trace_events"}) {
+        "frames_produced", "frames_consumed", "frames_reexecuted",
+        "fault_retries", "crash_recoveries", "crash_windows",
+        "checkpoint_persists", "checkpoint_restores", "torn_writes",
+        "lost_dirty_pages", "integrity_verified", "integrity_failures",
+        "integrity_refetches", "integrity_unrecovered", "kvs_commits",
+        "kvs_lookups", "cache_hits", "cache_misses", "fault_windows_applied",
+        "sim_events", "trace_events"}) {
     result.counters.add(name, 0);
   }
 
@@ -148,6 +273,9 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
   for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
     TestbedParams tp = config.testbed;
     tp.compute_nodes = config.nodes;
+    // Each repetition draws an independent corruption history (same prime
+    // stride scheme as the workload seeds: deterministic, non-overlapping).
+    tp.integrity.seed = config.base_seed + rep * 7919;
     tp.trace = (tracing && rep == 0) ? &trace_sink : nullptr;
     Testbed tb(tp);
     auto& sim = tb.simulation();
@@ -171,7 +299,17 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
     std::vector<std::unique_ptr<ExplicitSync>> syncs;
     std::vector<std::unique_ptr<Connector>> prod_conn;
     std::vector<std::unique_ptr<Connector>> cons_conn;
+    std::vector<std::unique_ptr<Checkpoint>> ckpts;
     std::vector<sim::Task<void>> tasks;
+
+    // Crash/restart model: crash windows in the plan switch the rank loops
+    // to their crash-aware form and (by default) enable checkpointing.
+    fault::CrashMonitor* crash = nullptr;
+    const bool crash_aware = tb.fault_injector() != nullptr &&
+                             tb.fault_injector()->has_crash_windows();
+    if (crash_aware) crash = &tb.fault_injector()->monitor();
+    const bool ckpt_on = config.checkpoint.resolve_enabled(crash_aware);
+    std::vector<RankStats> stats(2 * config.pairs);
 
     const Rng rep_rng(config.base_seed + rep);
 
@@ -207,17 +345,40 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
         tb.dyad_domain().subscribe(pair_prefix(pair), net::NodeId{cnode});
       }
 
+      Checkpoint* pckpt = nullptr;
+      Checkpoint* cckpt = nullptr;
+      if (ckpt_on) {
+        ckpts.push_back(std::make_unique<Checkpoint>(
+            sim, *tb.node(pnode).local_fs,
+            "ckpt/producer" + std::to_string(pair), config.checkpoint, crash,
+            pnode));
+        pckpt = ckpts.back().get();
+        ckpts.push_back(std::make_unique<Checkpoint>(
+            sim, *tb.node(cnode_eff).local_fs,
+            "ckpt/consumer" + std::to_string(pair), config.checkpoint, crash,
+            cnode_eff));
+        cckpt = ckpts.back().get();
+      }
+
       RankContext pctx{.sim = &sim,
                        .connector = prod_conn.back().get(),
                        .recorder = &prec,
                        .workload = config.workload,
                        .pair = pair,
-                       .rng = rep_rng.fork("pair" + std::to_string(pair))};
+                       .rng = rep_rng.fork("pair" + std::to_string(pair)),
+                       .node = pnode,
+                       .crash = crash,
+                       .checkpoint = pckpt,
+                       .stats = &stats[2 * pair]};
       RankContext cctx{.sim = &sim,
                        .connector = cons_conn.back().get(),
                        .recorder = &crec,
                        .workload = config.workload,
-                       .pair = pair};
+                       .pair = pair,
+                       .node = cnode_eff,
+                       .crash = crash,
+                       .checkpoint = cckpt,
+                       .stats = &stats[2 * pair + 1]};
       if (sink != nullptr) {
         // One trace lane per rank, on the process of the node it runs on.
         pctx.trace = cctx.trace = sink;
@@ -292,6 +453,39 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
         result.counters.add("dyad_republishes",
                             tb.node(n).dyad->republishes());
       }
+    }
+    for (std::uint32_t pair = 0; pair < config.pairs; ++pair) {
+      result.counters.add("frames_produced", stats[2 * pair].frames_done);
+      result.counters.add("frames_consumed", stats[2 * pair + 1].frames_done);
+      result.counters.add("frames_reexecuted",
+                          stats[2 * pair].reexecuted +
+                              stats[2 * pair + 1].reexecuted);
+      result.counters.add("fault_retries",
+                          stats[2 * pair].fault_retries +
+                              stats[2 * pair + 1].fault_retries);
+      result.counters.add("crash_recoveries",
+                          stats[2 * pair].crash_recoveries +
+                              stats[2 * pair + 1].crash_recoveries);
+    }
+    for (const auto& ckpt : ckpts) {
+      result.counters.add("checkpoint_persists", ckpt->persists());
+      result.counters.add("checkpoint_restores", ckpt->restores());
+    }
+    if (crash != nullptr) {
+      result.counters.add("crash_windows", crash->crashes());
+    }
+    std::uint64_t torn = tb.lustre().torn_writes();
+    for (std::uint32_t n = 0; n < config.nodes; ++n) {
+      torn += tb.node(n).local_fs->torn_files();
+      result.counters.add("lost_dirty_pages",
+                          tb.node(n).cache->dirty_dropped());
+    }
+    result.counters.add("torn_writes", torn);
+    if (auto* ledger = tb.integrity_ledger()) {
+      result.counters.add("integrity_verified", ledger->verified());
+      result.counters.add("integrity_failures", ledger->failures());
+      result.counters.add("integrity_refetches", ledger->refetches());
+      result.counters.add("integrity_unrecovered", ledger->unrecovered());
     }
     result.counters.add("kvs_commits", tb.kvs().commits());
     result.counters.add("kvs_lookups", tb.kvs().lookups());

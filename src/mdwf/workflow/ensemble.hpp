@@ -15,11 +15,13 @@
 
 #include "mdwf/common/rng.hpp"
 #include "mdwf/common/stats.hpp"
+#include "mdwf/fault/injector.hpp"
 #include "mdwf/fs/interference.hpp"
 #include "mdwf/md/models.hpp"
 #include "mdwf/obs/counters.hpp"
 #include "mdwf/obs/trace.hpp"
 #include "mdwf/perf/thicket.hpp"
+#include "mdwf/workflow/checkpoint.hpp"
 #include "mdwf/workflow/connector.hpp"
 #include "mdwf/workflow/testbed.hpp"
 
@@ -82,6 +84,15 @@ struct WorkloadConfig {
 std::string frame_path(std::uint32_t pair, std::uint64_t f);
 std::string pair_prefix(std::uint32_t pair);
 
+// Per-rank recovery bookkeeping, filled in by the rank coroutines and summed
+// into EnsembleResult counters.
+struct RankStats {
+  std::uint64_t frames_done = 0;      // distinct frames completed
+  std::uint64_t reexecuted = 0;       // frame iterations redone after rollback
+  std::uint64_t fault_retries = 0;    // same-frame retries after remote faults
+  std::uint64_t crash_recoveries = 0; // rollback events (wait_up + restore)
+};
+
 // Everything one simulated rank needs: infrastructure handles, its slice of
 // the workload, and (optionally) where its trace events land.  Passed by
 // value into the rank coroutines — a context outlives nothing; the pointed-to
@@ -97,37 +108,24 @@ struct RankContext {
   WorkloadConfig workload{};
   std::uint32_t pair = 0;
   Rng rng{1};  // producers only; consumers draw nothing
+  // --- Crash/restart model (PR 3); all null/zero = healthy-cluster loop.
+  // Compute node the rank runs on (whose crash kills it).
+  std::uint32_t node = 0;
+  // Non-null when the fault plan has crash windows: the rank runs its
+  // crash-aware loop (epoch checks, wait_up, checkpoint rollback).
+  fault::CrashMonitor* crash = nullptr;
+  // Progress record to roll back to; null = restart re-executes everything.
+  Checkpoint* checkpoint = nullptr;
+  RankStats* stats = nullptr;
 };
 
 // One producer rank: regions md_compute / serialize / produce /
-// producer_sync.
+// producer_sync (plus fault_retry / crash_restart when recovering).
 sim::Task<void> run_producer(RankContext ctx);
 
-// One consumer rank: regions consume / deserialize / analytics.
+// One consumer rank: regions consume / deserialize / analytics (plus
+// fault_retry / crash_restart when recovering).
 sim::Task<void> run_consumer(RankContext ctx);
-
-// Transitional positional-parameter overloads; migrate to RankContext.
-[[deprecated("use run_producer(RankContext)")]] inline sim::Task<void>
-run_producer(sim::Simulation& sim, Connector& connector,
-             perf::Recorder& recorder, WorkloadConfig workload,
-             std::uint32_t pair, Rng rng) {
-  return run_producer(RankContext{.sim = &sim,
-                                  .connector = &connector,
-                                  .recorder = &recorder,
-                                  .workload = workload,
-                                  .pair = pair,
-                                  .rng = rng});
-}
-[[deprecated("use run_consumer(RankContext)")]] inline sim::Task<void>
-run_consumer(sim::Simulation& sim, Connector& connector,
-             perf::Recorder& recorder, WorkloadConfig workload,
-             std::uint32_t pair) {
-  return run_consumer(RankContext{.sim = &sim,
-                                  .connector = &connector,
-                                  .recorder = &recorder,
-                                  .workload = workload,
-                                  .pair = pair});
-}
 
 // Where consumer ranks live relative to their producers:
 //   kSplit     - producers on the first nodes/2 nodes, consumers on the
@@ -149,6 +147,9 @@ struct EnsembleConfig {
   bool lustre_interference = false;
   fs::InterferenceParams interference{};
   TestbedParams testbed{};
+  // Per-rank progress records (auto-enabled when the fault plan has crash
+  // windows; see CheckpointParams::Mode).
+  CheckpointParams checkpoint{};
   // When non-empty, the first repetition is traced and exported here as
   // Chrome trace-event JSON (plus a <path>.metrics.csv sibling).  Only rep 0
   // is recorded: each repetition is an independent simulation with its own
@@ -194,6 +195,40 @@ struct EnsembleResult {
   }
   std::uint64_t dyad_republishes() const {
     return counters.get("dyad_republishes");
+  }
+
+  // Crash/restart counters (non-zero only with crash windows in the plan).
+  std::uint64_t frames_produced() const {
+    return counters.get("frames_produced");
+  }
+  std::uint64_t frames_consumed() const {
+    return counters.get("frames_consumed");
+  }
+  std::uint64_t frames_reexecuted() const {
+    return counters.get("frames_reexecuted");
+  }
+  std::uint64_t crash_recoveries() const {
+    return counters.get("crash_recoveries");
+  }
+  std::uint64_t checkpoint_persists() const {
+    return counters.get("checkpoint_persists");
+  }
+  std::uint64_t checkpoint_restores() const {
+    return counters.get("checkpoint_restores");
+  }
+
+  // End-to-end integrity counters (non-zero only with integrity enabled).
+  std::uint64_t integrity_verified() const {
+    return counters.get("integrity_verified");
+  }
+  std::uint64_t integrity_failures() const {
+    return counters.get("integrity_failures");
+  }
+  std::uint64_t integrity_refetches() const {
+    return counters.get("integrity_refetches");
+  }
+  std::uint64_t integrity_unrecovered() const {
+    return counters.get("integrity_unrecovered");
   }
 
   double mean_production_us() const {

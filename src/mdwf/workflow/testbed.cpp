@@ -1,11 +1,24 @@
 #include "mdwf/workflow/testbed.hpp"
 
+#include <algorithm>
+
 #include "mdwf/common/assert.hpp"
 
 namespace mdwf::workflow {
 
 Testbed::Testbed(const TestbedParams& params) : params_(params) {
   MDWF_ASSERT(params.compute_nodes >= 1);
+  // Crash consistency: with power-loss windows in the plan, DYAD producers
+  // must fsync before publishing or a crash tears frames consumers were
+  // already told about.  Kill windows keep storage intact, so cheap
+  // page-cache puts stay correct there.
+  const bool power_loss_planned = std::any_of(
+      params.faults.windows.begin(), params.faults.windows.end(),
+      [](const fault::FaultWindow& w) {
+        return w.target == fault::FaultTarget::kNodeCrash &&
+               w.mode == fault::FaultMode::kCrash;
+      });
+  if (power_loss_planned) params_.dyad.durable_puts = true;
   const std::uint32_t total_endpoints =
       params.compute_nodes + 1 /*kvs*/ + 1 /*mds*/ + params.lustre.ost_count;
   network_ = std::make_unique<net::Network>(sim_, params.network,
@@ -29,13 +42,18 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
     r.local_fs = std::make_unique<fs::LocalFs>(sim_, params.local_fs, *r.ssd,
                                                *r.cache);
     fs::LustreServers* fallback =
-        params.dyad.retry.enabled && params.dyad.retry.lustre_fallback
+        params_.dyad.retry.enabled && params_.dyad.retry.lustre_fallback
             ? lustre_.get()
             : nullptr;
-    r.dyad = std::make_unique<dyad::DyadNode>(sim_, params.dyad, dyad_domain_,
+    r.dyad = std::make_unique<dyad::DyadNode>(sim_, params_.dyad, dyad_domain_,
                                               net::NodeId{i}, *r.local_fs,
                                               *network_, *kvs_, fallback);
     nodes_.push_back(std::move(r));
+  }
+
+  if (params.integrity.enabled) {
+    ledger_ = std::make_unique<integrity::Ledger>(sim_, params.integrity);
+    for (auto& r : nodes_) r.dyad->set_integrity(ledger_.get());
   }
 
   if (params.trace != nullptr) attach_trace(*params.trace);
@@ -44,10 +62,12 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
     injector_ = std::make_unique<fault::FaultInjector>(sim_, params.faults);
     for (std::uint32_t i = 0; i < params.compute_nodes; ++i) {
       injector_->attach_node_ssd(i, *nodes_[i].ssd);
+      injector_->attach_node_fs(i, *nodes_[i].cache, *nodes_[i].local_fs);
     }
     injector_->attach_network(*network_);
     injector_->attach_kvs(*kvs_);
     injector_->attach_lustre(*lustre_);
+    if (ledger_ != nullptr) injector_->attach_integrity(*ledger_);
     injector_->set_trace(params.trace);
     injector_->arm();
   }

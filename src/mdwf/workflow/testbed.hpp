@@ -21,6 +21,7 @@
 #include "mdwf/fault/plan.hpp"
 #include "mdwf/fs/local_fs.hpp"
 #include "mdwf/fs/lustre.hpp"
+#include "mdwf/integrity/ledger.hpp"
 #include "mdwf/kvs/kvs.hpp"
 #include "mdwf/net/network.hpp"
 #include "mdwf/obs/trace.hpp"
@@ -54,7 +55,11 @@ struct TestbedParams {
   dyad::DyadParams dyad{};
   // Fault windows to inject (empty = healthy cluster).  The testbed attaches
   // an injector to every resource and arms it before the workload runs.
+  // Crash windows in the plan also flip DYAD producers to durable puts
+  // (fsync commit barrier before publish) — crash consistency costs I/O.
   fault::FaultPlan faults{};
+  // End-to-end CRC32C integrity model (disabled = zero cost, no ledger).
+  integrity::IntegrityParams integrity{};
   // Observability sink (non-owning; must outlive the testbed).  When set,
   // every resource registers its trace lanes: one "node{i}" process per
   // compute node (nvme / pagecache / dyad / nic lanes), plus "kvs",
@@ -83,6 +88,9 @@ class Testbed {
   dyad::DyadDomain& dyad_domain() { return dyad_domain_; }
   // Non-null iff the testbed was built with a non-empty fault plan.
   fault::FaultInjector* fault_injector() { return injector_.get(); }
+  // Non-null iff params.integrity.enabled: the corruption oracle every
+  // producer tags into and every consumer verifies against.
+  integrity::Ledger* integrity_ledger() { return ledger_.get(); }
 
   std::uint32_t compute_nodes() const { return params_.compute_nodes; }
   NodeResources& node(std::uint32_t i);
@@ -102,6 +110,7 @@ class Testbed {
   std::unique_ptr<fs::LustreServers> lustre_;
   dyad::DyadDomain dyad_domain_;
   std::vector<NodeResources> nodes_;
+  std::unique_ptr<integrity::Ledger> ledger_;
   std::unique_ptr<fault::FaultInjector> injector_;
 };
 

@@ -16,10 +16,19 @@
 //   jitter     = <sigma>                    (MD rate variability, default 0.01)
 //   faults     = <scenario>                 (fault injection: none, broker-blip,
 //                                            broker-outage, slow-nvme,
-//                                            flaky-fabric, partition, ost-storm)
+//                                            flaky-fabric, partition, ost-storm,
+//                                            node-crash, rank-kill, bit-flip,
+//                                            crash-flip, crash:<n>)
 //   retry      = 0|1                        (DYAD recovery protocol: RPC
 //                                            timeout+retry and Lustre failover;
 //                                            default 1 when faults are injected)
+//   integrity  = 0|1                        (end-to-end CRC32C frame checksums;
+//                                            default 1 under bit-flip or crash
+//                                            scenarios, else 0)
+//   checkpoint = <n>                        (persist per-rank progress every n
+//                                            frames; 0 disables; default: every
+//                                            frame when crash windows are
+//                                            planned)
 //   trace      = <path>                     (export a Chrome trace-event JSON of
 //                                            the first repetition, plus a
 //                                            <path>.metrics.csv of the resource
@@ -30,6 +39,11 @@
 // Example:
 //   mdwf_run solution=lustre pairs=16 model=STMV frames=32 output=csv
 //   mdwf_run solution=dyad faults=broker-outage trace=run.json
+//   mdwf_run solution=dyad faults=crash-flip checkpoint=1 trace=crash.json
+//
+// Exit status: 0 on success; 1 on configuration/runtime errors; 2 when the
+// run lost data (unrecovered checksum failures, or fewer frames consumed
+// than pairs*frames*reps).
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -147,6 +161,28 @@ int main(int argc, char** argv) {
     if (print_tree) {
       const auto agg = r.thicket.filter("role", "consumer").aggregate();
       std::printf("\nconsumer call tree:\n%s", agg.render().c_str());
+    }
+
+    // A run that lost data is a failed run, whatever the tables say: every
+    // frame must reach its consumer checksum-clean.  One line on stderr,
+    // exit 2, so scripted sweeps and CI notice.
+    const std::uint64_t expected = static_cast<std::uint64_t>(config.pairs) *
+                                   config.workload.frames *
+                                   config.repetitions;
+    if (r.integrity_unrecovered() > 0) {
+      std::fprintf(stderr,
+                   "mdwf_run: FAILED: %llu frame read(s) failed checksum "
+                   "verification beyond recovery\n",
+                   static_cast<unsigned long long>(r.integrity_unrecovered()));
+      return 2;
+    }
+    if (r.frames_consumed() < expected) {
+      std::fprintf(stderr,
+                   "mdwf_run: FAILED: ensemble incomplete: %llu of %llu "
+                   "frames consumed (unrecovered fault?)\n",
+                   static_cast<unsigned long long>(r.frames_consumed()),
+                   static_cast<unsigned long long>(expected));
+      return 2;
     }
   } catch (const ConfigError& e) {
     return fail(e.what());
