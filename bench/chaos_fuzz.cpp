@@ -1,0 +1,321 @@
+// Chaos fuzzing: randomized gray-failure schedules vs workflow invariants.
+//
+// Property-based companion to resilience_sweep: instead of a fixed scenario
+// grid, each schedule draws a random solution, fault plan (a named scenario
+// or a composite of random fail-slow / lossy / overload / bit-flip windows),
+// workload size, seed, and health/hedge toggles — then runs the ensemble and
+// checks the invariants every recovery path promises:
+//
+//   * completeness    every expected frame is consumed exactly once
+//   * integrity       zero unrecovered corrupt reads (checksum runs)
+//   * liveness        the run reaches quiescence with a positive makespan
+//   * determinism     re-running the identical schedule is bit-identical
+//                     (checked on a rotating subset to bound runtime)
+//
+// On a violation the harness shrinks the schedule — dropping fault windows
+// and halving the frame count while the failure persists — and prints a
+// minimal reproducer (master seed + schedule index re-derive everything),
+// also written to chaos_repro_<index>.txt for CI artifact upload.
+//
+//   chaos_fuzz [schedules=60] [seed=20260806] [only=<index>] [verbose=1]
+//
+// Exit code 0 when every schedule holds, 1 with a reproducer otherwise.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/format.hpp"
+#include "mdwf/common/keyval.hpp"
+#include "mdwf/common/rng.hpp"
+#include "mdwf/fault/plan.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace {
+
+using namespace mdwf;
+using workflow::EnsembleConfig;
+using workflow::EnsembleResult;
+using workflow::Placement;
+using workflow::Solution;
+
+// Named scenarios safe for every solution (fail-slow or recoverable faults;
+// DYAD always runs with its full recovery protocol here).
+const std::vector<std::string> kNamedPool = {
+    "none",      "slow-nvme",  "slow-disk", "lossy-link",
+    "overload",  "ost-storm",  "flaky-fabric", "broker-outage",
+    "node-crash", "bit-flip",  "crash-flip"};
+
+struct Schedule {
+  std::uint32_t index = 0;
+  Solution solution = Solution::kDyad;
+  std::string scenario;  // named scenario, or "composite"
+  std::vector<fault::FaultWindow> windows;  // resolved plan
+  std::uint64_t seed = 1;
+  std::uint64_t frames = 8;
+  std::uint32_t pairs = 1;
+  bool health = false;
+  bool hedge = false;
+  bool integrity = false;
+};
+
+bool has_corruption_or_crash(const std::vector<fault::FaultWindow>& ws) {
+  for (const auto& w : ws) {
+    if (w.mode == fault::FaultMode::kBitFlip ||
+        w.mode == fault::FaultMode::kCrash ||
+        w.mode == fault::FaultMode::kKill) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// A random degraded-mode window against a random gray target (plus the
+// occasional silent-corruption window so integrity re-fetch is exercised).
+fault::FaultWindow random_window(Rng& rng, std::uint32_t nodes) {
+  fault::FaultWindow w;
+  w.start = TimePoint::origin() +
+            Duration::seconds(rng.uniform(0.2, 2.0));
+  w.duration = Duration::seconds(rng.uniform(0.5, 10.0));
+  switch (rng.next_below(5)) {
+    case 0:
+      w.target = fault::FaultTarget::kSlowDevice;
+      w.index = static_cast<std::uint32_t>(rng.next_below(nodes));
+      w.mode = fault::FaultMode::kFailSlow;
+      w.severity = rng.uniform(0.3, 0.95);
+      break;
+    case 1:
+      w.target = fault::FaultTarget::kLossyLink;
+      w.index = static_cast<std::uint32_t>(rng.next_below(nodes));
+      w.mode = fault::FaultMode::kLossy;
+      w.severity = rng.uniform(0.05, 0.4);
+      break;
+    case 2:
+      w.target = fault::FaultTarget::kSlowNode;
+      w.index = static_cast<std::uint32_t>(rng.next_below(nodes));
+      w.mode = fault::FaultMode::kFailSlow;
+      w.severity = rng.uniform(0.2, 0.8);
+      break;
+    case 3:
+      w.target = fault::FaultTarget::kOverloadedServer;
+      w.index = static_cast<std::uint32_t>(rng.next_below(2));
+      w.mode = fault::FaultMode::kFailSlow;
+      w.severity = rng.uniform(0.5, 0.99);
+      break;
+    default:
+      w.target = rng.bernoulli(0.5) ? fault::FaultTarget::kNodeSsd
+                                    : fault::FaultTarget::kNodeLink;
+      w.index = static_cast<std::uint32_t>(rng.next_below(nodes));
+      w.mode = fault::FaultMode::kBitFlip;
+      w.severity = rng.uniform(0.005, 0.02);
+      break;
+  }
+  return w;
+}
+
+constexpr std::uint32_t kNodes = 2;
+
+// Derives schedule `index` from the master seed alone: the (seed, index)
+// pair IS the reproducer.
+Schedule draw_schedule(std::uint64_t master_seed, std::uint32_t index) {
+  Rng rng = Rng(master_seed).fork("chaos:" + std::to_string(index));
+  Schedule s;
+  s.index = index;
+  switch (index % 3) {
+    case 0: s.solution = Solution::kDyad; break;
+    case 1: s.solution = Solution::kXfs; break;
+    default: s.solution = Solution::kLustre; break;
+  }
+  s.frames = 8 + rng.next_below(8);
+  s.pairs = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+  s.seed = 1 + rng.next_below(1u << 20);
+  s.health = rng.bernoulli(0.5);
+  s.hedge = s.health && rng.bernoulli(0.7);
+
+  if (rng.bernoulli(0.5)) {
+    s.scenario = kNamedPool[rng.next_below(kNamedPool.size())];
+    fault::ScenarioShape shape;
+    shape.compute_nodes = kNodes;
+    shape.seed = s.seed;
+    s.windows = fault::make_scenario(s.scenario, shape).windows;
+  } else {
+    s.scenario = "composite";
+    const std::uint64_t count = 1 + rng.next_below(4);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      s.windows.push_back(random_window(rng, kNodes));
+    }
+  }
+  s.integrity = has_corruption_or_crash(s.windows) || rng.bernoulli(0.25);
+  return s;
+}
+
+EnsembleConfig make_config(const Schedule& s) {
+  EnsembleConfig cfg;
+  cfg.solution = s.solution;
+  cfg.pairs = s.pairs;
+  cfg.nodes = kNodes;
+  cfg.placement =
+      s.solution == Solution::kXfs ? Placement::kColocated : Placement::kSplit;
+  cfg.workload.frames = s.frames;
+  cfg.repetitions = 1;
+  cfg.base_seed = s.seed;
+  cfg.testbed.faults.windows = s.windows;
+  cfg.testbed.faults.seed = s.seed;
+  cfg.testbed.integrity.enabled = s.integrity;
+  if (s.solution == Solution::kDyad) {
+    cfg.testbed.dyad.retry.enabled = true;
+    cfg.testbed.dyad.retry.lustre_fallback = true;
+    cfg.testbed.dyad.health.enabled = s.health;
+    cfg.testbed.dyad.health.hedge.enabled = s.hedge;
+  }
+  return cfg;
+}
+
+// Checks every invariant; returns the first violation's description.
+std::optional<std::string> violation(const Schedule& s,
+                                     const EnsembleResult& r) {
+  const std::uint64_t expected = s.pairs * s.frames;
+  if (r.frames_consumed() != expected) {
+    return "completeness: consumed " + std::to_string(r.frames_consumed()) +
+           " of " + std::to_string(expected) + " frames";
+  }
+  if (r.integrity_unrecovered() != 0) {
+    return "integrity: " + std::to_string(r.integrity_unrecovered()) +
+           " unrecovered corrupt reads";
+  }
+  if (!(r.makespan_s.mean() > 0.0)) {
+    return "liveness: non-positive makespan " +
+           format_double(r.makespan_s.mean(), 6);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_once(const Schedule& s) {
+  return violation(s, workflow::run_ensemble(make_config(s)));
+}
+
+// Determinism invariant: the identical schedule replayed must be
+// bit-identical in timing and counters.
+std::optional<std::string> check_determinism(const Schedule& s) {
+  const EnsembleResult a = workflow::run_ensemble(make_config(s));
+  const EnsembleResult b = workflow::run_ensemble(make_config(s));
+  if (a.makespan_s.mean() != b.makespan_s.mean()) {
+    return "determinism: makespan " + format_double(a.makespan_s.mean(), 9) +
+           " != " + format_double(b.makespan_s.mean(), 9);
+  }
+  for (const char* key : {"kvs_lookups", "frames_consumed", "dyad_hedges",
+                          "dyad_breaker_trips", "integrity_refetches"}) {
+    if (a.counters.get(key) != b.counters.get(key)) {
+      return std::string("determinism: counter ") + key + " " +
+             std::to_string(a.counters.get(key)) + " != " +
+             std::to_string(b.counters.get(key));
+    }
+  }
+  return std::nullopt;
+}
+
+std::string describe(const Schedule& s) {
+  std::string out = "schedule " + std::to_string(s.index) + ": " +
+                    std::string(workflow::to_string(s.solution)) + " " +
+                    s.scenario + " seed=" + std::to_string(s.seed) +
+                    " frames=" + std::to_string(s.frames) +
+                    " pairs=" + std::to_string(s.pairs) +
+                    (s.health ? " health" : "") + (s.hedge ? " hedge" : "") +
+                    (s.integrity ? " integrity" : "") + ", " +
+                    std::to_string(s.windows.size()) + " windows";
+  for (const auto& w : s.windows) {
+    out += "\n    " + std::string(fault::to_string(w.target)) + "[" +
+           std::to_string(w.index) + "] " +
+           std::string(fault::to_string(w.mode)) + " sev=" +
+           format_double(w.severity, 3) + " at " +
+           format_double((w.start - TimePoint::origin()).to_seconds(), 3) +
+           "s for " + format_double(w.duration.to_seconds(), 3) + "s";
+  }
+  return out;
+}
+
+// Greedy ddmin-style shrink: drop fault windows one at a time, then halve
+// the frame count, keeping every step that still reproduces the violation.
+Schedule shrink(Schedule s, const std::string& original) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < s.windows.size(); ++i) {
+      Schedule candidate = s;
+      candidate.windows.erase(candidate.windows.begin() +
+                              static_cast<long>(i));
+      if (check_once(candidate).has_value()) {
+        s = candidate;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  while (s.frames > 1) {
+    Schedule candidate = s;
+    candidate.frames /= 2;
+    if (!check_once(candidate).has_value()) break;
+    s = candidate;
+  }
+  (void)original;
+  return s;
+}
+
+void write_reproducer(const Schedule& minimal, std::uint64_t master_seed,
+                      const std::string& what) {
+  const std::string path =
+      "chaos_repro_" + std::to_string(minimal.index) + ".txt";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "violation: %s\nreproduce: chaos_fuzz seed=%llu only=%u\n"
+                 "minimal %s\n",
+                 what.c_str(),
+                 static_cast<unsigned long long>(master_seed), minimal.index,
+                 describe(minimal).c_str());
+    std::fclose(f);
+    std::printf("reproducer written to %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  KeyValueConfig cfg;
+  cfg.parse_args(argc, argv);
+  const std::uint64_t schedules = cfg.get_uint("schedules", 60);
+  const std::uint64_t master_seed = cfg.get_uint("seed", 20260806);
+  const std::int64_t only = cfg.get_int("only", -1);
+  const bool verbose = cfg.get_bool("verbose", false);
+  for (const char* k : {"schedules", "seed", "only", "verbose"}) {
+    cfg.note_known(k);
+  }
+
+  std::uint64_t ran = 0;
+  for (std::uint32_t i = 0; i < schedules; ++i) {
+    if (only >= 0 && static_cast<std::int64_t>(i) != only) continue;
+    const Schedule s = draw_schedule(master_seed, i);
+    if (verbose) std::printf("%s\n", describe(s).c_str());
+    // Every 8th schedule (and any explicitly requested one) is replayed to
+    // check bit-identical determinism; the rest run once.
+    std::optional<std::string> bad = (i % 8 == 0 || only >= 0)
+                                         ? check_determinism(s)
+                                         : std::nullopt;
+    if (!bad.has_value()) bad = check_once(s);
+    ++ran;
+    if (!bad.has_value()) continue;
+
+    std::printf("FAILED %s\n  %s\nshrinking...\n", describe(s).c_str(),
+                bad->c_str());
+    const Schedule minimal = shrink(s, *bad);
+    std::printf("minimal %s\n  reproduce: chaos_fuzz seed=%llu only=%u\n",
+                describe(minimal).c_str(),
+                static_cast<unsigned long long>(master_seed), i);
+    write_reproducer(minimal, master_seed, *bad);
+    return 1;
+  }
+  std::printf("chaos_fuzz: %llu schedules held every invariant "
+              "(completeness, integrity, liveness, determinism) "
+              "[seed=%llu]\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(master_seed));
+  return 0;
+}

@@ -82,7 +82,8 @@ DyadNode::DyadNode(sim::Simulation& sim, const DyadParams& params,
       local_fs_(&local_fs),
       network_(&network),
       kvs_(sim, kvs_server, node),
-      service_slots_(sim, params.broker_concurrency) {
+      service_slots_(sim, params.broker_concurrency),
+      health_(params.health) {
   domain.add(*this);
   if (params.retry.enabled && params.retry.lustre_fallback &&
       fallback_servers != nullptr) {
@@ -111,12 +112,34 @@ void DyadNode::note_published(const std::string& key, std::string value) {
 sim::Task<void> DyadNode::republish(std::string key, std::string value) {
   try {
     co_await sim_->delay(params_.mdm_cpu);
-    co_await kvs_.commit(std::move(key), std::move(value));
+    co_await commit_guarded(std::move(key), std::move(value));
     ++republishes_;
     trace_total("dyad.republishes", republishes_);
   } catch (const net::NetError&) {
     // This node crashed mid-replay; the consumer's bounded watch + failover
     // protocol covers the still-missing key.
+  }
+}
+
+sim::Task<void> DyadNode::commit_guarded(std::string key, std::string value) {
+  const health::HealthParams& hp = params_.health;
+  if (!hp.enabled) {
+    co_await kvs_.commit(std::move(key), std::move(value));
+    co_return;
+  }
+  Duration backoff = hp.busy_retry_base;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    std::exception_ptr busy;
+    try {
+      co_await kvs_.commit(key, value);
+      co_return;
+    } catch (const health::ServerBusy&) {
+      busy = std::current_exception();
+    }
+    if (attempt + 1 >= hp.busy_retry_limit) std::rethrow_exception(busy);
+    ++health_.busy_retries;
+    co_await sim_->delay(backoff);
+    backoff = backoff * 2.0;
   }
 }
 
@@ -269,7 +292,7 @@ sim::Task<void> DyadProducer::produce(const std::string& path, Bytes size) {
     if (node_->params().retry.enabled) {
       node_->note_published(metadata_key(path), encoded);
     }
-    co_await node_->kvs().commit(metadata_key(path), encoded);
+    co_await node_->commit_guarded(metadata_key(path), encoded);
   }
   if (node_->params().retry.enabled && node_->params().retry.lustre_fallback &&
       node_->fallback_client() != nullptr) {
@@ -290,43 +313,398 @@ sim::Task<void> DyadProducer::produce(const std::string& path, Bytes size) {
 DyadConsumer::DyadConsumer(DyadNode& node, perf::Recorder& recorder)
     : node_(&node), rec_(&recorder) {}
 
+sim::Task<std::optional<kvs::KvsValue>> DyadConsumer::observed_lookup(
+    const std::string& key) {
+  if (!node_->params().health.enabled) {
+    co_return co_await node_->kvs().lookup(key);
+  }
+  auto& sim = node_->simulation();
+  auto& h = node_->health_state();
+  const TimePoint start = sim.now();
+  std::optional<kvs::KvsValue> found;
+  std::exception_ptr busy;
+  try {
+    found = co_await node_->kvs().lookup(key);
+  } catch (const health::ServerBusy&) {
+    busy = std::current_exception();
+  }
+  if (busy != nullptr) {
+    // Shed by the bounded admission queue: a failure for the breaker, and
+    // "not visible yet" for the caller, whose retry loop already backs off.
+    ++h.busy_retries;
+    h.breaker.record_failure(sim.now());
+    co_return std::nullopt;
+  }
+  // Judge the RPC against the distribution learned so far, then fold it in
+  // (feeding first would let a slow outlier soften its own verdict).
+  const Duration elapsed = sim.now() - start;
+  if (h.detector.suspect(elapsed)) {
+    h.breaker.record_failure(sim.now());
+  } else {
+    h.breaker.record_success(sim.now());
+  }
+  h.detector.observe(elapsed);
+  co_return found;
+}
+
+// Shared state of one hedged cold fetch.  The parent consume() awaits
+// `done`; whichever branch delivers first settles the race and records its
+// outcome; the loser checks `settled` at every checkpoint (always placed
+// before a byte-moving stage) and stands down.  `failed` is set only when
+// both branches exhausted their bounded attempts.
+struct DyadConsumer::HedgeRace {
+  explicit HedgeRace(sim::Simulation& sim) : done(sim) {}
+
+  sim::Event done;
+  bool settled = false;
+  bool hedge_won = false;  // the Lustre-replica read delivered the frame
+  bool failed = false;     // both branches gave up
+  bool primary_gave_up = false;
+  bool hedge_gave_up = false;
+  // Primary-winner outcome (mirrors the unhedged cold path's locals).
+  net::NodeId owner{0};
+  bool have_local_copy = false;
+  bool in_memory = false;
+
+  void settle_primary(net::NodeId winner_owner, bool local_copy,
+                      bool memory) {
+    settled = true;
+    owner = winner_owner;
+    have_local_copy = local_copy;
+    in_memory = memory;
+    done.trigger();
+  }
+  void settle_hedge() {
+    settled = true;
+    hedge_won = true;
+    done.trigger();
+  }
+  void maybe_fail() {
+    if (primary_gave_up && hedge_gave_up && !settled) {
+      settled = true;
+      failed = true;
+      done.trigger();
+    }
+  }
+};
+
+sim::Task<void> DyadConsumer::hedge_primary(std::shared_ptr<HedgeRace> race,
+                                            std::string path, Bytes size) {
+  auto& sim = node_->simulation();
+  auto& local = node_->local_fs();
+  const DyadRetryParams& retry = node_->params().retry;
+  auto& h = node_->health_state();
+  const std::string key = metadata_key(path);
+  const std::string staged = node_->params().staging_prefix + path;
+  try {
+    // --- Synchronization: the unhedged cold path's KVS sync, region-free
+    // and with cancellation checkpoints.  Gated by the breaker exactly like
+    // the unhedged path, but when open there is no probe-and-fail-over
+    // here: the replica read *is* the concurrent hedge branch.
+    std::optional<kvs::KvsValue> found;
+    bool denied = !h.breaker.allow(sim.now());
+    if (denied) {
+      ++h.breaker_fast_fails;
+    } else {
+      found = co_await observed_lookup(key);
+    }
+    std::uint32_t attempt = 0;
+    Duration backoff = retry.backoff_base;
+    while (!found.has_value() && !race->settled) {
+      if (denied) {
+        co_await sim.delay(retry.timeout);  // pace the open breaker
+      } else {
+        ++kvs_retries_;
+        const bool visible = co_await node_->kvs().watch_for(key,
+                                                             retry.timeout);
+        if (race->settled) break;
+        if (visible) {
+          ++kvs_waits_;
+        } else {
+          ++recovery_retries_;
+          if (++attempt >= retry.max_attempts) {
+            race->primary_gave_up = true;
+            race->maybe_fail();
+            co_return;
+          }
+          co_await sim.delay(backoff);
+          backoff = backoff * retry.backoff_factor;
+        }
+      }
+      if (race->settled) break;
+      denied = !h.breaker.allow(sim.now());
+      if (denied) {
+        ++h.breaker_fast_fails;
+      } else {
+        found = co_await observed_lookup(key);
+      }
+    }
+    if (race->settled || !found.has_value()) co_return;  // lost the race
+
+    const DyadMetadata meta = DyadMetadata::decode(found->data);
+    MDWF_ASSERT_MSG(meta.size == size, "DYAD metadata size mismatch");
+    const net::NodeId owner = meta.owner;
+    if (owner == node_->node() && !node_->params().force_kvs_sync) {
+      // Producer is co-located after all: flock the local file, done.
+      co_await sim.delay(node_->params().flock_cpu);
+      const fs::InodeId ino = co_await local.open(path);
+      co_await local.lock(ino).lock_shared();
+      local.lock(ino).unlock_shared();
+      if (!race->settled) {
+        race->settle_primary(owner, /*local_copy=*/true, /*memory=*/false);
+      }
+      co_return;
+    }
+    if (race->settled) co_return;
+
+    // --- dyad_get_data: bounded retries, no failover — the hedge branch
+    // owns the Lustre fallback.
+    std::uint32_t get_attempt = 0;
+    backoff = retry.backoff_base;
+    for (;;) {
+      std::exception_ptr failure;
+      try {
+        co_await node_->network().send_control(node_->node(), owner);
+        co_await node_->domain().at(owner).serve_remote_read(node_->node(),
+                                                             path, size);
+      } catch (const net::NetError&) {
+        failure = std::current_exception();
+      } catch (const storage::IoError&) {
+        failure = std::current_exception();
+      } catch (const fs::FsError&) {
+        failure = std::current_exception();
+      }
+      if (failure == nullptr) break;
+      ++recovery_retries_;
+      if (++get_attempt >= retry.max_attempts) {
+        race->primary_gave_up = true;
+        race->maybe_fail();
+        co_return;
+      }
+      co_await sim.delay(backoff);
+      backoff = backoff * retry.backoff_factor;
+      if (race->settled) co_return;
+    }
+    if (race->settled) co_return;  // the hedge delivered while we streamed
+
+    bool in_memory = false;
+    if (node_->params().skip_consumer_staging) {
+      in_memory = true;
+    } else if (!local.exists(staged)) {
+      // --- dyad_cons_store: stage into the consumer's node-local storage.
+      const fs::InodeId ino = co_await local.create(staged);
+      co_await local.write(ino, Bytes::zero(), size);
+      if (auto* ledger = node_->integrity()) {
+        const bool delivered_bad =
+            ledger->corrupt(path,
+                            integrity::Ledger::ssd_location(owner.value)) ||
+            ledger->flip_link(owner.value, node_->node().value);
+        const std::string here =
+            integrity::Ledger::ssd_location(node_->node().value);
+        if (delivered_bad) {
+          ledger->store_corrupt(path, here);
+        } else {
+          ledger->store(path, here, node_->node().value);
+        }
+      }
+    }
+    if (!race->settled) {
+      race->settle_primary(owner, /*local_copy=*/false, in_memory);
+    }
+  } catch (...) {
+    // A fault tore something the bounded loops above don't cover (e.g. the
+    // colocated flock path); the hedge or the rank-level retry recovers.
+    race->primary_gave_up = true;
+    race->maybe_fail();
+  }
+}
+
+sim::Task<void> DyadConsumer::hedge_replica(std::shared_ptr<HedgeRace> race,
+                                            std::string path, Bytes size) {
+  auto& sim = node_->simulation();
+  auto& h = node_->health_state();
+  const DyadRetryParams& retry = node_->params().retry;
+  // Wait out the hedge delay only while the breaker is closed.  Open means
+  // the primary cannot make progress until the cool-down probe; half-open
+  // means the primary IS the probe against a server just judged sick — in
+  // both cases the replica is the expected winner, so launch immediately.
+  // The breaker can also trip mid-delay (the primary's own slow lookups
+  // feed the detector), so the wait is chopped into poll-sized slices that
+  // re-check the state.  (state() is a pure read — no half-open probe is
+  // consumed here.)
+  {
+    const health::HedgeParams& hedge = node_->params().health.hedge;
+    Duration remaining = h.fetch_latency.hedge_delay(hedge);
+    while (remaining > Duration::zero() && !race->settled &&
+           h.breaker.state() == health::CircuitBreaker::State::kClosed) {
+      const Duration step = std::min(remaining, hedge.availability_poll);
+      co_await sim.delay(step);
+      remaining = remaining - step;
+    }
+  }
+  if (race->settled) {
+    // The primary answered inside the hedge delay — the common healthy
+    // case; the duplicate fetch never launches.
+    ++h.hedge_cancels;
+    co_return;
+  }
+  ++h.hedges;
+  auto* lc = node_->fallback_client();
+  std::uint32_t attempt = 0;
+  try {
+    for (;;) {
+      // Wait for the producer's background write-through to land.  stat(),
+      // not exists(): the replica is visible from create() but readable
+      // only once the write has advanced its size — opening early would
+      // burn the read-attempt budget on read-past-EOF errors while the
+      // writer is mid-flight.  Each probe is metadata-only, so a hedge
+      // cancelled here has moved no payload bytes.
+      for (;;) {
+        const std::optional<Bytes> replica_size = co_await lc->stat(path);
+        if (replica_size.has_value() && *replica_size >= size) break;
+        if (race->settled) {
+          ++h.hedge_cancels;
+          co_return;
+        }
+        co_await sim.delay(node_->params().health.hedge.availability_poll);
+        if (race->settled) {
+          ++h.hedge_cancels;
+          co_return;
+        }
+      }
+      if (race->settled) {
+        ++h.hedge_cancels;
+        co_return;
+      }
+      std::exception_ptr failure;
+      try {
+        const fs::LustreHandle handle = co_await lc->open(path);
+        co_await lc->read(handle, Bytes::zero(), size);
+        co_await lc->close(handle, /*wrote=*/false);
+      } catch (const net::NetError&) {
+        failure = std::current_exception();
+      } catch (const storage::IoError&) {
+        failure = std::current_exception();
+      } catch (const fs::FsError&) {
+        failure = std::current_exception();
+      }
+      if (failure == nullptr) break;
+      if (++attempt >= retry.max_attempts) {
+        race->hedge_gave_up = true;
+        race->maybe_fail();
+        co_return;
+      }
+      if (race->settled) co_return;  // read torn and race over: stand down
+      co_await sim.delay(retry.backoff_base);
+    }
+    if (race->settled) co_return;  // the primary delivered during our read
+    ++h.hedge_wins;
+    race->settle_hedge();
+  } catch (...) {
+    race->hedge_gave_up = true;
+    race->maybe_fail();
+  }
+}
+
 sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
   perf::ScopedRegion consume(*rec_, "dyad_consume");
   auto& sim = node_->simulation();
   auto& local = node_->local_fs();
   const DyadRetryParams& retry = node_->params().retry;
+  const health::HealthParams& hp = node_->params().health;
   const bool can_fail_over =
       retry.enabled && retry.lustre_fallback &&
       node_->fallback_client() != nullptr;
+  // Breaker and hedge both reroute to the Lustre replica, so they gate
+  // traffic only when that path exists; health without failover is
+  // detection-only.
+  const bool gated = hp.enabled && can_fail_over;
 
   // --- Synchronization: multi-protocol (flock warm path / KVS cold path).
   const std::string staged_path = node_->params().staging_prefix + path;
   net::NodeId owner = node_->node();
   bool have_local_copy = false;
   bool failed_over = false;  // DYAD paths exhausted; read the Lustre replica
+  bool hedge_read_done = false;  // a winning hedge already read the replica
+  bool in_memory = false;
   std::string local_copy_path = path;
-  {
+
+  const bool produced_here =
+      !node_->params().force_kvs_sync && local.exists(path);
+  const bool pushed_here =
+      !node_->params().force_kvs_sync && local.exists(staged_path);
+  const bool hedged =
+      gated && hp.hedge.enabled && !produced_here && !pushed_here;
+  const TimePoint cold_start = sim.now();
+
+  if (produced_here || pushed_here) {
+    // Warm path: data already on this node's storage (produced locally,
+    // or streamed here by push-mode routing); a shared flock (against the
+    // writer's exclusive lock) is the only sync.
     perf::ScopedRegion fetch(*rec_, "dyad_fetch", perf::Category::kIdle);
-    const bool produced_here =
-        !node_->params().force_kvs_sync && local.exists(path);
-    const bool pushed_here =
-        !node_->params().force_kvs_sync && local.exists(staged_path);
-    if (produced_here || pushed_here) {
-      // Warm path: data already on this node's storage (produced locally,
-      // or streamed here by push-mode routing); a shared flock (against the
-      // writer's exclusive lock) is the only sync.
-      local_copy_path = produced_here ? path : staged_path;
-      co_await sim.delay(node_->params().flock_cpu);
-      const fs::InodeId ino = co_await local.open(local_copy_path);
-      co_await local.lock(ino).lock_shared();
-      local.lock(ino).unlock_shared();
-      have_local_copy = true;
-      ++warm_hits_;
+    local_copy_path = produced_here ? path : staged_path;
+    co_await sim.delay(node_->params().flock_cpu);
+    const fs::InodeId ino = co_await local.open(local_copy_path);
+    co_await local.lock(ino).lock_shared();
+    local.lock(ino).unlock_shared();
+    have_local_copy = true;
+    ++warm_hits_;
+  } else if (hedged) {
+    // --- Hedged cold fetch: race the normal DYAD path (KVS sync + RDMA +
+    // staging) against a Lustre-replica read launched after the adaptive
+    // hedge delay; first response wins, the loser stands down at its next
+    // checkpoint.  The branches are region-free (the per-rank recorder
+    // nests regions strictly), so the whole race accounts here.
+    perf::ScopedRegion fetch(*rec_, "dyad_hedged_fetch",
+                             perf::Category::kMovement);
+    auto race = std::make_shared<HedgeRace>(sim);
+    sim.spawn(hedge_primary(race, path, size));
+    sim.spawn(hedge_replica(race, path, size));
+    co_await race->done.wait();
+    if (race->failed) {
+      throw net::NetError("dyad: hedged fetch exhausted every path");
+    }
+    if (race->hedge_won) {
+      failed_over = true;
+      hedge_read_done = true;
+      in_memory = true;  // consumed straight from the Lustre stream
     } else {
-      auto found = co_await node_->kvs().lookup(metadata_key(path));
-      std::uint32_t attempt = 0;
-      Duration backoff = retry.backoff_base;
-      while (!found.has_value()) {
+      owner = race->owner;
+      have_local_copy = race->have_local_copy;
+      in_memory = race->in_memory;
+    }
+  } else {
+    perf::ScopedRegion fetch(*rec_, "dyad_fetch", perf::Category::kIdle);
+    auto& h = node_->health_state();
+    std::optional<kvs::KvsValue> found;
+    bool denied = gated && !h.breaker.allow(sim.now());
+    if (denied) {
+      ++h.breaker_fast_fails;
+    } else {
+      found = co_await observed_lookup(metadata_key(path));
+    }
+    std::uint32_t attempt = 0;
+    Duration backoff = retry.backoff_base;
+    while (!found.has_value() && !failed_over) {
+      if (denied) {
+        // Breaker open: route around the sick broker.  A replica on the
+        // shared FS proves the frame was produced — fail over immediately;
+        // none yet means the producer is merely behind, so pace a bounded
+        // poll on the breaker instead of queueing at the broker.
+        bool replica = false;
+        {
+          perf::ScopedRegion probe(*rec_, "dyad_failover_probe",
+                                   perf::Category::kIdle);
+          replica = co_await node_->fallback_client()->exists(path);
+        }
+        if (replica) {
+          failed_over = true;
+          break;
+        }
+        perf::ScopedRegion wait_retry(*rec_, "dyad_retry",
+                                      perf::Category::kIdle);
+        co_await sim.delay(retry.timeout);
+      } else {
         ++kvs_retries_;
         if (!retry.enabled) {
           // Healthy-cluster protocol: watches are unbounded — the paper's
@@ -374,28 +752,32 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
             backoff = backoff * retry.backoff_factor;
           }
         }
-        found = co_await node_->kvs().lookup(metadata_key(path));
       }
-      if (found.has_value()) {
-        const DyadMetadata meta = DyadMetadata::decode(found->data);
-        MDWF_ASSERT_MSG(meta.size == size, "DYAD metadata size mismatch");
-        owner = meta.owner;
-        if (owner == node_->node() && !node_->params().force_kvs_sync) {
-          // Producer is co-located after all (single-node config): the file
-          // is local once the metadata is visible.
-          co_await sim.delay(node_->params().flock_cpu);
-          const fs::InodeId ino = co_await local.open(path);
-          co_await local.lock(ino).lock_shared();
-          local.lock(ino).unlock_shared();
-          have_local_copy = true;
-        }
+      denied = gated && !h.breaker.allow(sim.now());
+      if (denied) {
+        ++h.breaker_fast_fails;
+      } else {
+        found = co_await observed_lookup(metadata_key(path));
+      }
+    }
+    if (found.has_value()) {
+      const DyadMetadata meta = DyadMetadata::decode(found->data);
+      MDWF_ASSERT_MSG(meta.size == size, "DYAD metadata size mismatch");
+      owner = meta.owner;
+      if (owner == node_->node() && !node_->params().force_kvs_sync) {
+        // Producer is co-located after all (single-node config): the file
+        // is local once the metadata is visible.
+        co_await sim.delay(node_->params().flock_cpu);
+        const fs::InodeId ino = co_await local.open(path);
+        co_await local.lock(ino).lock_shared();
+        local.lock(ino).unlock_shared();
+        have_local_copy = true;
       }
     }
   }
 
   const std::string& staged = staged_path;
-  bool in_memory = false;
-  if (!have_local_copy && !failed_over) {
+  if (!hedged && !have_local_copy && !failed_over) {
     // --- dyad_get_data: RDMA the payload from the owner's node-local
     // storage (request to the owner broker, payload streams back).  Under
     // the recovery protocol, fail-fast errors (partitioned fabric, SSD I/O
@@ -470,7 +852,7 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
     }
   }
 
-  if (failed_over) {
+  if (failed_over && !hedge_read_done) {
     // --- dyad_failover_read: last-resort read of the producer's background
     // write-through replica on the shared parallel FS.
     perf::ScopedRegion fo(*rec_, "dyad_failover_read",
@@ -486,6 +868,12 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
     co_await lc->close(h, /*wrote=*/false);
     ++failovers_;
     in_memory = true;  // consumed straight from the Lustre stream
+  }
+
+  if (hp.enabled && !produced_here && !pushed_here) {
+    // Every completed cold fetch (hedged or not, failed over or not) feeds
+    // the adaptive hedge delay with what the consumer actually experienced.
+    node_->health_state().fetch_latency.observe(sim.now() - cold_start);
   }
 
   // --- read_single_buf: the analytics-facing local read.

@@ -23,12 +23,14 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/fs/local_fs.hpp"
 #include "mdwf/fs/lustre.hpp"
+#include "mdwf/health/health.hpp"
 #include "mdwf/integrity/ledger.hpp"
 #include "mdwf/kvs/kvs.hpp"
 #include "mdwf/net/network.hpp"
@@ -90,6 +92,14 @@ struct DyadParams {
 
   // --- Resilience (mdwf::fault) -------------------------------------------
   DyadRetryParams retry{};
+  // --- Gray-failure mitigation (mdwf::health) -----------------------------
+  // Detector + circuit breaker on the consumer's KVS lookups, request
+  // hedging against the Lustre cold replica, and bounded server admission
+  // queues.  The breaker and the hedge route around a sick broker via the
+  // retry protocol's failover path, so they engage only when
+  // retry.enabled && retry.lustre_fallback; health.enabled alone never
+  // changes a healthy run's timing.
+  health::HealthParams health{};
   // Durable puts: fsync each produced frame before publishing its metadata
   // (the commit barrier of the crash-consistency model).  Off by default so
   // healthy-cluster timings match the paper; crash-aware ensembles turn it
@@ -98,6 +108,25 @@ struct DyadParams {
 };
 
 class DyadNode;
+
+// Per-node gray-failure mitigation state, shared by every rank on the node
+// (they all talk to the same broker, so latency samples and breaker state
+// compose).  Counters are cumulative over the node's lifetime.
+struct NodeHealth {
+  explicit NodeHealth(const health::HealthParams& params)
+      : detector(params.detector), breaker(params.breaker) {}
+
+  health::FailureDetector detector;
+  health::CircuitBreaker breaker;
+  // Cold-fetch latencies (KVS sync + data movement); feeds the adaptive
+  // hedge delay.  Warm flock hits are excluded — they are never hedged.
+  health::LatencyTracker fetch_latency;
+  std::uint64_t hedges = 0;        // duplicate fetches actually launched
+  std::uint64_t hedge_wins = 0;    // races the replica read finished first
+  std::uint64_t hedge_cancels = 0; // hedges stood down before their read
+  std::uint64_t breaker_fast_fails = 0;  // lookups skipped while open
+  std::uint64_t busy_retries = 0;  // ServerBusy replies retried client-side
+};
 
 // Registry of every DYAD-enabled node in the workflow: consumers resolve a
 // frame's owner NodeId to that node's broker through the domain, and (in
@@ -166,6 +195,14 @@ class DyadNode {
   std::uint64_t republishes() const { return republishes_; }
   std::uint64_t lost_writethroughs() const { return lost_writethroughs_; }
 
+  // --- Gray-failure mitigation (mdwf::health) -----------------------------
+  NodeHealth& health_state() { return health_; }
+  // KVS commit with the client-side busy-retry loop: ServerBusy replies
+  // from the bounded admission queue back off exponentially (doubling from
+  // health.busy_retry_base) and retry; the last busy reply is rethrown.
+  // Plain commit when health is off.
+  sim::Task<void> commit_guarded(std::string key, std::string value);
+
   // --- Integrity (mdwf::integrity) ----------------------------------------
   void set_integrity(integrity::Ledger* ledger) { ledger_ = ledger; }
   integrity::Ledger* integrity() { return ledger_; }
@@ -191,6 +228,7 @@ class DyadNode {
   kvs::KvsClient kvs_;
   sim::Semaphore service_slots_;
   std::unique_ptr<fs::LustreClient> fallback_client_;
+  NodeHealth health_;
   std::map<std::string, std::string> published_;
   integrity::Ledger* ledger_ = nullptr;
   std::uint64_t remote_reads_ = 0;
@@ -238,7 +276,10 @@ class DyadConsumer {
   // Regions (paper Fig. 9): dyad_consume / {dyad_fetch[/dyad_watch_wait,
   // dyad_retry], dyad_get_data, dyad_cons_store, dyad_failover_read,
   // read_single_buf}.  dyad_retry / dyad_failover_read appear only when the
-  // recovery protocol (DyadParams::retry) engages.
+  // recovery protocol (DyadParams::retry) engages.  With hedging on, a cold
+  // fetch races the normal DYAD path against a delayed Lustre-replica read
+  // under a single dyad_hedged_fetch region (the racing branches are
+  // region-free: the recorder's region stack is strictly nested per rank).
   sim::Task<void> consume(const std::string& path, Bytes size);
 
   std::uint64_t warm_hits() const { return warm_hits_; }
@@ -250,11 +291,32 @@ class DyadConsumer {
   std::uint64_t failovers() const { return failovers_; }
 
  private:
+  // Shared state of one hedged cold fetch (primary DYAD path vs delayed
+  // Lustre-replica read, first response wins).
+  struct HedgeRace;
+
   // One integrity re-fetch round after a checksum mismatch; updates and
   // returns whether the delivered payload is still bad.
   sim::Task<bool> refetch(const std::string& path, Bytes size,
                           net::NodeId owner, bool failed_over, bool in_memory,
                           const std::string& local_path);
+
+  // KVS lookup with health bookkeeping: latency feeds the phi-accrual
+  // detector, suspiciously slow (or ServerBusy-shed) lookups count as
+  // breaker failures.  ServerBusy is absorbed and returned as nullopt — the
+  // caller's retry loop already backs off on "not visible yet".  Plain
+  // lookup when health is off.
+  sim::Task<std::optional<kvs::KvsValue>> observed_lookup(
+      const std::string& key);
+
+  // The two racing branches of a hedged cold fetch.  Both are spawned
+  // detached and never throw; the loser stands down at the next cooperative
+  // checkpoint (checked before every byte-moving stage, so a cancelled
+  // branch charges no further payload bytes).
+  sim::Task<void> hedge_primary(std::shared_ptr<HedgeRace> race,
+                                std::string path, Bytes size);
+  sim::Task<void> hedge_replica(std::shared_ptr<HedgeRace> race,
+                                std::string path, Bytes size);
 
   DyadNode* node_;
   perf::Recorder* rec_;

@@ -23,6 +23,14 @@ std::string trace_lane(const FaultWindow& w) {
       return "ost" + std::to_string(w.index);
     case FaultTarget::kNodeCrash:
       return "node" + std::to_string(w.index);
+    case FaultTarget::kSlowDevice:
+      return "node" + std::to_string(w.index) + ".nvme";
+    case FaultTarget::kLossyLink:
+      return "node" + std::to_string(w.index) + ".nic";
+    case FaultTarget::kSlowNode:
+      return "node" + std::to_string(w.index) + ".cpu";
+    case FaultTarget::kOverloadedServer:
+      return w.index == 0 ? "kvs" : "lustre";
   }
   return "unknown";
 }
@@ -45,6 +53,23 @@ double combined_degrade(const std::vector<double>& severities) {
   double remaining = 1.0;
   for (const double s : severities) remaining *= (1.0 - s);
   return std::min(1.0 - remaining, 0.95);
+}
+
+// Overlapping fail-slow windows compose like degradations on the speed
+// axis: each removes its severity fraction of the remaining speed.  Capped
+// at 100x slow — gray failures stay live, they do not become outages.
+double slowdown_factor(const std::vector<double>& severities) {
+  double remaining = 1.0;
+  for (const double s : severities) remaining *= (1.0 - s);
+  return 1.0 / std::max(remaining, 0.01);
+}
+
+// Packet-loss probabilities of overlapping lossy windows compose like
+// independent drop stages; capped so retransmission always converges.
+double combined_loss(const std::vector<double>& severities) {
+  double survive = 1.0;
+  for (const double s : severities) survive *= (1.0 - s);
+  return std::min(1.0 - survive, 0.9);
 }
 
 }  // namespace
@@ -99,6 +124,9 @@ void FaultInjector::attach_node_ssd(std::uint32_t node,
 
 void FaultInjector::attach_network(net::Network& network) {
   network_ = &network;
+  // Retransmit draws of lossy-link windows are a function of the plan seed
+  // alone, like the per-device I/O error streams.
+  network.seed_loss(Rng(plan_.seed).fork("lossy-link"));
 }
 
 void FaultInjector::attach_kvs(kvs::KvsServer& server) { kvs_ = &server; }
@@ -136,21 +164,52 @@ void FaultInjector::set_trace(obs::TraceSink* sink) {
 void FaultInjector::arm() {
   MDWF_ASSERT_MSG(!armed_, "fault injector armed twice");
   armed_ = true;
-  for (const FaultWindow& w : plan_.windows) {
-    sim_->call_at(w.start, [this, w] { apply(w, /*begin=*/true); });
-    sim_->call_at(w.end(), [this, w] { apply(w, /*begin=*/false); });
-    if (trace_ != nullptr) {
-      // The plan is pure data: windows are known (and deterministic) before
-      // the run, so annotate them up front.
-      const obs::TrackId track = trace_->track("faults", trace_lane(w));
-      trace_->span(track, trace_name(w), "fault", w.start, w.duration);
+  began_.assign(plan_.windows.size(), false);
+  ended_.assign(plan_.windows.size(), false);
+  for (std::size_t i = 0; i < plan_.windows.size(); ++i) {
+    const FaultWindow& w = plan_.windows[i];
+    sim_->call_at(w.start, [this, i] {
+      began_[i] = true;
+      apply(plan_.windows[i], /*begin=*/true);
+    });
+    sim_->call_at(w.end(), [this, i] {
+      ended_[i] = true;
+      apply(plan_.windows[i], /*begin=*/false);
+      // Annotate at close time, so a bounded run that stops mid-window can
+      // still export the open remainder via finalize_trace().
+      emit_span(plan_.windows[i], plan_.windows[i].duration, /*open=*/false);
+    });
+  }
+}
+
+void FaultInjector::emit_span(const FaultWindow& w, Duration duration,
+                              bool open) {
+  if (trace_ == nullptr) return;
+  const obs::TrackId track = trace_->track("faults", trace_lane(w));
+  std::string name = trace_name(w);
+  if (open) name += " (open)";
+  trace_->span(track, name, "fault", w.start, duration);
+}
+
+void FaultInjector::finalize_trace() {
+  if (trace_ == nullptr || trace_finalized_ || !armed_) return;
+  trace_finalized_ = true;
+  for (std::size_t i = 0; i < plan_.windows.size(); ++i) {
+    if (began_[i] && !ended_[i]) {
+      emit_span(plan_.windows[i], sim_->now() - plan_.windows[i].start,
+                /*open=*/true);
     }
   }
 }
 
+double FaultInjector::cpu_dilation(std::uint32_t node) const {
+  const auto it = cpu_dilation_.find(node);
+  return it == cpu_dilation_.end() ? 1.0 : it->second;
+}
+
 storage::BlockDevice* FaultInjector::device_for(FaultTarget target,
                                                 std::uint32_t index) {
-  if (target == FaultTarget::kNodeSsd) {
+  if (target == FaultTarget::kNodeSsd || target == FaultTarget::kSlowDevice) {
     const auto it = node_ssds_.find(index);
     return it == node_ssds_.end() ? nullptr : it->second;
   }
@@ -341,6 +400,54 @@ void FaultInjector::apply(const FaultWindow& w, bool begin) {
           break;
         default:
           MDWF_ASSERT_MSG(false, "unsupported fault mode for the KVS broker");
+      }
+      break;
+    }
+    case FaultTarget::kSlowDevice: {
+      storage::BlockDevice* device = device_for(w.target, w.index);
+      if (device == nullptr) {
+        ++skipped_;
+        return;
+      }
+      MDWF_ASSERT_MSG(w.mode == FaultMode::kFailSlow,
+                      "unsupported fault mode for a fail-slow device");
+      toggle(a.failslows, w.severity);
+      device->set_fault_slowdown(slowdown_factor(a.failslows));
+      break;
+    }
+    case FaultTarget::kLossyLink: {
+      if (network_ == nullptr) {
+        ++skipped_;
+        return;
+      }
+      MDWF_ASSERT_MSG(w.mode == FaultMode::kLossy,
+                      "unsupported fault mode for a lossy link");
+      toggle(a.failslows, w.severity);
+      network_->set_link_loss(net::NodeId{w.index},
+                              combined_loss(a.failslows));
+      break;
+    }
+    case FaultTarget::kSlowNode: {
+      MDWF_ASSERT_MSG(w.mode == FaultMode::kFailSlow,
+                      "unsupported fault mode for a slow node");
+      toggle(a.failslows, w.severity);
+      cpu_dilation_[w.index] = slowdown_factor(a.failslows);
+      break;
+    }
+    case FaultTarget::kOverloadedServer: {
+      MDWF_ASSERT_MSG(w.mode == FaultMode::kFailSlow,
+                      "unsupported fault mode for an overloaded server");
+      if ((w.index == 0 && kvs_ == nullptr) ||
+          (w.index != 0 && lustre_ == nullptr)) {
+        ++skipped_;
+        return;
+      }
+      toggle(a.failslows, w.severity);
+      const double factor = slowdown_factor(a.failslows);
+      if (w.index == 0) {
+        kvs_->set_service_dilation(factor);
+      } else {
+        lustre_->set_service_dilation(factor);
       }
       break;
     }

@@ -14,6 +14,8 @@
 //   stall / outage  stack through the broker's own depth counter
 //   bit-flip  effective probability = max of active severities
 //   crash     depth-counted node-down state through the CrashMonitor
+//   fail-slow combined slowdown = 1 / prod(1 - severity_i), capped at 100x
+//   lossy     combined loss = 1 - prod(1 - severity_i), capped at 0.9
 #pragma once
 
 #include <cstdint>
@@ -91,13 +93,19 @@ class FaultInjector {
   void attach_integrity(integrity::Ledger& ledger);
 
   // Annotates the trace with one "fault"-category span per plan window, on
-  // a "faults" process with one lane per struck resource.  Windows are pure
-  // data by arm() time, so they are emitted up front; call before arm().
+  // a "faults" process with one lane per struck resource.  Spans are
+  // emitted when a window actually closes; call before arm().
   void set_trace(obs::TraceSink* sink);
 
   // Schedules begin/end callbacks for every plan window.  Call once, after
   // attaching resources and before running the simulation.
   void arm();
+
+  // Emits spans for windows that began but never ended (a bounded run that
+  // stopped inside a fault window): clamped to the current instant and
+  // suffixed "(open)".  Call once after the run, before the trace is
+  // written; idempotent.
+  void finalize_trace();
 
   // Windows whose target had no attached resource at fire time.
   std::uint64_t windows_skipped() const { return skipped_; }
@@ -110,12 +118,17 @@ class FaultInjector {
   // their crash-aware loops).
   bool has_crash_windows() const;
 
+  // CPU dilation of the ranks on `node` right now (1.0 = nominal); rank
+  // loops consult it before each compute burst (kSlowNode windows).
+  double cpu_dilation(std::uint32_t node) const;
+
  private:
   // Active-fault bookkeeping per (target, index).
   struct Active {
     std::vector<double> degrades;
     std::vector<double> io_errors;
     std::vector<double> bitflips;
+    std::vector<double> failslows;  // fail-slow / lossy severities
     int offline_depth = 0;
   };
 
@@ -129,6 +142,7 @@ class FaultInjector {
   void refresh_device(storage::BlockDevice& device, const Active& a);
   void apply_bitflip(const FaultWindow& w, Active& a, bool begin);
   void apply_crash(const FaultWindow& w, bool begin);
+  void emit_span(const FaultWindow& w, Duration duration, bool open);
 
   sim::Simulation* sim_;
   FaultPlan plan_;
@@ -140,9 +154,14 @@ class FaultInjector {
   integrity::Ledger* integrity_ = nullptr;
   std::unique_ptr<CrashMonitor> monitor_;
   std::map<std::pair<std::uint8_t, std::uint32_t>, Active> active_;
+  std::map<std::uint32_t, double> cpu_dilation_;
   std::uint64_t skipped_ = 0;
   std::uint64_t applied_ = 0;
   bool armed_ = false;
+  bool trace_finalized_ = false;
+  // Per plan window: did its begin/end callback fire yet?
+  std::vector<bool> began_;
+  std::vector<bool> ended_;
   obs::TraceSink* trace_ = nullptr;
 };
 

@@ -18,6 +18,14 @@ std::string_view to_string(FaultTarget t) {
       return "lustre-ost";
     case FaultTarget::kNodeCrash:
       return "node-crash";
+    case FaultTarget::kSlowDevice:
+      return "slow-device";
+    case FaultTarget::kLossyLink:
+      return "lossy-link";
+    case FaultTarget::kSlowNode:
+      return "slow-node";
+    case FaultTarget::kOverloadedServer:
+      return "overloaded-server";
   }
   return "?";
 }
@@ -40,6 +48,10 @@ std::string_view to_string(FaultMode m) {
       return "kill";
     case FaultMode::kBitFlip:
       return "bit-flip";
+    case FaultMode::kFailSlow:
+      return "fail-slow";
+    case FaultMode::kLossy:
+      return "lossy";
   }
   return "?";
 }
@@ -197,6 +209,43 @@ FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape) {
     add_bit_flips(plan, shape, start, shape.span);
     return plan;
   }
+  if (name == "slow-disk") {
+    // Fail-slow NVMe on every node: 10x op latency, 1/10th bandwidth —
+    // the dying-but-not-dead device gray failure.
+    for (std::uint32_t n = 0; n < shape.compute_nodes; ++n) {
+      plan.windows.push_back(window(FaultTarget::kSlowDevice, n,
+                                    FaultMode::kFailSlow, start, shape.span,
+                                    0.9));
+    }
+    return plan;
+  }
+  if (name == "lossy-link") {
+    // Recurring packet-loss episodes on random node links; retransmits
+    // inflate every flow touching the victim and stall on seeded RTOs.
+    FaultProcess p;
+    p.target = FaultTarget::kLossyLink;
+    p.mode = FaultMode::kLossy;
+    p.target_pool = shape.compute_nodes;
+    p.mean_interarrival = Duration::milliseconds(400);
+    p.duration_mu = -1.4;  // median ~250 ms
+    p.duration_sigma = 0.6;
+    p.min_severity = 0.1;
+    p.max_severity = 0.4;
+    clock.materialize(p, start, horizon, plan);
+    return plan;
+  }
+  if (name == "overload") {
+    // A metadata-storm co-tenant: the KVS broker serves 100x slow for the
+    // span and the Lustre MDS/OSTs 2.5x slow.  DYAD lookups queue behind
+    // the sick broker unless mdwf::health routes around it.
+    plan.windows.push_back(window(FaultTarget::kOverloadedServer, 0,
+                                  FaultMode::kFailSlow, start, shape.span,
+                                  0.99));
+    plan.windows.push_back(window(FaultTarget::kOverloadedServer, 1,
+                                  FaultMode::kFailSlow, start, shape.span,
+                                  0.6));
+    return plan;
+  }
   if (name.starts_with("crash:")) {
     const std::string arg(name.substr(6));
     char* end = nullptr;
@@ -218,7 +267,8 @@ const std::vector<std::string>& scenario_names() {
   static const std::vector<std::string> names = {
       "none",      "broker-blip", "broker-outage", "slow-nvme",
       "flaky-fabric", "partition", "ost-storm",    "node-crash",
-      "rank-kill", "bit-flip",    "crash-flip"};
+      "rank-kill", "bit-flip",    "crash-flip",    "slow-disk",
+      "lossy-link", "overload"};
   return names;
 }
 

@@ -30,6 +30,16 @@ enum class FaultTarget : std::uint8_t {
   kKvsBroker,  // the Flux-style KVS broker (index ignored)
   kLustreOst,  // one Lustre OST device (index = OST)
   kNodeCrash,  // a whole compute node (index = node): crash/kill semantics
+  // Gray failures (fail-slow, not fail-stop): every RPC still succeeds,
+  // just slowly or lossily — the failures mdwf::health mitigates.
+  kSlowDevice,        // fail-slow NVMe: latency + bandwidth stretch
+                      // (index = node, mode kFailSlow)
+  kLossyLink,         // lossy NIC link: seeded packet loss + retransmits
+                      // (index = node, mode kLossy)
+  kSlowNode,          // CPU dilation of the ranks on a node (index = node,
+                      // mode kFailSlow)
+  kOverloadedServer,  // service-time inflation (index 0 = KVS broker,
+                      // index 1 = Lustre MDS + OSTs; mode kFailSlow)
 };
 
 // What happens to the target during the window.
@@ -45,6 +55,10 @@ enum class FaultMode : std::uint8_t {
   kKill,     // node only: process kill — ranks restart from their
              // checkpoint, but storage and page cache survive intact
   kBitFlip,  // SSD/link/OST: severity = per-op silent-corruption probability
+  kFailSlow, // gray targets: severity s in [0,1) slows the resource by
+             // 1/(1-s) — s=0.9 is a 10x-slow device/server/CPU
+  kLossy,    // kLossyLink only: severity = per-packet loss probability;
+             // lost packets retransmit (byte inflation + seeded RTO stalls)
 };
 
 std::string_view to_string(FaultTarget t);
@@ -130,6 +144,13 @@ struct ScenarioShape {
 //                  and OST for the span
 //   crash-flip     node-crash + bit-flip combined (the PR-3 acceptance run)
 //   crash:<n>      node <n> loses power mid-run (parameterized node-crash)
+//   slow-disk      every node SSD fail-slow at 10x latency / 0.1x bandwidth
+//                  for the span (a dying NVMe, not a dead one)
+//   lossy-link     recurring seeded packet-loss episodes on random node
+//                  links (retransmit inflation + RTO stalls)
+//   overload       KVS broker service times stretch 100x and Lustre
+//                  MDS/OST service times 2.5x for the span (metadata-storm
+//                  co-tenant); the headline mdwf::health scenario
 FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape);
 
 // Every name `make_scenario` accepts, in a stable order.

@@ -35,15 +35,45 @@ void LustreServers::set_ost_background_load(double fraction) {
 
 sim::Task<void> LustreServers::mds_rpc(net::NodeId client) {
   ++mds_requests_;
-  trace_mds_pending(+1);
   co_await network_->send_control(client, mds_node_);
+  // Bounded admission: a full MDS queue bounces the request with a busy
+  // reply; the client backs off exponentially and re-sends.  After the
+  // attempt budget it queues regardless — progress over fairness.
+  Duration backoff = busy_retry_base_;
+  for (std::uint32_t attempt = 0;
+       mds_admission_limit_ > 0 &&
+       mds_pending_ >= static_cast<std::int64_t>(mds_admission_limit_) &&
+       attempt < busy_retry_limit_;
+       ++attempt) {
+    ++sheds_;
+    ++busy_retries_;
+    co_await network_->send_control(mds_node_, client);
+    co_await sim_->delay(backoff);
+    backoff = backoff * 2.0;
+    co_await network_->send_control(client, mds_node_);
+  }
+  trace_mds_pending(+1);
   co_await mds_slots_->acquire();
   {
     sim::SemaphoreGuard slot(*mds_slots_);
-    co_await sim_->delay(params_.mds_service);
+    co_await sim_->delay(params_.mds_service * dilation_);
   }
   trace_mds_pending(-1);
   co_await network_->send_control(mds_node_, client);
+}
+
+void LustreServers::set_service_dilation(double factor) {
+  dilation_ = factor < 1.0 ? 1.0 : factor;
+}
+
+void LustreServers::set_admission_limits(std::uint32_t mds_limit,
+                                         std::uint32_t ost_limit,
+                                         std::uint32_t retry_limit,
+                                         Duration retry_base) {
+  mds_admission_limit_ = mds_limit;
+  ost_admission_limit_ = ost_limit;
+  busy_retry_limit_ = retry_limit;
+  busy_retry_base_ = retry_base;
 }
 
 void LustreServers::set_trace(obs::TraceSink* sink) {
@@ -120,22 +150,47 @@ sim::Task<void> LustreClient::brw_rpc(sim::Simulation& sim,
   co_await window.acquire();
   sim::SemaphoreGuard slot_in_window(window);
   co_await sim.delay(servers.params_.client_rpc_cpu);
+  // Bounded OST admission: bulk-window pushback before the payload moves.
+  // The client holds its RPC-window slot and backs off; after the attempt
+  // budget it proceeds regardless so bulk I/O always completes.
+  Duration backoff = servers.busy_retry_base_;
+  for (std::uint32_t attempt = 0;
+       servers.ost_admission_limit_ > 0 &&
+       ost.pending >= static_cast<std::int64_t>(servers.ost_admission_limit_) &&
+       attempt < servers.busy_retry_limit_;
+       ++attempt) {
+    ++servers.sheds_;
+    ++servers.busy_retries_;
+    co_await sim.delay(backoff);
+    backoff = backoff * 2.0;
+  }
+  const Duration ost_service = servers.params_.ost_service * servers.dilation_;
+  // Decrements on every exit path (injected IoError must not leak a
+  // pending slot, or the admission queue would wedge shut).
+  struct PendingGuard {
+    std::int64_t* count;
+    ~PendingGuard() { --*count; }
+  };
   if (is_write) {
     // Payload travels with the request; the OST commits it to its device.
     co_await servers.network_->transfer(node, ost.node, chunk);
+    ++ost.pending;
+    PendingGuard admitted{&ost.pending};
     co_await ost.service_slots->acquire();
     {
       sim::SemaphoreGuard slot(*ost.service_slots);
-      co_await sim.delay(servers.params_.ost_service);
+      co_await sim.delay(ost_service);
       co_await ost.device->write(chunk);
     }
     co_await servers.network_->send_control(ost.node, node);
   } else {
     co_await servers.network_->send_control(node, ost.node);
+    ++ost.pending;
+    PendingGuard admitted{&ost.pending};
     co_await ost.service_slots->acquire();
     {
       sim::SemaphoreGuard slot(*ost.service_slots);
-      co_await sim.delay(servers.params_.ost_service);
+      co_await sim.delay(ost_service);
       co_await ost.device->read(chunk);
     }
     co_await servers.network_->transfer(ost.node, node, chunk);

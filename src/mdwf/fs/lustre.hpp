@@ -96,6 +96,21 @@ class LustreServers {
   std::uint64_t torn_writes() const { return torn_writes_; }
   std::uint64_t lost_flushes() const { return lost_flushes_; }
 
+  // Overloaded-server gray failure: MDS and OST service times stretch by
+  // `factor` (>= 1); 1.0 restores nominal speed.
+  void set_service_dilation(double factor);
+  double service_dilation() const { return dilation_; }
+
+  // --- Backpressure (mdwf::health) ----------------------------------------
+  // Bounded admission queues: an MDS or OST RPC arriving at a full queue
+  // bounces with a retryable busy reply; the client backs off and re-sends
+  // internally (bounded attempts, then it queues regardless so progress is
+  // guaranteed).  0 = unbounded (off).
+  void set_admission_limits(std::uint32_t mds_limit, std::uint32_t ost_limit,
+                            std::uint32_t retry_limit, Duration retry_base);
+  std::uint64_t sheds() const { return sheds_; }
+  std::uint64_t busy_retries() const { return busy_retries_; }
+
   // --- Crash consistency ----------------------------------------------------
   // Client `node` lost power: every file it wrote past the last journal
   // commit (close-after-write publishes size to the MDS journal) is torn
@@ -129,6 +144,7 @@ class LustreServers {
     net::NodeId node;
     std::unique_ptr<storage::BlockDevice> device;
     std::unique_ptr<sim::Semaphore> service_slots;
+    std::int64_t pending = 0;  // admitted bulk RPCs queued or in service
   };
 
   // MDS round-trip from `client`: request + queued service + reply.
@@ -148,6 +164,13 @@ class LustreServers {
   std::uint64_t journal_commits_ = 0;
   std::uint64_t torn_writes_ = 0;
   std::uint64_t lost_flushes_ = 0;
+  double dilation_ = 1.0;
+  std::uint32_t mds_admission_limit_ = 0;
+  std::uint32_t ost_admission_limit_ = 0;
+  std::uint32_t busy_retry_limit_ = 24;
+  Duration busy_retry_base_ = Duration::microseconds(200);
+  std::uint64_t sheds_ = 0;
+  std::uint64_t busy_retries_ = 0;
   std::int64_t mds_pending_ = 0;
   obs::TraceSink* trace_ = nullptr;
   obs::TrackId trace_mds_track_{};

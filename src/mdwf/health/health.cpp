@@ -1,0 +1,159 @@
+#include "mdwf/health/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::health {
+
+// --- FailureDetector --------------------------------------------------------
+
+void FailureDetector::observe(Duration latency) {
+  const double x = static_cast<double>(latency.ns());
+  if (count_ == 0) {
+    mean_ns_ = x;
+    var_ns2_ = 0.0;
+  } else {
+    // EWMA mean and variance (West 1979): recent behaviour dominates, so
+    // the detector adapts when a server degrades or recovers.
+    const double a = params_.ewma_alpha;
+    const double diff = x - mean_ns_;
+    mean_ns_ += a * diff;
+    var_ns2_ = (1.0 - a) * (var_ns2_ + a * diff * diff);
+  }
+  ++count_;
+}
+
+double FailureDetector::phi(Duration x) const {
+  const double floor_ns = static_cast<double>(params_.min_stddev.ns());
+  const double std_ns = std::max(std::sqrt(std::max(var_ns2_, 0.0)), floor_ns);
+  const double z =
+      (static_cast<double>(x.ns()) - mean_ns_) / (std_ns * std::sqrt(2.0));
+  // P(X >= x) for Normal(mean, std); erfc keeps precision in the far tail.
+  // phi is capped at 40 ("one in 10^40"), which also keeps the
+  // probability-underflow sentinel on the same scale as finite values so
+  // phi stays monotone in x.
+  const double p = 0.5 * std::erfc(z);
+  if (p <= 0.0) return 40.0;  // beyond double precision: certainly suspect
+  return std::min(-std::log10(p), 40.0);
+}
+
+bool FailureDetector::suspect(Duration x) const {
+  // Absolute SLO bound first: it must fire even before warm-up, and even
+  // when a constantly-gray server has dragged the learned mean up to the
+  // sick level (where phi would report "normal").
+  if (params_.suspect_ceiling.ns() > 0 && x >= params_.suspect_ceiling) {
+    return true;
+  }
+  if (count_ < params_.min_samples) return false;
+  if (x < params_.suspect_floor) return false;
+  return phi(x) >= params_.phi_threshold;
+}
+
+// --- CircuitBreaker ---------------------------------------------------------
+
+void CircuitBreaker::open(TimePoint now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  probe_inflight_ = false;
+  probe_successes_ = 0;
+  ++trips_;
+}
+
+bool CircuitBreaker::allow(TimePoint now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ < params_.open_for) return false;
+      state_ = State::kHalfOpen;
+      probe_inflight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_inflight_) return false;
+      probe_inflight_ = true;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::record_success(TimePoint) {
+  switch (state_) {
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kHalfOpen:
+      probe_inflight_ = false;
+      if (++probe_successes_ >= params_.close_threshold) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+        probe_successes_ = 0;
+      }
+      break;
+    case State::kOpen:
+      // A straggler completing after the trip changes nothing.
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure(TimePoint now) {
+  switch (state_) {
+    case State::kClosed:
+      if (++consecutive_failures_ >= params_.failure_threshold) open(now);
+      break;
+    case State::kHalfOpen:
+      // Failed probe: back to open, restart the cool-down.
+      open(now);
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+// --- LatencyTracker ---------------------------------------------------------
+
+LatencyTracker::LatencyTracker(std::size_t capacity) : capacity_(capacity) {
+  MDWF_ASSERT(capacity_ >= 1);
+  ring_.resize(capacity_, 0);
+}
+
+void LatencyTracker::observe(Duration d) {
+  ring_[next_] = d.ns();
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+Duration LatencyTracker::percentile(double q) const {
+  MDWF_ASSERT(q >= 0.0 && q <= 1.0);
+  if (size_ == 0) return Duration::zero();
+  std::vector<std::int64_t> sorted(ring_.begin(),
+                                   ring_.begin() + static_cast<long>(size_));
+  std::sort(sorted.begin(), sorted.end());
+  if (size_ == 1) return Duration::nanoseconds(sorted[0]);
+  const double pos = q * static_cast<double>(size_ - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, size_ - 1);
+  const double frac = pos - static_cast<double>(lo);
+  const double v = static_cast<double>(sorted[lo]) +
+                   frac * static_cast<double>(sorted[hi] - sorted[lo]);
+  return Duration::nanoseconds(static_cast<std::int64_t>(v));
+}
+
+Duration LatencyTracker::hedge_delay(const HedgeParams& params) const {
+  if (size_ < params.min_samples) return params.initial_delay;
+  return std::min(std::max(percentile(params.percentile), params.min_delay),
+                  params.max_delay);
+}
+
+// --- HealthParams -----------------------------------------------------------
+
+HealthParams with_default_limits(HealthParams params) {
+  if (!params.enabled) return params;
+  if (params.kvs_admission_limit == 0) params.kvs_admission_limit = 64;
+  if (params.mds_admission_limit == 0) params.mds_admission_limit = 64;
+  if (params.ost_admission_limit == 0) params.ost_admission_limit = 128;
+  return params;
+}
+
+}  // namespace mdwf::health

@@ -11,6 +11,11 @@ KvsServer::KvsServer(sim::Simulation& sim, const KvsParams& params,
 }
 
 sim::Task<void> KvsServer::serve(Duration service) {
+  if (admission_limit_ > 0 &&
+      pending_ >= static_cast<std::int64_t>(admission_limit_)) {
+    ++sheds_;
+    throw health::ServerBusy("kvs: admission queue full");
+  }
   trace_pending(+1);
   while (stall_depth_ > 0) {
     // Keep a reference: the gate is replaced by the next stall window.
@@ -19,8 +24,12 @@ sim::Task<void> KvsServer::serve(Duration service) {
   }
   co_await slots_->acquire();
   sim::SemaphoreGuard slot(*slots_);
-  co_await sim_->delay(service);
+  co_await sim_->delay(service * dilation_);
   trace_pending(-1);
+}
+
+void KvsServer::set_service_dilation(double factor) {
+  dilation_ = factor < 1.0 ? 1.0 : factor;
 }
 
 void KvsServer::set_trace(obs::TraceSink* sink, obs::TrackId track) {
@@ -115,7 +124,16 @@ sim::Task<void> KvsClient::rpc_from_server() {
 
 sim::Task<void> KvsClient::commit(std::string key, std::string value) {
   co_await rpc_to_server();
-  co_await server_->serve(server_->params_.commit_service);
+  std::exception_ptr busy;
+  try {
+    co_await server_->serve(server_->params_.commit_service);
+  } catch (const health::ServerBusy&) {
+    busy = std::current_exception();
+  }
+  if (busy != nullptr) {
+    co_await rpc_from_server();  // the busy reply still crosses the wire
+    std::rethrow_exception(busy);
+  }
   ++server_->commits_;
   server_->trace_total("kvs.commits", server_->commits_);
   auto& entry = server_->store_[key];
@@ -128,7 +146,16 @@ sim::Task<void> KvsClient::commit(std::string key, std::string value) {
 
 sim::Task<std::optional<KvsValue>> KvsClient::lookup(const std::string& key) {
   co_await rpc_to_server();
-  co_await server_->serve(server_->params_.lookup_service);
+  std::exception_ptr busy;
+  try {
+    co_await server_->serve(server_->params_.lookup_service);
+  } catch (const health::ServerBusy&) {
+    busy = std::current_exception();
+  }
+  if (busy != nullptr) {
+    co_await rpc_from_server();
+    std::rethrow_exception(busy);
+  }
   ++server_->lookups_;
   server_->trace_total("kvs.lookups", server_->lookups_);
   std::optional<KvsValue> result;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mdwf/common/bytes.hpp"
+#include "mdwf/health/health.hpp"
 #include "mdwf/net/network.hpp"
 #include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/primitives.hpp"
@@ -77,6 +78,18 @@ class KvsServer {
       std::function<void(const std::vector<std::string>&)> fn);
   std::uint64_t lost_commits() const { return lost_commits_; }
 
+  // Overloaded-broker gray failure: every service time stretches by
+  // `factor` (>= 1); 1.0 restores nominal speed.
+  void set_service_dilation(double factor);
+  double service_dilation() const { return dilation_; }
+
+  // --- Backpressure (mdwf::health) ----------------------------------------
+  // Bounded admission queue: a request arriving while `pending` (queued +
+  // in service) is at the limit is shed with a retryable ServerBusy reply
+  // instead of queueing without bound.  0 = unbounded (off).
+  void set_admission_limit(std::uint32_t limit) { admission_limit_ = limit; }
+  std::uint64_t sheds() const { return sheds_; }
+
   // --- Observability (mdwf::obs) ------------------------------------------
   // Samples broker queue depth ("kvs.pending": requests queued or in
   // service, including those parked behind a stall gate) and cumulative
@@ -113,6 +126,9 @@ class KvsServer {
   std::vector<std::function<void(const std::vector<std::string>&)>>
       recovery_listeners_;
   std::uint64_t lost_commits_ = 0;
+  double dilation_ = 1.0;
+  std::uint32_t admission_limit_ = 0;
+  std::uint64_t sheds_ = 0;
   std::int64_t pending_ = 0;
   obs::TraceSink* trace_ = nullptr;
   obs::TrackId trace_track_{};

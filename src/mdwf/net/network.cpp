@@ -1,5 +1,7 @@
 #include "mdwf/net/network.hpp"
 
+#include <cmath>
+
 #include "mdwf/common/assert.hpp"
 #include "mdwf/sim/primitives.hpp"
 
@@ -54,6 +56,17 @@ std::size_t Network::crash_node(NodeId n) {
   return tx(n).abort_active() + rx(n).abort_active();
 }
 
+void Network::set_link_loss(NodeId n, double p) {
+  MDWF_ASSERT(n.value < nodes_.size());
+  MDWF_ASSERT(p >= 0.0 && p < 1.0);
+  nodes_[n.value].loss = p;
+}
+
+double Network::link_loss(NodeId n) const {
+  MDWF_ASSERT(n.value < nodes_.size());
+  return nodes_[n.value].loss;
+}
+
 void Network::check_reachable(NodeId src, NodeId dst) const {
   for (const NodeId n : {src, dst}) {
     if (nodes_[n.value].down) {
@@ -68,12 +81,28 @@ sim::Task<void> Network::transfer(NodeId src, NodeId dst, Bytes payload) {
   check_reachable(src, dst);
   co_await sim_->delay(params_.latency);
   if (payload.is_zero()) co_return;
+  // Lossy links retransmit: a packet survives the path only if neither
+  // endpoint's link drops it, so the goodput fraction is (1-p_src)(1-p_dst)
+  // and the wire carries 1/(that) times the payload.  A tail-drop (the last
+  // packet of the flow lost) additionally stalls one RTO.
+  Bytes wire = payload;
+  const double survive = (1.0 - nodes_[src.value].loss) *
+                         (1.0 - nodes_[dst.value].loss);
+  if (survive < 1.0) {
+    wire = Bytes(static_cast<std::uint64_t>(
+        std::ceil(static_cast<double>(payload.count()) / survive)));
+    retransmitted_ += wire - payload;
+    if (loss_rng_.bernoulli(1.0 - survive)) {
+      ++retransmit_timeouts_;
+      co_await sim_->delay(params_.retransmit_timeout);
+    }
+  }
   // The payload occupies every traversed segment simultaneously; completion
   // is gated by the slowest.
   std::vector<sim::Task<void>> segments;
-  segments.push_back(tx(src).transfer(payload));
-  segments.push_back(rx(dst).transfer(payload));
-  if (bisection_) segments.push_back(bisection_->transfer(payload));
+  segments.push_back(tx(src).transfer(wire));
+  segments.push_back(rx(dst).transfer(wire));
+  if (bisection_) segments.push_back(bisection_->transfer(wire));
   co_await sim::all(*sim_, std::move(segments));
 }
 

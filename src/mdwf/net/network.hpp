@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mdwf/common/bytes.hpp"
+#include "mdwf/common/rng.hpp"
 #include "mdwf/common/time.hpp"
 #include "mdwf/net/fair_share.hpp"
 #include "mdwf/sim/simulation.hpp"
@@ -46,6 +47,9 @@ struct NetworkParams {
   double bisection_bandwidth_bps = 0.0;
   // Size charged for control messages (headers, acks).
   Bytes control_message_size = Bytes(256);
+  // Stall charged when a lossy link drops the tail of a flow and the
+  // transport has to wait out a retransmission timeout.
+  Duration retransmit_timeout = Duration::microseconds(500);
 };
 
 class Network {
@@ -91,11 +95,25 @@ class Network {
   // Returns the number of flows torn.  `set_link_down(n, false)` restores.
   std::size_t crash_node(NodeId n);
 
+  // Lossy link (gray failure): fraction of packets lost on the node's
+  // links.  Lost packets are retransmitted, not dropped: every transfer
+  // touching the node streams 1/(1-p) times its payload, and with
+  // probability p the flow additionally stalls one retransmit timeout.
+  // Draws happen only while a lossy window is active, preserving the
+  // determinism of loss-free runs.
+  void set_link_loss(NodeId n, double p);
+  double link_loss(NodeId n) const;
+  // Reseeds the retransmit RNG (mdwf::fault wires the plan seed here).
+  void seed_loss(Rng rng) { loss_rng_ = rng; }
+  Bytes retransmitted() const { return retransmitted_; }
+  std::uint64_t retransmit_timeouts() const { return retransmit_timeouts_; }
+
  private:
   struct Nic {
     std::unique_ptr<FairShareChannel> tx;
     std::unique_ptr<FairShareChannel> rx;
     bool down = false;
+    double loss = 0.0;
   };
 
   // Throws NetError if either endpoint is partitioned.
@@ -105,6 +123,9 @@ class Network {
   NetworkParams params_;
   std::vector<Nic> nodes_;
   std::unique_ptr<FairShareChannel> bisection_;
+  Rng loss_rng_{0x10557};
+  Bytes retransmitted_;
+  std::uint64_t retransmit_timeouts_ = 0;
 };
 
 }  // namespace mdwf::net

@@ -21,7 +21,7 @@ sim::Task<void> BlockDevice::submit(net::FairShareChannel& channel, Bytes n) {
   trace_inflight(+1);
   co_await queue_slots_.acquire();
   sim::SemaphoreGuard slot(queue_slots_);
-  co_await sim_->delay(params_.op_latency);
+  co_await sim_->delay(params_.op_latency * slowdown_);
   if (io_error_p_ > 0.0 && fault_rng_.bernoulli(io_error_p_)) {
     ++io_errors_;
     trace_inflight(-1);
@@ -69,11 +69,20 @@ void BlockDevice::set_fault_degradation(double fraction) {
 void BlockDevice::apply_channel_load() {
   // Interference and fault windows steal capacity independently; compose
   // the surviving fractions and cap so the channel keeps making progress.
-  const double combined =
-      1.0 - (1.0 - background_load_) * (1.0 - fault_degradation_);
-  const double capped = combined > 0.95 ? 0.95 : combined;
+  // A fail-slow window divides what survives; its cap is looser because a
+  // 100x-slow device is exactly what the gray-failure model wants.
+  const double surviving =
+      (1.0 - background_load_) * (1.0 - fault_degradation_) / slowdown_;
+  const double combined = 1.0 - surviving;
+  const double cap = slowdown_ > 1.0 ? 0.99 : 0.95;
+  const double capped = combined > cap ? cap : combined;
   read_channel_.set_background_load(capped);
   write_channel_.set_background_load(capped);
+}
+
+void BlockDevice::set_fault_slowdown(double factor) {
+  slowdown_ = factor < 1.0 ? 1.0 : factor;
+  apply_channel_load();
 }
 
 void BlockDevice::set_offline(bool offline) {

@@ -65,6 +65,11 @@ class BlockDevice {
   // dedicated stream so p == 0 consumes no randomness.
   void set_io_error_p(double p);
   void reseed_fault_rng(Rng rng) { fault_rng_ = rng; }
+  // Fail-slow (gray failure): every op's submission latency stretches by
+  // `factor` (>= 1) and both bandwidth channels slow by the same factor.
+  // 1.0 restores nominal speed.
+  void set_fault_slowdown(double factor);
+  double fault_slowdown() const { return slowdown_; }
 
   std::uint64_t reads_completed() const { return reads_; }
   std::uint64_t writes_completed() const { return writes_; }
@@ -95,6 +100,7 @@ class BlockDevice {
   std::uint64_t writes_ = 0;
   double background_load_ = 0.0;
   double fault_degradation_ = 0.0;
+  double slowdown_ = 1.0;
   bool offline_ = false;
   std::shared_ptr<sim::Event> online_gate_;
   double io_error_p_ = 0.0;

@@ -97,6 +97,20 @@ EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
   config.testbed.dyad.retry.enabled = retry;
   config.testbed.dyad.retry.lustre_fallback = retry;
 
+  // Gray-failure mitigation (mdwf::health): health=on arms the phi-accrual
+  // detector, circuit breaker, and bounded admission queues; hedge=on
+  // additionally races a delayed Lustre-replica read against slow cold
+  // fetches (and implies health=on).  Breaker trips and hedges act only
+  // when the Lustre failover path exists, i.e. retry is on — which it is
+  // by default whenever faults != none.
+  const bool hedge =
+      cfg.get_bool("hedge", defaults.testbed.dyad.health.hedge.enabled);
+  config.testbed.dyad.health.hedge.enabled = hedge;
+  config.testbed.dyad.health.enabled =
+      cfg.get_bool("health",
+                   hedge || defaults.testbed.dyad.health.enabled) ||
+      hedge;
+
   // End-to-end integrity defaults on whenever the plan can corrupt or tear
   // frames (bit-flip or node-crash windows): unchecked runs would count
   // corrupt frames as delivered.  integrity=off reproduces that baseline;

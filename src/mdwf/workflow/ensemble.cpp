@@ -34,6 +34,12 @@ std::uint64_t rank_epoch(const RankContext& ctx) {
   return ctx.crash != nullptr ? ctx.crash->epoch(ctx.node) : 0;
 }
 
+// Fail-slow CPU: compute bursts stretch by the injector's current dilation
+// for this rank's node (kSlowNode windows; x1.0 outside them).
+double cpu_dilation(const RankContext& ctx) {
+  return ctx.injector != nullptr ? ctx.injector->cpu_dilation(ctx.node) : 1.0;
+}
+
 // Rank restart after its node failed underneath it: park until power-on,
 // then roll back to the last durable checkpoint.  Returns the frame to
 // resume from.
@@ -99,21 +105,23 @@ sim::Task<void> run_producer(RankContext ctx) {
                                  perf::Category::kCompute);
       const double jitter =
           std::max(-0.5, ctx.rng.normal(0.0, workload.step_jitter_sigma));
-      co_await sim.delay(workload.frame_compute() * (1.0 + jitter));
+      co_await sim.delay(workload.frame_compute() *
+                         ((1.0 + jitter) * cpu_dilation(ctx)));
     }
     {
       perf::ScopedRegion ser(recorder, "serialize", perf::Category::kCompute);
-      co_await sim.delay(workload.serialize_time());
+      co_await sim.delay(workload.serialize_time() * cpu_dilation(ctx));
     }
     if (workload.compress) {
       perf::ScopedRegion comp(recorder, "compress", perf::Category::kCompute);
-      co_await sim.delay(workload.compress_time());
+      co_await sim.delay(workload.compress_time() * cpu_dilation(ctx));
     }
     for (std::uint64_t attempts = 0;; ++attempts) {
       std::exception_ptr failure;
       try {
         perf::ScopedRegion produce(recorder, "produce");
         co_await ctx.connector->put(frame_path(ctx.pair, f), wire_bytes, f);
+        if (ctx.publish_times != nullptr) (*ctx.publish_times)[f] = sim.now();
         if (ctx.checkpoint != nullptr) co_await ctx.checkpoint->persist(f + 1);
       } catch (const net::NetError&) {
         failure = std::current_exception();
@@ -161,6 +169,7 @@ sim::Task<void> run_consumer(RankContext ctx) {
   std::uint64_t f = 0;
   while (f < workload.frames) {
     const std::uint64_t frame_epoch = rank_epoch(ctx);
+    const TimePoint fetch_start = sim.now();
     for (std::uint64_t attempts = 0;; ++attempts) {
       std::exception_ptr failure;
       try {
@@ -173,7 +182,28 @@ sim::Task<void> run_consumer(RankContext ctx) {
       } catch (const fs::FsError&) {
         failure = std::current_exception();
       }
-      if (failure == nullptr) break;
+      if (failure == nullptr) {
+        // Frame-fetch latency — from the frame being both requested and
+        // available (see RankContext::publish_times) to the bytes landing,
+        // including any retries/hedging below the connector; its P99 is the
+        // gray-failure headline metric.  A hedge can finish off the Lustre
+        // replica before the producer's own put() returns; the stamp is
+        // then still missing and the latency-from-availability is
+        // unmeasurable, so that (certainly-not-slow) fetch is skipped.
+        if (ctx.fetch_samples != nullptr) {
+          TimePoint avail = fetch_start;
+          bool stamped = true;
+          if (ctx.publish_times != nullptr) {
+            const TimePoint pub = (*ctx.publish_times)[f];
+            stamped = pub != TimePoint::origin();
+            avail = std::max(avail, pub);
+          }
+          if (stamped) {
+            ctx.fetch_samples->add((sim.now() - avail).to_micros());
+          }
+        }
+        break;
+      }
       if (ctx.crash == nullptr || attempts >= kMaxFaultRetries) {
         std::rethrow_exception(failure);
       }
@@ -193,18 +223,18 @@ sim::Task<void> run_consumer(RankContext ctx) {
     if (workload.compress) {
       perf::ScopedRegion dec(recorder, "decompress",
                              perf::Category::kCompute);
-      co_await sim.delay(workload.decompress_time());
+      co_await sim.delay(workload.decompress_time() * cpu_dilation(ctx));
     }
     {
       perf::ScopedRegion des(recorder, "deserialize",
                              perf::Category::kCompute);
-      co_await sim.delay(workload.serialize_time());
+      co_await sim.delay(workload.serialize_time() * cpu_dilation(ctx));
     }
     {
       // Analytics emulation matches the frame-generation frequency
       // (paper Sec. IV-C).
       perf::ScopedRegion ana(recorder, "analytics", perf::Category::kCompute);
-      co_await sim.delay(workload.frame_compute());
+      co_await sim.delay(workload.frame_compute() * cpu_dilation(ctx));
     }
     ctx.connector->acknowledge(f);
     if (ctx.checkpoint != nullptr) co_await ctx.checkpoint->persist(f + 1);
@@ -254,13 +284,16 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
   for (const char* name :
        {"dyad_warm_hits", "dyad_kvs_waits", "dyad_kvs_retries",
         "dyad_recovery_retries", "dyad_failovers", "dyad_republishes",
-        "frames_produced", "frames_consumed", "frames_reexecuted",
-        "fault_retries", "crash_recoveries", "crash_windows",
-        "checkpoint_persists", "checkpoint_restores", "torn_writes",
-        "lost_dirty_pages", "integrity_verified", "integrity_failures",
-        "integrity_refetches", "integrity_unrecovered", "kvs_commits",
-        "kvs_lookups", "cache_hits", "cache_misses", "fault_windows_applied",
-        "sim_events", "trace_events"}) {
+        "dyad_hedges", "dyad_hedge_wins", "dyad_hedge_cancels",
+        "dyad_breaker_trips", "dyad_breaker_fast_fails", "dyad_busy_retries",
+        "kvs_sheds", "lustre_sheds", "lustre_busy_retries",
+        "net_retransmit_timeouts", "frames_produced", "frames_consumed",
+        "frames_reexecuted", "fault_retries", "crash_recoveries",
+        "crash_windows", "checkpoint_persists", "checkpoint_restores",
+        "torn_writes", "lost_dirty_pages", "integrity_verified",
+        "integrity_failures", "integrity_refetches", "integrity_unrecovered",
+        "kvs_commits", "kvs_lookups", "cache_hits", "cache_misses",
+        "fault_windows_applied", "sim_events", "trace_events"}) {
     result.counters.add(name, 0);
   }
 
@@ -300,6 +333,7 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
     std::vector<std::unique_ptr<Connector>> prod_conn;
     std::vector<std::unique_ptr<Connector>> cons_conn;
     std::vector<std::unique_ptr<Checkpoint>> ckpts;
+    std::vector<std::unique_ptr<std::vector<TimePoint>>> pub_times;
     std::vector<sim::Task<void>> tasks;
 
     // Crash/restart model: crash windows in the plan switch the rank loops
@@ -379,6 +413,11 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
                        .crash = crash,
                        .checkpoint = cckpt,
                        .stats = &stats[2 * pair + 1]};
+      pctx.injector = cctx.injector = tb.fault_injector();
+      cctx.fetch_samples = &result.cons_fetch_us;
+      pub_times.push_back(std::make_unique<std::vector<TimePoint>>(
+          config.workload.frames, TimePoint::origin()));
+      pctx.publish_times = cctx.publish_times = pub_times.back().get();
       if (sink != nullptr) {
         // One trace lane per rank, on the process of the node it runs on.
         pctx.trace = cctx.trace = sink;
@@ -409,6 +448,9 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
     TimePoint workload_end;
     sim.spawn(run_all_and_mark(sim, std::move(tasks), workload_end));
     const std::uint64_t events_fired = sim.run_to_quiescence();
+    // Close trace spans for fault windows still open at simulation end
+    // (gray windows often outlive the workload).
+    if (tb.fault_injector() != nullptr) tb.fault_injector()->finalize_trace();
 
     // --- Per-repetition aggregation ------------------------------------
     double pm = 0, pi = 0, cm = 0, ci = 0;
@@ -452,6 +494,13 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
       for (std::uint32_t n = 0; n < config.nodes; ++n) {
         result.counters.add("dyad_republishes",
                             tb.node(n).dyad->republishes());
+        const auto& hs = tb.node(n).dyad->health_state();
+        result.counters.add("dyad_hedges", hs.hedges);
+        result.counters.add("dyad_hedge_wins", hs.hedge_wins);
+        result.counters.add("dyad_hedge_cancels", hs.hedge_cancels);
+        result.counters.add("dyad_breaker_trips", hs.breaker.trips());
+        result.counters.add("dyad_breaker_fast_fails", hs.breaker_fast_fails);
+        result.counters.add("dyad_busy_retries", hs.busy_retries);
       }
     }
     for (std::uint32_t pair = 0; pair < config.pairs; ++pair) {
@@ -489,6 +538,11 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
     }
     result.counters.add("kvs_commits", tb.kvs().commits());
     result.counters.add("kvs_lookups", tb.kvs().lookups());
+    result.counters.add("kvs_sheds", tb.kvs().sheds());
+    result.counters.add("lustre_sheds", tb.lustre().sheds());
+    result.counters.add("lustre_busy_retries", tb.lustre().busy_retries());
+    result.counters.add("net_retransmit_timeouts",
+                        tb.network().retransmit_timeouts());
     for (std::uint32_t n = 0; n < config.nodes; ++n) {
       result.counters.add("cache_hits", tb.node(n).cache->hits());
       result.counters.add("cache_misses", tb.node(n).cache->misses());

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "mdwf/common/rng.hpp"
 #include "mdwf/common/stats.hpp"
@@ -117,6 +118,20 @@ struct RankContext {
   // Progress record to roll back to; null = restart re-executes everything.
   Checkpoint* checkpoint = nullptr;
   RankStats* stats = nullptr;
+  // Non-null when faults are injected: compute bursts stretch by the
+  // injector's current CPU dilation for this node (kSlowNode windows).
+  fault::FaultInjector* injector = nullptr;
+  // Consumers only (non-null = record): per-frame get() latency in
+  // microseconds, the distribution behind the frame-fetch P99.
+  Samples* fetch_samples = nullptr;
+  // Shared per-pair frame publication times (index = frame).  The producer
+  // stamps each frame when its put completes; the consumer measures fetch
+  // latency from max(request, publish) so the metric is the cost of
+  // *moving* an available frame — a consumer idling ahead of a slow
+  // producer is not a slow fetch (the closed-loop variant of coordinated
+  // omission: an unmitigated-slow consumer never arrives early, so raw
+  // wall-clock would flatter exactly the configurations without health).
+  std::vector<TimePoint>* publish_times = nullptr;
 };
 
 // One producer rank: regions md_compute / serialize / produce /
@@ -164,6 +179,10 @@ struct EnsembleResult {
   Samples cons_movement_us;
   Samples cons_idle_us;
   Samples makespan_s;
+  // Per-frame consumer get() latency across all pairs and repetitions, in
+  // microseconds; quantile(0.99) is the frame-fetch P99 the gray-failure
+  // acceptance criteria compare.
+  Samples cons_fetch_us;
 
   // All per-rank call trees across repetitions, tagged with metadata
   // (solution, role, rep, pair).
@@ -196,6 +215,26 @@ struct EnsembleResult {
   std::uint64_t dyad_republishes() const {
     return counters.get("dyad_republishes");
   }
+
+  // Gray-failure mitigation counters (non-zero only with health/hedge on).
+  std::uint64_t dyad_hedges() const { return counters.get("dyad_hedges"); }
+  std::uint64_t dyad_hedge_wins() const {
+    return counters.get("dyad_hedge_wins");
+  }
+  std::uint64_t dyad_hedge_cancels() const {
+    return counters.get("dyad_hedge_cancels");
+  }
+  std::uint64_t dyad_breaker_trips() const {
+    return counters.get("dyad_breaker_trips");
+  }
+  std::uint64_t dyad_breaker_fast_fails() const {
+    return counters.get("dyad_breaker_fast_fails");
+  }
+  std::uint64_t dyad_busy_retries() const {
+    return counters.get("dyad_busy_retries");
+  }
+  std::uint64_t kvs_sheds() const { return counters.get("kvs_sheds"); }
+  std::uint64_t lustre_sheds() const { return counters.get("lustre_sheds"); }
 
   // Crash/restart counters (non-zero only with crash windows in the plan).
   std::uint64_t frames_produced() const {

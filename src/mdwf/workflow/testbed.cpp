@@ -19,6 +19,9 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
                w.mode == fault::FaultMode::kCrash;
       });
   if (power_loss_planned) params_.dyad.durable_puts = true;
+  // Backpressure: health fills in default bounded-admission limits unless
+  // the caller chose explicit ones (health off leaves every queue unbounded).
+  params_.dyad.health = health::with_default_limits(params_.dyad.health);
   const std::uint32_t total_endpoints =
       params.compute_nodes + 1 /*kvs*/ + 1 /*mds*/ + params.lustre.ost_count;
   network_ = std::make_unique<net::Network>(sim_, params.network,
@@ -31,6 +34,13 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
   }
   lustre_ = std::make_unique<fs::LustreServers>(sim_, params.lustre, *network_,
                                                 mds_node(), ost_nodes);
+  if (params_.dyad.health.enabled) {
+    const health::HealthParams& hp = params_.dyad.health;
+    kvs_->set_admission_limit(hp.kvs_admission_limit);
+    lustre_->set_admission_limits(hp.mds_admission_limit,
+                                  hp.ost_admission_limit, hp.busy_retry_limit,
+                                  hp.busy_retry_base);
+  }
 
   nodes_.reserve(params.compute_nodes);
   for (std::uint32_t i = 0; i < params.compute_nodes; ++i) {

@@ -18,10 +18,18 @@
 //                                            broker-outage, slow-nvme,
 //                                            flaky-fabric, partition, ost-storm,
 //                                            node-crash, rank-kill, bit-flip,
-//                                            crash-flip, crash:<n>)
+//                                            crash-flip, crash:<n>, slow-disk,
+//                                            lossy-link, overload)
 //   retry      = 0|1                        (DYAD recovery protocol: RPC
 //                                            timeout+retry and Lustre failover;
 //                                            default 1 when faults are injected)
+//   health     = 0|1                        (gray-failure mitigation: phi-accrual
+//                                            failure detector, circuit breaker
+//                                            over the KVS, bounded server
+//                                            admission queues; default 0)
+//   hedge      = 0|1                        (race a delayed Lustre-replica read
+//                                            against slow cold fetches; implies
+//                                            health=1; default 0)
 //   integrity  = 0|1                        (end-to-end CRC32C frame checksums;
 //                                            default 1 under bit-flip or crash
 //                                            scenarios, else 0)
@@ -106,18 +114,20 @@ int main(int argc, char** argv) {
     if (output == "csv") {
       std::printf(
           "solution,model,pairs,nodes,stride,frames,reps,"
-          "prod_move_us,prod_idle_us,cons_move_us,cons_idle_us,makespan_s");
+          "prod_move_us,prod_idle_us,cons_move_us,cons_idle_us,makespan_s,"
+          "fetch_p99_us");
       for (const auto& [name, value] : r.counters) std::printf(",%s",
                                                                name.c_str());
       std::printf("\n");
-      std::printf("%s,%s,%u,%u,%llu,%llu,%u,%.3f,%.3f,%.3f,%.3f,%.4f",
+      std::printf("%s,%s,%u,%u,%llu,%llu,%u,%.3f,%.3f,%.3f,%.3f,%.4f,%.3f",
                   solution.c_str(), model_name.c_str(), config.pairs,
                   config.nodes,
                   static_cast<unsigned long long>(config.workload.stride),
                   static_cast<unsigned long long>(config.workload.frames),
                   config.repetitions, r.prod_movement_us.mean(),
                   r.prod_idle_us.mean(), r.cons_movement_us.mean(),
-                  r.cons_idle_us.mean(), r.makespan_s.mean());
+                  r.cons_idle_us.mean(), r.makespan_s.mean(),
+                  r.cons_fetch_us.quantile(0.99));
       for (const auto& [name, value] : r.counters) {
         std::printf(",%llu", static_cast<unsigned long long>(value));
       }
@@ -143,6 +153,9 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(config.workload.frames),
                   config.repetitions, t.render().c_str(), r.makespan_s.mean(),
                   r.makespan_s.stddev());
+      std::printf("frame-fetch P99 %.1f us (P50 %.1f us, %zu samples)\n",
+                  r.cons_fetch_us.quantile(0.99),
+                  r.cons_fetch_us.quantile(0.50), r.cons_fetch_us.count());
       std::printf("\ncounters:\n");
       for (const auto& [name, value] : r.counters) {
         std::printf("  %-24s %llu\n", name.c_str(),
@@ -169,19 +182,26 @@ int main(int argc, char** argv) {
     const std::uint64_t expected = static_cast<std::uint64_t>(config.pairs) *
                                    config.workload.frames *
                                    config.repetitions;
+    // Diagnostics carry the active fault scenario and base seed so a failed
+    // chaos/CI run is reproducible from its stderr line alone.
+    const std::string scenario = cfg.get_string("faults", "none");
     if (r.integrity_unrecovered() > 0) {
       std::fprintf(stderr,
                    "mdwf_run: FAILED: %llu frame read(s) failed checksum "
-                   "verification beyond recovery\n",
-                   static_cast<unsigned long long>(r.integrity_unrecovered()));
+                   "verification beyond recovery (faults=%s seed=%llu)\n",
+                   static_cast<unsigned long long>(r.integrity_unrecovered()),
+                   scenario.c_str(),
+                   static_cast<unsigned long long>(config.base_seed));
       return 2;
     }
     if (r.frames_consumed() < expected) {
       std::fprintf(stderr,
                    "mdwf_run: FAILED: ensemble incomplete: %llu of %llu "
-                   "frames consumed (unrecovered fault?)\n",
+                   "frames consumed (unrecovered fault?) (faults=%s "
+                   "seed=%llu)\n",
                    static_cast<unsigned long long>(r.frames_consumed()),
-                   static_cast<unsigned long long>(expected));
+                   static_cast<unsigned long long>(expected), scenario.c_str(),
+                   static_cast<unsigned long long>(config.base_seed));
       return 2;
     }
   } catch (const ConfigError& e) {
