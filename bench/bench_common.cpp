@@ -10,6 +10,7 @@
 #include "mdwf/common/format.hpp"
 #include "mdwf/common/keyval.hpp"
 #include "mdwf/common/table.hpp"
+#include "mdwf/sweep/sweep.hpp"
 #include "mdwf/workflow/config.hpp"
 
 namespace mdwf::bench {
@@ -76,7 +77,10 @@ void register_case(const Case& c) {
       copy.label.c_str(),
       [copy](benchmark::State& state) {
         for (auto _ : state) {
-          auto result = workflow::run_ensemble(copy.config);
+          // Parallel replica runner: fans the case's seeded repetitions
+          // across `threads=` workers (default 1) with byte-identical
+          // aggregates for every thread count.
+          auto result = sweep::run_ensemble(copy.config);
           state.counters["prod_move_us"] = result.prod_movement_us.mean();
           state.counters["prod_idle_us"] = result.prod_idle_us.mean();
           state.counters["cons_move_us"] = result.cons_movement_us.mean();

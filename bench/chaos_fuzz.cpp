@@ -18,9 +18,16 @@
 // also written to chaos_repro_<index>.txt for CI artifact upload.
 //
 //   chaos_fuzz [schedules=60] [seed=20260806] [only=<index>] [verbose=1]
+//             [threads=1]
+//
+// threads=N fans the independent schedule checks across the sweep engine's
+// work-stealing pool; the canonically-first (lowest-index) violation is
+// reported and shrunk regardless of which worker found it first, so output
+// and exit code match the serial run.
 //
 // Exit code 0 when every schedule holds, 1 with a reproducer otherwise.
 #include <cstdio>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +36,7 @@
 #include "mdwf/common/keyval.hpp"
 #include "mdwf/common/rng.hpp"
 #include "mdwf/fault/plan.hpp"
+#include "mdwf/sweep/sweep.hpp"
 #include "mdwf/workflow/ensemble.hpp"
 
 namespace {
@@ -285,31 +293,53 @@ int main(int argc, char** argv) {
   const std::uint64_t master_seed = cfg.get_uint("seed", 20260806);
   const std::int64_t only = cfg.get_int("only", -1);
   const bool verbose = cfg.get_bool("verbose", false);
-  for (const char* k : {"schedules", "seed", "only", "verbose"}) {
+  const auto threads = static_cast<std::uint32_t>(cfg.get_uint("threads", 1));
+  for (const char* k : {"schedules", "seed", "only", "verbose", "threads"}) {
     cfg.note_known(k);
   }
 
-  std::uint64_t ran = 0;
+  // Schedules are independent, so their checks fan across the sweep pool;
+  // outcomes land in per-index slots and are reported in index order below,
+  // making output and exit code thread-count-invariant.
+  struct Outcome {
+    Schedule s;
+    std::optional<std::string> bad;
+    bool checked = false;
+  };
+  std::vector<Outcome> outcomes(schedules);
+  std::vector<std::function<void()>> checks;
   for (std::uint32_t i = 0; i < schedules; ++i) {
     if (only >= 0 && static_cast<std::int64_t>(i) != only) continue;
-    const Schedule s = draw_schedule(master_seed, i);
-    if (verbose) std::printf("%s\n", describe(s).c_str());
-    // Every 8th schedule (and any explicitly requested one) is replayed to
-    // check bit-identical determinism; the rest run once.
-    std::optional<std::string> bad = (i % 8 == 0 || only >= 0)
-                                         ? check_determinism(s)
-                                         : std::nullopt;
-    if (!bad.has_value()) bad = check_once(s);
-    ++ran;
-    if (!bad.has_value()) continue;
+    checks.push_back([&outcomes, master_seed, only, i] {
+      Outcome& o = outcomes[i];
+      o.s = draw_schedule(master_seed, i);
+      // Every 8th schedule (and any explicitly requested one) is replayed
+      // to check bit-identical determinism; the rest run once.
+      o.bad = (i % 8 == 0 || only >= 0) ? check_determinism(o.s)
+                                        : std::nullopt;
+      if (!o.bad.has_value()) o.bad = check_once(o.s);
+      o.checked = true;
+    });
+  }
+  sweep::run_tasks(std::move(checks), threads);
 
-    std::printf("FAILED %s\n  %s\nshrinking...\n", describe(s).c_str(),
-                bad->c_str());
-    const Schedule minimal = shrink(s, *bad);
+  std::uint64_t ran = 0;
+  for (std::uint32_t i = 0; i < schedules; ++i) {
+    const Outcome& o = outcomes[i];
+    if (!o.checked) continue;
+    ++ran;
+    if (verbose) std::printf("%s\n", describe(o.s).c_str());
+    if (!o.bad.has_value()) continue;
+
+    std::printf("FAILED %s\n  %s\nshrinking...\n", describe(o.s).c_str(),
+                o.bad->c_str());
+    // Shrinking replays candidate schedules serially: it is a fix-up path,
+    // and a deterministic reproducer matters more than its wall-clock.
+    const Schedule minimal = shrink(o.s, *o.bad);
     std::printf("minimal %s\n  reproduce: chaos_fuzz seed=%llu only=%u\n",
                 describe(minimal).c_str(),
                 static_cast<unsigned long long>(master_seed), i);
-    write_reproducer(minimal, master_seed, *bad);
+    write_reproducer(minimal, master_seed, *o.bad);
     return 1;
   }
   std::printf("chaos_fuzz: %llu schedules held every invariant "

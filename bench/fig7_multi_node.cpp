@@ -8,6 +8,9 @@
 //   (a) production flat with ensemble size; DYAD ~5.3x faster movement;
 //       Lustre more variable at 128/256 pairs;
 //   (b) DYAD consumer movement ~5.8x faster; overall ~192.0x faster.
+//
+// Runs on the parallel replica runner (mdwf::sweep): threads=N fans each
+// case's 10 seeded repetitions across N workers with byte-identical tables.
 #include <cstdio>
 #include <vector>
 

@@ -8,6 +8,9 @@
 //       models whose fixed RPC overheads dominate);
 //   (b) DYAD's consumption movement advantage with larger frames
 //       (node-local staging + RDMA vs shared OSTs), overall 121x..333.8x.
+//
+// Runs on the parallel replica runner (mdwf::sweep): threads=N fans each
+// case's 10 seeded repetitions across N workers with byte-identical tables.
 #include <cstdio>
 #include <vector>
 

@@ -1,5 +1,8 @@
 // Resilience sweep: producer-consumer makespan under injected faults.
 //
+// Runs on the parallel replica runner (mdwf::sweep): threads=N fans each
+// scenario's seeded repetitions across N workers with byte-identical tables.
+//
 // A what-if study the paper never ran: how do DYAD (with its recovery
 // protocol enabled), colocated XFS, and Lustre respond when the cluster
 // misbehaves?  Each named fault scenario (mdwf/fault/plan.hpp) is applied to

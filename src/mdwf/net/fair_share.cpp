@@ -1,5 +1,6 @@
 #include "mdwf/net/fair_share.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "mdwf/common/assert.hpp"
@@ -12,6 +13,8 @@ namespace {
 // floating-point residue of progress accounting).
 constexpr double kEpsilonBytes = 1e-6;
 
+constexpr std::size_t kFlowChunk = 64;
+
 }  // namespace
 
 FairShareChannel::FairShareChannel(sim::Simulation& sim,
@@ -22,19 +25,58 @@ FairShareChannel::FairShareChannel(sim::Simulation& sim,
 
 FairShareChannel::~FairShareChannel() {
   if (timer_armed_) sim_->cancel(timer_);
+  if (settle_pending_) sim_->cancel(settle_timer_);
+}
+
+FairShareChannel::Flow* FairShareChannel::acquire_flow(double bytes) {
+  if (free_flows_ == nullptr) {
+    flow_chunks_.push_back(std::make_unique<Flow[]>(kFlowChunk));
+    Flow* chunk = flow_chunks_.back().get();
+    for (std::size_t i = kFlowChunk; i-- > 0;) {
+      chunk[i].next_free = free_flows_;
+      free_flows_ = &chunk[i];
+    }
+  }
+  Flow* f = free_flows_;
+  free_flows_ = f->next_free;
+  f->remaining_bytes = bytes;
+  f->aborted = false;
+  f->completed = false;
+  f->waiter = {};
+  f->next_free = nullptr;
+  return f;
+}
+
+void FairShareChannel::release_flow(Flow* f) {
+  f->next_free = free_flows_;
+  free_flows_ = f;
+}
+
+void FairShareChannel::complete_flow(Flow* f) {
+  f->completed = true;
+  if (f->waiter) {
+    sim_->schedule_resume(f->waiter, Duration::zero());
+    f->waiter = {};
+  }
 }
 
 sim::Task<void> FairShareChannel::transfer(Bytes n) {
   if (n.is_zero()) co_return;
   total_requested_ += n;
   advance_progress();
-  auto flow =
-      std::make_shared<Flow>(*sim_, static_cast<double>(n.count()));
+  Flow* flow = acquire_flow(static_cast<double>(n.count()));
   flows_.push_back(flow);
-  settle_and_rearm();
-  trace_flows();
-  co_await flow->done.wait();
-  if (flow->aborted) {
+  schedule_settle();
+  struct Done {
+    Flow* flow;
+    bool await_ready() const noexcept { return flow->completed; }
+    void await_suspend(std::coroutine_handle<> h) const { flow->waiter = h; }
+    void await_resume() const noexcept {}
+  };
+  co_await Done{flow};
+  const bool aborted = flow->aborted;
+  release_flow(flow);
+  if (aborted) {
     throw NetError("flow torn down on channel '" + name_ + "'");
   }
 }
@@ -42,13 +84,13 @@ sim::Task<void> FairShareChannel::transfer(Bytes n) {
 std::size_t FairShareChannel::abort_active() {
   advance_progress();
   const std::size_t n = flows_.size();
-  for (auto& f : flows_) {
+  for (Flow* f : flows_) {
     f->aborted = true;
     // Un-count the bytes that never made it: conservation totals then treat
     // the stream as truncated at the crash instant.
     total_requested_ -= Bytes(static_cast<std::uint64_t>(
         std::ceil(f->remaining_bytes < 0.0 ? 0.0 : f->remaining_bytes)));
-    f->done.trigger();
+    complete_flow(f);
   }
   aborted_flows_ += n;
   flows_.clear();
@@ -88,7 +130,7 @@ void FairShareChannel::advance_progress() {
       const double rate =
           effective_capacity() / static_cast<double>(flows_.size());
       const double progressed = rate * elapsed_s;
-      for (auto& f : flows_) {
+      for (Flow* f : flows_) {
         f->remaining_bytes -= progressed;
         if (f->remaining_bytes < 0.0) f->remaining_bytes = 0.0;
       }
@@ -97,20 +139,35 @@ void FairShareChannel::advance_progress() {
   last_update_ = now;
 }
 
+void FairShareChannel::schedule_settle() {
+  if (settle_pending_) return;
+  settle_pending_ = true;
+  // Zero-delay: fires after every same-instant arrival has been added, so a
+  // burst of N concurrent transfers costs one settle instead of N.  The
+  // fluid share is exact either way; only the redundant recomputations go.
+  settle_timer_ = sim_->call_after(Duration::zero(), [this] {
+    settle_pending_ = false;
+    advance_progress();
+    settle_and_rearm();
+    trace_flows();
+  });
+}
+
 void FairShareChannel::settle_and_rearm() {
-  // Complete flows that have drained.
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if ((*it)->remaining_bytes <= kEpsilonBytes) {
+  // Complete flows that have drained (arrival order, like the old list walk).
+  std::size_t kept = 0;
+  for (Flow* f : flows_) {
+    if (f->remaining_bytes <= kEpsilonBytes) {
       // Account completed bytes by what was requested minus residue (the
       // residue is fp noise, so just count the original request).
-      (*it)->done.trigger();
-      it = flows_.erase(it);
+      complete_flow(f);
     } else {
-      ++it;
+      flows_[kept++] = f;
     }
   }
+  flows_.resize(kept);
   total_completed_ = total_requested_;
-  for (const auto& f : flows_) {
+  for (const Flow* f : flows_) {
     total_completed_ -= Bytes(static_cast<std::uint64_t>(
         std::ceil(f->remaining_bytes - kEpsilonBytes < 0.0
                       ? 0.0
@@ -124,7 +181,7 @@ void FairShareChannel::settle_and_rearm() {
   if (flows_.empty()) return;
 
   double min_remaining = flows_.front()->remaining_bytes;
-  for (const auto& f : flows_) {
+  for (const Flow* f : flows_) {
     min_remaining = std::min(min_remaining, f->remaining_bytes);
   }
   const double rate =

@@ -6,16 +6,27 @@
 // exactly — progress is advanced to the event instant, the completion timer
 // recomputed — which yields the same completion times an ideal fluid model
 // would, independent of event interleaving.
+//
+// Hot-path notes (paper-scale sweeps hammer this class):
+//   * Flow records come from a chunked per-channel pool; a transfer
+//     allocates nothing once the pool is warm (previously one
+//     `std::make_shared<Flow>` + one `sim::Event` per transfer).
+//   * N same-instant arrivals coalesce into ONE settle/re-arm share
+//     recomputation: each arrival only advances progress (a no-op within an
+//     instant) and schedules a single zero-delay settle event.  The fluid
+//     model makes this exact — intermediate re-rates within one instant are
+//     unobservable, so completion times are bit-identical to the
+//     settle-per-arrival behaviour (tests/heap_property_test.cpp pins the
+//     fluid oracle; tests/net_test.cpp pins completion times).
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/obs/trace.hpp"
-#include "mdwf/sim/primitives.hpp"
 #include "mdwf/sim/simulation.hpp"
 #include "mdwf/sim/task.hpp"
 
@@ -61,20 +72,31 @@ class FairShareChannel {
                  std::string counter_name);
 
  private:
+  // Pooled: recycled by the owning transfer coroutine after it has observed
+  // the completion (so `aborted` stays readable after abort_active() has
+  // dropped the flow from the active list).
   struct Flow {
-    double remaining_bytes;
-    sim::Event done;
+    double remaining_bytes = 0.0;
     bool aborted = false;
-    Flow(sim::Simulation& sim, double n) : remaining_bytes(n), done(sim) {}
+    bool completed = false;
+    std::coroutine_handle<> waiter{};
+    Flow* next_free = nullptr;
   };
 
   double effective_capacity() const {
     return capacity_ * (1.0 - background_load_);
   }
+  Flow* acquire_flow(double bytes);
+  void release_flow(Flow* f);
+  // Marks `f` done and wakes its transfer coroutine (scheduled, not inline).
+  void complete_flow(Flow* f);
   // Advances every active flow to the current instant.
   void advance_progress();
   // Completes exhausted flows and re-arms the completion timer.
   void settle_and_rearm();
+  // Coalesces same-instant arrivals into one settle_and_rearm call via a
+  // single zero-delay event.
+  void schedule_settle();
   void on_timer();
   void trace_flows();
 
@@ -82,12 +104,14 @@ class FairShareChannel {
   double capacity_;
   std::string name_;
   double background_load_ = 0.0;
-  // Shared so a transfer coroutine can still read its flow's abort flag
-  // after abort_active() has dropped it from the active list.
-  std::list<std::shared_ptr<Flow>> flows_;
+  std::vector<Flow*> flows_;
+  std::vector<std::unique_ptr<Flow[]>> flow_chunks_;
+  Flow* free_flows_ = nullptr;
   TimePoint last_update_ = TimePoint::origin();
   sim::TimerId timer_{};
   bool timer_armed_ = false;
+  sim::TimerId settle_timer_{};
+  bool settle_pending_ = false;
   Bytes total_requested_ = Bytes::zero();
   Bytes total_completed_ = Bytes::zero();
   std::uint64_t aborted_flows_ = 0;

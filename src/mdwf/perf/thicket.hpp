@@ -84,6 +84,14 @@ class Thicket {
   std::size_t size() const { return records_.size(); }
   const std::vector<TreeRecord>& records() const { return records_; }
 
+  // Moves every record of `other` onto the end of this thicket (record
+  // order preserved; `other` is left empty).  Lets per-repetition thickets
+  // computed independently be folded in canonical order.
+  void append(Thicket&& other) {
+    for (auto& r : other.records_) records_.push_back(std::move(r));
+    other.records_.clear();
+  }
+
   // Records whose metadata contains key == value.
   Thicket filter(std::string_view key, std::string_view value) const;
 

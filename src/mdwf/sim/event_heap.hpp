@@ -1,0 +1,200 @@
+// Event queue for the DES kernel: a 4-ary min-heap over pooled event slots.
+//
+// Replaces the previous `std::priority_queue<QueueEntry>` + tombstone-set
+// design on the simulation hot path:
+//
+//   * Slots are allocated from a chunked free list, so scheduling an event
+//     costs no heap allocation once the pool is warm (paper-scale sweeps
+//     schedule hundreds of millions of events).
+//   * Coroutine resumptions — the overwhelmingly common event — carry a bare
+//     `std::coroutine_handle<>` instead of a type-erased `std::function`.
+//   * `cancel` is O(1) and *eager about resources*: it flags the slot and
+//     destroys the stored closure immediately (the old design parked the
+//     cancelled seq in an `unordered_set` and kept the closure alive until
+//     the timestamp drained).  The 8-byte slot pointer stays in the heap
+//     until it surfaces, where `pop`/`peek` recycle it without firing.
+//   * The slot's `seq` doubles as an ABA guard: seqs are globally unique, so
+//     a stale TimerId whose slot was recycled can never cancel the new
+//     occupant.  A cancelled-then-recycled slot is likewise never fired
+//     twice (tests/heap_property_test.cpp pins both properties).
+//
+// A 4-ary heap trades slightly more comparisons per level for half the
+// levels and sequential child access — measurably faster than the binary
+// heap for the DES mix of push-heavy bursts and ordered pops.
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mdwf/common/assert.hpp"
+#include "mdwf/common/time.hpp"
+
+namespace mdwf::sim {
+
+// One scheduled event.  Owned by the EventHeap's pool; handed out by
+// pointer so cancellation can reach it in O(1) while it sits mid-heap.
+struct EventSlot {
+  TimePoint at;
+  std::uint64_t seq = 0;  // global schedule order; unique forever (ABA guard)
+  std::coroutine_handle<> resume{};  // set => coroutine fast path
+  std::function<void()> fn;          // used when `resume` is null
+  bool cancelled = false;
+  EventSlot* next_free = nullptr;
+};
+
+class EventHeap {
+ public:
+  EventHeap() = default;
+  EventHeap(const EventHeap&) = delete;
+  EventHeap& operator=(const EventHeap&) = delete;
+
+  // Live (scheduled, not cancelled) events.
+  std::size_t live() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  EventSlot* push(TimePoint at, std::uint64_t seq, std::coroutine_handle<> h) {
+    EventSlot* s = acquire(at, seq);
+    s->resume = h;
+    sift_up(heap_.size() - 1);
+    return s;
+  }
+
+  EventSlot* push(TimePoint at, std::uint64_t seq, std::function<void()> fn) {
+    EventSlot* s = acquire(at, seq);
+    s->fn = std::move(fn);
+    sift_up(heap_.size() - 1);
+    return s;
+  }
+
+  // O(1) lazy cancellation.  Returns false (no-op) for a stale TimerId whose
+  // slot has already fired or been recycled.  The closure is destroyed now;
+  // the slot itself is recycled when it reaches the top of the heap.
+  bool cancel(EventSlot* s, std::uint64_t seq) {
+    if (s == nullptr || s->seq != seq || s->cancelled) return false;
+    s->cancelled = true;
+    s->fn = nullptr;   // release captured resources eagerly
+    s->resume = {};
+    MDWF_ASSERT(live_ > 0);
+    --live_;
+    return true;
+  }
+
+  // Earliest live slot without removing it (nullptr when none).  Cancelled
+  // slots encountered on the way are recycled.
+  EventSlot* peek() {
+    drain_cancelled();
+    return heap_.empty() ? nullptr : heap_.front();
+  }
+
+  // Removes and returns the earliest live slot (nullptr when none).  The
+  // caller fires it and must hand it back via `release`.
+  EventSlot* pop() {
+    drain_cancelled();
+    if (heap_.empty()) return nullptr;
+    EventSlot* top = heap_.front();
+    remove_top();
+    MDWF_ASSERT(live_ > 0);
+    --live_;
+    return top;
+  }
+
+  // Returns a fired slot to the pool.  `cancelled` is left set while the
+  // slot is free: a stale TimerId still holding the fired seq then fails
+  // cancel's `cancelled` guard (acquire clears the flag on reissue, at which
+  // point the fresh seq takes over as the guard).
+  void release(EventSlot* s) {
+    s->fn = nullptr;
+    s->resume = {};
+    s->cancelled = true;
+    s->next_free = free_;
+    free_ = s;
+  }
+
+ private:
+  static constexpr std::size_t kChunk = 256;
+
+  static bool before(const EventSlot* a, const EventSlot* b) {
+    if (a->at != b->at) return a->at < b->at;  // min-heap on time
+    return a->seq < b->seq;                    // FIFO within a timestamp
+  }
+
+  EventSlot* acquire(TimePoint at, std::uint64_t seq) {
+    if (free_ == nullptr) grow();
+    EventSlot* s = free_;
+    free_ = s->next_free;
+    s->at = at;
+    s->seq = seq;
+    s->cancelled = false;
+    s->next_free = nullptr;
+    heap_.push_back(s);
+    ++live_;
+    return s;
+  }
+
+  void grow() {
+    chunks_.push_back(std::make_unique<EventSlot[]>(kChunk));
+    EventSlot* chunk = chunks_.back().get();
+    for (std::size_t i = kChunk; i-- > 0;) {
+      chunk[i].next_free = free_;
+      free_ = &chunk[i];
+    }
+  }
+
+  void drain_cancelled() {
+    while (!heap_.empty() && heap_.front()->cancelled) {
+      EventSlot* top = heap_.front();
+      remove_top();
+      release(top);
+    }
+  }
+
+  void remove_top() {
+    EventSlot* last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      sift_down(0);
+    }
+  }
+
+  void sift_up(std::size_t i) {
+    EventSlot* const s = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (!before(s, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = s;
+  }
+
+  void sift_down(std::size_t i) {
+    EventSlot* const s = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t limit = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < limit; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], s)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = s;
+  }
+
+  std::vector<EventSlot*> heap_;
+  std::vector<std::unique_ptr<EventSlot[]>> chunks_;
+  EventSlot* free_ = nullptr;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mdwf::sim

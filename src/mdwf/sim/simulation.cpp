@@ -76,34 +76,40 @@ void Simulation::trace_live_processes() {
                   static_cast<std::int64_t>(live_roots_.size()));
 }
 
-void Simulation::push_event(TimePoint t, std::function<void()> fn,
-                            std::uint64_t seq) {
-  MDWF_ASSERT_MSG(t >= now_, "scheduling into the past");
-  queue_.push(QueueEntry{t, seq, std::move(fn)});
-}
-
 void Simulation::schedule_resume(std::coroutine_handle<> h, Duration after) {
-  push_event(now_ + after, [h] { h.resume(); }, next_seq_++);
+  queue_.push(now_ + after, next_seq_++, h);
 }
 
 TimerId Simulation::call_at(TimePoint t, std::function<void()> fn) {
+  MDWF_ASSERT_MSG(t >= now_, "scheduling into the past");
   const std::uint64_t seq = next_seq_++;
-  push_event(t, std::move(fn), seq);
-  return TimerId{seq};
+  EventSlot* slot = queue_.push(t, seq, std::move(fn));
+  return TimerId{slot, seq};
 }
 
 TimerId Simulation::call_after(Duration d, std::function<void()> fn) {
   return call_at(now_ + d, std::move(fn));
 }
 
-void Simulation::cancel(TimerId id) { cancelled_.insert(id.seq); }
+void Simulation::cancel(TimerId id) { queue_.cancel(id.slot, id.seq); }
 
-void Simulation::fire(QueueEntry& e) {
-  now_ = e.at;
+void Simulation::fire(EventSlot* e) {
+  now_ = e->at;
   ++events_fired_;
   MDWF_ASSERT_MSG(events_fired_ <= max_events_,
                   "event budget exceeded (runaway model?)");
-  e.fn();
+  // Detach the payload and recycle the slot *before* invoking: the payload
+  // may schedule new events, and the freed slot can then be reissued
+  // immediately without growing the pool.
+  if (e->resume) {
+    const std::coroutine_handle<> h = e->resume;
+    queue_.release(e);
+    h.resume();
+  } else {
+    std::function<void()> fn = std::move(e->fn);
+    queue_.release(e);
+    fn();
+  }
   if (pending_error_) {
     auto err = std::exchange(pending_error_, nullptr);
     std::rethrow_exception(err);
@@ -111,18 +117,10 @@ void Simulation::fire(QueueEntry& e) {
 }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    // const_cast: priority_queue::top() is const but we pop immediately; the
-    // move is safe because the entry is removed before anything re-observes
-    // the heap.
-    auto& top = const_cast<QueueEntry&>(queue_.top());
-    QueueEntry e{top.at, top.seq, std::move(top.fn)};
-    queue_.pop();
-    if (cancelled_.erase(e.seq) > 0) continue;
-    fire(e);
-    return true;
-  }
-  return false;
+  EventSlot* e = queue_.pop();
+  if (e == nullptr) return false;
+  fire(e);
+  return true;
 }
 
 std::uint64_t Simulation::run() {
@@ -134,8 +132,11 @@ std::uint64_t Simulation::run() {
 
 std::uint64_t Simulation::run_until(TimePoint limit) {
   const std::uint64_t before = events_fired_;
-  while (!queue_.empty()) {
-    if (queue_.top().at > limit) break;
+  // peek() skips cancelled slots, so the bound is checked against the event
+  // that would actually fire (the old priority_queue peeked at tombstones,
+  // which could overshoot the limit when the top entry was cancelled).
+  while (EventSlot* top = queue_.peek()) {
+    if (top->at > limit) break;
     step();
   }
   if (now_ < limit) now_ = limit;

@@ -15,20 +15,22 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "mdwf/common/time.hpp"
 #include "mdwf/obs/trace.hpp"
+#include "mdwf/sim/event_heap.hpp"
 #include "mdwf/sim/task.hpp"
 
 namespace mdwf::sim {
 
-// Cancellable handle for a scheduled callback.
+// Cancellable handle for a scheduled callback.  Carries the pooled slot plus
+// the schedule seq; the seq guards against the slot having been recycled, so
+// cancelling an already-fired timer is a safe no-op.
 struct TimerId {
+  EventSlot* slot = nullptr;
   std::uint64_t seq = 0;
 };
 
@@ -121,23 +123,10 @@ class Simulation {
   void internal_report_error(std::exception_ptr e) { pending_error_ = e; }
 
  private:
-  struct QueueEntry {
-    TimePoint at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct EntryOrder {
-    bool operator()(const QueueEntry& a, const QueueEntry& b) const {
-      if (a.at != b.at) return a.at > b.at;  // min-heap on time
-      return a.seq > b.seq;                  // FIFO within a timestamp
-    }
-  };
-
-  void push_event(TimePoint t, std::function<void()> fn, std::uint64_t seq);
-  void fire(QueueEntry& e);
+  void fire(EventSlot* e);
 
   TimePoint now_ = TimePoint::origin();
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, EntryOrder> queue_;
+  EventHeap queue_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_fired_ = 0;
   std::uint64_t max_events_ = 2'000'000'000;
@@ -148,7 +137,6 @@ class Simulation {
 
   void trace_live_processes();
 
-  std::unordered_set<std::uint64_t> cancelled_;
   std::unordered_map<std::uint64_t, RootRecord> live_roots_;
   std::uint64_t next_root_id_ = 0;
   std::exception_ptr pending_error_;

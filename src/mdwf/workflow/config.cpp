@@ -67,6 +67,10 @@ EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
   config.repetitions =
       static_cast<std::uint32_t>(cfg.get_uint("reps", defaults.repetitions));
   config.base_seed = cfg.get_uint("seed", defaults.base_seed);
+  // Worker threads for the parallel replica runner (mdwf::sweep); 0 = all
+  // hardware threads.  Never affects results, only wall-clock time.
+  config.threads =
+      static_cast<std::uint32_t>(cfg.get_uint("threads", defaults.threads));
   config.lustre_interference =
       cfg.get_bool("interference", defaults.lustre_interference);
   config.testbed.dyad.push_mode =

@@ -266,9 +266,32 @@ double per_frame_us(const perf::CallTree& tree, std::string_view subtree,
          static_cast<double>(frames);
 }
 
+// Registration order of every counter — the stable column order of tables
+// and CSVs across solutions and fault plans (zero when a path never fired).
+constexpr const char* kCounterNames[] = {
+    "dyad_warm_hits", "dyad_kvs_waits", "dyad_kvs_retries",
+    "dyad_recovery_retries", "dyad_failovers", "dyad_republishes",
+    "dyad_hedges", "dyad_hedge_wins", "dyad_hedge_cancels",
+    "dyad_breaker_trips", "dyad_breaker_fast_fails", "dyad_busy_retries",
+    "kvs_sheds", "lustre_sheds", "lustre_busy_retries",
+    "net_retransmit_timeouts", "frames_produced", "frames_consumed",
+    "frames_reexecuted", "fault_retries", "crash_recoveries",
+    "crash_windows", "checkpoint_persists", "checkpoint_restores",
+    "torn_writes", "lost_dirty_pages", "integrity_verified",
+    "integrity_failures", "integrity_refetches", "integrity_unrecovered",
+    "kvs_commits", "kvs_lookups", "cache_hits", "cache_misses",
+    "fault_windows_applied", "sim_events", "trace_events"};
+
 }  // namespace
 
-EnsembleResult run_ensemble(const EnsembleConfig& config) {
+EnsembleResult make_ensemble_result() {
+  EnsembleResult result;
+  for (const char* name : kCounterNames) result.counters.add(name, 0);
+  return result;
+}
+
+RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
+                          obs::TraceSink* trace) {
   MDWF_ASSERT(config.pairs >= 1);
   const bool colocated =
       config.nodes == 1 || config.placement == Placement::kColocated;
@@ -277,39 +300,31 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
   MDWF_ASSERT_MSG(config.solution != Solution::kXfs || colocated,
                   "XFS cannot move data between nodes (paper Sec. III-B)");
 
-  EnsembleResult result;
+  RepOutcome out;
+  for (const char* name : kCounterNames) out.counters.add(name, 0);
 
-  // Register every counter up front so table/CSV columns are stable across
-  // solutions and fault plans (zero when a path never fired).
-  for (const char* name :
-       {"dyad_warm_hits", "dyad_kvs_waits", "dyad_kvs_retries",
-        "dyad_recovery_retries", "dyad_failovers", "dyad_republishes",
-        "dyad_hedges", "dyad_hedge_wins", "dyad_hedge_cancels",
-        "dyad_breaker_trips", "dyad_breaker_fast_fails", "dyad_busy_retries",
-        "kvs_sheds", "lustre_sheds", "lustre_busy_retries",
-        "net_retransmit_timeouts", "frames_produced", "frames_consumed",
-        "frames_reexecuted", "fault_retries", "crash_recoveries",
-        "crash_windows", "checkpoint_persists", "checkpoint_restores",
-        "torn_writes", "lost_dirty_pages", "integrity_verified",
-        "integrity_failures", "integrity_refetches", "integrity_unrecovered",
-        "kvs_commits", "kvs_lookups", "cache_hits", "cache_misses",
-        "fault_windows_applied", "sim_events", "trace_events"}) {
-    result.counters.add(name, 0);
-  }
-
-  // Only the first repetition is traced: every rep is an independent
-  // simulation starting at t=0, so a combined timeline would interleave
-  // unrelated runs.
-  obs::TraceSink trace_sink;
-  const bool tracing = !config.trace_path.empty();
-
-  for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
+  {
     TestbedParams tp = config.testbed;
     tp.compute_nodes = config.nodes;
     // Each repetition draws an independent corruption history (same prime
     // stride scheme as the workload seeds: deterministic, non-overlapping).
     tp.integrity.seed = config.base_seed + rep * 7919;
-    tp.trace = (tracing && rep == 0) ? &trace_sink : nullptr;
+    tp.trace = trace;
+
+    // Declared before the testbed: if a repetition throws (e.g. deadlock),
+    // the testbed must unwind first — destroying the simulation destroys the
+    // blocked coroutines, whose scoped regions close against the recorders,
+    // so everything the coroutine frames touch has to outlive `tb`.
+    std::vector<std::unique_ptr<perf::Recorder>> prod_recs;
+    std::vector<std::unique_ptr<perf::Recorder>> cons_recs;
+    std::vector<std::unique_ptr<ExplicitSync>> syncs;
+    std::vector<std::unique_ptr<Connector>> prod_conn;
+    std::vector<std::unique_ptr<Connector>> cons_conn;
+    std::vector<std::unique_ptr<Checkpoint>> ckpts;
+    std::vector<std::unique_ptr<std::vector<TimePoint>>> pub_times;
+    std::vector<sim::Task<void>> tasks;
+    std::vector<RankStats> stats(2 * config.pairs);
+
     Testbed tb(tp);
     auto& sim = tb.simulation();
     obs::TraceSink* sink = tp.trace;
@@ -327,15 +342,6 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
                        : producer_nodes + pair / ranks_per_node;
     };
 
-    std::vector<std::unique_ptr<perf::Recorder>> prod_recs;
-    std::vector<std::unique_ptr<perf::Recorder>> cons_recs;
-    std::vector<std::unique_ptr<ExplicitSync>> syncs;
-    std::vector<std::unique_ptr<Connector>> prod_conn;
-    std::vector<std::unique_ptr<Connector>> cons_conn;
-    std::vector<std::unique_ptr<Checkpoint>> ckpts;
-    std::vector<std::unique_ptr<std::vector<TimePoint>>> pub_times;
-    std::vector<sim::Task<void>> tasks;
-
     // Crash/restart model: crash windows in the plan switch the rank loops
     // to their crash-aware form and (by default) enable checkpointing.
     fault::CrashMonitor* crash = nullptr;
@@ -343,7 +349,6 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
                              tb.fault_injector()->has_crash_windows();
     if (crash_aware) crash = &tb.fault_injector()->monitor();
     const bool ckpt_on = config.checkpoint.resolve_enabled(crash_aware);
-    std::vector<RankStats> stats(2 * config.pairs);
 
     const Rng rep_rng(config.base_seed + rep);
 
@@ -414,7 +419,7 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
                        .checkpoint = cckpt,
                        .stats = &stats[2 * pair + 1]};
       pctx.injector = cctx.injector = tb.fault_injector();
-      cctx.fetch_samples = &result.cons_fetch_us;
+      cctx.fetch_samples = &out.cons_fetch_us;
       pub_times.push_back(std::make_unique<std::vector<TimePoint>>(
           config.workload.frames, TimePoint::origin()));
       pctx.publish_times = cctx.publish_times = pub_times.back().get();
@@ -476,95 +481,119 @@ EnsembleResult run_ensemble(const EnsembleConfig& config) {
           {"stride", std::to_string(config.workload.stride)},
       };
       meta["role"] = "producer";
-      result.thicket.add(meta, prod_recs[pair]->snapshot());
+      out.thicket.add(meta, prod_recs[pair]->snapshot());
       meta["role"] = "consumer";
-      result.thicket.add(meta, cons_recs[pair]->snapshot());
+      out.thicket.add(meta, cons_recs[pair]->snapshot());
 
       if (config.solution == Solution::kDyad) {
         const auto& dc =
             static_cast<const DyadConnector&>(*cons_conn[pair]).consumer();
-        result.counters.add("dyad_warm_hits", dc.warm_hits());
-        result.counters.add("dyad_kvs_waits", dc.kvs_waits());
-        result.counters.add("dyad_kvs_retries", dc.kvs_retries());
-        result.counters.add("dyad_recovery_retries", dc.recovery_retries());
-        result.counters.add("dyad_failovers", dc.failovers());
+        out.counters.add("dyad_warm_hits", dc.warm_hits());
+        out.counters.add("dyad_kvs_waits", dc.kvs_waits());
+        out.counters.add("dyad_kvs_retries", dc.kvs_retries());
+        out.counters.add("dyad_recovery_retries", dc.recovery_retries());
+        out.counters.add("dyad_failovers", dc.failovers());
       }
     }
     if (config.solution == Solution::kDyad) {
       for (std::uint32_t n = 0; n < config.nodes; ++n) {
-        result.counters.add("dyad_republishes",
+        out.counters.add("dyad_republishes",
                             tb.node(n).dyad->republishes());
         const auto& hs = tb.node(n).dyad->health_state();
-        result.counters.add("dyad_hedges", hs.hedges);
-        result.counters.add("dyad_hedge_wins", hs.hedge_wins);
-        result.counters.add("dyad_hedge_cancels", hs.hedge_cancels);
-        result.counters.add("dyad_breaker_trips", hs.breaker.trips());
-        result.counters.add("dyad_breaker_fast_fails", hs.breaker_fast_fails);
-        result.counters.add("dyad_busy_retries", hs.busy_retries);
+        out.counters.add("dyad_hedges", hs.hedges);
+        out.counters.add("dyad_hedge_wins", hs.hedge_wins);
+        out.counters.add("dyad_hedge_cancels", hs.hedge_cancels);
+        out.counters.add("dyad_breaker_trips", hs.breaker.trips());
+        out.counters.add("dyad_breaker_fast_fails", hs.breaker_fast_fails);
+        out.counters.add("dyad_busy_retries", hs.busy_retries);
       }
     }
     for (std::uint32_t pair = 0; pair < config.pairs; ++pair) {
-      result.counters.add("frames_produced", stats[2 * pair].frames_done);
-      result.counters.add("frames_consumed", stats[2 * pair + 1].frames_done);
-      result.counters.add("frames_reexecuted",
+      out.counters.add("frames_produced", stats[2 * pair].frames_done);
+      out.counters.add("frames_consumed", stats[2 * pair + 1].frames_done);
+      out.counters.add("frames_reexecuted",
                           stats[2 * pair].reexecuted +
                               stats[2 * pair + 1].reexecuted);
-      result.counters.add("fault_retries",
+      out.counters.add("fault_retries",
                           stats[2 * pair].fault_retries +
                               stats[2 * pair + 1].fault_retries);
-      result.counters.add("crash_recoveries",
+      out.counters.add("crash_recoveries",
                           stats[2 * pair].crash_recoveries +
                               stats[2 * pair + 1].crash_recoveries);
     }
     for (const auto& ckpt : ckpts) {
-      result.counters.add("checkpoint_persists", ckpt->persists());
-      result.counters.add("checkpoint_restores", ckpt->restores());
+      out.counters.add("checkpoint_persists", ckpt->persists());
+      out.counters.add("checkpoint_restores", ckpt->restores());
     }
     if (crash != nullptr) {
-      result.counters.add("crash_windows", crash->crashes());
+      out.counters.add("crash_windows", crash->crashes());
     }
     std::uint64_t torn = tb.lustre().torn_writes();
     for (std::uint32_t n = 0; n < config.nodes; ++n) {
       torn += tb.node(n).local_fs->torn_files();
-      result.counters.add("lost_dirty_pages",
+      out.counters.add("lost_dirty_pages",
                           tb.node(n).cache->dirty_dropped());
     }
-    result.counters.add("torn_writes", torn);
+    out.counters.add("torn_writes", torn);
     if (auto* ledger = tb.integrity_ledger()) {
-      result.counters.add("integrity_verified", ledger->verified());
-      result.counters.add("integrity_failures", ledger->failures());
-      result.counters.add("integrity_refetches", ledger->refetches());
-      result.counters.add("integrity_unrecovered", ledger->unrecovered());
+      out.counters.add("integrity_verified", ledger->verified());
+      out.counters.add("integrity_failures", ledger->failures());
+      out.counters.add("integrity_refetches", ledger->refetches());
+      out.counters.add("integrity_unrecovered", ledger->unrecovered());
     }
-    result.counters.add("kvs_commits", tb.kvs().commits());
-    result.counters.add("kvs_lookups", tb.kvs().lookups());
-    result.counters.add("kvs_sheds", tb.kvs().sheds());
-    result.counters.add("lustre_sheds", tb.lustre().sheds());
-    result.counters.add("lustre_busy_retries", tb.lustre().busy_retries());
-    result.counters.add("net_retransmit_timeouts",
+    out.counters.add("kvs_commits", tb.kvs().commits());
+    out.counters.add("kvs_lookups", tb.kvs().lookups());
+    out.counters.add("kvs_sheds", tb.kvs().sheds());
+    out.counters.add("lustre_sheds", tb.lustre().sheds());
+    out.counters.add("lustre_busy_retries", tb.lustre().busy_retries());
+    out.counters.add("net_retransmit_timeouts",
                         tb.network().retransmit_timeouts());
     for (std::uint32_t n = 0; n < config.nodes; ++n) {
-      result.counters.add("cache_hits", tb.node(n).cache->hits());
-      result.counters.add("cache_misses", tb.node(n).cache->misses());
+      out.counters.add("cache_hits", tb.node(n).cache->hits());
+      out.counters.add("cache_misses", tb.node(n).cache->misses());
     }
     if (tb.fault_injector() != nullptr) {
-      result.counters.add("fault_windows_applied",
+      out.counters.add("fault_windows_applied",
                           tb.fault_injector()->windows_applied());
     }
-    result.counters.add("sim_events", events_fired);
+    out.counters.add("sim_events", events_fired);
     const auto npairs = static_cast<double>(config.pairs);
-    result.prod_movement_us.add(pm / npairs);
-    result.prod_idle_us.add(pi / npairs);
-    result.cons_movement_us.add(cm / npairs);
-    result.cons_idle_us.add(ci / npairs);
-    result.makespan_s.add((workload_end - TimePoint::origin()).to_seconds());
+    out.prod_movement_us = pm / npairs;
+    out.prod_idle_us = pi / npairs;
+    out.cons_movement_us = cm / npairs;
+    out.cons_idle_us = ci / npairs;
+    out.makespan_s = (workload_end - TimePoint::origin()).to_seconds();
   }
+  return out;
+}
 
+void fold_repetition(EnsembleResult& into, RepOutcome rep) {
+  into.counters.merge(rep.counters);
+  for (double v : rep.cons_fetch_us.values()) into.cons_fetch_us.add(v);
+  into.thicket.append(std::move(rep.thicket));
+  into.prod_movement_us.add(rep.prod_movement_us);
+  into.prod_idle_us.add(rep.prod_idle_us);
+  into.cons_movement_us.add(rep.cons_movement_us);
+  into.cons_idle_us.add(rep.cons_idle_us);
+  into.makespan_s.add(rep.makespan_s);
+}
+
+EnsembleResult run_ensemble(const EnsembleConfig& config) {
+  EnsembleResult result = make_ensemble_result();
+  // Only the first repetition is traced: every rep is an independent
+  // simulation starting at t=0, so a combined timeline would interleave
+  // unrelated runs.
+  obs::TraceSink trace_sink;
+  const bool tracing = !config.trace_path.empty();
+  for (std::uint32_t rep = 0; rep < config.repetitions; ++rep) {
+    fold_repetition(
+        result, run_repetition(config, rep,
+                               (tracing && rep == 0) ? &trace_sink : nullptr));
+  }
   if (tracing) {
     result.counters.set("trace_events", trace_sink.event_count());
     trace_sink.write(config.trace_path);
   }
-
   return result;
 }
 

@@ -158,6 +158,12 @@ struct EnsembleConfig {
   WorkloadConfig workload{};
   std::uint32_t repetitions = 10;
   std::uint64_t base_seed = 1;
+  // Worker threads to fan the seeded repetitions across (0 = all hardware
+  // threads).  Honored by the parallel runner (mdwf::sweep); the library
+  // run_ensemble below is single-threaded and ignores it.  Output is
+  // byte-identical for every thread count: each repetition runs in an
+  // isolated Simulation and results fold in repetition order.
+  std::uint32_t threads = 1;
   // Background load on the Lustre OSTs (other cluster tenants).
   bool lustre_interference = false;
   fs::InterferenceParams interference{};
@@ -280,5 +286,49 @@ struct EnsembleResult {
 
 // Runs the configured ensemble (repetitions x pairs) and aggregates.
 EnsembleResult run_ensemble(const EnsembleConfig& config);
+
+// --- Single-repetition building blocks (run_ensemble and mdwf::sweep) ----
+//
+// run_ensemble(config) is exactly:
+//
+//   EnsembleResult r = make_ensemble_result();
+//   for (rep = 0; rep < config.repetitions; ++rep)
+//     fold_repetition(r, run_repetition(config, rep, rep == 0 ? sink : null));
+//
+// Each repetition runs in its own Simulation/Testbed with seeds derived only
+// from (base_seed, rep), so repetitions may execute concurrently on worker
+// threads; folding outcomes in repetition order reproduces the serial result
+// byte-for-byte.  mdwf::sweep::run_ensemble is that parallel driver.
+
+// Everything one repetition contributes to the aggregate.
+struct RepOutcome {
+  // Per-pair means of per-frame time, microseconds.
+  double prod_movement_us = 0.0;
+  double prod_idle_us = 0.0;
+  double cons_movement_us = 0.0;
+  double cons_idle_us = 0.0;
+  double makespan_s = 0.0;
+  // Per-frame consumer fetch latencies in simulation-event order.
+  Samples cons_fetch_us;
+  // This repetition's call trees (pair-major, producer before consumer).
+  perf::Thicket thicket;
+  // Same registration order as EnsembleResult::counters.
+  obs::CounterMap counters;
+};
+
+// Runs repetition `rep` of the configured ensemble in an isolated
+// Simulation.  `trace` non-null records this repetition's timeline (the
+// aggregate runners pass it for rep 0 only).  Thread-safe with respect to
+// other run_repetition calls.
+RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
+                          obs::TraceSink* trace = nullptr);
+
+// An empty EnsembleResult with every counter pre-registered, so column
+// order is stable across solutions and fault plans.
+EnsembleResult make_ensemble_result();
+
+// Folds one repetition's outcome into the aggregate (must be called in
+// repetition order for byte-identical samples/thicket ordering).
+void fold_repetition(EnsembleResult& into, RepOutcome rep);
 
 }  // namespace mdwf::workflow

@@ -11,6 +11,10 @@
 //   frames     = <n>                        (default 64)
 //   reps       = <n>                        (default 5)
 //   seed       = <n>                        (default 1)
+//   threads    = <n>                        (worker threads fanning the seeded
+//                                            repetitions; 0 = all hardware
+//                                            threads; results are byte-identical
+//                                            for every value; default 1)
 //   interference = 0|1                      (Lustre OST background load)
 //   push       = 0|1                        (DYAD push-mode routing)
 //   jitter     = <sigma>                    (MD rate variability, default 0.01)
@@ -59,6 +63,7 @@
 #include "mdwf/common/format.hpp"
 #include "mdwf/common/keyval.hpp"
 #include "mdwf/common/table.hpp"
+#include "mdwf/sweep/sweep.hpp"
 #include "mdwf/workflow/config.hpp"
 #include "mdwf/workflow/ensemble.hpp"
 
@@ -109,7 +114,8 @@ int main(int argc, char** argv) {
       return fail(msg);
     }
 
-    const auto r = workflow::run_ensemble(config);
+    // Parallel replica runner: honors threads= with byte-identical results.
+    const auto r = sweep::run_ensemble(config);
 
     if (output == "csv") {
       std::printf(
