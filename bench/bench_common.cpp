@@ -170,13 +170,9 @@ int run_bench_main(int argc, char** argv, const std::vector<Case>& cases,
         c.config = workflow::parse_ensemble_config(cfg, c.config);
       }
     } catch (const ConfigError& e) {
+      // Covers unknown keys too: the binding fails fast with a
+      // did-you-mean diagnostic.
       std::fprintf(stderr, "bench: %s\n", e.what());
-      return 1;
-    }
-    if (const auto unknown = cfg.unknown_keys(); !unknown.empty()) {
-      std::string msg = "bench: unknown key(s):";
-      for (const auto& k : unknown) msg += " " + k;
-      std::fprintf(stderr, "%s\n", msg.c_str());
       return 1;
     }
   }

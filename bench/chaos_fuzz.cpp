@@ -129,10 +129,11 @@ Schedule draw_schedule(std::uint64_t master_seed, std::uint32_t index) {
   Rng rng = Rng(master_seed).fork("chaos:" + std::to_string(index));
   Schedule s;
   s.index = index;
-  switch (index % 3) {
+  switch (index % 4) {
     case 0: s.solution = Solution::kDyad; break;
     case 1: s.solution = Solution::kXfs; break;
-    default: s.solution = Solution::kLustre; break;
+    case 2: s.solution = Solution::kLustre; break;
+    default: s.solution = Solution::kStream; break;
   }
   s.frames = 8 + rng.next_below(8);
   s.pairs = 1 + static_cast<std::uint32_t>(rng.next_below(2));
@@ -175,6 +176,10 @@ EnsembleConfig make_config(const Schedule& s) {
     cfg.testbed.dyad.retry.lustre_fallback = true;
     cfg.testbed.dyad.health.enabled = s.health;
     cfg.testbed.dyad.health.hedge.enabled = s.hedge;
+  }
+  if (s.solution == Solution::kStream) {
+    cfg.testbed.stream.health.enabled = s.health;
+    cfg.testbed.stream.health.hedge.enabled = s.hedge;
   }
   return cfg;
 }

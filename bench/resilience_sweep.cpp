@@ -4,8 +4,8 @@
 // scenario's seeded repetitions across N workers with byte-identical tables.
 //
 // A what-if study the paper never ran: how do DYAD (with its recovery
-// protocol enabled), colocated XFS, and Lustre respond when the cluster
-// misbehaves?  Each named fault scenario (mdwf/fault/plan.hpp) is applied to
+// protocol enabled), colocated XFS, Lustre, and the PR-6 streaming data
+// plane respond when the cluster misbehaves?  Each named fault scenario (mdwf/fault/plan.hpp) is applied to
 // the same small JAC ensemble on every solution:
 //
 //   none           healthy baseline
@@ -54,8 +54,8 @@ std::string label_for(Solution solution, const std::string& scenario) {
 
 std::vector<Case> make_cases() {
   std::vector<Case> cases;
-  for (const auto solution :
-       {Solution::kDyad, Solution::kXfs, Solution::kLustre}) {
+  for (const auto solution : {Solution::kDyad, Solution::kXfs,
+                              Solution::kLustre, Solution::kStream}) {
     for (const auto& scenario : kScenarios) {
       Case c;
       c.label = label_for(solution, scenario);
@@ -92,7 +92,8 @@ void report(const std::vector<Case>& cases) {
   std::printf(
       "\nResilience sweep: makespan under fault injection "
       "(JAC, 2 pairs, 2 nodes, 16 frames)\n\n");
-  TextTable t({"scenario", "DYAD", "XFS", "Lustre", "DYAD recovery"});
+  TextTable t({"scenario", "DYAD", "XFS", "Lustre", "Stream",
+               "DYAD recovery"});
   for (const auto& scenario : kScenarios) {
     auto cell = [&](Solution s) {
       const auto& r = Registry::instance().at(label_for(s, scenario));
@@ -109,14 +110,15 @@ void report(const std::vector<Case>& cases) {
                   std::to_string(dyad.dyad_republishes()) + " republishes, " +
                   std::to_string(dyad.dyad_failovers()) + " failovers";
     t.add_row({scenario, cell(Solution::kDyad), cell(Solution::kXfs),
-               cell(Solution::kLustre), recovery});
+               cell(Solution::kLustre), cell(Solution::kStream), recovery});
   }
   std::printf("%s\n", t.render().c_str());
 
   // Recovered-run overhead: crash-flip vs the fault-free baseline, the
   // headline number BENCH_pr3.json records.
   std::printf("recovered-run overhead vs fault-free (makespan):\n");
-  for (const auto s : {Solution::kDyad, Solution::kXfs, Solution::kLustre}) {
+  for (const auto s : {Solution::kDyad, Solution::kXfs, Solution::kLustre,
+                       Solution::kStream}) {
     const auto& base = Registry::instance().at(label_for(s, "none"));
     const auto& worst = Registry::instance().at(label_for(s, "crash-flip"));
     std::printf("  %-6s %s%%  (unrecovered reads: %llu)\n",

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mdwf/common/keyval.hpp"
@@ -101,13 +102,23 @@ int main(int argc, char** argv) {
                    point.label.c_str(), point.error_text.c_str());
     }
   }
+  // On a single-core host a "parallel" run measures thread overhead, not
+  // speedup; flag it so downstream tooling (tools/bench_scale.sh) can mark
+  // the speedup invalid instead of reporting a misleading <1x.
+  const unsigned host_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  if (host_threads == 1 && sweep::resolve_threads(threads) > 1) {
+    std::fprintf(stderr,
+                 "scale_sweep: warning: single hardware thread; the "
+                 "thread-count speedup is not meaningful on this host\n");
+  }
   // Machine-readable summary (tools/bench_scale.sh parses this line).
   std::printf(
       "scale_sweep: points=%zu errors=%zu sim_events=%llu wall_s=%.3f "
-      "events_per_s=%.0f threads=%u\n",
+      "events_per_s=%.0f threads=%u host_threads=%u\n",
       result.points.size(), result.errors,
       static_cast<unsigned long long>(result.total_sim_events),
       result.wall_seconds, result.events_per_second(),
-      sweep::resolve_threads(threads));
+      sweep::resolve_threads(threads), host_threads);
   return result.errors == 0 ? 0 : 1;
 }

@@ -149,6 +149,11 @@ void FaultInjector::attach_integrity(integrity::Ledger& ledger) {
   integrity_ = &ledger;
 }
 
+void FaultInjector::attach_stream(std::uint32_t node,
+                                  stream::StreamNode& staging) {
+  streams_[node] = &staging;
+}
+
 bool FaultInjector::has_crash_windows() const {
   for (const FaultWindow& w : plan_.windows) {
     if (w.target == FaultTarget::kNodeCrash) return true;
@@ -295,6 +300,10 @@ void FaultInjector::apply_crash(const FaultWindow& w, bool begin) {
       if (nf->second.fs != nullptr) nf->second.fs->crash();
     }
     if (lustre_ != nullptr) lustre_->client_crash(net::NodeId{w.index});
+    // Stream staging buffers are RAM too: staged frames and credit state
+    // die with the power (kills above leave them intact).
+    const auto st = streams_.find(w.index);
+    if (st != streams_.end()) st->second->on_power_loss();
     // Then the node drops off the fabric, tearing in-flight flows, and its
     // SSD stops serving (ops queue until "reboot").
     if (network_ != nullptr) {

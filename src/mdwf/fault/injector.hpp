@@ -35,6 +35,7 @@
 #include "mdwf/sim/simulation.hpp"
 #include "mdwf/storage/block_device.hpp"
 #include "mdwf/storage/page_cache.hpp"
+#include "mdwf/stream/stream.hpp"
 
 namespace mdwf::fault {
 
@@ -91,6 +92,9 @@ class FaultInjector {
                       fs::LocalFs& fs);
   // Integrity ledger, needed for bit-flip windows.
   void attach_integrity(integrity::Ledger& ledger);
+  // Stream staging node: power-loss crash windows drop its RAM-staged
+  // frames (kills keep them, like the page cache).
+  void attach_stream(std::uint32_t node, stream::StreamNode& staging);
 
   // Annotates the trace with one "fault"-category span per plan window, on
   // a "faults" process with one lane per struck resource.  Spans are
@@ -148,6 +152,7 @@ class FaultInjector {
   FaultPlan plan_;
   std::map<std::uint32_t, storage::BlockDevice*> node_ssds_;
   std::map<std::uint32_t, NodeFs> node_fs_;
+  std::map<std::uint32_t, stream::StreamNode*> streams_;
   net::Network* network_ = nullptr;
   kvs::KvsServer* kvs_ = nullptr;
   fs::LustreServers* lustre_ = nullptr;

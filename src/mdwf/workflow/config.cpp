@@ -1,7 +1,10 @@
 #include "mdwf/workflow/config.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "mdwf/fault/plan.hpp"
 #include "mdwf/md/models.hpp"
@@ -9,6 +12,19 @@
 namespace mdwf::workflow {
 
 namespace {
+
+constexpr std::string_view kSolutionNames[] = {"dyad", "xfs", "lustre",
+                                               "stream"};
+
+// Every key this binding understands, the candidate set for typo
+// suggestions (keys the caller reads before parsing are already marked
+// known and never reach the diagnostic).
+constexpr std::string_view kKnownKeys[] = {
+    "solution", "model",    "stride",       "pairs",    "nodes",
+    "frames",   "jitter",   "analytics",    "reps",     "seed",
+    "threads",  "interference",             "push",     "compress",
+    "colocate", "faults",   "retry",        "health",   "hedge",
+    "integrity",            "checkpoint",   "trace"};
 
 std::string solution_key(Solution s) {
   switch (s) {
@@ -18,8 +34,44 @@ std::string solution_key(Solution s) {
       return "xfs";
     case Solution::kLustre:
       return "lustre";
+    case Solution::kStream:
+      return "stream";
   }
   return "dyad";
+}
+
+// Levenshtein distance; inputs are short config tokens.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+    }
+  }
+  return row[b.size()];
+}
+
+// " (did you mean 'x'?)" for the nearest candidate within two edits
+// (transposed letters, one typo); empty when nothing is plausibly close.
+template <std::size_t N>
+std::string did_you_mean(std::string_view got,
+                         const std::string_view (&candidates)[N]) {
+  std::string_view best;
+  std::size_t best_d = 3;
+  for (const std::string_view c : candidates) {
+    const std::size_t d = edit_distance(got, c);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  if (best.empty()) return "";
+  return " (did you mean '" + std::string(best) + "'?)";
 }
 
 }  // namespace
@@ -36,8 +88,12 @@ EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
     config.solution = Solution::kXfs;
   } else if (solution == "lustre") {
     config.solution = Solution::kLustre;
+  } else if (solution == "stream") {
+    config.solution = Solution::kStream;
   } else {
-    throw ConfigError("unknown solution '" + solution + "'");
+    // Fail fast: a typo must not silently fall back to a default solution.
+    throw ConfigError("unknown solution '" + solution + "'" +
+                      did_you_mean(solution, kSolutionNames));
   }
 
   const std::string model_name =
@@ -64,6 +120,14 @@ EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
   config.workload.frames = cfg.get_uint("frames", defaults.workload.frames);
   config.workload.step_jitter_sigma =
       cfg.get_double("jitter", defaults.workload.step_jitter_sigma);
+  // Consumer analytics time as a multiple of the frame period; >1 models
+  // in-situ analysis that falls behind production.
+  config.workload.analytics_scale =
+      cfg.get_double("analytics", defaults.workload.analytics_scale);
+  if (config.workload.analytics_scale <= 0.0) {
+    throw ConfigError("analytics must be > 0, got " +
+                      std::to_string(config.workload.analytics_scale));
+  }
   config.repetitions =
       static_cast<std::uint32_t>(cfg.get_uint("reps", defaults.repetitions));
   config.base_seed = cfg.get_uint("seed", defaults.base_seed);
@@ -114,6 +178,10 @@ EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
       cfg.get_bool("health",
                    hedge || defaults.testbed.dyad.health.enabled) ||
       hedge;
+  // The stream plane shares the health/hedge switches: hedge=on races a
+  // stalled subscription against the spill-replica read.
+  config.testbed.stream.health.hedge.enabled = hedge;
+  config.testbed.stream.health.enabled = config.testbed.dyad.health.enabled;
 
   // End-to-end integrity defaults on whenever the plan can corrupt or tear
   // frames (bit-flip or node-crash windows): unchecked runs would count
@@ -145,6 +213,16 @@ EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
   }
 
   config.trace_path = cfg.get_string("trace", defaults.trace_path);
+
+  // Fail fast on leftovers: every key the caller did not already consume
+  // and this binding does not understand is a typo, diagnosed on one line.
+  if (const auto unknown = cfg.unknown_keys(); !unknown.empty()) {
+    std::string msg = "unknown key(s):";
+    for (const auto& k : unknown) {
+      msg += " " + k + did_you_mean(k, kKnownKeys);
+    }
+    throw ConfigError(msg);
+  }
 
   return config;
 }

@@ -9,8 +9,9 @@
 // recovery protocol on; bit-flip/crash scenarios turn end-to-end checksums
 // on; crash windows turn per-rank checkpointing on; fault scenarios are
 // materialized against the configured cluster shape), and returns the bound
-// config.  Unknown-key detection stays with the caller: every key this
-// function understands is marked known on `cfg`.
+// config.  Unknown keys fail fast with a one-line did-you-mean diagnostic;
+// callers with driver-only keys (output, tree, ...) read them before
+// parsing so they are already marked known on `cfg`.
 #pragma once
 
 #include "mdwf/common/keyval.hpp"
@@ -18,7 +19,9 @@
 
 namespace mdwf::workflow {
 
-// Throws mdwf::ConfigError on an unknown solution, model, or fault scenario.
+// Throws mdwf::ConfigError on an unknown solution, model, fault scenario,
+// or leftover (unconsumed, unrecognized) key — with a did-you-mean hint
+// when a known token is within two edits.
 EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
                                      const EnsembleConfig& defaults = {});
 

@@ -14,6 +14,8 @@ std::string_view to_string(Solution s) {
       return "XFS";
     case Solution::kLustre:
       return "Lustre";
+    case Solution::kStream:
+      return "Stream";
   }
   return "?";
 }
@@ -58,6 +60,11 @@ std::unique_ptr<Connector> make_connector(const ConnectorSpec& spec) {
       return std::make_unique<LustreConnector>(
           tb.simulation(), tb.lustre(), net::NodeId{spec.node}, *spec.sync,
           *spec.recorder, ledger, durable);
+    case Solution::kStream:
+      // The stream node carries its own ledger/durability wiring (set by
+      // the testbed); like DYAD it needs no ExplicitSync.
+      return std::make_unique<StreamConnector>(*tb.node(spec.node).stream,
+                                               *spec.recorder);
   }
   return nullptr;
 }

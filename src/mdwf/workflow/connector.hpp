@@ -13,6 +13,14 @@
 //   LustreConnector  - shared parallel filesystem with the same manual
 //                      coarse-grained sync.
 //
+// A fourth solution extends the study beyond the paper (DESIGN.md Sec. 10):
+//
+//   StreamConnector  - mdwf::stream pub/sub staging data plane: RDMA puts
+//                      into a bounded consumer-side buffer, credit-based
+//                      back-pressure, spill-to-Lustre overflow.  Like DYAD
+//                      it needs no ExplicitSync; unlike DYAD the hot path
+//                      never touches the page cache or the filesystem.
+//
 // Manual synchronization (ExplicitSync) reproduces what the paper measures
 // as MPI_Barrier idle time: the coarse-grained approach serializes producer
 // and consumer iterations (paper Sec. III: "...not overlapping producer and
@@ -45,13 +53,14 @@
 #include "mdwf/integrity/ledger.hpp"
 #include "mdwf/perf/recorder.hpp"
 #include "mdwf/sim/primitives.hpp"
+#include "mdwf/stream/stream.hpp"
 
 namespace mdwf::workflow {
 
 class Testbed;
 
-// The paper's three data-management solutions.
-enum class Solution { kDyad, kXfs, kLustre };
+// The paper's three data-management solutions, plus the streaming plane.
+enum class Solution { kDyad, kXfs, kLustre, kStream };
 std::string_view to_string(Solution s);
 
 // Producer/consumer-pair rendezvous for the manual-sync connectors.
@@ -234,8 +243,37 @@ class LustreConnector final : public Connector {
   bool durable_;
 };
 
+class StreamConnector final : public Connector {
+ public:
+  StreamConnector(stream::StreamNode& node, perf::Recorder& recorder)
+      : node_(&node), publisher_(node, recorder), subscriber_(node, recorder) {}
+
+  sim::Task<void> put(const std::string& path, Bytes size,
+                      std::uint64_t frame) override {
+    (void)frame;  // re-published frames dedup on the path, not frame order
+    co_await publisher_.publish(path, size);
+  }
+  sim::Task<void> producer_sync(std::uint64_t frame) override {
+    (void)frame;  // back-pressure is credit-based, not barrier-based
+    co_return;
+  }
+  sim::Task<void> get(const std::string& path, Bytes size,
+                      std::uint64_t frame) override {
+    (void)frame;
+    co_await subscriber_.fetch(path, size);
+  }
+
+  const stream::StreamNode& node() const { return *node_; }
+
+ private:
+  stream::StreamNode* node_ = nullptr;
+  stream::StreamPublisher publisher_;
+  stream::StreamSubscriber subscriber_;
+};
+
 // Everything needed to build one rank's connector against a testbed.  The
-// manual-sync solutions (XFS, Lustre) require `sync`; DYAD ignores it.
+// manual-sync solutions (XFS, Lustre) require `sync`; DYAD and stream
+// ignore it.
 struct ConnectorSpec {
   Testbed* testbed = nullptr;
   Solution solution = Solution::kDyad;

@@ -232,9 +232,10 @@ sim::Task<void> run_consumer(RankContext ctx) {
     }
     {
       // Analytics emulation matches the frame-generation frequency
-      // (paper Sec. IV-C).
+      // (paper Sec. IV-C); analytics_scale > 1 models a consumer that
+      // cannot keep pace.
       perf::ScopedRegion ana(recorder, "analytics", perf::Category::kCompute);
-      co_await sim.delay(workload.frame_compute() * cpu_dilation(ctx));
+      co_await sim.delay(workload.analytics_time() * cpu_dilation(ctx));
     }
     ctx.connector->acknowledge(f);
     if (ctx.checkpoint != nullptr) co_await ctx.checkpoint->persist(f + 1);
@@ -273,6 +274,10 @@ constexpr const char* kCounterNames[] = {
     "dyad_recovery_retries", "dyad_failovers", "dyad_republishes",
     "dyad_hedges", "dyad_hedge_wins", "dyad_hedge_cancels",
     "dyad_breaker_trips", "dyad_breaker_fast_fails", "dyad_busy_retries",
+    "stream_puts", "stream_staged_hits", "stream_spills",
+    "stream_spill_reads", "stream_replays", "stream_dup_drops",
+    "stream_crash_drops", "stream_credit_waits",
+    "stream_backpressure_stalls", "stream_hedges", "stream_hedge_wins",
     "kvs_sheds", "lustre_sheds", "lustre_busy_retries",
     "net_retransmit_timeouts", "frames_produced", "frames_consumed",
     "frames_reexecuted", "fault_retries", "crash_recoveries",
@@ -363,7 +368,8 @@ RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
       const std::uint32_t cnode = consumer_node(pair);
 
       ExplicitSync* sync = nullptr;
-      if (config.solution != Solution::kDyad) {
+      if (config.solution == Solution::kXfs ||
+          config.solution == Solution::kLustre) {
         syncs.push_back(std::make_unique<ExplicitSync>(sim));
         sync = syncs.back().get();
       }
@@ -382,6 +388,12 @@ RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
                                           .recorder = &crec}));
       if (config.solution == Solution::kDyad && tp.dyad.push_mode) {
         tb.dyad_domain().subscribe(pair_prefix(pair), net::NodeId{cnode});
+      }
+      if (config.solution == Solution::kStream) {
+        // Static route: the scheduler knows the placement, so first frames
+        // skip the KVS cold-start handshake (which stays as the fallback
+        // for routes learned at runtime, exercised by the unit tests).
+        tb.stream_domain().subscribe(pair_prefix(pair), net::NodeId{cnode});
       }
 
       Checkpoint* pckpt = nullptr;
@@ -439,7 +451,9 @@ RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
 
     if (config.lustre_interference) {
       // Horizon generously beyond the serialized-workflow makespan.
-      const Duration per_frame = config.workload.frame_compute();
+      const Duration per_frame =
+          config.workload.frame_compute() +
+          config.workload.analytics_time();
       const TimePoint horizon =
           TimePoint::origin() +
           per_frame * static_cast<std::int64_t>(3 * config.workload.frames) +
@@ -506,6 +520,23 @@ RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
         out.counters.add("dyad_breaker_trips", hs.breaker.trips());
         out.counters.add("dyad_breaker_fast_fails", hs.breaker_fast_fails);
         out.counters.add("dyad_busy_retries", hs.busy_retries);
+      }
+    }
+    if (config.solution == Solution::kStream) {
+      for (std::uint32_t n = 0; n < config.nodes; ++n) {
+        const auto& sn = *tb.node(n).stream;
+        out.counters.add("stream_puts", sn.puts());
+        out.counters.add("stream_staged_hits", sn.staged_hits());
+        out.counters.add("stream_spills", sn.spills());
+        out.counters.add("stream_spill_reads", sn.spill_reads());
+        out.counters.add("stream_replays", sn.replays());
+        out.counters.add("stream_dup_drops", sn.dup_drops());
+        out.counters.add("stream_crash_drops", sn.crash_drops());
+        out.counters.add("stream_credit_waits", sn.credit_waits());
+        out.counters.add("stream_backpressure_stalls",
+                         sn.backpressure_stalls());
+        out.counters.add("stream_hedges", sn.hedges());
+        out.counters.add("stream_hedge_wins", sn.hedge_wins());
       }
     }
     for (std::uint32_t pair = 0; pair < config.pairs; ++pair) {

@@ -52,8 +52,17 @@ struct WorkloadConfig {
   double compress_bps = 1.2e9;
   double decompress_bps = 1.8e9;
 
+  // Consumer analytics time as a multiple of the frame period.  1.0 keeps
+  // the consumer exactly in step with production (paper Sec. IV-C); >1
+  // models heavier in-situ analysis that falls behind the producer — the
+  // regime where staging back-pressure and the spill path engage.
+  double analytics_scale = 1.0;
+
   Duration frame_compute() const {
     return model.step_time() * static_cast<std::int64_t>(stride);
+  }
+  Duration analytics_time() const {
+    return frame_compute() * analytics_scale;
   }
   Duration serialize_time() const {
     return Duration::seconds(
@@ -239,6 +248,36 @@ struct EnsembleResult {
   std::uint64_t dyad_busy_retries() const {
     return counters.get("dyad_busy_retries");
   }
+  // Streaming data-plane counters (non-zero only for Solution::kStream).
+  std::uint64_t stream_puts() const { return counters.get("stream_puts"); }
+  std::uint64_t stream_staged_hits() const {
+    return counters.get("stream_staged_hits");
+  }
+  std::uint64_t stream_spills() const {
+    return counters.get("stream_spills");
+  }
+  std::uint64_t stream_spill_reads() const {
+    return counters.get("stream_spill_reads");
+  }
+  std::uint64_t stream_replays() const {
+    return counters.get("stream_replays");
+  }
+  std::uint64_t stream_crash_drops() const {
+    return counters.get("stream_crash_drops");
+  }
+  std::uint64_t stream_credit_waits() const {
+    return counters.get("stream_credit_waits");
+  }
+  std::uint64_t stream_backpressure_stalls() const {
+    return counters.get("stream_backpressure_stalls");
+  }
+  std::uint64_t stream_hedges() const {
+    return counters.get("stream_hedges");
+  }
+  std::uint64_t stream_hedge_wins() const {
+    return counters.get("stream_hedge_wins");
+  }
+
   std::uint64_t kvs_sheds() const { return counters.get("kvs_sheds"); }
   std::uint64_t lustre_sheds() const { return counters.get("lustre_sheds"); }
 

@@ -18,7 +18,12 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
         return w.target == fault::FaultTarget::kNodeCrash &&
                w.mode == fault::FaultMode::kCrash;
       });
-  if (power_loss_planned) params_.dyad.durable_puts = true;
+  if (power_loss_planned) {
+    params_.dyad.durable_puts = true;
+    // Stream staging buffers live in RAM: a power loss drops them, so the
+    // publisher spills a durable Lustre replica before announcing.
+    params_.stream.durable = true;
+  }
   // Backpressure: health fills in default bounded-admission limits unless
   // the caller chose explicit ones (health off leaves every queue unbounded).
   params_.dyad.health = health::with_default_limits(params_.dyad.health);
@@ -58,12 +63,18 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
     r.dyad = std::make_unique<dyad::DyadNode>(sim_, params_.dyad, dyad_domain_,
                                               net::NodeId{i}, *r.local_fs,
                                               *network_, *kvs_, fallback);
+    r.stream = std::make_unique<stream::StreamNode>(
+        sim_, params_.stream, stream_domain_, net::NodeId{i}, *network_, *kvs_,
+        *lustre_);
     nodes_.push_back(std::move(r));
   }
 
   if (params.integrity.enabled) {
     ledger_ = std::make_unique<integrity::Ledger>(sim_, params.integrity);
-    for (auto& r : nodes_) r.dyad->set_integrity(ledger_.get());
+    for (auto& r : nodes_) {
+      r.dyad->set_integrity(ledger_.get());
+      r.stream->set_integrity(ledger_.get());
+    }
   }
 
   if (params.trace != nullptr) attach_trace(*params.trace);
@@ -73,6 +84,7 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
     for (std::uint32_t i = 0; i < params.compute_nodes; ++i) {
       injector_->attach_node_ssd(i, *nodes_[i].ssd);
       injector_->attach_node_fs(i, *nodes_[i].cache, *nodes_[i].local_fs);
+      injector_->attach_stream(i, *nodes_[i].stream);
     }
     injector_->attach_network(*network_);
     injector_->attach_kvs(*kvs_);
@@ -91,6 +103,7 @@ void Testbed::attach_trace(obs::TraceSink& sink) {
     r.ssd->set_trace(&sink, sink.track(process, "nvme"), "nvme");
     r.cache->set_trace(&sink, sink.track(process, "pagecache"), "pagecache");
     r.dyad->set_trace(&sink, sink.track(process, "dyad"));
+    r.stream->set_trace(&sink, sink.track(process, "stream"));
     network_->tx(net::NodeId{i})
         .set_trace(&sink, sink.track(process, "nic.tx"), "nic.tx.flows");
     network_->rx(net::NodeId{i})

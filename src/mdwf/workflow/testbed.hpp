@@ -28,6 +28,7 @@
 #include "mdwf/sim/simulation.hpp"
 #include "mdwf/storage/block_device.hpp"
 #include "mdwf/storage/page_cache.hpp"
+#include "mdwf/stream/stream.hpp"
 
 namespace mdwf::workflow {
 
@@ -53,6 +54,7 @@ struct TestbedParams {
   fs::LustreParams lustre{};
   kvs::KvsParams kvs{};
   dyad::DyadParams dyad{};
+  stream::StreamParams stream{};
   // Fault windows to inject (empty = healthy cluster).  The testbed attaches
   // an injector to every resource and arms it before the workload runs.
   // Crash windows in the plan also flip DYAD producers to durable puts
@@ -73,6 +75,7 @@ struct NodeResources {
   std::unique_ptr<storage::PageCache> cache;
   std::unique_ptr<fs::LocalFs> local_fs;
   std::unique_ptr<dyad::DyadNode> dyad;
+  std::unique_ptr<stream::StreamNode> stream;
 };
 
 class Testbed {
@@ -86,6 +89,7 @@ class Testbed {
   kvs::KvsServer& kvs() { return *kvs_; }
   fs::LustreServers& lustre() { return *lustre_; }
   dyad::DyadDomain& dyad_domain() { return dyad_domain_; }
+  stream::StreamDomain& stream_domain() { return stream_domain_; }
   // Non-null iff the testbed was built with a non-empty fault plan.
   fault::FaultInjector* fault_injector() { return injector_.get(); }
   // Non-null iff params.integrity.enabled: the corruption oracle every
@@ -109,6 +113,7 @@ class Testbed {
   std::unique_ptr<kvs::KvsServer> kvs_;
   std::unique_ptr<fs::LustreServers> lustre_;
   dyad::DyadDomain dyad_domain_;
+  stream::StreamDomain stream_domain_;
   std::vector<NodeResources> nodes_;
   std::unique_ptr<integrity::Ledger> ledger_;
   std::unique_ptr<fault::FaultInjector> injector_;

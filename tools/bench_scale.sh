@@ -42,7 +42,15 @@ EPS1="$(summary_field "$S1" events_per_s)"
 EPSN="$(summary_field "$SN" events_per_s)"
 POINTS="$(summary_field "$S1" points)"
 
-CORES="$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n 1)"
+# Prefer the binary's own hardware_concurrency report (summary field
+# host_threads=, present since PR 6); fall back to the OS view.
+CORES="$(summary_field "$S1" host_threads)"
+[ -n "$CORES" ] ||
+    CORES="$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n 1)"
+
+if [ "$CORES" -le 1 ]; then
+    echo "bench_scale: single hardware thread: speedup marked invalid" >&2
+fi
 
 python3 - "$OUT" "$THREADS" "$POINTS" "$EVENTS" \
     "$WALL1" "$WALLN" "$EPS1" "$EPSN" "$CORES" <<'EOF'
@@ -66,6 +74,9 @@ doc = {
     },
     "speedup": round(float(wall1) / float(walln), 2)
                if float(walln) > 0 else None,
+    # A 1-core host can only measure thread overhead: the serial/parallel
+    # wall ratio says nothing about the runner's scaling there.
+    "speedup_valid": int(cores) > 1,
     "merged_output_byte_identical": True,
 }
 with open(out, "w") as f:

@@ -3,7 +3,7 @@
 //   mdwf_run [config-file] [key=value ...]
 //
 // Keys (all optional):
-//   solution   = dyad | xfs | lustre        (default dyad)
+//   solution   = dyad | xfs | lustre | stream   (default dyad)
 //   pairs      = <n>                        (default 4)
 //   nodes      = <n>                        (default 2; 1 for xfs)
 //   model      = JAC | ApoA1 | "F1 ATPase" | STMV   (default JAC)
@@ -100,19 +100,15 @@ int main(int argc, char** argv) {
       cfg.parse_stream(in);
     }
 
+    // Driver-only keys, read before parsing: parse_ensemble_config fails
+    // fast on any key nobody consumed.
+    const std::string output = cfg.get_string("output", "table");
+    const bool print_tree = cfg.get_bool("tree", false);
+
     const workflow::EnsembleConfig config =
         workflow::parse_ensemble_config(cfg, driver_defaults());
     const std::string solution = cfg.get_string("solution", "dyad");
     const std::string model_name(config.workload.model.name);
-
-    const std::string output = cfg.get_string("output", "table");
-    const bool print_tree = cfg.get_bool("tree", false);
-
-    if (const auto unknown = cfg.unknown_keys(); !unknown.empty()) {
-      std::string msg = "unknown key(s):";
-      for (const auto& k : unknown) msg += " " + k;
-      return fail(msg);
-    }
 
     // Parallel replica runner: honors threads= with byte-identical results.
     const auto r = sweep::run_ensemble(config);
