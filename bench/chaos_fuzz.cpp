@@ -188,12 +188,12 @@ EnsembleConfig make_config(const Schedule& s) {
 std::optional<std::string> violation(const Schedule& s,
                                      const EnsembleResult& r) {
   const std::uint64_t expected = s.pairs * s.frames;
-  if (r.frames_consumed() != expected) {
-    return "completeness: consumed " + std::to_string(r.frames_consumed()) +
+  if (r.counters.get("frames_consumed") != expected) {
+    return "completeness: consumed " + std::to_string(r.counters.get("frames_consumed")) +
            " of " + std::to_string(expected) + " frames";
   }
-  if (r.integrity_unrecovered() != 0) {
-    return "integrity: " + std::to_string(r.integrity_unrecovered()) +
+  if (r.counters.get("integrity_unrecovered") != 0) {
+    return "integrity: " + std::to_string(r.counters.get("integrity_unrecovered")) +
            " unrecovered corrupt reads";
   }
   if (!(r.makespan_s.mean() > 0.0)) {

@@ -103,12 +103,12 @@ void report(const std::vector<Case>& cases) {
         label_for(Solution::kDyad, scenario));
     const std::string recovery =
         crash_or_flip(scenario)
-            ? std::to_string(dyad.crash_recoveries()) + " restarts, " +
-                  std::to_string(dyad.frames_reexecuted()) + " re-executed, " +
-                  std::to_string(dyad.integrity_refetches()) + " re-fetches"
-            : std::to_string(dyad.dyad_recovery_retries()) + " retries, " +
-                  std::to_string(dyad.dyad_republishes()) + " republishes, " +
-                  std::to_string(dyad.dyad_failovers()) + " failovers";
+            ? std::to_string(dyad.counters.get("crash_recoveries")) + " restarts, " +
+                  std::to_string(dyad.counters.get("frames_reexecuted")) + " re-executed, " +
+                  std::to_string(dyad.counters.get("integrity_refetches")) + " re-fetches"
+            : std::to_string(dyad.counters.get("dyad_recovery_retries")) + " retries, " +
+                  std::to_string(dyad.counters.get("dyad_republishes")) + " republishes, " +
+                  std::to_string(dyad.counters.get("dyad_failovers")) + " failovers";
     t.add_row({scenario, cell(Solution::kDyad), cell(Solution::kXfs),
                cell(Solution::kLustre), cell(Solution::kStream), recovery});
   }
@@ -129,7 +129,7 @@ void report(const std::vector<Case>& cases) {
                                   100.0,
                               1)
                     .c_str(),
-                static_cast<unsigned long long>(worst.integrity_unrecovered()));
+                static_cast<unsigned long long>(worst.counters.get("integrity_unrecovered")));
   }
   std::printf(
       "\nReading guide: broker-outage perturbs only DYAD (its recovery\n"

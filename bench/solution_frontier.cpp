@@ -156,14 +156,14 @@ int main(int argc, char** argv) {
                 r.cons_fetch_us.quantile(0.50), fetch_p99,
                 r.cons_movement_us.mean(), r.cons_idle_us.mean(),
                 r.makespan_s.mean(),
-                static_cast<unsigned long long>(r.stream_staged_hits()),
-                static_cast<unsigned long long>(r.stream_spills()),
-                static_cast<unsigned long long>(r.stream_spill_reads()),
-                static_cast<unsigned long long>(r.stream_credit_waits()),
+                static_cast<unsigned long long>(r.counters.get("stream_staged_hits")),
+                static_cast<unsigned long long>(r.counters.get("stream_spills")),
+                static_cast<unsigned long long>(r.counters.get("stream_spill_reads")),
+                static_cast<unsigned long long>(r.counters.get("stream_credit_waits")),
                 static_cast<unsigned long long>(
-                    r.stream_backpressure_stalls()),
-                static_cast<unsigned long long>(r.integrity_unrecovered()),
-                static_cast<unsigned long long>(r.frames_consumed()));
+                    r.counters.get("stream_backpressure_stalls")),
+                static_cast<unsigned long long>(r.counters.get("integrity_unrecovered")),
+                static_cast<unsigned long long>(r.counters.get("frames_consumed")));
             csv += line;
           }
         }

@@ -43,8 +43,8 @@ int main() {
               result.cons_movement_us.mean(), result.cons_idle_us.mean());
   std::printf("  makespan    %.2f s\n", result.makespan_s.mean());
   std::printf("  DYAD sync: %llu warm flock hits, %llu KVS watch waits\n",
-              static_cast<unsigned long long>(result.dyad_warm_hits()),
-              static_cast<unsigned long long>(result.dyad_kvs_waits()));
+              static_cast<unsigned long long>(result.counters.get("dyad_warm_hits")),
+              static_cast<unsigned long long>(result.counters.get("dyad_kvs_waits")));
 
   // Drill into the consumer's call tree (the paper's Fig. 9 view).
   const auto agg = result.thicket.filter("role", "consumer").aggregate();

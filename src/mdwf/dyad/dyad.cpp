@@ -114,7 +114,7 @@ sim::Task<void> DyadNode::republish(std::string key, std::string value) {
     co_await sim_->delay(params_.mdm_cpu);
     co_await commit_guarded(std::move(key), std::move(value));
     ++republishes_;
-    trace_total("dyad.republishes", republishes_);
+    trace_total(trace_republishes_id_, republishes_);
   } catch (const net::NetError&) {
     // This node crashed mid-replay; the consumer's bounded watch + failover
     // protocol covers the still-missing key.
@@ -145,13 +145,14 @@ sim::Task<void> DyadNode::commit_guarded(std::string key, std::string value) {
 
 void DyadNode::set_trace(obs::TraceSink* sink, obs::TrackId track) {
   trace_ = sink;
-  trace_track_ = track;
+  trace_republishes_id_ = sink->counter_id(track, "dyad.republishes");
+  trace_remote_reads_id_ = sink->counter_id(track, "dyad.remote_reads");
+  trace_pushes_id_ = sink->counter_id(track, "dyad.pushes");
 }
 
-void DyadNode::trace_total(const char* name, std::uint64_t value) {
+void DyadNode::trace_total(obs::CounterId id, std::uint64_t value) {
   if (trace_ == nullptr) return;
-  trace_->counter(trace_track_, name, sim_->now(),
-                  static_cast<std::int64_t>(value));
+  trace_->counter(id, sim_->now(), static_cast<std::int64_t>(value));
 }
 
 sim::Task<void> DyadNode::write_through(std::string path, Bytes size) {
@@ -199,7 +200,7 @@ sim::Task<void> DyadNode::serve_remote_read(net::NodeId requester,
   co_await local_fs_->read(ino, Bytes::zero(), size);
   co_await network_->transfer(node_, requester, size);
   ++remote_reads_;
-  trace_total("dyad.remote_reads", remote_reads_);
+  trace_total(trace_remote_reads_id_, remote_reads_);
 }
 
 sim::Task<void> DyadNode::push_to(net::NodeId dest, std::string path,
@@ -235,7 +236,7 @@ sim::Task<void> DyadNode::push_to(net::NodeId dest, std::string path,
         }
       }
       ++pushes_;
-      trace_total("dyad.pushes", pushes_);
+      trace_total(trace_pushes_id_, pushes_);
     } catch (const fs::FsError&) {
       // Lost the race against a concurrent pull-side store; harmless.
     }

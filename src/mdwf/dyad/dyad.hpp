@@ -217,7 +217,7 @@ class DyadNode {
 
  private:
   sim::Task<void> republish(std::string key, std::string value);
-  void trace_total(const char* name, std::uint64_t value);
+  void trace_total(obs::CounterId id, std::uint64_t value);
 
   sim::Simulation* sim_;
   DyadParams params_;
@@ -236,7 +236,9 @@ class DyadNode {
   std::uint64_t republishes_ = 0;
   std::uint64_t lost_writethroughs_ = 0;
   obs::TraceSink* trace_ = nullptr;
-  obs::TrackId trace_track_{};
+  obs::CounterId trace_republishes_id_{};
+  obs::CounterId trace_remote_reads_id_{};
+  obs::CounterId trace_pushes_id_{};
 };
 
 // Metadata record stored in the KVS per produced file.  `crc` is the

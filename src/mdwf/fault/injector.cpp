@@ -190,10 +190,12 @@ void FaultInjector::arm() {
 void FaultInjector::emit_span(const FaultWindow& w, Duration duration,
                               bool open) {
   if (trace_ == nullptr) return;
+  // Cold path: fault windows are few, so interning at emit time is the
+  // wiring-time phase for this emitter.
   const obs::TrackId track = trace_->track("faults", trace_lane(w));
   std::string name = trace_name(w);
   if (open) name += " (open)";
-  trace_->span(track, name, "fault", w.start, duration);
+  trace_->span(trace_->span_id(track, name, "fault"), w.start, duration);
 }
 
 void FaultInjector::finalize_trace() {

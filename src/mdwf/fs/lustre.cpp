@@ -79,7 +79,8 @@ void LustreServers::set_admission_limits(std::uint32_t mds_limit,
 void LustreServers::set_trace(obs::TraceSink* sink) {
   trace_ = sink;
   if (sink == nullptr) return;
-  trace_mds_track_ = sink->track("lustre", "mds");
+  trace_mds_pending_id_ =
+      sink->counter_id(sink->track("lustre", "mds"), "mds.pending");
   for (std::size_t i = 0; i < osts_.size(); ++i) {
     const std::string lane = "ost" + std::to_string(i);
     osts_[i].device->set_trace(sink, sink->track("lustre", lane), lane);
@@ -101,7 +102,7 @@ std::size_t LustreServers::client_crash(net::NodeId node) {
 void LustreServers::trace_mds_pending(int delta) {
   mds_pending_ += delta;
   if (trace_ == nullptr) return;
-  trace_->counter(trace_mds_track_, "mds.pending", sim_->now(), mds_pending_);
+  trace_->counter(trace_mds_pending_id_, sim_->now(), mds_pending_);
 }
 
 LustreClient::LustreClient(sim::Simulation& sim, LustreServers& servers,

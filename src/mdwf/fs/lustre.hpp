@@ -173,7 +173,7 @@ class LustreServers {
   std::uint64_t busy_retries_ = 0;
   std::int64_t mds_pending_ = 0;
   obs::TraceSink* trace_ = nullptr;
-  obs::TrackId trace_mds_track_{};
+  obs::CounterId trace_mds_pending_id_{};
 };
 
 struct LustreHandle {

@@ -34,19 +34,20 @@ void KvsServer::set_service_dilation(double factor) {
 
 void KvsServer::set_trace(obs::TraceSink* sink, obs::TrackId track) {
   trace_ = sink;
-  trace_track_ = track;
+  trace_pending_id_ = sink->counter_id(track, "kvs.pending");
+  trace_commits_id_ = sink->counter_id(track, "kvs.commits");
+  trace_lookups_id_ = sink->counter_id(track, "kvs.lookups");
 }
 
 void KvsServer::trace_pending(int delta) {
   pending_ += delta;
   if (trace_ == nullptr) return;
-  trace_->counter(trace_track_, "kvs.pending", sim_->now(), pending_);
+  trace_->counter(trace_pending_id_, sim_->now(), pending_);
 }
 
-void KvsServer::trace_total(const char* name, std::uint64_t value) {
+void KvsServer::trace_total(obs::CounterId id, std::uint64_t value) {
   if (trace_ == nullptr) return;
-  trace_->counter(trace_track_, name, sim_->now(),
-                  static_cast<std::int64_t>(value));
+  trace_->counter(id, sim_->now(), static_cast<std::int64_t>(value));
 }
 
 void KvsServer::fault_stall_begin() {
@@ -135,7 +136,7 @@ sim::Task<void> KvsClient::commit(std::string key, std::string value) {
     std::rethrow_exception(busy);
   }
   ++server_->commits_;
-  server_->trace_total("kvs.commits", server_->commits_);
+  server_->trace_total(server_->trace_commits_id_, server_->commits_);
   auto& entry = server_->store_[key];
   entry.value.data = std::move(value);
   entry.value.version += 1;
@@ -157,7 +158,7 @@ sim::Task<std::optional<KvsValue>> KvsClient::lookup(const std::string& key) {
     std::rethrow_exception(busy);
   }
   ++server_->lookups_;
-  server_->trace_total("kvs.lookups", server_->lookups_);
+  server_->trace_total(server_->trace_lookups_id_, server_->lookups_);
   std::optional<KvsValue> result;
   const auto it = server_->store_.find(key);
   if (it != server_->store_.end() && it->second.visible_at <= sim_->now()) {

@@ -108,7 +108,7 @@ class KvsServer {
   sim::Task<void> serve(Duration service);
   void arm_watch_wakeup(const std::string& key, TimePoint when);
   void trace_pending(int delta);
-  void trace_total(const char* name, std::uint64_t value);
+  void trace_total(obs::CounterId id, std::uint64_t value);
 
   sim::Simulation* sim_;
   KvsParams params_;
@@ -131,7 +131,9 @@ class KvsServer {
   std::uint64_t sheds_ = 0;
   std::int64_t pending_ = 0;
   obs::TraceSink* trace_ = nullptr;
-  obs::TrackId trace_track_{};
+  obs::CounterId trace_pending_id_{};
+  obs::CounterId trace_commits_id_{};
+  obs::CounterId trace_lookups_id_{};
 };
 
 class KvsClient {

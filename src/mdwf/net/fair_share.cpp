@@ -99,11 +99,9 @@ std::size_t FairShareChannel::abort_active() {
   return n;
 }
 
-void FairShareChannel::set_trace(obs::TraceSink* sink, obs::TrackId track,
-                                 std::string counter_name) {
+void FairShareChannel::set_trace(obs::TraceSink* sink, obs::CounterId id) {
   trace_ = sink;
-  trace_track_ = track;
-  trace_counter_ = std::move(counter_name);
+  trace_flows_id_ = id;
   traced_flows_ = -1;
 }
 
@@ -112,7 +110,7 @@ void FairShareChannel::trace_flows() {
   const auto n = static_cast<std::int64_t>(flows_.size());
   if (n == traced_flows_) return;  // sample only on change
   traced_flows_ = n;
-  trace_->counter(trace_track_, trace_counter_, sim_->now(), n);
+  trace_->counter(trace_flows_id_, sim_->now(), n);
 }
 
 void FairShareChannel::set_background_load(double fraction) {

@@ -67,9 +67,8 @@ class FairShareChannel {
   std::uint64_t aborted_flows() const { return aborted_flows_; }
 
   // Samples the active-flow count (the channel's queue depth) into `sink`
-  // whenever it changes, as counter `counter_name` on `track` (mdwf::obs).
-  void set_trace(obs::TraceSink* sink, obs::TrackId track,
-                 std::string counter_name);
+  // whenever it changes, as the pre-interned counter series `id` (mdwf::obs).
+  void set_trace(obs::TraceSink* sink, obs::CounterId id);
 
  private:
   // Pooled: recycled by the owning transfer coroutine after it has observed
@@ -116,8 +115,7 @@ class FairShareChannel {
   Bytes total_completed_ = Bytes::zero();
   std::uint64_t aborted_flows_ = 0;
   obs::TraceSink* trace_ = nullptr;
-  obs::TrackId trace_track_{};
-  std::string trace_counter_;
+  obs::CounterId trace_flows_id_{};
   std::int64_t traced_flows_ = -1;
 };
 

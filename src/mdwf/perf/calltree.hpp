@@ -33,6 +33,11 @@ struct CallNode {
   // Longest single invocation (separates cold-start outliers, e.g. the
   // first-frame KVS wait, from steady-state cost).
   Duration max_single = Duration::zero();
+  // Recorder-managed cache of the interned obs span handle for this region,
+  // kept as opaque ints so the tree does not depend on mdwf::obs.  The
+  // category rides along so a later category upgrade re-interns.
+  std::uint32_t trace_handle = 0xffffffffu;
+  std::uint8_t trace_handle_cat = 0xffu;
   std::vector<std::unique_ptr<CallNode>> children;
 
   CallNode() = default;

@@ -27,8 +27,16 @@ void Recorder::end(std::string_view region) {
   open.node->inclusive += elapsed;
   if (elapsed > open.node->max_single) open.node->max_single = elapsed;
   if (trace_ != nullptr) {
-    trace_->span(trace_track_, open.node->name,
-                 to_string(open.node->category), open.began, elapsed);
+    CallNode* node = open.node;
+    const auto cat = static_cast<std::uint8_t>(node->category);
+    if (node->trace_handle == obs::detail::kInvalidHandle ||
+        node->trace_handle_cat != cat) {
+      node->trace_handle =
+          trace_->span_id(trace_track_, node->name, to_string(node->category))
+              .v;
+      node->trace_handle_cat = cat;
+    }
+    trace_->span(obs::SpanId{node->trace_handle}, open.began, elapsed);
   }
 }
 

@@ -35,7 +35,9 @@ class Recorder {
   CallTree snapshot() const { return tree_.clone(); }
 
   // Mirrors every closed region into `sink` as a timeline span on `track`
-  // (mdwf::obs); the aggregated call tree is unaffected.
+  // (mdwf::obs); the aggregated call tree is unaffected.  Span handles are
+  // interned lazily, once per distinct region, and cached on the call-tree
+  // node — attach the sink before recording begins and do not re-attach.
   void set_trace(obs::TraceSink* sink, obs::TrackId track) {
     trace_ = sink;
     trace_track_ = track;

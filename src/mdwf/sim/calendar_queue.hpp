@@ -1,0 +1,292 @@
+// Calendar queue: an alternative event queue for the DES kernel, behind the
+// same interface as the 4-ary EventHeap (push / cancel / peek / pop /
+// release, pooled EventSlots, O(1) lazy cancellation, FIFO-within-instant).
+//
+// The structure is R. Brown's calendar queue: N buckets of width w ns each,
+// an event at time t filed under bucket (t / w) mod N.  Dequeue walks the
+// current "year" — one w-wide window per bucket — and takes the earliest
+// event whose timestamp falls inside the window; when a full lap finds
+// nothing in-year (a schedule gap), it jumps straight to the global minimum,
+// ladder-style.  With the bucket count resized to track the live population
+// and the width re-estimated from the live span, both enqueue and dequeue
+// are amortized O(1) versus the heap's O(log n) — the question bench/
+// queue_bench.cpp answers empirically at 1e5..1e7 pending events is whether
+// that asymptotic edge survives the constant factors and cache behaviour of
+// the DES mix (tests/heap_property_test.cpp pins the semantics to the same
+// oracle as the heap either way).
+//
+// Buckets hold slot pointers sorted by (at, seq) DESCENDING so the earliest
+// candidate is always the vector's back(): in-year checks, cancelled-slot
+// pruning, and removal all touch only the tail.
+//
+// The dequeue scan assumes no live event sits before the current window's
+// start; enqueue preserves that invariant by rewinding the calendar position
+// whenever a new event lands behind it (Brown's rule), so even past-dated
+// pushes — which the DES kernel never issues, but peek/resize interleavings
+// can make look that way — stay correctly ordered.
+#pragma once
+
+#include <algorithm>
+#include <coroutine>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mdwf/common/assert.hpp"
+#include "mdwf/common/time.hpp"
+#include "mdwf/sim/event_heap.hpp"
+
+namespace mdwf::sim {
+
+class CalendarQueue {
+ public:
+  CalendarQueue() { reset_calendar(kMinBuckets, kDefaultWidthNs); }
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  std::size_t live() const { return live_; }
+  bool empty() const { return live_ == 0; }
+
+  EventSlot* push(TimePoint at, std::uint64_t seq, std::coroutine_handle<> h) {
+    EventSlot* s = acquire(at, seq);
+    s->resume = h;
+    file(s);
+    return s;
+  }
+
+  EventSlot* push(TimePoint at, std::uint64_t seq, std::function<void()> fn) {
+    EventSlot* s = acquire(at, seq);
+    s->fn = std::move(fn);
+    file(s);
+    return s;
+  }
+
+  // O(1) lazy cancellation with the same seq-as-ABA-guard contract as the
+  // heap: the slot keeps occupying its bucket until dequeue prunes it.
+  bool cancel(EventSlot* s, std::uint64_t seq) {
+    if (s == nullptr || s->seq != seq || s->cancelled) return false;
+    s->cancelled = true;
+    s->fn = nullptr;
+    s->resume = {};
+    MDWF_ASSERT(live_ > 0);
+    --live_;
+    return true;
+  }
+
+  EventSlot* peek() { return find_min(false); }
+
+  EventSlot* pop() {
+    EventSlot* s = find_min(true);
+    if (s != nullptr) {
+      MDWF_ASSERT(live_ > 0);
+      --live_;
+    }
+    return s;
+  }
+
+  void release(EventSlot* s) {
+    s->fn = nullptr;
+    s->resume = {};
+    s->cancelled = true;
+    s->next_free = free_;
+    free_ = s;
+  }
+
+ private:
+  static constexpr std::size_t kChunk = 256;
+  static constexpr std::size_t kMinBuckets = 4;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 22;
+  static constexpr std::int64_t kDefaultWidthNs = 1024;
+
+  static bool before(const EventSlot* a, const EventSlot* b) {
+    if (a->at != b->at) return a->at < b->at;
+    return a->seq < b->seq;
+  }
+
+  static std::int64_t key(const EventSlot* s) {
+    return (s->at - TimePoint::origin()).ns();
+  }
+
+  std::size_t bucket_of(std::int64_t k) const {
+    MDWF_ASSERT(k >= 0);
+    return static_cast<std::size_t>(k / width_) & (buckets_.size() - 1);
+  }
+
+  EventSlot* acquire(TimePoint at, std::uint64_t seq) {
+    if (free_ == nullptr) grow_pool();
+    EventSlot* s = free_;
+    free_ = s->next_free;
+    s->at = at;
+    s->seq = seq;
+    s->cancelled = false;
+    s->next_free = nullptr;
+    ++live_;
+    return s;
+  }
+
+  void grow_pool() {
+    chunks_.push_back(std::make_unique<EventSlot[]>(kChunk));
+    EventSlot* chunk = chunks_.back().get();
+    for (std::size_t i = kChunk; i-- > 0;) {
+      chunk[i].next_free = free_;
+      free_ = &chunk[i];
+    }
+  }
+
+  // Insert first, resize after: resize() repositions the calendar at the
+  // global minimum, so the new slot must already be filed when it looks.
+  void file(EventSlot* s) {
+    const std::int64_t k = key(s);
+    if (k < bucket_top_ - width_) {
+      // Behind the current window: rewind the position so the dequeue scan
+      // cannot return a later event first.  Rewinding is always safe — the
+      // position is only a lower bound on the pending set.
+      last_bucket_ = bucket_of(k);
+      bucket_top_ = (k / width_) * width_ + width_;
+    }
+    insert_sorted(buckets_[bucket_of(k)], s);
+    ++total_;
+    if (live_ > 2 * buckets_.size() && buckets_.size() < kMaxBuckets) {
+      resize();
+    }
+  }
+
+  static void insert_sorted(std::vector<EventSlot*>& b, EventSlot* s) {
+    // Descending on (at, seq): the common case — a new event later than the
+    // bucket's residents — inserts at the front of a short vector.
+    const auto it = std::upper_bound(
+        b.begin(), b.end(), s,
+        [](const EventSlot* x, const EventSlot* y) { return before(y, x); });
+    b.insert(it, s);
+  }
+
+  // Drop cancelled slots off the tail so back() is the earliest live entry.
+  void prune(std::vector<EventSlot*>& b) {
+    while (!b.empty() && b.back()->cancelled) {
+      release(b.back());
+      b.pop_back();
+      --total_;
+    }
+  }
+
+  EventSlot* find_min(bool remove) {
+    if (live_ == 0) {
+      // Only cancelled residue (if anything) remains; sweep it so the
+      // calendar and the pool agree with the live count again.
+      if (total_ != 0) {
+        for (auto& b : buckets_) {
+          for (EventSlot* s : b) release(s);
+          b.clear();
+        }
+        total_ = 0;
+      }
+      return nullptr;
+    }
+    if (live_ < buckets_.size() / 4 && buckets_.size() > kMinBuckets) {
+      resize();
+    }
+    const std::size_t n = buckets_.size();
+    for (;;) {
+      // One lap of the current year: bucket i owns [top - w, top).
+      std::size_t i = last_bucket_;
+      std::int64_t top = bucket_top_;
+      for (std::size_t lap = 0; lap < n; ++lap) {
+        std::vector<EventSlot*>& b = buckets_[i];
+        prune(b);
+        if (!b.empty() && key(b.back()) < top) {
+          EventSlot* s = b.back();
+          last_bucket_ = i;
+          bucket_top_ = top;
+          if (remove) {
+            b.pop_back();
+            --total_;
+          }
+          return s;
+        }
+        i = (i + 1) & (n - 1);
+        top += width_;
+      }
+      // Nothing due this year: jump the calendar to the global minimum.
+      EventSlot* best = nullptr;
+      for (std::size_t j = 0; j < n; ++j) {
+        prune(buckets_[j]);
+        EventSlot* cand =
+            buckets_[j].empty() ? nullptr : buckets_[j].back();
+        if (cand != nullptr && (best == nullptr || before(cand, best))) {
+          best = cand;
+        }
+      }
+      MDWF_ASSERT(best != nullptr);  // live_ > 0 guarantees a survivor
+      const std::int64_t k = key(best);
+      last_bucket_ = bucket_of(k);
+      bucket_top_ = (k / width_) * width_ + width_;
+    }
+  }
+
+  // Rebuild the calendar sized to the live population: bucket count is the
+  // next power of two covering it, width the mean inter-event gap across the
+  // live span (Brown's rule of thumb).  Cancelled residue is swept in the
+  // same pass.
+  void resize() {
+    std::vector<EventSlot*> survivors;
+    survivors.reserve(live_);
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    for (auto& b : buckets_) {
+      for (EventSlot* s : b) {
+        if (s->cancelled) {
+          release(s);
+          continue;
+        }
+        const std::int64_t k = key(s);
+        if (survivors.empty()) {
+          lo = hi = k;
+        } else {
+          lo = std::min(lo, k);
+          hi = std::max(hi, k);
+        }
+        survivors.push_back(s);
+      }
+      b.clear();
+    }
+    std::size_t want = kMinBuckets;
+    while (want < survivors.size() && want < kMaxBuckets) want <<= 1;
+    const std::int64_t span = hi - lo;
+    const std::int64_t width =
+        survivors.empty()
+            ? kDefaultWidthNs
+            : std::max<std::int64_t>(
+                  1, span / static_cast<std::int64_t>(survivors.size() + 1));
+    reset_calendar(want, width);
+    if (!survivors.empty()) {
+      last_bucket_ = bucket_of(lo);
+      bucket_top_ = (lo / width_) * width_ + width_;
+    }
+    for (EventSlot* s : survivors) {
+      insert_sorted(buckets_[bucket_of(key(s))], s);
+    }
+    total_ = survivors.size();
+  }
+
+  void reset_calendar(std::size_t nbuckets, std::int64_t width) {
+    buckets_.assign(nbuckets, {});
+    width_ = width;
+    last_bucket_ = 0;
+    bucket_top_ = width;
+    total_ = 0;
+  }
+
+  std::vector<std::vector<EventSlot*>> buckets_;
+  std::int64_t width_ = kDefaultWidthNs;
+  std::size_t last_bucket_ = 0;
+  std::int64_t bucket_top_ = kDefaultWidthNs;  // exclusive end of the window
+  std::size_t total_ = 0;  // slots filed in buckets, cancelled included
+  std::vector<std::unique_ptr<EventSlot[]>> chunks_;
+  EventSlot* free_ = nullptr;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mdwf::sim

@@ -72,7 +72,7 @@ void Simulation::internal_root_finished(std::uint64_t id) {
 
 void Simulation::trace_live_processes() {
   if (trace_ == nullptr) return;
-  trace_->counter(trace_track_, "sim.live_processes", now_,
+  trace_->counter(trace_live_id_, now_,
                   static_cast<std::int64_t>(live_roots_.size()));
 }
 

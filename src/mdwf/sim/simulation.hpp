@@ -44,6 +44,10 @@ class Simulation {
 
   TimePoint now() const { return now_; }
 
+  // Stable pointer to the virtual clock, for obs::ScopedSpan guards that
+  // must read "now" at destruction without holding the whole kernel.
+  const TimePoint* now_ptr() const { return &now_; }
+
   // --- Process management -------------------------------------------------
 
   // Registers and starts a detached process.  The first slice of the task
@@ -115,7 +119,9 @@ class Simulation {
   // every spawn/completion (the timeline's "what was running" backdrop).
   void set_trace(obs::TraceSink* sink, obs::TrackId track) {
     trace_ = sink;
-    trace_track_ = track;
+    if (sink != nullptr) {
+      trace_live_id_ = sink->counter_id(track, "sim.live_processes");
+    }
   }
 
   // --- Internal: root-process bookkeeping (used by the spawn machinery) ----
@@ -141,7 +147,7 @@ class Simulation {
   std::uint64_t next_root_id_ = 0;
   std::exception_ptr pending_error_;
   obs::TraceSink* trace_ = nullptr;
-  obs::TrackId trace_track_{};
+  obs::CounterId trace_live_id_{};
 };
 
 }  // namespace mdwf::sim

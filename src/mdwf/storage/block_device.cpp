@@ -34,16 +34,16 @@ sim::Task<void> BlockDevice::submit(net::FairShareChannel& channel, Bytes n) {
 void BlockDevice::set_trace(obs::TraceSink* sink, obs::TrackId track,
                             const std::string& prefix) {
   trace_ = sink;
-  trace_track_ = track;
-  trace_counter_ = prefix + ".inflight";
-  read_channel_.set_trace(sink, track, prefix + ".read.flows");
-  write_channel_.set_trace(sink, track, prefix + ".write.flows");
+  trace_inflight_ = sink->counter_id(track, prefix + ".inflight");
+  read_channel_.set_trace(sink, sink->counter_id(track, prefix + ".read.flows"));
+  write_channel_.set_trace(sink,
+                           sink->counter_id(track, prefix + ".write.flows"));
 }
 
 void BlockDevice::trace_inflight(int delta) {
   inflight_ += delta;
   if (trace_ == nullptr) return;
-  trace_->counter(trace_track_, trace_counter_, sim_->now(), inflight_);
+  trace_->counter(trace_inflight_, sim_->now(), inflight_);
 }
 
 sim::Task<void> BlockDevice::read(Bytes n) {

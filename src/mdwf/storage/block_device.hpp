@@ -108,8 +108,7 @@ class BlockDevice {
   std::uint64_t io_errors_ = 0;
   std::int64_t inflight_ = 0;
   obs::TraceSink* trace_ = nullptr;
-  obs::TrackId trace_track_{};
-  std::string trace_counter_;
+  obs::CounterId trace_inflight_{};
 };
 
 }  // namespace mdwf::storage

@@ -80,9 +80,8 @@ sim::Task<void> PageCache::memcpy_cost(Bytes n) {
 void PageCache::set_trace(obs::TraceSink* sink, obs::TrackId track,
                           const std::string& prefix) {
   trace_ = sink;
-  trace_track_ = track;
-  trace_resident_ = prefix + ".resident_pages";
-  trace_dirty_ = prefix + ".dirty_pages";
+  trace_resident_ = sink->counter_id(track, prefix + ".resident_pages");
+  trace_dirty_ = sink->counter_id(track, prefix + ".dirty_pages");
   traced_resident_ = -1;
   traced_dirty_ = -1;
 }
@@ -93,11 +92,11 @@ void PageCache::trace_state() {
   const auto dirty = static_cast<std::int64_t>(dirty_count_);
   if (resident != traced_resident_) {
     traced_resident_ = resident;
-    trace_->counter(trace_track_, trace_resident_, sim_->now(), resident);
+    trace_->counter(trace_resident_, sim_->now(), resident);
   }
   if (dirty != traced_dirty_) {
     traced_dirty_ = dirty;
-    trace_->counter(trace_track_, trace_dirty_, sim_->now(), dirty);
+    trace_->counter(trace_dirty_, sim_->now(), dirty);
   }
 }
 

@@ -109,9 +109,8 @@ class PageCache {
   std::uint64_t dirty_dropped_ = 0;
   std::uint64_t failed_writebacks_ = 0;
   obs::TraceSink* trace_ = nullptr;
-  obs::TrackId trace_track_{};
-  std::string trace_resident_;
-  std::string trace_dirty_;
+  obs::CounterId trace_resident_{};
+  obs::CounterId trace_dirty_{};
   std::int64_t traced_resident_ = -1;
   std::int64_t traced_dirty_ = -1;
 };

@@ -84,7 +84,13 @@ StreamNode::StreamNode(sim::Simulation& sim, const StreamParams& params,
 
 void StreamNode::set_trace(obs::TraceSink* sink, obs::TrackId track) {
   trace_ = sink;
-  trace_track_ = track;
+  trace_puts_id_ = sink->counter_id(track, "stream.puts");
+  trace_hits_id_ = sink->counter_id(track, "stream.hits");
+  trace_spills_id_ = sink->counter_id(track, "stream.spills");
+  trace_spill_reads_id_ = sink->counter_id(track, "stream.spill_reads");
+  trace_replays_id_ = sink->counter_id(track, "stream.replays");
+  trace_crash_drops_id_ = sink->counter_id(track, "stream.crash_drops");
+  trace_staged_bytes_id_ = sink->counter_id(track, "stream.staged_bytes");
 }
 
 std::string StreamNode::stage_location(std::uint32_t node) {
@@ -95,31 +101,30 @@ std::string StreamNode::spill_path(const std::string& path) const {
   return params_.spill_prefix + path;
 }
 
-void StreamNode::trace_total(const char* name, std::uint64_t value) {
+void StreamNode::trace_total(obs::CounterId id, std::uint64_t value) {
   if (trace_ == nullptr) return;
-  trace_->counter(trace_track_, name, sim_->now(),
-                  static_cast<std::int64_t>(value));
+  trace_->counter(id, sim_->now(), static_cast<std::int64_t>(value));
 }
 
 void StreamNode::trace_gauge() {
   if (trace_ == nullptr) return;
-  trace_->counter(trace_track_, "stream.staged_bytes", sim_->now(),
+  trace_->counter(trace_staged_bytes_id_, sim_->now(),
                   static_cast<std::int64_t>(staged_bytes_.count()));
 }
 
 void StreamNode::count_put() {
   ++puts_;
-  trace_total("stream.puts", puts_);
+  trace_total(trace_puts_id_, puts_);
 }
 
 void StreamNode::count_spill() {
   ++spills_;
-  trace_total("stream.spills", spills_);
+  trace_total(trace_spills_id_, spills_);
 }
 
 void StreamNode::count_spill_read() {
   ++spill_reads_;
-  trace_total("stream.spill_reads", spill_reads_);
+  trace_total(trace_spill_reads_id_, spill_reads_);
 }
 
 // --- Events and bounded waits ---------------------------------------------
@@ -348,7 +353,7 @@ sim::Task<bool> StreamNode::replay_to(net::NodeId requester,
     co_await spill_write(path, size);
   }
   ++replays_;
-  trace_total("stream.replays", replays_);
+  trace_total(trace_replays_id_, replays_);
   co_return true;
 }
 
@@ -439,7 +444,7 @@ void StreamNode::consume(const std::string& path) {
   consumed_.insert(path);
   unreserve(frame.size);
   ++hits_;
-  trace_total("stream.hits", hits_);
+  trace_total(trace_hits_id_, hits_);
   sim_->spawn(return_credit(frame.origin, path_prefix(path)),
               "stream.credit_return");
 }
@@ -477,7 +482,7 @@ void StreamNode::on_power_loss() {
   }
   space_changed_ = nullptr;
   trace_gauge();
-  trace_total("stream.crash_drops", crash_drops_);
+  trace_total(trace_crash_drops_id_, crash_drops_);
 }
 
 // --- StreamPublisher --------------------------------------------------------

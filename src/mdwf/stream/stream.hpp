@@ -254,7 +254,7 @@ class StreamNode {
   void record_delivery(net::NodeId dest, const std::string& path);
   sim::Task<void> return_credit(net::NodeId origin, std::string prefix);
   sim::Task<void> announce(std::string key, std::string value);
-  void trace_total(const char* name, std::uint64_t value);
+  void trace_total(obs::CounterId id, std::uint64_t value);
   void trace_gauge();
 
   sim::Simulation* sim_;
@@ -294,7 +294,13 @@ class StreamNode {
   std::uint64_t hedge_wins_ = 0;
 
   obs::TraceSink* trace_ = nullptr;
-  obs::TrackId trace_track_{};
+  obs::CounterId trace_puts_id_{};
+  obs::CounterId trace_hits_id_{};
+  obs::CounterId trace_spills_id_{};
+  obs::CounterId trace_spill_reads_id_{};
+  obs::CounterId trace_replays_id_{};
+  obs::CounterId trace_crash_drops_id_{};
+  obs::CounterId trace_staged_bytes_id_{};
 };
 
 // Rank-facing producer API: put one frame toward the subscriber, with

@@ -24,10 +24,12 @@ std::string pair_prefix(std::uint32_t pair) {
 
 namespace {
 
-// Frame-boundary timeline marker ("f=<n>") on the rank's trace lane.
+// Frame-boundary timeline marker ("f=<n>") on the rank's trace lane.  The
+// frame number rides as the record payload; the name materializes at export.
 void trace_frame(const RankContext& ctx, std::uint64_t f) {
   if (ctx.trace == nullptr) return;
-  ctx.trace->instant(ctx.track, "f=" + std::to_string(f), ctx.sim->now());
+  ctx.trace->instant(ctx.frame_marker, ctx.sim->now(),
+                     static_cast<std::int64_t>(f));
 }
 
 std::uint64_t rank_epoch(const RankContext& ctx) {
@@ -442,6 +444,8 @@ RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
                                  "producer" + std::to_string(pair));
         cctx.track = sink->track("node" + std::to_string(cnode),
                                  "consumer" + std::to_string(pair));
+        pctx.frame_marker = sink->instant_series(pctx.track, "f=");
+        cctx.frame_marker = sink->instant_series(cctx.track, "f=");
         prec.set_trace(sink, pctx.track);
         crec.set_trace(sink, cctx.track);
       }

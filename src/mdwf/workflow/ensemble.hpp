@@ -111,10 +111,12 @@ struct RankContext {
   sim::Simulation* sim = nullptr;
   Connector* connector = nullptr;
   perf::Recorder* recorder = nullptr;
-  // Tracing (null = off): per-frame instants land on `track`; region spans
-  // are emitted by the recorder itself (perf::Recorder::set_trace).
+  // Tracing (null = off): per-frame instants land on `track` via the
+  // pre-interned `frame_marker` series ("f=<n>"); region spans are emitted
+  // by the recorder itself (perf::Recorder::set_trace).
   obs::TraceSink* trace = nullptr;
   obs::TrackId track{};
+  obs::InstantId frame_marker{};
   WorkloadConfig workload{};
   std::uint32_t pair = 0;
   Rng rng{1};  // producers only; consumers draw nothing
@@ -204,116 +206,11 @@ struct EnsembleResult {
   perf::Thicket thicket;
 
   // Named counters summed over ranks and repetitions, in registration order
-  // (DYAD protocol counters first, then infrastructure totals).  Consumers
-  // that print results iterate this generically; code that needs a specific
-  // counter uses the accessors below.
+  // (DYAD protocol counters first, then infrastructure totals).  Look up
+  // specific counters with counters.get("name"); unregistered names return 0,
+  // so absent subsystems (stream counters on a dyad run, integrity off) read
+  // naturally as zero.
   obs::CounterMap counters;
-
-  // DYAD synchronization-protocol counters.
-  std::uint64_t dyad_warm_hits() const {
-    return counters.get("dyad_warm_hits");
-  }
-  std::uint64_t dyad_kvs_waits() const {
-    return counters.get("dyad_kvs_waits");
-  }
-  std::uint64_t dyad_kvs_retries() const {
-    return counters.get("dyad_kvs_retries");
-  }
-  // Recovery-protocol counters (non-zero only with DyadParams::retry enabled
-  // and a fault plan injecting broker/fabric/storage failures).
-  std::uint64_t dyad_recovery_retries() const {
-    return counters.get("dyad_recovery_retries");
-  }
-  std::uint64_t dyad_failovers() const {
-    return counters.get("dyad_failovers");
-  }
-  std::uint64_t dyad_republishes() const {
-    return counters.get("dyad_republishes");
-  }
-
-  // Gray-failure mitigation counters (non-zero only with health/hedge on).
-  std::uint64_t dyad_hedges() const { return counters.get("dyad_hedges"); }
-  std::uint64_t dyad_hedge_wins() const {
-    return counters.get("dyad_hedge_wins");
-  }
-  std::uint64_t dyad_hedge_cancels() const {
-    return counters.get("dyad_hedge_cancels");
-  }
-  std::uint64_t dyad_breaker_trips() const {
-    return counters.get("dyad_breaker_trips");
-  }
-  std::uint64_t dyad_breaker_fast_fails() const {
-    return counters.get("dyad_breaker_fast_fails");
-  }
-  std::uint64_t dyad_busy_retries() const {
-    return counters.get("dyad_busy_retries");
-  }
-  // Streaming data-plane counters (non-zero only for Solution::kStream).
-  std::uint64_t stream_puts() const { return counters.get("stream_puts"); }
-  std::uint64_t stream_staged_hits() const {
-    return counters.get("stream_staged_hits");
-  }
-  std::uint64_t stream_spills() const {
-    return counters.get("stream_spills");
-  }
-  std::uint64_t stream_spill_reads() const {
-    return counters.get("stream_spill_reads");
-  }
-  std::uint64_t stream_replays() const {
-    return counters.get("stream_replays");
-  }
-  std::uint64_t stream_crash_drops() const {
-    return counters.get("stream_crash_drops");
-  }
-  std::uint64_t stream_credit_waits() const {
-    return counters.get("stream_credit_waits");
-  }
-  std::uint64_t stream_backpressure_stalls() const {
-    return counters.get("stream_backpressure_stalls");
-  }
-  std::uint64_t stream_hedges() const {
-    return counters.get("stream_hedges");
-  }
-  std::uint64_t stream_hedge_wins() const {
-    return counters.get("stream_hedge_wins");
-  }
-
-  std::uint64_t kvs_sheds() const { return counters.get("kvs_sheds"); }
-  std::uint64_t lustre_sheds() const { return counters.get("lustre_sheds"); }
-
-  // Crash/restart counters (non-zero only with crash windows in the plan).
-  std::uint64_t frames_produced() const {
-    return counters.get("frames_produced");
-  }
-  std::uint64_t frames_consumed() const {
-    return counters.get("frames_consumed");
-  }
-  std::uint64_t frames_reexecuted() const {
-    return counters.get("frames_reexecuted");
-  }
-  std::uint64_t crash_recoveries() const {
-    return counters.get("crash_recoveries");
-  }
-  std::uint64_t checkpoint_persists() const {
-    return counters.get("checkpoint_persists");
-  }
-  std::uint64_t checkpoint_restores() const {
-    return counters.get("checkpoint_restores");
-  }
-
-  // End-to-end integrity counters (non-zero only with integrity enabled).
-  std::uint64_t integrity_verified() const {
-    return counters.get("integrity_verified");
-  }
-  std::uint64_t integrity_failures() const {
-    return counters.get("integrity_failures");
-  }
-  std::uint64_t integrity_refetches() const {
-    return counters.get("integrity_refetches");
-  }
-  std::uint64_t integrity_unrecovered() const {
-    return counters.get("integrity_unrecovered");
-  }
 
   double mean_production_us() const {
     return prod_movement_us.mean() + prod_idle_us.mean();

@@ -105,9 +105,11 @@ void Testbed::attach_trace(obs::TraceSink& sink) {
     r.dyad->set_trace(&sink, sink.track(process, "dyad"));
     r.stream->set_trace(&sink, sink.track(process, "stream"));
     network_->tx(net::NodeId{i})
-        .set_trace(&sink, sink.track(process, "nic.tx"), "nic.tx.flows");
+        .set_trace(&sink, sink.counter_id(sink.track(process, "nic.tx"),
+                                          "nic.tx.flows"));
     network_->rx(net::NodeId{i})
-        .set_trace(&sink, sink.track(process, "nic.rx"), "nic.rx.flows");
+        .set_trace(&sink, sink.counter_id(sink.track(process, "nic.rx"),
+                                          "nic.rx.flows"));
   }
   kvs_->set_trace(&sink, sink.track("kvs", "broker"));
   lustre_->set_trace(&sink);

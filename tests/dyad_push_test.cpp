@@ -120,7 +120,7 @@ TEST(DyadPushTest, EnsembleWithPushModeReducesConsumerMovement) {
   // Push overlaps the transfer with MD compute: the consumer's measured
   // movement collapses to the local staged read.
   EXPECT_LT(push.cons_movement_us.mean(), 0.5 * pull.cons_movement_us.mean());
-  EXPECT_GT(push.dyad_warm_hits(), 0u);
+  EXPECT_GT(push.counters.get("dyad_warm_hits"), 0u);
 }
 
 }  // namespace

@@ -113,7 +113,7 @@ TEST(PlacementTest, ColocatedDyadUsesWarmPathEverywhere) {
                                      workflow::Placement::kColocated, 4));
   // Every frame except the per-pair first (which waits on the KVS) takes
   // the flock warm path; nothing crosses the fabric.
-  EXPECT_GT(r.dyad_warm_hits(), 8u * 6u);
+  EXPECT_GT(r.counters.get("dyad_warm_hits"), 8u * 6u);
   EXPECT_EQ(r.thicket.filter("role", "consumer")
                 .aggregate()
                 .find("consume/dyad_consume/dyad_get_data"),
@@ -123,7 +123,7 @@ TEST(PlacementTest, ColocatedDyadUsesWarmPathEverywhere) {
 TEST(PlacementTest, SplitDyadPullsEverything) {
   const auto r = run_ensemble(placed(workflow::Solution::kDyad,
                                      workflow::Placement::kSplit, 4));
-  EXPECT_EQ(r.dyad_warm_hits(), 0u);
+  EXPECT_EQ(r.counters.get("dyad_warm_hits"), 0u);
 }
 
 TEST(PlacementTest, ColocatedXfsOnManyNodesWorks) {

@@ -18,6 +18,7 @@
 #include "mdwf/common/time.hpp"
 #include "mdwf/net/fair_share.hpp"
 #include "mdwf/net/network.hpp"
+#include "mdwf/sim/calendar_queue.hpp"
 #include "mdwf/sim/event_heap.hpp"
 #include "mdwf/sim/simulation.hpp"
 
@@ -25,6 +26,7 @@ namespace mdwf {
 namespace {
 
 using namespace mdwf::literals;
+using sim::CalendarQueue;
 using sim::EventHeap;
 using sim::EventSlot;
 using sim::Simulation;
@@ -55,10 +57,17 @@ struct Oracle {
   }
 };
 
-TEST(EventHeapPropertyTest, RandomScheduleCancelMatchesOracle) {
+// The same oracle checks both queue implementations: the 4-ary heap and the
+// calendar queue expose one interface and must produce one fire order.
+template <typename Queue>
+class EventQueuePropertyTest : public ::testing::Test {};
+using QueueTypes = ::testing::Types<EventHeap, CalendarQueue>;
+TYPED_TEST_SUITE(EventQueuePropertyTest, QueueTypes);
+
+TYPED_TEST(EventQueuePropertyTest, RandomScheduleCancelMatchesOracle) {
   for (std::uint64_t round = 0; round < 20; ++round) {
     Rng rng(1000 + round);
-    EventHeap heap;
+    TypeParam heap;
     Oracle oracle;
     std::uint64_t next_seq = 0;
     std::vector<std::pair<EventSlot*, std::uint64_t>> live;  // (slot, seq)
@@ -95,11 +104,12 @@ TEST(EventHeapPropertyTest, RandomScheduleCancelMatchesOracle) {
   }
 }
 
-TEST(EventHeapPropertyTest, InterleavedPopsMatchOracleSemantics) {
+TYPED_TEST(EventQueuePropertyTest, InterleavedPopsMatchOracleSemantics) {
   // Pop and schedule interleaved (the real kernel pattern): fired events
-  // recycle slots that later pushes immediately reuse.
+  // recycle slots that later pushes immediately reuse.  Pushes never predate
+  // the last pop — the monotone-time contract the calendar queue requires.
   Rng rng(42);
-  EventHeap heap;
+  TypeParam heap;
   std::uint64_t next_seq = 0;
   std::int64_t now = 0;
   std::vector<std::int64_t> fired_at;
@@ -127,6 +137,90 @@ TEST(EventHeapPropertyTest, InterleavedPopsMatchOracleSemantics) {
   }
   EXPECT_TRUE(std::is_sorted(fired_at.begin(), fired_at.end()));
   EXPECT_EQ(heap.live(), 0u);
+}
+
+TYPED_TEST(EventQueuePropertyTest, PeekPopAgreeUnderChurn) {
+  // peek() must return exactly the slot the next pop() removes, including
+  // across cancellations of the current minimum (which force both queues to
+  // re-derive it).
+  Rng rng(77);
+  TypeParam q;
+  std::uint64_t next_seq = 0;
+  std::int64_t now = 0;
+  std::vector<std::pair<EventSlot*, std::uint64_t>> live;
+  for (int op = 0; op < 3000; ++op) {
+    const int roll = static_cast<int>(rng.next_below(10));
+    if (live.empty() || roll < 5) {
+      const auto at = now + static_cast<std::int64_t>(rng.next_below(4096));
+      EventSlot* s = q.push(TimePoint::origin() + Duration(at), next_seq,
+                            std::function<void()>([] {}));
+      live.emplace_back(s, next_seq);
+      ++next_seq;
+    } else if (roll < 8) {
+      EventSlot* const head = q.peek();
+      EventSlot* const popped = q.pop();
+      ASSERT_EQ(head, popped);
+      if (popped != nullptr) {
+        now = (popped->at - TimePoint::origin()).ns();
+        live.erase(std::find_if(live.begin(), live.end(),
+                                [&](const auto& e) { return e.first == popped; }));
+        q.release(popped);
+      }
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      EXPECT_TRUE(q.cancel(live[pick].first, live[pick].second));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(q.live(), live.size());
+  }
+}
+
+TYPED_TEST(EventQueuePropertyTest, SparseScheduleJumpsGapsInOrder) {
+  // Widely separated clusters (the calendar queue's worst case: whole laps
+  // with nothing due force the direct-search jump) must still drain in
+  // exact (at, seq) order.
+  TypeParam q;
+  std::uint64_t next_seq = 0;
+  std::vector<std::int64_t> keys;
+  for (const std::int64_t base :
+       {std::int64_t{0}, std::int64_t{1'000'000}, std::int64_t{50'000'000'000},
+        std::int64_t{50'000'000'064}}) {
+    for (std::int64_t off = 0; off < 16; ++off) {
+      keys.push_back(base + off);
+      q.push(TimePoint::origin() + Duration(base + off), next_seq++,
+             std::function<void()>([] {}));
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<std::int64_t> fired;
+  while (EventSlot* e = q.pop()) {
+    fired.push_back((e->at - TimePoint::origin()).ns());
+    q.release(e);
+  }
+  EXPECT_EQ(fired, keys);
+  EXPECT_TRUE(q.empty());
+}
+
+TYPED_TEST(EventQueuePropertyTest, CancelAllThenReuse) {
+  // Cancelling every pending event leaves only residue that the next
+  // peek/pop sweeps; the queue stays usable afterwards.
+  TypeParam q;
+  std::vector<std::pair<EventSlot*, std::uint64_t>> live;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    live.emplace_back(q.push(TimePoint::origin() + Duration(10 + (i % 7)), i,
+                             std::function<void()>([] {})),
+                      i);
+  }
+  for (auto& [slot, seq] : live) EXPECT_TRUE(q.cancel(slot, seq));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.peek(), nullptr);
+  EXPECT_EQ(q.pop(), nullptr);
+  EventSlot* s = q.push(TimePoint::origin() + Duration(99), 500,
+                        std::function<void()>([] {}));
+  EXPECT_EQ(q.peek(), s);
+  EXPECT_EQ(q.pop(), s);
+  q.release(s);
+  EXPECT_TRUE(q.empty());
 }
 
 // --- TimerId ABA guard ----------------------------------------------------

@@ -124,7 +124,7 @@ TEST(IntegrationTest, PlacementSplitsProducersAndConsumers) {
   const auto r = run_ensemble(cfg);
   // All staged copies live on consumer nodes: warm hits would mean a
   // producer-side consumer existed.
-  EXPECT_EQ(r.dyad_warm_hits(), 0u);
+  EXPECT_EQ(r.counters.get("dyad_warm_hits"), 0u);
   EXPECT_EQ(r.thicket.filter("role", "producer").size(), 8u);
 }
 

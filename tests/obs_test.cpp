@@ -6,7 +6,9 @@
 #include <cstddef>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "mdwf/common/keyval.hpp"
 #include "mdwf/fault/plan.hpp"
@@ -183,12 +185,13 @@ TEST(TraceSinkTest, GoldenChromeJson) {
   obs::TraceSink sink;
   const obs::TrackId rank = sink.track("node0", "producer0");
   const obs::TrackId nvme = sink.track("node0", "nvme");
-  sink.span(rank, "md_compute", "compute",
-            TimePoint::origin() + Duration::microseconds(1),
+  const obs::SpanId compute = sink.span_id(rank, "md_compute", "compute");
+  const obs::CounterId inflight = sink.counter_id(nvme, "nvme.inflight");
+  const obs::InstantId frames = sink.instant_series(rank, "f=");
+  sink.span(compute, TimePoint::origin() + Duration::microseconds(1),
             Duration::microseconds(2));
-  sink.counter(nvme, "nvme.inflight",
-               TimePoint::origin() + Duration::nanoseconds(1500), 3);
-  sink.instant(rank, "f=0", TimePoint::origin() + Duration::microseconds(4));
+  sink.counter(inflight, TimePoint::origin() + Duration::nanoseconds(1500), 3);
+  sink.instant(frames, TimePoint::origin() + Duration::microseconds(4), 0);
 
   EXPECT_EQ(sink.event_count(), 3u);
   EXPECT_EQ(sink.span_count(), 1u);
@@ -218,7 +221,9 @@ TEST(TraceSinkTest, GoldenChromeJson) {
   EXPECT_EQ(sink.chrome_json(), expected);
   EXPECT_TRUE(JsonChecker(expected).valid());
 
+  // The metrics CSV leads with a strippable interned-table stats comment.
   EXPECT_EQ(sink.metrics_csv(),
+            "# interned names=4 tracks=2 handles=3 records=3\n"
             "ts_us,process,track,counter,value\n"
             "1.500,node0,nvme,nvme.inflight,3\n");
 }
@@ -226,9 +231,12 @@ TEST(TraceSinkTest, GoldenChromeJson) {
 TEST(TraceSinkTest, EventsSortedByTimestampStable) {
   obs::TraceSink sink;
   const obs::TrackId t = sink.track("p", "t");
-  sink.instant(t, "late", TimePoint::origin() + Duration::microseconds(9));
-  sink.instant(t, "early", TimePoint::origin() + Duration::microseconds(1));
-  sink.instant(t, "early2", TimePoint::origin() + Duration::microseconds(1));
+  sink.instant(sink.instant_id(t, "late"),
+               TimePoint::origin() + Duration::microseconds(9));
+  sink.instant(sink.instant_id(t, "early"),
+               TimePoint::origin() + Duration::microseconds(1));
+  sink.instant(sink.instant_id(t, "early2"),
+               TimePoint::origin() + Duration::microseconds(1));
   const std::string json = sink.chrome_json();
   const auto early = json.find("early");
   const auto early2 = json.find("early2");
@@ -240,12 +248,83 @@ TEST(TraceSinkTest, EventsSortedByTimestampStable) {
 TEST(TraceSinkTest, EscapesStrings) {
   obs::TraceSink sink;
   const obs::TrackId t = sink.track("p\"q", "a\\b");
-  sink.instant(t, "x\ny", TimePoint::origin());
+  sink.instant(sink.instant_id(t, "x\ny"), TimePoint::origin());
   const std::string json = sink.chrome_json();
   EXPECT_NE(json.find("p\\\"q"), std::string::npos);
   EXPECT_NE(json.find("a\\\\b"), std::string::npos);
   EXPECT_NE(json.find("x\\ny"), std::string::npos);
   EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(TraceSinkTest, HandleInterningDedupesSeries) {
+  obs::TraceSink sink;
+  const obs::TrackId t = sink.track("node0", "nvme");
+  const obs::CounterId a = sink.counter_id(t, "nvme.inflight");
+  const obs::CounterId b = sink.counter_id(t, "nvme.inflight");
+  EXPECT_EQ(a.v, b.v);
+  const obs::SpanId s1 = sink.span_id(t, "flush", "movement");
+  const obs::SpanId s2 = sink.span_id(t, "flush", "movement");
+  EXPECT_EQ(s1.v, s2.v);
+  // Same name, different category: a distinct series.
+  const obs::SpanId s3 = sink.span_id(t, "flush", "idle");
+  EXPECT_NE(s1.v, s3.v);
+  EXPECT_EQ(sink.interned_handles(), 3u);
+}
+
+TEST(TraceSinkTest, CounterRegistrationRejectsChromeKeyCollision) {
+  obs::TraceSink sink;
+  const obs::TrackId nvme = sink.track("node0", "nvme");
+  const obs::TrackId cache = sink.track("node0", "pagecache");
+  (void)sink.counter_id(nvme, "inflight");
+  // Same process (pid), different lane: Chrome would merge the two series
+  // under pid+name, so registration must refuse.
+  EXPECT_THROW((void)sink.counter_id(cache, "inflight"), std::logic_error);
+  // Same name in a *different* process is a distinct Chrome key.
+  const obs::TrackId other = sink.track("node1", "nvme");
+  EXPECT_NO_THROW((void)sink.counter_id(other, "inflight"));
+}
+
+TEST(TraceSinkTest, InstantSeriesMaterializesPayloadSuffix) {
+  obs::TraceSink sink;
+  const obs::TrackId t = sink.track("node0", "producer0");
+  const obs::InstantId frames = sink.instant_series(t, "f=");
+  for (std::int64_t f = 0; f < 3; ++f) {
+    sink.instant(frames, TimePoint::origin() + Duration::microseconds(f + 1),
+                 f);
+  }
+  const std::string json = sink.chrome_json();
+  EXPECT_NE(json.find("\"name\":\"f=0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"f=1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"f=2\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker(json).valid());
+}
+
+TEST(TraceSinkTest, ScopedSpanEmitsOnDestruction) {
+  obs::TraceSink sink;
+  const obs::TrackId t = sink.track("node0", "producer0");
+  const obs::SpanId region = sink.span_id(t, "io_burst", "movement");
+  TimePoint clock = TimePoint::origin() + Duration::microseconds(10);
+  {
+    obs::ScopedSpan guard(&sink, region, &clock);
+    clock = clock + Duration::microseconds(5);
+  }
+  EXPECT_EQ(sink.span_count(), 1u);
+  const std::string json = sink.chrome_json();
+  EXPECT_NE(json.find("\"name\":\"io_burst\",\"cat\":\"movement\","
+                      "\"pid\":0,\"tid\":0,\"ts\":10.000,\"dur\":5.000"),
+            std::string::npos);
+
+  // Moved-from guards are inert; close() is idempotent.
+  obs::ScopedSpan a(&sink, region, &clock);
+  obs::ScopedSpan b(std::move(a));
+  b.close();
+  b.close();
+  EXPECT_EQ(sink.span_count(), 2u);
+
+  // A null-sink guard emits nothing.
+  { obs::ScopedSpan inert; }
+  { obs::ScopedSpan inert2(nullptr, obs::SpanId{}, nullptr); }
+  EXPECT_EQ(sink.span_count(), 2u);
 }
 
 // --- Traced ensemble runs ---------------------------------------------------
@@ -281,7 +360,9 @@ TEST(ObsEnsembleTest, TraceExportIsValidAndComplete) {
 
   const std::string csv =
       read_file(obs::TraceSink::metrics_csv_path(config.trace_path));
-  EXPECT_EQ(csv.rfind("ts_us,process,track,counter,value\n", 0), 0u);
+  EXPECT_EQ(csv.rfind("# interned ", 0), 0u);
+  EXPECT_NE(csv.find("\nts_us,process,track,counter,value\n"),
+            std::string::npos);
   EXPECT_NE(csv.find("nvme.inflight"), std::string::npos);
 }
 
@@ -329,14 +410,15 @@ TEST(ObsEnsembleTest, UntracedRunRecordsNoTraceEvents) {
 
 // --- EnsembleResult counter round-trip --------------------------------------
 
-TEST(ObsEnsembleTest, CounterAccessorsMatchMap) {
+TEST(ObsEnsembleTest, CounterMapRoundTrip) {
   auto config = tiny_config();
   const auto r = workflow::run_ensemble(config);
-  EXPECT_EQ(r.dyad_warm_hits(), r.counters.get("dyad_warm_hits"));
-  EXPECT_EQ(r.dyad_kvs_waits(), r.counters.get("dyad_kvs_waits"));
-  EXPECT_EQ(r.dyad_republishes(), r.counters.get("dyad_republishes"));
-  EXPECT_GT(r.dyad_warm_hits() + r.dyad_kvs_waits() + r.dyad_kvs_retries(),
+  // Protocol counters land in the map under their registration names, and
+  // unregistered names read as zero rather than throwing.
+  EXPECT_GT(r.counters.get("dyad_warm_hits") + r.counters.get("dyad_kvs_waits") +
+                r.counters.get("dyad_kvs_retries"),
             0u);
+  EXPECT_EQ(r.counters.get("no_such_counter"), 0u);
   // Infrastructure counters fire on every DYAD run.
   EXPECT_GT(r.counters.get("kvs_commits"), 0u);
   EXPECT_GT(r.counters.get("cache_misses"), 0u);

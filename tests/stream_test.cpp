@@ -338,8 +338,8 @@ TEST_P(StreamFaultScenarioTest, CompletesWithZeroDataLoss) {
   defaults.nodes = 2;
   const EnsembleConfig c = workflow::parse_ensemble_config(cfg, defaults);
   const workflow::EnsembleResult r = workflow::run_ensemble(c);
-  EXPECT_EQ(r.frames_consumed(), 2u * 8u * 2u) << GetParam();
-  EXPECT_EQ(r.integrity_unrecovered(), 0u) << GetParam();
+  EXPECT_EQ(r.counters.get("frames_consumed"), 2u * 8u * 2u) << GetParam();
+  EXPECT_EQ(r.counters.get("integrity_unrecovered"), 0u) << GetParam();
   // And deterministically: the parallel runner merges to the same bytes.
   const sweep::SweepResult one = sweep::run_sweep({{GetParam(), c}}, 1);
   const sweep::SweepResult four = sweep::run_sweep({{GetParam(), c}}, 4);

@@ -136,8 +136,8 @@ TEST(SweepTest, CancellationHeavyRunsStayDeterministic) {
   EnsembleConfig cfg = cancellation_heavy_config();
   const EnsembleResult serial = workflow::run_ensemble(cfg);
   // The scenario must actually exercise the cancel path.
-  EXPECT_GT(serial.dyad_hedges(), 0u);
-  EXPECT_GT(serial.dyad_hedge_cancels() + serial.dyad_hedge_wins(), 0u);
+  EXPECT_GT(serial.counters.get("dyad_hedges"), 0u);
+  EXPECT_GT(serial.counters.get("dyad_hedge_cancels") + serial.counters.get("dyad_hedge_wins"), 0u);
   cfg.threads = 8;
   expect_identical(serial, sweep::run_ensemble(cfg));
 }
@@ -178,7 +178,7 @@ TEST(SweepTest, PoisonedPointDoesNotSpoilTheGrid) {
     EXPECT_TRUE(r->points[0].failed());
     EXPECT_NE(r->points[0].error_text.find("deadlock"), std::string::npos);
     EXPECT_FALSE(r->points[1].failed());
-    EXPECT_GT(r->points[1].result.frames_consumed(), 0u);
+    EXPECT_GT(r->points[1].result.counters.get("frames_consumed"), 0u);
   }
   EXPECT_EQ(one.to_csv(), eight.to_csv());
   EXPECT_EQ(one.points[0].error_text, eight.points[0].error_text);

@@ -1,0 +1,359 @@
+// Round-trip oracle for the binary event log: the TraceSink records
+// fixed-width records and materializes Chrome JSON / metrics CSV after the
+// run; this file pins that pipeline to the PR-2 emitters' byte-level output.
+//
+// The oracle below is an independent reimplementation of the PR-2 eager
+// formatter — names resolved and strings built at call time, snprintf/
+// to_string per field, stable sort at export — deliberately sharing no code
+// with the production fragment-precomputation + custom-integer-formatter
+// path.  Randomized emitter sequences through both must agree to the byte.
+//
+// The second half checks the end-to-end contract on real workloads: traced
+// ensemble runs are byte-deterministic per (solution, fault scenario, seed)
+// across repeated runs — virtual timestamps only, no wall-clock leakage.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/keyval.hpp"
+#include "mdwf/common/rng.hpp"
+#include "mdwf/common/time.hpp"
+#include "mdwf/obs/trace.hpp"
+#include "mdwf/workflow/config.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace mdwf {
+namespace {
+
+using namespace mdwf::literals;
+
+// --- The PR-2 emitter oracle ----------------------------------------------
+
+class LegacySink {
+ public:
+  std::uint32_t track(const std::string& process, const std::string& thread) {
+    for (std::uint32_t i = 0; i < lanes_.size(); ++i) {
+      if (lanes_[i].process == process && lanes_[i].thread == thread) {
+        return i;
+      }
+    }
+    std::uint32_t pid = 0;
+    for (; pid < procs_.size(); ++pid) {
+      if (procs_[pid] == process) break;
+    }
+    if (pid == procs_.size()) procs_.push_back(process);
+    std::uint32_t tid = 0;
+    for (const Lane& l : lanes_) {
+      if (l.process == process) ++tid;
+    }
+    lanes_.push_back(Lane{process, thread, pid, tid});
+    return static_cast<std::uint32_t>(lanes_.size() - 1);
+  }
+
+  void span(std::uint32_t lane, const std::string& name,
+            const std::string& cat, TimePoint start, Duration dur) {
+    Event e;
+    e.ts_ns = (start - TimePoint::origin()).ns();
+    e.json = "{\"ph\":\"X\",\"name\":" + escape(name) + ",\"cat\":" +
+             escape(cat) + pid_tid(lane) + ",\"ts\":" + us(e.ts_ns) +
+             ",\"dur\":" + us(dur.ns()) + "}";
+    events_.push_back(std::move(e));
+  }
+
+  void instant(std::uint32_t lane, const std::string& name, TimePoint at) {
+    Event e;
+    e.ts_ns = (at - TimePoint::origin()).ns();
+    e.json = "{\"ph\":\"i\",\"name\":" + escape(name) + pid_tid(lane) +
+             ",\"ts\":" + us(e.ts_ns) + ",\"s\":\"t\"}";
+    events_.push_back(std::move(e));
+  }
+
+  void counter(std::uint32_t lane, const std::string& name, TimePoint at,
+               std::int64_t value) {
+    Event e;
+    e.ts_ns = (at - TimePoint::origin()).ns();
+    e.json = "{\"ph\":\"C\",\"name\":" + escape(name) + pid_tid(lane) +
+             ",\"ts\":" + us(e.ts_ns) + ",\"args\":{\"value\":" +
+             std::to_string(value) + "}}";
+    e.csv = us(e.ts_ns) + "," + lanes_[lane].process + "," +
+            lanes_[lane].thread + "," + name + "," + std::to_string(value) +
+            "\n";
+    events_.push_back(std::move(e));
+  }
+
+  std::string chrome_json() const {
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&] {
+      if (!first) out += ",\n";
+      first = false;
+    };
+    for (std::uint32_t pid = 0; pid < procs_.size(); ++pid) {
+      sep();
+      out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+             std::to_string(pid) + ",\"tid\":0,\"args\":{\"name\":" +
+             escape(procs_[pid]) + "}}";
+      sep();
+      out += "{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" +
+             std::to_string(pid) + ",\"tid\":0,\"args\":{\"sort_index\":" +
+             std::to_string(pid) + "}}";
+      for (const Lane& l : lanes_) {
+        if (l.pid != pid) continue;
+        sep();
+        out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+               std::to_string(pid) + ",\"tid\":" + std::to_string(l.tid) +
+               ",\"args\":{\"name\":" + escape(l.thread) + "}}";
+        sep();
+        out += "{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":" +
+               std::to_string(pid) + ",\"tid\":" + std::to_string(l.tid) +
+               ",\"args\":{\"sort_index\":" + std::to_string(l.tid) + "}}";
+      }
+    }
+    for (const Event* e : sorted()) {
+      sep();
+      out += e->json;
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+  }
+
+  std::string metrics_csv() const {
+    std::string out = "ts_us,process,track,counter,value\n";
+    for (const Event* e : sorted()) out += e->csv;
+    return out;
+  }
+
+ private:
+  struct Lane {
+    std::string process;
+    std::string thread;
+    std::uint32_t pid;
+    std::uint32_t tid;
+  };
+  struct Event {
+    std::int64_t ts_ns = 0;
+    std::string json;
+    std::string csv;  // empty for non-counter events
+  };
+
+  std::string pid_tid(std::uint32_t lane) const {
+    return ",\"pid\":" + std::to_string(lanes_[lane].pid) + ",\"tid\":" +
+           std::to_string(lanes_[lane].tid);
+  }
+
+  static std::string us(std::int64_t ns) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    return buf;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  std::vector<const Event*> sorted() const {
+    std::vector<const Event*> order;
+    order.reserve(events_.size());
+    for (const Event& e : events_) order.push_back(&e);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Event* a, const Event* b) {
+                       return a->ts_ns < b->ts_ns;
+                     });
+    return order;
+  }
+
+  std::vector<std::string> procs_;
+  std::vector<Lane> lanes_;
+  std::vector<Event> events_;
+};
+
+std::string strip_comments(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(TraceRoundTripTest, RandomizedSequencesMatchLegacyEmitterByteForByte) {
+  // Names exercise the escape path (quotes, backslashes, control chars).
+  const std::vector<std::string> span_names = {"md_compute", "fs \"write\"",
+                                               "tab\there", "new\nline"};
+  const std::vector<std::string> categories = {"compute", "io\\path"};
+  const std::vector<std::string> instant_names = {"marker", "ckpt"};
+
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(4000 + seed);
+    obs::TraceSink sink;
+    LegacySink legacy;
+
+    // Wiring phase: a few processes, a few lanes each; every handle kind
+    // registered per lane.  Counter names are suffixed per-process to
+    // respect the Chrome pid+name keying the new API enforces.
+    struct LaneHandles {
+      obs::TrackId track;
+      std::uint32_t legacy;
+      std::vector<obs::SpanId> spans;
+      std::vector<obs::InstantId> instants;
+      obs::InstantId series;
+      obs::CounterId counter;
+      std::string counter_name;
+    };
+    std::vector<LaneHandles> lanes;
+    const std::size_t nproc = 1 + rng.next_below(3);
+    for (std::size_t p = 0; p < nproc; ++p) {
+      const std::string process = "proc" + std::to_string(p);
+      const std::size_t nthread = 1 + rng.next_below(3);
+      for (std::size_t t = 0; t < nthread; ++t) {
+        const std::string thread = "lane" + std::to_string(t);
+        LaneHandles lh;
+        lh.track = sink.track(process, thread);
+        lh.legacy = legacy.track(process, thread);
+        for (const std::string& n : span_names) {
+          for (const std::string& c : categories) {
+            lh.spans.push_back(sink.span_id(lh.track, n, c));
+          }
+        }
+        for (const std::string& n : instant_names) {
+          lh.instants.push_back(sink.instant_id(lh.track, n));
+        }
+        lh.series = sink.instant_series(lh.track, "f=");
+        lh.counter_name = "lane" + std::to_string(t) + ".inflight";
+        lh.counter = sink.counter_id(lh.track, lh.counter_name);
+        lanes.push_back(std::move(lh));
+      }
+    }
+
+    // Emission phase: virtual clock only ever moves forward; span starts
+    // may predate the current instant (they are recorded at close), which
+    // is exactly what exercises the stable sort.
+    std::int64_t now_ns = 0;
+    const std::uint64_t events = 300 + rng.next_below(300);
+    for (std::uint64_t i = 0; i < events; ++i) {
+      now_ns += static_cast<std::int64_t>(rng.next_below(2000));
+      const LaneHandles& lh = lanes[rng.next_below(lanes.size())];
+      const TimePoint at = TimePoint::origin() + Duration(now_ns);
+      switch (rng.next_below(4)) {
+        case 0: {
+          const std::size_t pick = rng.next_below(lh.spans.size());
+          // Duration clamped so the start never predates the time origin.
+          const auto dur = Duration(static_cast<std::int64_t>(
+              rng.next_below(static_cast<std::uint64_t>(now_ns) + 1)));
+          const TimePoint start = at - dur;
+          sink.span(lh.spans[pick], start, dur);
+          legacy.span(lh.legacy, span_names[pick / categories.size()],
+                      categories[pick % categories.size()], start, dur);
+          break;
+        }
+        case 1: {
+          const std::size_t pick = rng.next_below(lh.instants.size());
+          sink.instant(lh.instants[pick], at);
+          legacy.instant(lh.legacy, instant_names[pick], at);
+          break;
+        }
+        case 2: {
+          const auto frame =
+              static_cast<std::int64_t>(rng.next_below(1000000));
+          sink.instant(lh.series, at, frame);
+          legacy.instant(lh.legacy, "f=" + std::to_string(frame), at);
+          break;
+        }
+        default: {
+          const auto value =
+              static_cast<std::int64_t>(rng.next_below(1 << 20)) - 1000;
+          sink.counter(lh.counter, at, value);
+          legacy.counter(lh.legacy, lh.counter_name, at, value);
+          break;
+        }
+      }
+    }
+
+    EXPECT_EQ(sink.chrome_json(), legacy.chrome_json()) << "seed " << seed;
+    EXPECT_EQ(strip_comments(sink.metrics_csv()), legacy.metrics_csv())
+        << "seed " << seed;
+  }
+}
+
+// --- Traced workloads are byte-deterministic per seed ----------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TraceRoundTripTest, TracedEnsemblesAreByteDeterministicPerSeed) {
+  for (const std::string solution : {"dyad", "xfs", "lustre", "stream"}) {
+    for (const std::string faults : {"none", "crash-flip"}) {
+      for (const std::string seed : {"1", "7"}) {
+        KeyValueConfig kv;
+        kv.set("solution", solution);
+        kv.set("nodes", solution == "xfs" ? "1" : "2");
+        kv.set("pairs", "1");
+        kv.set("frames", "4");
+        kv.set("reps", "1");
+        kv.set("seed", seed);
+        kv.set("faults", faults);
+        const std::string tag =
+            solution + "_" + faults + "_" + seed + ".json";
+        auto config = workflow::parse_ensemble_config(kv);
+        config.trace_path = testing::TempDir() + "rt_a_" + tag;
+        workflow::run_ensemble(config);
+        config.trace_path = testing::TempDir() + "rt_b_" + tag;
+        workflow::run_ensemble(config);
+        EXPECT_EQ(read_file(testing::TempDir() + "rt_a_" + tag),
+                  read_file(testing::TempDir() + "rt_b_" + tag))
+            << tag;
+        EXPECT_EQ(read_file(obs::TraceSink::metrics_csv_path(
+                      testing::TempDir() + "rt_a_" + tag)),
+                  read_file(obs::TraceSink::metrics_csv_path(
+                      testing::TempDir() + "rt_b_" + tag)))
+            << tag;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mdwf

@@ -35,7 +35,7 @@ TEST(EnsembleTest, DyadSingleNodeRuns) {
   EXPECT_GT(r.mean_production_us(), 0.0);
   EXPECT_GT(r.mean_consumption_us(), 0.0);
   // Warm path dominates on a single node: all but the first frame per pair.
-  EXPECT_GT(r.dyad_warm_hits(), 0u);
+  EXPECT_GT(r.counters.get("dyad_warm_hits"), 0u);
 }
 
 TEST(EnsembleTest, XfsSingleNodeRuns) {
@@ -56,7 +56,7 @@ TEST(EnsembleTest, DyadTwoNodesRuns) {
   const auto r = run_ensemble(quick_config(Solution::kDyad, 2, 2));
   EXPECT_GT(r.mean_production_us(), 0.0);
   // Remote path: no warm hits, every frame moves via RDMA.
-  EXPECT_EQ(r.dyad_warm_hits(), 0u);
+  EXPECT_EQ(r.counters.get("dyad_warm_hits"), 0u);
 }
 
 TEST(EnsembleTest, XfsAcrossNodesIsRejected) {

@@ -1,0 +1,516 @@
+#!/usr/bin/env sh
+# One driver for every benchmark suite:
+#
+#   tools/bench.sh trace      <mdwf_run-binary>           [out.json]
+#   tools/bench.sh resilience <mdwf_run-binary>           [out.json]
+#   tools/bench.sh health     <mdwf_run-binary>           [out.json]
+#   tools/bench.sh scale      <scale_sweep-binary>        [threads] [out.json]
+#   tools/bench.sh frontier   <solution_frontier-binary>  [threads] [out.json]
+#   tools/bench.sh perf       <mdwf_run-binary>           [out.json] [baseline.json]
+#
+# The per-suite measurement logic is unchanged from the former five
+# bench_*.sh scripts (those names remain as one-line shims); what is shared
+# now lives in one place: CSV/summary field extraction, wall-clock
+# best-of-N timing, byte-compare with a suite-labelled diagnostic, and the
+# BENCH_*.json emission convention (pretty-printed JSON written to the out
+# path AND echoed to stdout).
+#
+# `perf` is the regression gate: the pinned scale point (the BENCH_pr2
+# trace-overhead workload, so the traced-throughput history stays
+# comparable) run best-of-5 untraced and traced, events/sec written to
+# BENCH_pr7.json.  When a baseline file exists, a >10% drop in either
+# events/sec figure fails the script — except on single-hardware-thread
+# hosts, where timing noise swamps the signal and the gate reports a clear
+# skip notice instead (the JSON is still written).
+set -eu
+
+SUITE="${1:?usage: bench.sh <trace|resilience|health|scale|frontier|perf> ...}"
+shift
+
+# ---- shared helpers --------------------------------------------------------
+
+# csv_field <csv-text> <column-name>: value from the first data row.
+csv_field() {
+    printf '%s\n' "$1" | awk -F, -v name="$2" '
+        NR==1 { for (i = 1; i <= NF; i++) if ($i == name) col = i }
+        NR==2 { print $col }'
+}
+
+# summary_field <key=value line> <key>
+summary_field() {
+    printf '%s\n' "$1" | tr ' ' '\n' | awk -F= -v k="$2" '$1==k{print $2}'
+}
+
+now_ns() { date +%s%N; }
+
+# time_run <N> <binary> [args...]: best-of-N wall ms in WALL_MS, the run's
+# stdout (last attempt) in RUN_OUT.
+time_run() {
+    n="$1"; shift
+    WALL_MS=""
+    i=0
+    while [ "$i" -lt "$n" ]; do
+        start="$(now_ns)"
+        RUN_OUT="$("$@")"
+        end="$(now_ns)"
+        ms="$(( (end - start) / 1000000 ))"
+        if [ -z "$WALL_MS" ] || [ "$ms" -lt "$WALL_MS" ]; then WALL_MS="$ms"; fi
+        i=$((i + 1))
+    done
+}
+
+# byte_compare <a> <b> <label>: the determinism contract check.
+byte_compare() {
+    cmp "$1" "$2" || {
+        echo "bench.sh $SUITE: $3" >&2
+        exit 1
+    }
+}
+
+host_threads() {
+    (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n 1
+}
+
+# ---- suites ----------------------------------------------------------------
+
+suite_trace() {
+    RUN="${1:?usage: bench.sh trace <mdwf_run-binary> [out.json]}"
+    OUT="${2:-BENCH_pr2.json}"
+    ARGS="solution=dyad pairs=4 nodes=2 frames=64 reps=5 output=csv"
+    TRACE_PATH="$(mktemp -u /tmp/mdwf_trace_overhead.XXXXXX.json)"
+
+    echo "bench trace: $RUN $ARGS" >&2
+    # The two untraced runs bracket the traced one so a noisy machine shows
+    # up as disagreement between them rather than as phantom overhead.
+    time_run 3 "$RUN" $ARGS
+    base1_ms="$WALL_MS"
+    events="$(csv_field "$RUN_OUT" sim_events)"
+    [ -n "$events" ] || { echo "bench.sh trace: no sim_events column" >&2; exit 1; }
+    echo "  untraced (a): ${base1_ms} ms (best of 3), ${events} sim events" >&2
+    time_run 3 "$RUN" $ARGS "trace=$TRACE_PATH"
+    traced_ms="$WALL_MS"
+    echo "  traced: ${traced_ms} ms (best of 3)" >&2
+    time_run 3 "$RUN" $ARGS
+    base2_ms="$WALL_MS"
+    echo "  untraced (b): ${base2_ms} ms (best of 3)" >&2
+    rm -f "$TRACE_PATH" "$TRACE_PATH.metrics.csv"
+
+    python3 - "$OUT" "$base1_ms" "$traced_ms" "$base2_ms" "$events" <<'EOF'
+import json, sys
+out, b1, tr, b2, ev = sys.argv[1], *map(int, sys.argv[2:6])
+base = min(b1, b2)
+doc = {
+    "bench": "trace_overhead",
+    "workload": "mdwf_run solution=dyad pairs=4 nodes=2 frames=64 reps=5",
+    "sim_events": ev,
+    "wall_ms": {"untraced_a": b1, "traced": tr, "untraced_b": b2},
+    "events_per_sec": {
+        "untraced": round(ev / (base / 1000.0)) if base else None,
+        "traced": round(ev / (tr / 1000.0)) if tr else None,
+    },
+    "tracing_enabled_overhead_pct":
+        round(100.0 * (tr - base) / base, 2) if base else None,
+    "untraced_noise_pct":
+        round(100.0 * abs(b1 - b2) / base, 2) if base else None,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+EOF
+}
+
+suite_resilience() {
+    RUN="${1:?usage: bench.sh resilience <mdwf_run-binary> [out.json]}"
+    OUT="${2:-BENCH_pr3.json}"
+    ARGS="pairs=2 nodes=2 frames=32 reps=3 seed=11 output=csv"
+    XFS_ARGS="pairs=2 nodes=1 frames=32 reps=3 seed=11 output=csv"
+
+    RESULTS=""
+    for sol in dyad xfs lustre; do
+        if [ "$sol" = "xfs" ]; then args="$XFS_ARGS"; else args="$ARGS"; fi
+        base_csv="$("$RUN" solution=$sol $args faults=none)"
+        fault_csv="$("$RUN" solution=$sol $args faults=crash-flip)"
+        base_s="$(csv_field "$base_csv" makespan_s)"
+        fault_s="$(csv_field "$fault_csv" makespan_s)"
+        recov="$(csv_field "$fault_csv" crash_recoveries)"
+        reexec="$(csv_field "$fault_csv" frames_reexecuted)"
+        refetch="$(csv_field "$fault_csv" integrity_refetches)"
+        unrec="$(csv_field "$fault_csv" integrity_unrecovered)"
+        consumed="$(csv_field "$fault_csv" frames_consumed)"
+        echo "  $sol: fault-free ${base_s}s, crash-flip ${fault_s}s" \
+             "(${recov} restarts, ${reexec} re-executed, ${refetch} re-fetches)" >&2
+        RESULTS="$RESULTS $sol $base_s $fault_s $recov $reexec $refetch $unrec $consumed"
+    done
+
+    python3 - "$OUT" $RESULTS <<'EOF'
+import json, sys
+out = sys.argv[1]
+vals = sys.argv[2:]
+doc = {
+    "bench": "resilience_recovery_overhead",
+    "workload": "mdwf_run pairs=2 frames=32 reps=3 seed=11 "
+                "faults=crash-flip (vs faults=none)",
+    "expected_frames": 2 * 32 * 3,
+    "solutions": {},
+}
+for i in range(0, len(vals), 8):
+    (sol, base_s, fault_s, recov, reexec, refetch, unrec, consumed) = \
+        vals[i:i + 8]
+    base_s, fault_s = float(base_s), float(fault_s)
+    doc["solutions"][sol] = {
+        "fault_free_makespan_s": base_s,
+        "crash_flip_makespan_s": fault_s,
+        "recovered_run_overhead_pct":
+            round(100.0 * (fault_s - base_s) / base_s, 2) if base_s else None,
+        "crash_recoveries": int(recov),
+        "frames_reexecuted": int(reexec),
+        "integrity_refetches": int(refetch),
+        "integrity_unrecovered": int(unrec),
+        "frames_consumed": int(consumed),
+    }
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+EOF
+}
+
+suite_health() {
+    RUN="${1:?usage: bench.sh health <mdwf_run-binary> [out.json]}"
+    OUT="${2:-BENCH_pr4.json}"
+    ARGS="solution=dyad pairs=4 nodes=2 frames=32 reps=2 seed=7 output=csv"
+
+    RESULTS=""
+    for scenario in overload slow-disk; do
+        off_csv="$("$RUN" $ARGS faults=$scenario health=0 hedge=0)"
+        on_csv="$("$RUN" $ARGS faults=$scenario health=1 hedge=1)"
+        off_p99="$(csv_field "$off_csv" fetch_p99_us)"
+        on_p99="$(csv_field "$on_csv" fetch_p99_us)"
+        off_mk="$(csv_field "$off_csv" makespan_s)"
+        on_mk="$(csv_field "$on_csv" makespan_s)"
+        hedges="$(csv_field "$on_csv" dyad_hedges)"
+        wins="$(csv_field "$on_csv" dyad_hedge_wins)"
+        cancels="$(csv_field "$on_csv" dyad_hedge_cancels)"
+        trips="$(csv_field "$on_csv" dyad_breaker_trips)"
+        consumed="$(csv_field "$on_csv" frames_consumed)"
+        echo "  $scenario: fetch P99 ${off_p99}us -> ${on_p99}us," \
+             "makespan ${off_mk}s -> ${on_mk}s" \
+             "(${hedges} hedges, ${wins} wins, ${trips} breaker trips)" >&2
+        RESULTS="$RESULTS $scenario $off_p99 $on_p99 $off_mk $on_mk \
+$hedges $wins $cancels $trips $consumed"
+    done
+
+    # No-fault overhead of leaving health+hedge enabled (must be ~zero:
+    # without the failover path the layer is detection-only).
+    base_csv="$("$RUN" $ARGS faults=none)"
+    health_csv="$("$RUN" $ARGS faults=none health=1 hedge=1)"
+    base_mk="$(csv_field "$base_csv" makespan_s)"
+    health_mk="$(csv_field "$health_csv" makespan_s)"
+    echo "  no-fault makespan: health off ${base_mk}s, on ${health_mk}s" >&2
+
+    python3 - "$OUT" "$base_mk" "$health_mk" $RESULTS <<'EOF'
+import json, sys
+out, base_mk, health_mk = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
+vals = sys.argv[4:]
+doc = {
+    "bench": "health_gray_failure_mitigation",
+    "workload": "mdwf_run solution=dyad pairs=4 nodes=2 frames=32 reps=2 "
+                "seed=7, health=0 vs health=1 hedge=1",
+    "no_fault_makespan_s": {"health_off": base_mk, "health_on": health_mk},
+    "no_fault_overhead_pct":
+        round(100.0 * (health_mk - base_mk) / base_mk, 3) if base_mk else None,
+    "scenarios": {},
+}
+for i in range(0, len(vals), 10):
+    (sc, off_p99, on_p99, off_mk, on_mk,
+     hedges, wins, cancels, trips, consumed) = vals[i:i + 10]
+    off_p99, on_p99 = float(off_p99), float(on_p99)
+    doc["scenarios"][sc] = {
+        "fetch_p99_us_health_off": off_p99,
+        "fetch_p99_us_health_on": on_p99,
+        "fetch_p99_speedup":
+            round(off_p99 / on_p99, 2) if on_p99 else None,
+        "makespan_s_health_off": float(off_mk),
+        "makespan_s_health_on": float(on_mk),
+        "hedges": int(hedges),
+        "hedge_wins": int(wins),
+        "hedge_cancels": int(cancels),
+        "breaker_trips": int(trips),
+        "frames_consumed": int(consumed),
+    }
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+EOF
+}
+
+suite_scale() {
+    BIN="${1:?usage: bench.sh scale <scale_sweep-binary> [threads] [out.json]}"
+    THREADS="${2:-4}"
+    OUT="${3:-BENCH_pr5.json}"
+    ARGS="pairs=64 frames=16 reps=3"
+
+    TMP="$(mktemp -d)"
+    trap 'rm -rf "$TMP"' EXIT
+
+    echo "scale_sweep threads=1 ($ARGS)..." >&2
+    S1="$("$BIN" $ARGS threads=1 out="$TMP/serial.csv" | tail -n 1)"
+    echo "  $S1" >&2
+    echo "scale_sweep threads=$THREADS ($ARGS)..." >&2
+    SN="$("$BIN" $ARGS threads="$THREADS" out="$TMP/parallel.csv" | tail -n 1)"
+    echo "  $SN" >&2
+
+    byte_compare "$TMP/serial.csv" "$TMP/parallel.csv" \
+        "merged CSVs differ between thread counts"
+    echo "  merged CSVs byte-identical across thread counts" >&2
+
+    WALL1="$(summary_field "$S1" wall_s)"
+    WALLN="$(summary_field "$SN" wall_s)"
+    EVENTS="$(summary_field "$S1" sim_events)"
+    EPS1="$(summary_field "$S1" events_per_s)"
+    EPSN="$(summary_field "$SN" events_per_s)"
+    POINTS="$(summary_field "$S1" points)"
+
+    # Prefer the binary's own hardware_concurrency report (summary field
+    # host_threads=, present since PR 6); fall back to the OS view.
+    CORES="$(summary_field "$S1" host_threads)"
+    [ -n "$CORES" ] || CORES="$(host_threads)"
+
+    if [ "$CORES" -le 1 ]; then
+        echo "bench.sh scale: single hardware thread: speedup marked invalid" >&2
+    fi
+
+    python3 - "$OUT" "$THREADS" "$POINTS" "$EVENTS" \
+        "$WALL1" "$WALLN" "$EPS1" "$EPSN" "$CORES" <<'EOF'
+import json, sys
+out, threads, points, events, wall1, walln, eps1, epsn, cores = sys.argv[1:10]
+doc = {
+    "bench": "scale_sweep_parallel_runner",
+    "workload": "scale_sweep pairs=64 frames=16 reps=3 "
+                "(DYAD+Lustre grid, STMV, incl. 120-node Corona points)",
+    # Speedup is bounded by the host: a 1-core box shows ~1.0x (thread
+    # overhead may even push it below); the CI `scale` job measures on a
+    # multi-core runner.
+    "host_hardware_threads": int(cores),
+    "grid_points": int(points),
+    "sim_events": int(events),
+    "serial": {"wall_s": float(wall1), "events_per_s": float(eps1)},
+    "parallel": {
+        "threads": int(threads),
+        "wall_s": float(walln),
+        "events_per_s": float(epsn),
+    },
+    "speedup": round(float(wall1) / float(walln), 2)
+               if float(walln) > 0 else None,
+    # A 1-core host can only measure thread overhead: the serial/parallel
+    # wall ratio says nothing about the runner's scaling there.
+    "speedup_valid": int(cores) > 1,
+    "merged_output_byte_identical": True,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+EOF
+}
+
+suite_frontier() {
+    BIN="${1:?usage: bench.sh frontier <solution_frontier-binary> [threads] [out.json]}"
+    THREADS="${2:-4}"
+    OUT="${3:-BENCH_pr6.json}"
+
+    TMP="$(mktemp -d)"
+    trap 'rm -rf "$TMP"' EXIT
+
+    echo "solution_frontier threads=1..." >&2
+    "$BIN" threads=1 out="$TMP/serial.csv" > "$TMP/serial.txt"
+    tail -n 1 "$TMP/serial.txt" >&2
+    echo "solution_frontier threads=$THREADS..." >&2
+    "$BIN" threads="$THREADS" out="$TMP/parallel.csv" > "$TMP/parallel.txt"
+    tail -n 1 "$TMP/parallel.txt" >&2
+
+    byte_compare "$TMP/serial.csv" "$TMP/parallel.csv" \
+        "CSVs differ between thread counts"
+    echo "  CSVs byte-identical across thread counts" >&2
+
+    python3 - "$OUT" "$TMP/serial.txt" <<'EOF'
+import json, sys
+
+out, txt = sys.argv[1], sys.argv[2]
+regimes, summary = [], {}
+with open(txt) as f:
+    for line in f:
+        if line.startswith("frontier: "):
+            fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+            regimes.append({
+                "model": fields["model"],
+                "pairs": int(fields["pairs"]),
+                "consumer_lag": float(fields["lag"]),
+                "faults": fields["faults"],
+                "stream_fetch_p99_us": float(fields["stream_p99_us"]),
+                "dyad_fetch_p99_us": float(fields["dyad_p99_us"]),
+                "staging_demand_mib": float(fields["staging_demand_mib"]),
+                "winner": fields["winner"],
+            })
+        elif line.startswith("solution_frontier: "):
+            summary = dict(kv.split("=", 1) for kv in line.split()[1:])
+
+wins = [r for r in regimes if r["winner"] == "stream"]
+losses = [r for r in regimes if r["winner"] == "dyad"]
+doc = {
+    "bench": "solution_frontier_stream_vs_dyad",
+    "workload": "frame size (JAC/STMV) x consumer count (pairs) x consumer "
+                "lag (analytics=) x fault scenario, 4 solutions, reps=2",
+    "metric": "consumer frame-fetch latency P99 (us)",
+    "grid_points": int(summary.get("points", 0)),
+    "errors": int(summary.get("errors", 0)),
+    "sim_events": int(summary.get("sim_events", 0)),
+    "stream_wins": len(wins),
+    "stream_losses": len(losses),
+    # The crossover: staged delivery wins while every frame stays resident
+    # in the staging buffer and inside the credit window; once a lagging
+    # consumer (analytics > 1 frame period) holds credits past
+    #   pairs x credits x frame_bytes > buffer_capacity   (buffer-bound) or
+    #   consumer_lag x frame_period > credits x frame_period (credit-bound)
+    # puts overflow to the Lustre spill path and the consumer pays up to one
+    # arrival-timeout of blindness plus a Lustre round trip per frame --
+    # behind DYAD, whose producer is never throttled and whose KVS entry is
+    # long visible by the time the lagging consumer asks.
+    "crossover": {
+        "credits_per_prefix": 4,
+        "buffer_capacity_mib": 128.0,
+        "arrival_timeout_ms": 40.0,
+        "buffer_bound": "pairs * credits * frame_bytes > buffer_capacity",
+        "credit_bound": "consumer_lag > credits (frames of producer headroom)",
+        "stream_wins_when": "frames fit the staging buffer and the consumer "
+                            "keeps pace: staged fetch dodges DYAD's KVS "
+                            "visibility wait (and its lossy-link retries)",
+        "stream_loses_when": "a lagging consumer exhausts credits or buffer "
+                             "and puts spill to Lustre",
+    },
+    "example_win": min(wins, key=lambda r: r["stream_fetch_p99_us"]),
+    "example_loss": max(losses,
+                        key=lambda r: r["stream_fetch_p99_us"]
+                        - r["dyad_fetch_p99_us"]) if losses else None,
+    "regimes": regimes,
+    "csv_byte_identical_across_threads": True,
+}
+assert doc["errors"] == 0, "frontier points failed"
+assert doc["stream_wins"] >= 1 and doc["stream_losses"] >= 1, \
+    "grid no longer brackets the crossover"
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps({k: v for k, v in doc.items() if k != "regimes"}, indent=2))
+EOF
+}
+
+suite_perf() {
+    RUN="${1:?usage: bench.sh perf <mdwf_run-binary> [out.json] [baseline.json]}"
+    OUT="${2:-BENCH_pr7.json}"
+    BASELINE="${3:-}"
+    # Default baseline: the committed history for this gate, if present.
+    [ -n "$BASELINE" ] || { [ -f "BENCH_pr7.json" ] && BASELINE="BENCH_pr7.json" || true; }
+    # Keep the BENCH_pr2 pinned point so the traced-throughput history
+    # stays directly comparable across PRs.
+    ARGS="solution=dyad pairs=4 nodes=2 frames=64 reps=5 output=csv"
+    TRACE_PATH="$(mktemp -u /tmp/mdwf_perf_gate.XXXXXX.json)"
+    N=5
+    CORES="$(host_threads)"
+
+    # Read the baseline BEFORE overwriting OUT (they may be the same file).
+    BASE_UNTRACED=""
+    BASE_TRACED=""
+    if [ -n "$BASELINE" ] && [ -f "$BASELINE" ]; then
+        BASE_UNTRACED="$(python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); print(d["events_per_sec"]["untraced"] or "")' "$BASELINE" 2>/dev/null || true)"
+        BASE_TRACED="$(python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); print(d["events_per_sec"]["traced"] or "")' "$BASELINE" 2>/dev/null || true)"
+    fi
+
+    echo "bench perf: $RUN $ARGS (best of $N)" >&2
+    time_run "$N" "$RUN" $ARGS
+    untraced_ms="$WALL_MS"
+    events="$(csv_field "$RUN_OUT" sim_events)"
+    [ -n "$events" ] || { echo "bench.sh perf: no sim_events column" >&2; exit 1; }
+    echo "  untraced: ${untraced_ms} ms, ${events} sim events" >&2
+    time_run "$N" "$RUN" $ARGS "trace=$TRACE_PATH"
+    traced_ms="$WALL_MS"
+    echo "  traced: ${traced_ms} ms" >&2
+    rm -f "$TRACE_PATH" "$TRACE_PATH.metrics.csv"
+
+    python3 - "$OUT" "$untraced_ms" "$traced_ms" "$events" "$N" "$CORES" \
+        "$BASE_UNTRACED" "$BASE_TRACED" <<'EOF'
+import json, sys
+out = sys.argv[1]
+untraced_ms, traced_ms, events, best_of, cores = map(int, sys.argv[2:7])
+base_untraced = int(sys.argv[7]) if sys.argv[7] else None
+base_traced = int(sys.argv[8]) if sys.argv[8] else None
+
+untraced_eps = round(events / (untraced_ms / 1000.0)) if untraced_ms else None
+traced_eps = round(events / (traced_ms / 1000.0)) if traced_ms else None
+
+def drop_pct(now, base):
+    if now is None or not base:
+        return None
+    return round(100.0 * (base - now) / base, 2)
+
+doc = {
+    "bench": "kernel_perf_gate",
+    "workload": "mdwf_run solution=dyad pairs=4 nodes=2 frames=64 reps=5",
+    "best_of": best_of,
+    "host_hardware_threads": cores,
+    "sim_events": events,
+    "wall_ms": {"untraced": untraced_ms, "traced": traced_ms},
+    "events_per_sec": {"untraced": untraced_eps, "traced": traced_eps},
+    "tracing_enabled_overhead_pct":
+        round(100.0 * (traced_ms - untraced_ms) / untraced_ms, 2)
+        if untraced_ms else None,
+    "baseline": {
+        "events_per_sec": {"untraced": base_untraced, "traced": base_traced},
+        "untraced_drop_pct": drop_pct(untraced_eps, base_untraced),
+        "traced_drop_pct": drop_pct(traced_eps, base_traced),
+    },
+    "gate": {"max_drop_pct": 10.0, "gated": cores > 1},
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+
+if cores <= 1:
+    print("bench.sh perf: NOTICE: single hardware thread; measurements "
+          "recorded but the >10% regression gate is SKIPPED on this host",
+          file=sys.stderr)
+    sys.exit(0)
+worst = max((d for d in (doc["baseline"]["untraced_drop_pct"],
+                         doc["baseline"]["traced_drop_pct"])
+             if d is not None), default=None)
+if worst is None:
+    print("bench.sh perf: no baseline; gate records history only",
+          file=sys.stderr)
+elif worst > 10.0:
+    print(f"bench.sh perf: FAIL: events/sec dropped {worst}% vs baseline "
+          "(>10% gate)", file=sys.stderr)
+    sys.exit(1)
+else:
+    print(f"bench.sh perf: OK: worst drop vs baseline {worst}% (gate 10%)",
+          file=sys.stderr)
+EOF
+}
+
+# ---- dispatch --------------------------------------------------------------
+
+case "$SUITE" in
+    trace)      suite_trace "$@" ;;
+    resilience) suite_resilience "$@" ;;
+    health)     suite_health "$@" ;;
+    scale)      suite_scale "$@" ;;
+    frontier)   suite_frontier "$@" ;;
+    perf)       suite_perf "$@" ;;
+    *)
+        echo "bench.sh: unknown suite '$SUITE'" >&2
+        echo "usage: bench.sh <trace|resilience|health|scale|frontier|perf> ..." >&2
+        exit 2
+        ;;
+esac

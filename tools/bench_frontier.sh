@@ -1,103 +1,3 @@
 #!/usr/bin/env sh
-# Runs the four-solution frontier sweep (bench/solution_frontier) serially
-# and with N worker threads, byte-compares the CSVs (the determinism
-# contract), and distills the "frontier:" regime lines into BENCH_pr6.json:
-# where the streaming data plane beats DYAD's consumer fetch P99, where it
-# loses, and the crossover parameters that separate the two.
-#
-#   tools/bench_frontier.sh <solution_frontier-binary> [threads] [out.json]
-#
-# Exits nonzero if either run fails, the CSVs differ by a single byte, or
-# the grid no longer brackets the crossover (all-win or all-lose).
-set -eu
-
-BIN="${1:?usage: bench_frontier.sh <solution_frontier-binary> [threads] [out.json]}"
-THREADS="${2:-4}"
-OUT="${3:-BENCH_pr6.json}"
-
-TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
-
-echo "solution_frontier threads=1..." >&2
-"$BIN" threads=1 out="$TMP/serial.csv" > "$TMP/serial.txt"
-tail -n 1 "$TMP/serial.txt" >&2
-echo "solution_frontier threads=$THREADS..." >&2
-"$BIN" threads="$THREADS" out="$TMP/parallel.csv" > "$TMP/parallel.txt"
-tail -n 1 "$TMP/parallel.txt" >&2
-
-cmp "$TMP/serial.csv" "$TMP/parallel.csv" || {
-    echo "bench_frontier: CSVs differ between thread counts" >&2
-    exit 1
-}
-echo "  CSVs byte-identical across thread counts" >&2
-
-python3 - "$OUT" "$TMP/serial.txt" <<'EOF'
-import json, sys
-
-out, txt = sys.argv[1], sys.argv[2]
-regimes, summary = [], {}
-with open(txt) as f:
-    for line in f:
-        if line.startswith("frontier: "):
-            fields = dict(kv.split("=", 1) for kv in line.split()[1:])
-            regimes.append({
-                "model": fields["model"],
-                "pairs": int(fields["pairs"]),
-                "consumer_lag": float(fields["lag"]),
-                "faults": fields["faults"],
-                "stream_fetch_p99_us": float(fields["stream_p99_us"]),
-                "dyad_fetch_p99_us": float(fields["dyad_p99_us"]),
-                "staging_demand_mib": float(fields["staging_demand_mib"]),
-                "winner": fields["winner"],
-            })
-        elif line.startswith("solution_frontier: "):
-            summary = dict(kv.split("=", 1) for kv in line.split()[1:])
-
-wins = [r for r in regimes if r["winner"] == "stream"]
-losses = [r for r in regimes if r["winner"] == "dyad"]
-doc = {
-    "bench": "solution_frontier_stream_vs_dyad",
-    "workload": "frame size (JAC/STMV) x consumer count (pairs) x consumer "
-                "lag (analytics=) x fault scenario, 4 solutions, reps=2",
-    "metric": "consumer frame-fetch latency P99 (us)",
-    "grid_points": int(summary.get("points", 0)),
-    "errors": int(summary.get("errors", 0)),
-    "sim_events": int(summary.get("sim_events", 0)),
-    "stream_wins": len(wins),
-    "stream_losses": len(losses),
-    # The crossover: staged delivery wins while every frame stays resident
-    # in the staging buffer and inside the credit window; once a lagging
-    # consumer (analytics > 1 frame period) holds credits past
-    #   pairs x credits x frame_bytes > buffer_capacity   (buffer-bound) or
-    #   consumer_lag x frame_period > credits x frame_period (credit-bound)
-    # puts overflow to the Lustre spill path and the consumer pays up to one
-    # arrival-timeout of blindness plus a Lustre round trip per frame --
-    # behind DYAD, whose producer is never throttled and whose KVS entry is
-    # long visible by the time the lagging consumer asks.
-    "crossover": {
-        "credits_per_prefix": 4,
-        "buffer_capacity_mib": 128.0,
-        "arrival_timeout_ms": 40.0,
-        "buffer_bound": "pairs * credits * frame_bytes > buffer_capacity",
-        "credit_bound": "consumer_lag > credits (frames of producer headroom)",
-        "stream_wins_when": "frames fit the staging buffer and the consumer "
-                            "keeps pace: staged fetch dodges DYAD's KVS "
-                            "visibility wait (and its lossy-link retries)",
-        "stream_loses_when": "a lagging consumer exhausts credits or buffer "
-                             "and puts spill to Lustre",
-    },
-    "example_win": min(wins, key=lambda r: r["stream_fetch_p99_us"]),
-    "example_loss": max(losses,
-                        key=lambda r: r["stream_fetch_p99_us"]
-                        - r["dyad_fetch_p99_us"]) if losses else None,
-    "regimes": regimes,
-    "csv_byte_identical_across_threads": True,
-}
-assert doc["errors"] == 0, "frontier points failed"
-assert doc["stream_wins"] >= 1 and doc["stream_losses"] >= 1, \
-    "grid no longer brackets the crossover"
-with open(out, "w") as f:
-    json.dump(doc, f, indent=2)
-    f.write("\n")
-print(json.dumps({k: v for k, v in doc.items() if k != "regimes"}, indent=2))
-EOF
+# Shim: this suite moved into the consolidated driver (tools/bench.sh frontier).
+exec "$(dirname "$0")/bench.sh" frontier "$@"

@@ -1,88 +1,3 @@
 #!/usr/bin/env sh
-# Measures gray-failure mitigation: consumer frame-fetch P99 latency for
-# DYAD under fail-slow scenarios (faults=overload, faults=slow-disk) with
-# the mdwf::health layer off vs on (phi-accrual detection, circuit-breaker
-# failover, hedged fetches, backpressure) on the same seeds, plus the
-# no-fault cost of leaving health enabled.
-#
-#   tools/bench_health.sh <mdwf_run-binary> [out.json]
-#
-# Every run must still deliver the complete frame set (mdwf_run exits 2
-# otherwise, which fails this script): mitigation must never trade
-# correctness for latency.
-set -eu
-
-RUN="${1:?usage: bench_health.sh <mdwf_run-binary> [out.json]}"
-OUT="${2:-BENCH_pr4.json}"
-ARGS="solution=dyad pairs=4 nodes=2 frames=32 reps=2 seed=7 output=csv"
-
-# csv_field <csv> <column-name>
-csv_field() {
-    printf '%s\n' "$1" | awk -F, -v name="$2" '
-        NR==1 { for (i = 1; i <= NF; i++) if ($i == name) col = i }
-        NR==2 { print $col }'
-}
-
-RESULTS=""
-for scenario in overload slow-disk; do
-    off_csv="$("$RUN" $ARGS faults=$scenario health=0 hedge=0)"
-    on_csv="$("$RUN" $ARGS faults=$scenario health=1 hedge=1)"
-    off_p99="$(csv_field "$off_csv" fetch_p99_us)"
-    on_p99="$(csv_field "$on_csv" fetch_p99_us)"
-    off_mk="$(csv_field "$off_csv" makespan_s)"
-    on_mk="$(csv_field "$on_csv" makespan_s)"
-    hedges="$(csv_field "$on_csv" dyad_hedges)"
-    wins="$(csv_field "$on_csv" dyad_hedge_wins)"
-    cancels="$(csv_field "$on_csv" dyad_hedge_cancels)"
-    trips="$(csv_field "$on_csv" dyad_breaker_trips)"
-    consumed="$(csv_field "$on_csv" frames_consumed)"
-    echo "  $scenario: fetch P99 ${off_p99}us -> ${on_p99}us," \
-         "makespan ${off_mk}s -> ${on_mk}s" \
-         "(${hedges} hedges, ${wins} wins, ${trips} breaker trips)" >&2
-    RESULTS="$RESULTS $scenario $off_p99 $on_p99 $off_mk $on_mk \
-$hedges $wins $cancels $trips $consumed"
-done
-
-# No-fault overhead of leaving health+hedge enabled (must be ~zero: without
-# the failover path the layer is detection-only).
-base_csv="$("$RUN" $ARGS faults=none)"
-health_csv="$("$RUN" $ARGS faults=none health=1 hedge=1)"
-base_mk="$(csv_field "$base_csv" makespan_s)"
-health_mk="$(csv_field "$health_csv" makespan_s)"
-echo "  no-fault makespan: health off ${base_mk}s, on ${health_mk}s" >&2
-
-python3 - "$OUT" "$base_mk" "$health_mk" $RESULTS <<'EOF'
-import json, sys
-out, base_mk, health_mk = sys.argv[1], float(sys.argv[2]), float(sys.argv[3])
-vals = sys.argv[4:]
-doc = {
-    "bench": "health_gray_failure_mitigation",
-    "workload": "mdwf_run solution=dyad pairs=4 nodes=2 frames=32 reps=2 "
-                "seed=7, health=0 vs health=1 hedge=1",
-    "no_fault_makespan_s": {"health_off": base_mk, "health_on": health_mk},
-    "no_fault_overhead_pct":
-        round(100.0 * (health_mk - base_mk) / base_mk, 3) if base_mk else None,
-    "scenarios": {},
-}
-for i in range(0, len(vals), 10):
-    (sc, off_p99, on_p99, off_mk, on_mk,
-     hedges, wins, cancels, trips, consumed) = vals[i:i + 10]
-    off_p99, on_p99 = float(off_p99), float(on_p99)
-    doc["scenarios"][sc] = {
-        "fetch_p99_us_health_off": off_p99,
-        "fetch_p99_us_health_on": on_p99,
-        "fetch_p99_speedup":
-            round(off_p99 / on_p99, 2) if on_p99 else None,
-        "makespan_s_health_off": float(off_mk),
-        "makespan_s_health_on": float(on_mk),
-        "hedges": int(hedges),
-        "hedge_wins": int(wins),
-        "hedge_cancels": int(cancels),
-        "breaker_trips": int(trips),
-        "frames_consumed": int(consumed),
-    }
-with open(out, "w") as f:
-    json.dump(doc, f, indent=2)
-    f.write("\n")
-print(json.dumps(doc, indent=2))
-EOF
+# Shim: this suite moved into the consolidated driver (tools/bench.sh health).
+exec "$(dirname "$0")/bench.sh" health "$@"

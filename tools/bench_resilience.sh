@@ -1,73 +1,3 @@
 #!/usr/bin/env sh
-# Measures recovered-run overhead: the simulated-makespan cost of riding
-# out a mid-run node crash plus nonzero bit-flip rates (faults=crash-flip,
-# with checkpoints and end-to-end CRC32C verification on) versus the
-# fault-free baseline, for each data-management solution.
-#
-#   tools/bench_resilience.sh <mdwf_run-binary> [out.json]
-#
-# Every faulted run must still deliver the complete checksum-verified frame
-# set (mdwf_run exits 2 otherwise, which fails this script), so the numbers
-# are the price of *successful* recovery, not of data loss.
-set -eu
-
-RUN="${1:?usage: bench_resilience.sh <mdwf_run-binary> [out.json]}"
-OUT="${2:-BENCH_pr3.json}"
-ARGS="pairs=2 nodes=2 frames=32 reps=3 seed=11 output=csv"
-XFS_ARGS="pairs=2 nodes=1 frames=32 reps=3 seed=11 output=csv"
-
-# csv_field <csv> <column-name>
-csv_field() {
-    printf '%s\n' "$1" | awk -F, -v name="$2" '
-        NR==1 { for (i = 1; i <= NF; i++) if ($i == name) col = i }
-        NR==2 { print $col }'
-}
-
-RESULTS=""
-for sol in dyad xfs lustre; do
-    if [ "$sol" = "xfs" ]; then args="$XFS_ARGS"; else args="$ARGS"; fi
-    base_csv="$("$RUN" solution=$sol $args faults=none)"
-    fault_csv="$("$RUN" solution=$sol $args faults=crash-flip)"
-    base_s="$(csv_field "$base_csv" makespan_s)"
-    fault_s="$(csv_field "$fault_csv" makespan_s)"
-    recov="$(csv_field "$fault_csv" crash_recoveries)"
-    reexec="$(csv_field "$fault_csv" frames_reexecuted)"
-    refetch="$(csv_field "$fault_csv" integrity_refetches)"
-    unrec="$(csv_field "$fault_csv" integrity_unrecovered)"
-    consumed="$(csv_field "$fault_csv" frames_consumed)"
-    echo "  $sol: fault-free ${base_s}s, crash-flip ${fault_s}s" \
-         "(${recov} restarts, ${reexec} re-executed, ${refetch} re-fetches)" >&2
-    RESULTS="$RESULTS $sol $base_s $fault_s $recov $reexec $refetch $unrec $consumed"
-done
-
-python3 - "$OUT" $RESULTS <<'EOF'
-import json, sys
-out = sys.argv[1]
-vals = sys.argv[2:]
-doc = {
-    "bench": "resilience_recovery_overhead",
-    "workload": "mdwf_run pairs=2 frames=32 reps=3 seed=11 "
-                "faults=crash-flip (vs faults=none)",
-    "expected_frames": 2 * 32 * 3,
-    "solutions": {},
-}
-for i in range(0, len(vals), 8):
-    (sol, base_s, fault_s, recov, reexec, refetch, unrec, consumed) = \
-        vals[i:i + 8]
-    base_s, fault_s = float(base_s), float(fault_s)
-    doc["solutions"][sol] = {
-        "fault_free_makespan_s": base_s,
-        "crash_flip_makespan_s": fault_s,
-        "recovered_run_overhead_pct":
-            round(100.0 * (fault_s - base_s) / base_s, 2) if base_s else None,
-        "crash_recoveries": int(recov),
-        "frames_reexecuted": int(reexec),
-        "integrity_refetches": int(refetch),
-        "integrity_unrecovered": int(unrec),
-        "frames_consumed": int(consumed),
-    }
-with open(out, "w") as f:
-    json.dump(doc, f, indent=2)
-    f.write("\n")
-print(json.dumps(doc, indent=2))
-EOF
+# Shim: this suite moved into the consolidated driver (tools/bench.sh resilience).
+exec "$(dirname "$0")/bench.sh" resilience "$@"

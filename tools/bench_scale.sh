@@ -1,86 +1,3 @@
 #!/usr/bin/env sh
-# Measures the parallel replica runner: runs the paper-scale grid
-# (bench/scale_sweep) serially and with N worker threads, byte-compares the
-# merged CSVs (the runner's determinism contract), and reports DES
-# throughput plus the wall-clock speedup as BENCH_pr5.json.
-#
-#   tools/bench_scale.sh <scale_sweep-binary> [threads] [out.json]
-#
-# Exits nonzero if either run fails or the CSVs differ by a single byte.
-set -eu
-
-BIN="${1:?usage: bench_scale.sh <scale_sweep-binary> [threads] [out.json]}"
-THREADS="${2:-4}"
-OUT="${3:-BENCH_pr5.json}"
-ARGS="pairs=64 frames=16 reps=3"
-
-TMP="$(mktemp -d)"
-trap 'rm -rf "$TMP"' EXIT
-
-# summary_field <summary-line> <key>
-summary_field() {
-    printf '%s\n' "$1" | tr ' ' '\n' | awk -F= -v k="$2" '$1==k{print $2}'
-}
-
-echo "scale_sweep threads=1 ($ARGS)..." >&2
-S1="$("$BIN" $ARGS threads=1 out="$TMP/serial.csv" | tail -n 1)"
-echo "  $S1" >&2
-echo "scale_sweep threads=$THREADS ($ARGS)..." >&2
-SN="$("$BIN" $ARGS threads="$THREADS" out="$TMP/parallel.csv" | tail -n 1)"
-echo "  $SN" >&2
-
-cmp "$TMP/serial.csv" "$TMP/parallel.csv" || {
-    echo "bench_scale: merged CSVs differ between thread counts" >&2
-    exit 1
-}
-echo "  merged CSVs byte-identical across thread counts" >&2
-
-WALL1="$(summary_field "$S1" wall_s)"
-WALLN="$(summary_field "$SN" wall_s)"
-EVENTS="$(summary_field "$S1" sim_events)"
-EPS1="$(summary_field "$S1" events_per_s)"
-EPSN="$(summary_field "$SN" events_per_s)"
-POINTS="$(summary_field "$S1" points)"
-
-# Prefer the binary's own hardware_concurrency report (summary field
-# host_threads=, present since PR 6); fall back to the OS view.
-CORES="$(summary_field "$S1" host_threads)"
-[ -n "$CORES" ] ||
-    CORES="$( (nproc || sysctl -n hw.ncpu || echo 1) 2>/dev/null | head -n 1)"
-
-if [ "$CORES" -le 1 ]; then
-    echo "bench_scale: single hardware thread: speedup marked invalid" >&2
-fi
-
-python3 - "$OUT" "$THREADS" "$POINTS" "$EVENTS" \
-    "$WALL1" "$WALLN" "$EPS1" "$EPSN" "$CORES" <<'EOF'
-import json, sys
-out, threads, points, events, wall1, walln, eps1, epsn, cores = sys.argv[1:10]
-doc = {
-    "bench": "scale_sweep_parallel_runner",
-    "workload": "scale_sweep pairs=64 frames=16 reps=3 "
-                "(DYAD+Lustre grid, STMV, incl. 120-node Corona points)",
-    # Speedup is bounded by the host: a 1-core box shows ~1.0x (thread
-    # overhead may even push it below); the CI `scale` job measures on a
-    # multi-core runner.
-    "host_hardware_threads": int(cores),
-    "grid_points": int(points),
-    "sim_events": int(events),
-    "serial": {"wall_s": float(wall1), "events_per_s": float(eps1)},
-    "parallel": {
-        "threads": int(threads),
-        "wall_s": float(walln),
-        "events_per_s": float(epsn),
-    },
-    "speedup": round(float(wall1) / float(walln), 2)
-               if float(walln) > 0 else None,
-    # A 1-core host can only measure thread overhead: the serial/parallel
-    # wall ratio says nothing about the runner's scaling there.
-    "speedup_valid": int(cores) > 1,
-    "merged_output_byte_identical": True,
-}
-with open(out, "w") as f:
-    json.dump(doc, f, indent=2)
-    f.write("\n")
-print(json.dumps(doc, indent=2))
-EOF
+# Shim: this suite moved into the consolidated driver (tools/bench.sh scale).
+exec "$(dirname "$0")/bench.sh" scale "$@"

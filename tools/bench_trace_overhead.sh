@@ -1,72 +1,3 @@
 #!/usr/bin/env sh
-# Measures the wall-clock cost of the mdwf::obs tracing layer.
-#
-#   tools/bench_trace_overhead.sh <mdwf_run-binary> [out.json]
-#
-# Runs the fig5-style cross-node DYAD workload three ways -- tracing
-# compiled in but disabled (the shipping default), tracing enabled, and
-# again disabled -- and emits a BENCH json with wall times, simulated
-# events/sec, and the disabled-vs-enabled overhead.  The two disabled
-# runs bracket the traced one so a noisy machine shows up as disagreement
-# between them rather than as phantom overhead.
-set -eu
-
-RUN="${1:?usage: bench_trace_overhead.sh <mdwf_run-binary> [out.json]}"
-OUT="${2:-BENCH_pr2.json}"
-ARGS="solution=dyad pairs=4 nodes=2 frames=64 reps=5 output=csv"
-TRACE_PATH="$(mktemp -u /tmp/mdwf_trace_overhead.XXXXXX.json)"
-
-now_ns() { date +%s%N; }
-
-# time_run <label> [extra args...] -> sets WALL_MS (best of 3, to shrug off
-# frequency-scaling drift) and SIM_EVENTS
-time_run() {
-    label="$1"; shift
-    WALL_MS=""
-    for _attempt in 1 2 3; do
-        start="$(now_ns)"
-        csv="$("$RUN" $ARGS "$@")"
-        end="$(now_ns)"
-        ms="$(( (end - start) / 1000000 ))"
-        if [ -z "$WALL_MS" ] || [ "$ms" -lt "$WALL_MS" ]; then WALL_MS="$ms"; fi
-    done
-    SIM_EVENTS="$(printf '%s\n' "$csv" | awk -F, '
-        NR==1 { for (i = 1; i <= NF; i++) if ($i == "sim_events") col = i }
-        NR==2 { print $col }')"
-    [ -n "$SIM_EVENTS" ] || { echo "bench_trace_overhead: no sim_events column" >&2; exit 1; }
-    echo "  $label: ${WALL_MS} ms (best of 3), ${SIM_EVENTS} sim events" >&2
-}
-
-echo "bench_trace_overhead: $RUN $ARGS" >&2
-time_run "untraced (a)";            base1_ms="$WALL_MS"; events="$SIM_EVENTS"
-time_run "traced" "trace=$TRACE_PATH"; traced_ms="$WALL_MS"
-time_run "untraced";                base2_ms="$WALL_MS"
-
-rm -f "$TRACE_PATH" "$TRACE_PATH.metrics.csv"
-
-# Overhead of the *disabled* hooks cannot be isolated at runtime (they are
-# always compiled in), so the headline number is enabled-vs-disabled; the
-# two untraced runs measure machine noise.
-python3 - "$OUT" "$base1_ms" "$traced_ms" "$base2_ms" "$events" <<'EOF'
-import json, sys
-out, b1, tr, b2, ev = sys.argv[1], *map(int, sys.argv[2:6])
-base = min(b1, b2)
-doc = {
-    "bench": "trace_overhead",
-    "workload": "mdwf_run solution=dyad pairs=4 nodes=2 frames=64 reps=5",
-    "sim_events": ev,
-    "wall_ms": {"untraced_a": b1, "traced": tr, "untraced_b": b2},
-    "events_per_sec": {
-        "untraced": round(ev / (base / 1000.0)) if base else None,
-        "traced": round(ev / (tr / 1000.0)) if tr else None,
-    },
-    "tracing_enabled_overhead_pct":
-        round(100.0 * (tr - base) / base, 2) if base else None,
-    "untraced_noise_pct":
-        round(100.0 * abs(b1 - b2) / base, 2) if base else None,
-}
-with open(out, "w") as f:
-    json.dump(doc, f, indent=2)
-    f.write("\n")
-print(json.dumps(doc, indent=2))
-EOF
+# Shim: this suite moved into the consolidated driver (tools/bench.sh trace).
+exec "$(dirname "$0")/bench.sh" trace "$@"

@@ -187,21 +187,21 @@ int main(int argc, char** argv) {
     // Diagnostics carry the active fault scenario and base seed so a failed
     // chaos/CI run is reproducible from its stderr line alone.
     const std::string scenario = cfg.get_string("faults", "none");
-    if (r.integrity_unrecovered() > 0) {
+    if (r.counters.get("integrity_unrecovered") > 0) {
       std::fprintf(stderr,
                    "mdwf_run: FAILED: %llu frame read(s) failed checksum "
                    "verification beyond recovery (faults=%s seed=%llu)\n",
-                   static_cast<unsigned long long>(r.integrity_unrecovered()),
+                   static_cast<unsigned long long>(r.counters.get("integrity_unrecovered")),
                    scenario.c_str(),
                    static_cast<unsigned long long>(config.base_seed));
       return 2;
     }
-    if (r.frames_consumed() < expected) {
+    if (r.counters.get("frames_consumed") < expected) {
       std::fprintf(stderr,
                    "mdwf_run: FAILED: ensemble incomplete: %llu of %llu "
                    "frames consumed (unrecovered fault?) (faults=%s "
                    "seed=%llu)\n",
-                   static_cast<unsigned long long>(r.frames_consumed()),
+                   static_cast<unsigned long long>(r.counters.get("frames_consumed")),
                    static_cast<unsigned long long>(expected), scenario.c_str(),
                    static_cast<unsigned long long>(config.base_seed));
       return 2;
