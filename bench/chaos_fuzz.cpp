@@ -18,12 +18,20 @@
 // also written to chaos_repro_<index>.txt for CI artifact upload.
 //
 //   chaos_fuzz [schedules=60] [seed=20260806] [only=<index>] [verbose=1]
-//             [threads=1]
+//             [threads=1] [cotenant=0]
 //
 // threads=N fans the independent schedule checks across the sweep engine's
 // work-stealing pool; the canonically-first (lowest-index) violation is
 // reported and shrunk regardless of which worker found it first, so output
 // and exit code match the serial run.
+//
+// cotenant=1 fuzzes multi-tenant co-schedules instead: each schedule places
+// a healthy victim ensemble next to 1-2 chaotic neighbors (workflow tenants
+// with crash/bit-flip/overload scenarios, or KVS noise storms) on one
+// shared testbed and checks the cross-tenant invariants — every workflow
+// tenant still consumes all its frames, nothing loses data, chaos in a
+// neighbor never triggers the healthy tenants' recovery machinery, and the
+// merged CSV is byte-identical across worker thread counts.
 //
 // Exit code 0 when every schedule holds, 1 with a reproducer otherwise.
 #include <cstdio>
@@ -37,6 +45,7 @@
 #include "mdwf/common/rng.hpp"
 #include "mdwf/fault/plan.hpp"
 #include "mdwf/sweep/sweep.hpp"
+#include "mdwf/tenant/tenant.hpp"
 #include "mdwf/workflow/ensemble.hpp"
 
 namespace {
@@ -289,6 +298,257 @@ void write_reproducer(const Schedule& minimal, std::uint64_t master_seed,
   }
 }
 
+// --- Co-tenant mode ------------------------------------------------------
+
+// Scenarios a chaotic neighbor may run: node-scoped chaos (shifted onto its
+// own slice) and shared-service overload.  "none" keeps some neighbors
+// healthy so quota/SLO idle paths are fuzzed too.
+const std::vector<std::string> kTenantScenarioPool = {
+    "none", "node-crash", "bit-flip", "crash-flip", "overload", "rank-kill"};
+
+struct CoSchedule {
+  std::uint32_t index = 0;
+  tenant::MultiTenantConfig config;
+};
+
+bool scenario_corrupts(const std::string& name) {
+  return name == "bit-flip" || name == "crash-flip" || name == "node-crash" ||
+         name == "rank-kill";
+}
+
+tenant::TenantSpec draw_workflow_tenant(Rng& rng, const std::string& name,
+                                        bool healthy) {
+  tenant::TenantSpec t;
+  t.name = name;
+  switch (rng.next_below(4)) {
+    case 0: t.solution = Solution::kDyad; break;
+    case 1: t.solution = Solution::kXfs; break;
+    case 2: t.solution = Solution::kLustre; break;
+    default: t.solution = Solution::kStream; break;
+  }
+  if (t.solution == Solution::kXfs) {
+    t.nodes = 1;
+    t.placement = workflow::Placement::kColocated;
+  } else {
+    t.nodes = 2;
+  }
+  t.pairs = 1 + static_cast<std::uint32_t>(rng.next_below(2));
+  t.workload.frames = 4 + rng.next_below(5);
+  t.faults = healthy
+                 ? "none"
+                 : kTenantScenarioPool[rng.next_below(
+                       kTenantScenarioPool.size())];
+  t.slo = rng.bernoulli(0.5);
+  t.weight = rng.bernoulli(0.25) ? 2.0 : 1.0;
+  return t;
+}
+
+// Derives co-schedule `index` from the master seed alone, like
+// draw_schedule: tenant 0 is always a healthy victim, followed by 1-2
+// chaotic neighbors (workflow chaos or a KVS noise storm).
+CoSchedule draw_cotenant_schedule(std::uint64_t master_seed,
+                                  std::uint32_t index) {
+  Rng rng = Rng(master_seed).fork("cochaos:" + std::to_string(index));
+  CoSchedule s;
+  s.index = index;
+  tenant::MultiTenantConfig& mc = s.config;
+  mc.repetitions = 1;
+  mc.threads = 1;
+  mc.base_seed = 1 + rng.next_below(1u << 20);
+  mc.quota = rng.bernoulli(0.7);
+
+  mc.tenants.push_back(draw_workflow_tenant(rng, "victim", /*healthy=*/true));
+  const std::uint64_t neighbors = 1 + rng.next_below(2);
+  for (std::uint64_t i = 0; i < neighbors; ++i) {
+    const std::string name = "n" + std::to_string(i);
+    if (rng.bernoulli(0.4)) {
+      tenant::TenantSpec t;
+      t.name = name;
+      t.kind = tenant::TenantKind::kNoise;
+      t.nodes = 1;
+      t.noise.intensity = 8 + static_cast<std::uint32_t>(rng.next_below(17));
+      mc.tenants.push_back(t);
+    } else {
+      mc.tenants.push_back(
+          draw_workflow_tenant(rng, name, /*healthy=*/false));
+    }
+  }
+  // End-to-end integrity whenever any neighbor's plan can corrupt or tear
+  // frames, as the key=value binding defaults it.
+  bool corrupts = false;
+  for (const auto& t : mc.tenants) corrupts |= scenario_corrupts(t.faults);
+  mc.testbed.integrity.enabled = corrupts || rng.bernoulli(0.25);
+  return s;
+}
+
+std::string describe(const CoSchedule& s) {
+  // Printed in the driver's tenants= grammar, so the reproducer line can be
+  // replayed under mdwf_run directly as well.
+  std::string tenants;
+  for (const auto& t : s.config.tenants) {
+    if (!tenants.empty()) tenants += ",";
+    if (t.kind == tenant::TenantKind::kNoise) {
+      tenants += t.name + "@noise/" + std::to_string(t.noise.intensity);
+    } else {
+      tenants += t.name + "@" +
+                 std::string(workflow::to_string(t.solution)) + "/" +
+                 std::to_string(t.pairs) + "/" + std::to_string(t.nodes) +
+                 "/" + t.faults + "/" + format_double(t.weight, 1);
+    }
+  }
+  return "co-schedule " + std::to_string(s.index) + ": tenants=" + tenants +
+         " seed=" + std::to_string(s.config.base_seed) +
+         (s.config.quota ? " quota" : "") +
+         (s.config.testbed.integrity.enabled ? " integrity" : "");
+}
+
+// Cross-tenant invariants: completeness and liveness for every workflow
+// tenant (chaotic ones must recover), zero unrecovered corruption anywhere,
+// and — the isolation core — zero recovery activity in healthy tenants.
+std::optional<std::string> violation(const CoSchedule& s,
+                                     const tenant::MultiTenantResult& r) {
+  for (const auto& tr : r.tenants) {
+    if (tr.spec.kind != tenant::TenantKind::kWorkflow) continue;
+    const auto& c = tr.result.counters;
+    const std::uint64_t expected =
+        static_cast<std::uint64_t>(tr.spec.pairs) * tr.spec.workload.frames;
+    if (c.get("frames_consumed") != expected) {
+      return "completeness[" + tr.spec.name + "]: consumed " +
+             std::to_string(c.get("frames_consumed")) + " of " +
+             std::to_string(expected) + " frames";
+    }
+    if (!(tr.result.makespan_s.mean() > 0.0)) {
+      return "liveness[" + tr.spec.name + "]: non-positive makespan";
+    }
+    const bool healthy = tr.spec.faults.empty() || tr.spec.faults == "none";
+    if (healthy) {
+      for (const char* key :
+           {"crash_recoveries", "frames_reexecuted", "checkpoint_restores"}) {
+        if (c.get(key) != 0) {
+          return "isolation[" + tr.spec.name + "]: healthy tenant has " +
+                 std::to_string(c.get(key)) + " " + key;
+        }
+      }
+    }
+  }
+  if (r.shared.get("integrity_unrecovered") != 0) {
+    return "integrity: " +
+           std::to_string(r.shared.get("integrity_unrecovered")) +
+           " unrecovered corrupt reads";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_once(const CoSchedule& s) {
+  return violation(s, tenant::run_multi_tenant(s.config));
+}
+
+// Thread-count determinism: the merged CSV (the canonical serialization of
+// every sample and counter) must be byte-identical when the repetitions fan
+// across a pool.  Checked with reps=2 so there is something to fold.
+std::optional<std::string> check_cotenant_determinism(const CoSchedule& s) {
+  CoSchedule rep = s;
+  rep.config.repetitions = 2;
+  rep.config.threads = 1;
+  const std::string serial = tenant::run_multi_tenant(rep.config).to_csv();
+  rep.config.threads = 2;
+  const std::string pooled = tenant::run_multi_tenant(rep.config).to_csv();
+  if (serial != pooled) {
+    return "determinism: merged CSV differs between threads=1 and threads=2";
+  }
+  return std::nullopt;
+}
+
+// Shrink: drop neighbor tenants while the violation persists, then halve
+// every workflow tenant's frame count.
+CoSchedule shrink(CoSchedule s) {
+  bool progressed = true;
+  while (progressed && s.config.tenants.size() > 1) {
+    progressed = false;
+    for (std::size_t i = 1; i < s.config.tenants.size(); ++i) {
+      CoSchedule candidate = s;
+      candidate.config.tenants.erase(candidate.config.tenants.begin() +
+                                     static_cast<long>(i));
+      if (check_once(candidate).has_value()) {
+        s = candidate;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  progressed = true;
+  while (progressed) {
+    progressed = false;
+    CoSchedule candidate = s;
+    for (auto& t : candidate.config.tenants) {
+      if (t.kind == tenant::TenantKind::kWorkflow && t.workload.frames > 1) {
+        t.workload.frames /= 2;
+        progressed = true;
+      }
+    }
+    if (!progressed || !check_once(candidate).has_value()) break;
+    s = candidate;
+  }
+  return s;
+}
+
+int run_cotenant_fuzz(std::uint64_t schedules, std::uint64_t master_seed,
+                      std::int64_t only, bool verbose,
+                      std::uint32_t threads) {
+  struct Outcome {
+    CoSchedule s;
+    std::optional<std::string> bad;
+    bool checked = false;
+  };
+  std::vector<Outcome> outcomes(schedules);
+  std::vector<std::function<void()>> checks;
+  for (std::uint32_t i = 0; i < schedules; ++i) {
+    if (only >= 0 && static_cast<std::int64_t>(i) != only) continue;
+    checks.push_back([&outcomes, master_seed, only, i] {
+      Outcome& o = outcomes[i];
+      o.s = draw_cotenant_schedule(master_seed, i);
+      o.bad = (i % 8 == 0 || only >= 0) ? check_cotenant_determinism(o.s)
+                                        : std::nullopt;
+      if (!o.bad.has_value()) o.bad = check_once(o.s);
+      o.checked = true;
+    });
+  }
+  sweep::run_tasks(std::move(checks), threads);
+
+  std::uint64_t ran = 0;
+  for (std::uint32_t i = 0; i < schedules; ++i) {
+    const Outcome& o = outcomes[i];
+    if (!o.checked) continue;
+    ++ran;
+    if (verbose) std::printf("%s\n", describe(o.s).c_str());
+    if (!o.bad.has_value()) continue;
+
+    std::printf("FAILED %s\n  %s\nshrinking...\n", describe(o.s).c_str(),
+                o.bad->c_str());
+    const CoSchedule minimal = shrink(o.s);
+    const std::string repro = "chaos_fuzz cotenant=1 seed=" +
+                              std::to_string(master_seed) +
+                              " only=" + std::to_string(i);
+    std::printf("minimal %s\n  reproduce: %s\n", describe(minimal).c_str(),
+                repro.c_str());
+    const std::string path =
+        "chaos_repro_cotenant_" + std::to_string(i) + ".txt";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f, "violation: %s\nreproduce: %s\nminimal %s\n",
+                   o.bad->c_str(), repro.c_str(), describe(minimal).c_str());
+      std::fclose(f);
+      std::printf("reproducer written to %s\n", path.c_str());
+    }
+    return 1;
+  }
+  std::printf("chaos_fuzz: %llu co-tenant schedules held every invariant "
+              "(completeness, integrity, liveness, isolation, determinism) "
+              "[seed=%llu]\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(master_seed));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -299,8 +559,14 @@ int main(int argc, char** argv) {
   const std::int64_t only = cfg.get_int("only", -1);
   const bool verbose = cfg.get_bool("verbose", false);
   const auto threads = static_cast<std::uint32_t>(cfg.get_uint("threads", 1));
-  for (const char* k : {"schedules", "seed", "only", "verbose", "threads"}) {
+  const bool cotenant = cfg.get_bool("cotenant", false);
+  for (const char* k :
+       {"schedules", "seed", "only", "verbose", "threads", "cotenant"}) {
     cfg.note_known(k);
+  }
+
+  if (cotenant) {
+    return run_cotenant_fuzz(schedules, master_seed, only, verbose, threads);
   }
 
   // Schedules are independent, so their checks fan across the sweep pool;

@@ -56,10 +56,44 @@ std::string_view to_string(FaultMode m) {
   return "?";
 }
 
+bool targets_node(FaultTarget t) {
+  switch (t) {
+    case FaultTarget::kNodeSsd:
+    case FaultTarget::kNodeLink:
+    case FaultTarget::kNodeCrash:
+    case FaultTarget::kSlowDevice:
+    case FaultTarget::kLossyLink:
+    case FaultTarget::kSlowNode:
+      return true;
+    case FaultTarget::kKvsBroker:
+    case FaultTarget::kLustreOst:
+    case FaultTarget::kOverloadedServer:
+      return false;
+  }
+  return false;
+}
+
 TimePoint FaultPlan::horizon() const {
   TimePoint h = TimePoint::origin();
   for (const auto& w : windows) h = std::max(h, w.end());
   return h;
+}
+
+void shift_node_targets(FaultPlan& plan, std::uint32_t node_base) {
+  for (auto& w : plan.windows) {
+    if (targets_node(w.target)) w.index += node_base;
+  }
+}
+
+bool has_crash_in_nodes(const FaultPlan& plan, std::uint32_t first,
+                        std::uint32_t count) {
+  for (const auto& w : plan.windows) {
+    if (w.target == FaultTarget::kNodeCrash && w.index >= first &&
+        w.index < first + count) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void FaultClock::materialize(const FaultProcess& process, TimePoint from,

@@ -64,6 +64,10 @@ enum class FaultMode : std::uint8_t {
 std::string_view to_string(FaultTarget t);
 std::string_view to_string(FaultMode m);
 
+// True when `t`'s window index addresses a compute node (as opposed to a
+// shared service such as the broker, an OST, or an overloaded server).
+bool targets_node(FaultTarget t);
+
 struct FaultWindow {
   FaultTarget target = FaultTarget::kNodeSsd;
   std::uint32_t index = 0;
@@ -86,6 +90,18 @@ struct FaultPlan {
   // resource is healthy again.
   TimePoint horizon() const;
 };
+
+// Rebases every node-indexed window of `plan` by `node_base`: a tenant's
+// fault plan is authored against its own nodes [0, tenant_nodes) and shifted
+// onto the tenant's slice of the shared testbed.  Shared-service windows
+// (broker, OSTs, overload) keep their indices — they hit everyone.
+void shift_node_targets(FaultPlan& plan, std::uint32_t node_base);
+
+// True when the plan crashes or kills a node in [first, first + count): the
+// per-tenant form of FaultInjector::has_crash_windows, used to arm the
+// crash-aware rank loops and checkpoints only for the tenants that need them.
+bool has_crash_in_nodes(const FaultPlan& plan, std::uint32_t first,
+                        std::uint32_t count);
 
 // A recurring stochastic fault source: windows arrive at exponential
 // intervals, last a lognormal duration, claim a uniform severity, and strike

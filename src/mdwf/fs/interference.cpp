@@ -2,17 +2,26 @@
 
 #include <algorithm>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 
 namespace mdwf::fs {
 namespace {
+
+[[noreturn]] void reject(const char* field, double value, const char* why) {
+  std::ostringstream os;
+  os << "InterferenceParams: " << field << "=" << value << " " << why;
+  throw std::invalid_argument(os.str());
+}
 
 // Tracks per-OST stacked load so overlapping episodes compose.
 struct LoadBook {
   std::vector<double> load;
   LustreServers* servers;
+  double cap;
 
   void apply(std::uint32_t ost, double delta) {
-    load[ost] = std::clamp(load[ost] + delta, 0.0, 0.95);
+    load[ost] = std::clamp(load[ost] + delta, 0.0, cap);
     servers->ost_device(ost).set_background_load(load[ost]);
   }
 };
@@ -45,13 +54,43 @@ sim::Task<void> mds_episode(sim::Simulation& sim, LustreServers& servers,
 
 }  // namespace
 
+void InterferenceParams::validate() const {
+  if (mean_interarrival <= Duration::zero()) {
+    reject("mean_interarrival", mean_interarrival.to_seconds(),
+           "(seconds) must be positive");
+  }
+  if (duration_sigma < 0.0) {
+    reject("duration_sigma", duration_sigma, "must be non-negative");
+  }
+  if (min_load < 0.0) reject("min_load", min_load, "must be non-negative");
+  if (max_load > 1.0) reject("max_load", max_load, "must be <= 1");
+  if (min_load > max_load) {
+    reject("min_load", min_load, "exceeds max_load");
+  }
+  if (mds_fraction < 0.0 || mds_fraction > 1.0) {
+    reject("mds_fraction", mds_fraction, "must be within [0, 1]");
+  }
+  if (mds_slots_taken < 0) {
+    reject("mds_slots_taken", static_cast<double>(mds_slots_taken),
+           "must be non-negative");
+  }
+  if (run_level_sigma < 0.0) {
+    reject("run_level_sigma", run_level_sigma, "must be non-negative");
+  }
+  if (combined_load_cap < 0.0 || combined_load_cap >= 1.0) {
+    reject("combined_load_cap", combined_load_cap, "must be within [0, 1)");
+  }
+}
+
 sim::Task<void> run_ost_interference(sim::Simulation& sim,
                                      LustreServers& servers,
                                      InterferenceParams params, Rng rng,
                                      TimePoint horizon) {
+  params.validate();
   auto book = std::make_shared<LoadBook>();
   book->load.assign(servers.ost_count(), 0.0);
   book->servers = &servers;
+  book->cap = params.combined_load_cap;
   auto episode_mutex = std::make_shared<sim::Semaphore>(sim, 1);
 
   // Per-run cluster state: some runs land on a calm machine, some on a
@@ -78,7 +117,8 @@ sim::Task<void> run_ost_interference(sim::Simulation& sim,
       const auto ost =
           static_cast<std::uint32_t>(rng.next_below(servers.ost_count()));
       const double load = std::clamp(
-          rng.uniform(params.min_load, params.max_load) * level, 0.0, 0.9);
+          rng.uniform(params.min_load, params.max_load) * level, 0.0,
+          std::min(0.9, params.combined_load_cap));
       sim.spawn(ost_episode(sim, book, ost, load, Duration::seconds(dur_s)));
     }
   }

@@ -34,6 +34,15 @@ struct InterferenceParams {
   // noisier than others (the paper's 128/256-pair Lustre error bars);
   // within-run noise alone averages out over thousands of frames.
   double run_level_sigma = 0.75;
+  // Ceiling on the *stacked* background load of one OST when episodes
+  // overlap; a single episode is additionally clamped below it.  Must stay
+  // under 1.0 or a device would stop serving the foreground entirely.
+  double combined_load_cap = 0.95;
+
+  // Throws std::invalid_argument with a one-line diagnostic on the first
+  // out-of-range field; run_ost_interference validates on entry so a bad
+  // config fails fast instead of producing nonsense episodes.
+  void validate() const;
 };
 
 // Runs until `horizon`; episodes target a random OST of `servers`.

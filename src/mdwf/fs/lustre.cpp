@@ -40,11 +40,17 @@ sim::Task<void> LustreServers::mds_rpc(net::NodeId client) {
   // reply; the client backs off exponentially and re-sends.  After the
   // attempt budget it queues regardless — progress over fairness.
   Duration backoff = busy_retry_base_;
-  for (std::uint32_t attempt = 0;
-       mds_admission_limit_ > 0 &&
-       mds_pending_ >= static_cast<std::int64_t>(mds_admission_limit_) &&
-       attempt < busy_retry_limit_;
-       ++attempt) {
+  for (std::uint32_t attempt = 0; attempt < busy_retry_limit_; ++attempt) {
+    // A tenant at its fair-share bound bounces even when the global queue
+    // has room; the shed is charged to that tenant, not the server.
+    const bool quota_blocked =
+        quota_ != nullptr &&
+        quota_->at_bound(health::QuotaResource::kMds, client);
+    const bool global_blocked =
+        mds_admission_limit_ > 0 &&
+        mds_pending_ >= static_cast<std::int64_t>(mds_admission_limit_);
+    if (!quota_blocked && !global_blocked) break;
+    if (quota_blocked) quota_->count_shed(health::QuotaResource::kMds, client);
     ++sheds_;
     ++busy_retries_;
     co_await network_->send_control(mds_node_, client);
@@ -52,13 +58,17 @@ sim::Task<void> LustreServers::mds_rpc(net::NodeId client) {
     backoff = backoff * 2.0;
     co_await network_->send_control(client, mds_node_);
   }
-  trace_mds_pending(+1);
-  co_await mds_slots_->acquire();
   {
-    sim::SemaphoreGuard slot(*mds_slots_);
-    co_await sim_->delay(params_.mds_service * dilation_);
+    health::QuotaAdmission quota_slot(quota_, health::QuotaResource::kMds,
+                                      client);
+    trace_mds_pending(+1);
+    co_await mds_slots_->acquire();
+    {
+      sim::SemaphoreGuard slot(*mds_slots_);
+      co_await sim_->delay(params_.mds_service * dilation_);
+    }
+    trace_mds_pending(-1);
   }
-  trace_mds_pending(-1);
   co_await network_->send_control(mds_node_, client);
 }
 
@@ -155,16 +165,26 @@ sim::Task<void> LustreClient::brw_rpc(sim::Simulation& sim,
   // The client holds its RPC-window slot and backs off; after the attempt
   // budget it proceeds regardless so bulk I/O always completes.
   Duration backoff = servers.busy_retry_base_;
-  for (std::uint32_t attempt = 0;
-       servers.ost_admission_limit_ > 0 &&
-       ost.pending >= static_cast<std::int64_t>(servers.ost_admission_limit_) &&
-       attempt < servers.busy_retry_limit_;
+  for (std::uint32_t attempt = 0; attempt < servers.busy_retry_limit_;
        ++attempt) {
+    const bool quota_blocked =
+        servers.quota_ != nullptr &&
+        servers.quota_->at_bound(health::QuotaResource::kOst, node);
+    const bool global_blocked =
+        servers.ost_admission_limit_ > 0 &&
+        ost.pending >=
+            static_cast<std::int64_t>(servers.ost_admission_limit_);
+    if (!quota_blocked && !global_blocked) break;
+    if (quota_blocked) {
+      servers.quota_->count_shed(health::QuotaResource::kOst, node);
+    }
     ++servers.sheds_;
     ++servers.busy_retries_;
     co_await sim.delay(backoff);
     backoff = backoff * 2.0;
   }
+  health::QuotaAdmission quota_slot(servers.quota_,
+                                    health::QuotaResource::kOst, node);
   const Duration ost_service = servers.params_.ost_service * servers.dilation_;
   // Decrements on every exit path (injected IoError must not leak a
   // pending slot, or the admission queue would wedge shut).

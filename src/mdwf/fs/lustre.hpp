@@ -25,6 +25,7 @@
 
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/fs/local_fs.hpp"  // FsError
+#include "mdwf/health/quota.hpp"
 #include "mdwf/net/network.hpp"
 #include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/primitives.hpp"
@@ -111,6 +112,12 @@ class LustreServers {
   std::uint64_t sheds() const { return sheds_; }
   std::uint64_t busy_retries() const { return busy_retries_; }
 
+  // Per-tenant fair-share quota (multi-tenant runs).  An MDS or OST RPC from
+  // a tenant at its weighted bound bounces exactly like a full global queue —
+  // backoff, bounded attempts, then proceed — but the shed is charged to the
+  // overloading tenant and other tenants' shares stay untouched.  Not owned.
+  void set_quota(health::TenantQuota* quota) { quota_ = quota; }
+
   // --- Crash consistency ----------------------------------------------------
   // Client `node` lost power: every file it wrote past the last journal
   // commit (close-after-write publishes size to the MDS journal) is torn
@@ -169,6 +176,7 @@ class LustreServers {
   std::uint32_t ost_admission_limit_ = 0;
   std::uint32_t busy_retry_limit_ = 24;
   Duration busy_retry_base_ = Duration::microseconds(200);
+  health::TenantQuota* quota_ = nullptr;
   std::uint64_t sheds_ = 0;
   std::uint64_t busy_retries_ = 0;
   std::int64_t mds_pending_ = 0;

@@ -10,12 +10,22 @@ KvsServer::KvsServer(sim::Simulation& sim, const KvsParams& params,
   slots_ = std::make_unique<sim::Semaphore>(sim, params.server_concurrency);
 }
 
-sim::Task<void> KvsServer::serve(Duration service) {
+sim::Task<void> KvsServer::serve(Duration service, net::NodeId client) {
+  if (quota_ != nullptr &&
+      quota_->at_bound(health::QuotaResource::kKvs, client)) {
+    // The tenant already fills its fair share of the broker queue; shed its
+    // request before it can crowd out other tenants.
+    quota_->count_shed(health::QuotaResource::kKvs, client);
+    ++sheds_;
+    throw health::ServerBusy("kvs: tenant quota exceeded");
+  }
   if (admission_limit_ > 0 &&
       pending_ >= static_cast<std::int64_t>(admission_limit_)) {
     ++sheds_;
     throw health::ServerBusy("kvs: admission queue full");
   }
+  health::QuotaAdmission quota_slot(quota_, health::QuotaResource::kKvs,
+                                    client);
   trace_pending(+1);
   while (stall_depth_ > 0) {
     // Keep a reference: the gate is replaced by the next stall window.
@@ -127,7 +137,7 @@ sim::Task<void> KvsClient::commit(std::string key, std::string value) {
   co_await rpc_to_server();
   std::exception_ptr busy;
   try {
-    co_await server_->serve(server_->params_.commit_service);
+    co_await server_->serve(server_->params_.commit_service, node_);
   } catch (const health::ServerBusy&) {
     busy = std::current_exception();
   }
@@ -149,7 +159,7 @@ sim::Task<std::optional<KvsValue>> KvsClient::lookup(const std::string& key) {
   co_await rpc_to_server();
   std::exception_ptr busy;
   try {
-    co_await server_->serve(server_->params_.lookup_service);
+    co_await server_->serve(server_->params_.lookup_service, node_);
   } catch (const health::ServerBusy&) {
     busy = std::current_exception();
   }

@@ -24,6 +24,7 @@
 
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/health/health.hpp"
+#include "mdwf/health/quota.hpp"
 #include "mdwf/net/network.hpp"
 #include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/primitives.hpp"
@@ -90,6 +91,11 @@ class KvsServer {
   void set_admission_limit(std::uint32_t limit) { admission_limit_ = limit; }
   std::uint64_t sheds() const { return sheds_; }
 
+  // Per-tenant fair-share quota (multi-tenant runs).  A request from a node
+  // whose tenant is at its weighted bound is shed before it can consume
+  // shared queue depth; unmapped nodes bypass the quota.  Not owned.
+  void set_quota(health::TenantQuota* quota) { quota_ = quota; }
+
   // --- Observability (mdwf::obs) ------------------------------------------
   // Samples broker queue depth ("kvs.pending": requests queued or in
   // service, including those parked behind a stall gate) and cumulative
@@ -104,8 +110,9 @@ class KvsServer {
     TimePoint visible_at = TimePoint::origin();
   };
 
-  // Queued service-time charge on the broker.
-  sim::Task<void> serve(Duration service);
+  // Queued service-time charge on the broker; `client` identifies the
+  // requesting node for per-tenant quota accounting.
+  sim::Task<void> serve(Duration service, net::NodeId client);
   void arm_watch_wakeup(const std::string& key, TimePoint when);
   void trace_pending(int delta);
   void trace_total(obs::CounterId id, std::uint64_t value);
@@ -128,6 +135,7 @@ class KvsServer {
   std::uint64_t lost_commits_ = 0;
   double dilation_ = 1.0;
   std::uint32_t admission_limit_ = 0;
+  health::TenantQuota* quota_ = nullptr;
   std::uint64_t sheds_ = 0;
   std::int64_t pending_ = 0;
   obs::TraceSink* trace_ = nullptr;

@@ -133,8 +133,24 @@ StreamNode::CreditState& StreamNode::credit_state(const std::string& prefix) {
   const auto it = credits_.find(prefix);
   if (it != credits_.end()) return it->second;
   CreditState fresh;
-  fresh.available = static_cast<std::int64_t>(params_.credits);
+  fresh.available = effective_credits();
   return credits_.emplace(prefix, std::move(fresh)).first->second;
+}
+
+std::int64_t StreamNode::effective_credits() const {
+  const auto scaled = static_cast<std::int64_t>(
+      static_cast<double>(params_.credits) * credit_scale_);
+  return scaled < 1 ? 1 : scaled;
+}
+
+void StreamNode::set_credit_scale(double scale) {
+  credit_scale_ = scale < 0.0 ? 0.0 : (scale > 1.0 ? 1.0 : scale);
+  // Unspent credits above the shrunken window vanish now; credits attached
+  // to in-flight frames are absorbed by the grant cap as they return.
+  const std::int64_t cap = effective_credits();
+  for (auto& [prefix, cs] : credits_) {
+    if (cs.available > cap) cs.available = cap;
+  }
 }
 
 std::shared_ptr<sim::Event> StreamNode::credit_event(
@@ -264,7 +280,7 @@ sim::Task<bool> StreamNode::acquire_credit(const std::string& prefix) {
 
 void StreamNode::grant_credit(const std::string& prefix) {
   CreditState& cs = credit_state(prefix);
-  if (cs.available < static_cast<std::int64_t>(params_.credits)) {
+  if (cs.available < effective_credits()) {
     ++cs.available;
   }
   if (cs.changed != nullptr && !cs.changed->triggered()) {

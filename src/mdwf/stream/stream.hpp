@@ -163,6 +163,13 @@ class StreamNode {
   void refund_credit(const std::string& prefix) { grant_credit(prefix); }
   // Consumer-side drain returns the credit here (capped at the window).
   void grant_credit(const std::string& prefix);
+  // SLO-guard degradation hook: shrinks every subscription window on this
+  // node to `scale` of StreamParams::credits (floored at one credit so the
+  // producer keeps making progress); 1.0 restores the full window.  Shrinking
+  // takes effect immediately for unspent credits and as outstanding frames
+  // drain for the rest.
+  void set_credit_scale(double scale);
+  double credit_scale() const { return credit_scale_; }
   // Move the payload and stage it at `dest`; the caller holds one credit
   // and a `dest` reservation.  False = duplicate (already staged or
   // consumed there); NetError propagates (torn fabric mid-put).
@@ -243,6 +250,7 @@ class StreamNode {
   };
 
   CreditState& credit_state(const std::string& prefix);
+  std::int64_t effective_credits() const;
   std::shared_ptr<sim::Event> credit_event(const std::string& prefix);
   std::shared_ptr<sim::Event> space_event();
   std::shared_ptr<sim::Event> arrival_event(const std::string& path);
@@ -278,6 +286,7 @@ class StreamNode {
 
   // Producer side.
   std::map<std::string, CreditState> credits_;
+  double credit_scale_ = 1.0;
   std::map<std::string, Bytes> published_;
   std::set<std::string> announced_pubs_;
 

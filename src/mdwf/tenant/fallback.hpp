@@ -1,0 +1,104 @@
+// SLO fallback data plane: per-frame routing onto Lustre.
+//
+// When a tenant's SloGuard reaches kFallback, *new* frames stop traveling
+// the contended primary plane (DYAD's KVS-coordinated path or the stream
+// staging plane) and are written/read through Lustre instead — the paper's
+// always-available baseline.  Routing is decided once per frame by the
+// producer at put time and recorded in a shared RouteBook, so producer and
+// consumer always agree even when the guard changes level between the put
+// and the matching get (first decision wins; crash re-execution replays the
+// original decision, keeping recovery idempotent).
+//
+// The consumer end resolves a frame's route by awaiting the producer's
+// decision announcement; each plane then synchronizes data availability
+// with its own mechanism (KVS visibility / stream handshake for the
+// primary, the shared ExplicitSync for the Lustre plane).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/tenant/slo.hpp"
+#include "mdwf/workflow/connector.hpp"
+
+namespace mdwf::tenant {
+
+// Shared per-tenant routing state: one entry per (pair, frame).  Lives next
+// to the rank-set assets (declared before the Testbed; see RankSetAssets)
+// and is attached to the simulation once the testbed exists.
+class RouteBook {
+ public:
+  explicit RouteBook(std::uint32_t pairs) : state_(pairs) {}
+
+  void attach(sim::Simulation& sim) { sim_ = &sim; }
+
+  // Producer side, first-decision-wins: records whether `frame` of `pair`
+  // travels the fallback plane and announces the decision.  Returns the
+  // recorded plane (the original one for a re-executed frame).
+  bool decide(std::uint32_t pair, std::uint64_t frame, bool fallback);
+
+  // Consumer side: resolves once the producer has decided `frame`; returns
+  // true when the frame travels the fallback plane.
+  sim::Task<bool> wait_decision(std::uint32_t pair, std::uint64_t frame);
+
+  // Producer side, after decide(): the recorded plane for a decided frame.
+  bool is_fallback(std::uint32_t pair, std::uint64_t frame) const;
+
+  // The pair's shared data sync for the Lustre plane (created on first use;
+  // both connector ends of a pair share one instance).
+  workflow::ExplicitSync& data_sync(std::uint32_t pair);
+
+  // Frames routed onto the fallback plane (first decisions only).
+  std::uint64_t fallback_frames() const { return fallback_frames_; }
+
+ private:
+  struct PairState {
+    std::vector<std::uint8_t> plane;  // index = frame; 1 = fallback
+    std::unique_ptr<workflow::ExplicitSync> decided;
+    std::unique_ptr<workflow::ExplicitSync> sync;
+  };
+
+  workflow::ExplicitSync& decided_sync(std::uint32_t pair);
+
+  sim::Simulation* sim_ = nullptr;
+  std::vector<PairState> state_;
+  std::uint64_t fallback_frames_ = 0;
+};
+
+// Wraps one rank's primary connector with a Lustre fallback plane, routing
+// each frame per the shared RouteBook.  Both of a pair's ends wrap their
+// own primary/fallback connectors but share the book (and through it the
+// Lustre plane's ExplicitSync).
+class FallbackConnector final : public workflow::Connector {
+ public:
+  FallbackConnector(std::unique_ptr<workflow::Connector> primary,
+                    std::unique_ptr<workflow::Connector> fallback,
+                    RouteBook& book, SloGuard& guard, std::uint32_t pair)
+      : primary_(std::move(primary)),
+        fallback_(std::move(fallback)),
+        book_(&book),
+        guard_(&guard),
+        pair_(pair) {}
+
+  sim::Task<void> put(const std::string& path, Bytes size,
+                      std::uint64_t frame) override;
+  sim::Task<void> producer_sync(std::uint64_t frame) override;
+  sim::Task<void> get(const std::string& path, Bytes size,
+                      std::uint64_t frame) override;
+  void acknowledge(std::uint64_t frame) override;
+  const workflow::Connector& stats_target() const override {
+    return primary_->stats_target();
+  }
+
+ private:
+  std::unique_ptr<workflow::Connector> primary_;
+  std::unique_ptr<workflow::Connector> fallback_;
+  RouteBook* book_;
+  SloGuard* guard_;
+  std::uint32_t pair_;
+};
+
+}  // namespace mdwf::tenant

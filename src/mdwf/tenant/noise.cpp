@@ -1,0 +1,57 @@
+#include "mdwf/tenant/noise.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mdwf/health/health.hpp"
+#include "mdwf/sim/primitives.hpp"
+
+namespace mdwf::tenant {
+
+namespace {
+
+sim::Task<void> noise_client(sim::Simulation& sim, kvs::KvsServer& server,
+                             net::NodeId node, NoiseParams params, Rng rng,
+                             TimePoint horizon, NoiseStats& stats) {
+  kvs::KvsClient client(sim, server, node);
+  Duration backoff = params.shed_backoff;
+  while (sim.now() < horizon) {
+    const std::string key =
+        "noise/k" + std::to_string(rng.next_below(params.key_space));
+    bool shed = false;
+    try {
+      co_await client.lookup(key);
+      ++stats.ops;
+    } catch (const health::ServerBusy&) {
+      shed = true;  // co_await is not permitted inside a handler
+    }
+    if (shed) {
+      ++stats.sheds;
+      co_await sim.delay(backoff);
+      backoff = backoff * 2;
+      if (backoff > params.shed_backoff_cap) backoff = params.shed_backoff_cap;
+    } else {
+      backoff = params.shed_backoff;
+    }
+    co_await sim.delay(Duration::seconds(params.think_time.to_seconds() *
+                                         rng.exponential(1.0)));
+  }
+}
+
+}  // namespace
+
+sim::Task<void> run_kvs_noise(sim::Simulation& sim, kvs::KvsServer& server,
+                              net::NodeId node, const NoiseParams& params,
+                              Rng rng, TimePoint horizon, NoiseStats& stats) {
+  std::vector<sim::Task<void>> clients;
+  clients.reserve(params.intensity);
+  for (std::uint32_t i = 0; i < params.intensity; ++i) {
+    clients.push_back(noise_client(sim, server, node, params,
+                                   rng.fork("client" + std::to_string(i)),
+                                   horizon, stats));
+  }
+  co_await sim::all(sim, std::move(clients));
+}
+
+}  // namespace mdwf::tenant

@@ -1,0 +1,52 @@
+// Synthetic noisy-neighbor tenant: a KVS metadata storm.
+//
+// The paper's co-tenant interference is background load on shared services;
+// the worst neighbor for DYAD is one that hammers the KVS broker with
+// lookups (each costs lookup_service of broker time, and the broker has few
+// service slots).  A noise tenant owns one compute node and runs
+// `intensity` synthetic clients that loop lookup -> think until a horizon,
+// queueing behind — and ahead of — every victim's metadata operations.
+//
+// With per-tenant quotas armed, the noise tenant is bounded to its weighted
+// share of the broker's admission queue: excess lookups bounce with
+// ServerBusy (counted in NoiseStats::sheds) instead of growing the queue
+// underneath the victims.
+#pragma once
+
+#include <cstdint>
+
+#include "mdwf/common/rng.hpp"
+#include "mdwf/common/time.hpp"
+#include "mdwf/kvs/kvs.hpp"
+#include "mdwf/net/network.hpp"
+#include "mdwf/sim/simulation.hpp"
+
+namespace mdwf::tenant {
+
+struct NoiseParams {
+  // Concurrent synthetic lookup clients.
+  std::uint32_t intensity = 64;
+  // Mean think time between a client's lookups (exponentially jittered).
+  Duration think_time = Duration::microseconds(50);
+  // Back-off after a shed (ServerBusy) reply: doubles per consecutive shed
+  // from `shed_backoff` up to `shed_backoff_cap`, resets on success.  A
+  // quota-bounded storm settles at the cap instead of hammering the broker
+  // (and the simulator) with fixed-rate re-offers.
+  Duration shed_backoff = Duration::microseconds(400);
+  Duration shed_backoff_cap = Duration::milliseconds(8);
+  // Distinct keys the storm draws from (all absent: pure lookup cost).
+  std::uint64_t key_space = 4096;
+};
+
+struct NoiseStats {
+  std::uint64_t ops = 0;    // completed lookups
+  std::uint64_t sheds = 0;  // ServerBusy bounces (admission or quota)
+};
+
+// Runs the storm from `node` until `horizon`; completes when every client
+// has observed the horizon.  Deterministic for a given rng.
+sim::Task<void> run_kvs_noise(sim::Simulation& sim, kvs::KvsServer& server,
+                              net::NodeId node, const NoiseParams& params,
+                              Rng rng, TimePoint horizon, NoiseStats& stats);
+
+}  // namespace mdwf::tenant

@@ -1,0 +1,134 @@
+#include "mdwf/tenant/slo.hpp"
+
+#include <algorithm>
+
+#include "mdwf/common/assert.hpp"
+
+namespace mdwf::tenant {
+
+std::string_view to_string(SloLevel level) {
+  switch (level) {
+    case SloLevel::kNominal:
+      return "nominal";
+    case SloLevel::kStagger:
+      return "stagger";
+    case SloLevel::kShrinkCredits:
+      return "shrink-credits";
+    case SloLevel::kFallback:
+      return "fallback";
+  }
+  return "?";
+}
+
+SloGuard::SloGuard(sim::Simulation& sim, const SloParams& params,
+                   Duration frame_period, std::uint32_t pairs)
+    : sim_(&sim),
+      params_(params),
+      frame_period_(frame_period),
+      pairs_(pairs) {
+  MDWF_ASSERT(params_.window >= 1);
+  MDWF_ASSERT(pairs_ >= 1);
+  ring_.assign(params_.window, 0.0);
+}
+
+void SloGuard::set_trace(obs::TraceSink* sink, obs::TrackId track) {
+  trace_ = sink;
+  if (trace_ != nullptr) {
+    level_marker_ = trace_->instant_series(track, "slo_level=");
+  }
+}
+
+double SloGuard::window_p99() const {
+  if (ring_count_ == 0) return 0.0;
+  std::vector<double> scratch(ring_.begin(),
+                              ring_.begin() +
+                                  static_cast<std::ptrdiff_t>(ring_count_));
+  // Index of the ceil(0.99 * n)-th order statistic.
+  const std::size_t idx =
+      std::min(ring_count_ - 1, (ring_count_ * 99 + 99) / 100 - 1);
+  std::nth_element(scratch.begin(),
+                   scratch.begin() + static_cast<std::ptrdiff_t>(idx),
+                   scratch.end());
+  return scratch[idx];
+}
+
+Duration SloGuard::producer_delay(std::uint64_t frame) {
+  (void)frame;
+  if (!params_.enabled || level_ < SloLevel::kStagger) {
+    return Duration::zero();
+  }
+  ++staggered_frames_;
+  return Duration::seconds(frame_period_.to_seconds() *
+                           params_.stagger_fraction);
+}
+
+void SloGuard::on_fetch(TimePoint now, double latency_us) {
+  if (!params_.enabled) return;
+  ring_[ring_next_] = latency_us;
+  ring_next_ = (ring_next_ + 1) % ring_.size();
+  ring_count_ = std::min(ring_count_ + 1, ring_.size());
+  evaluate(now);
+}
+
+void SloGuard::on_frame_produced(std::uint64_t frame) {
+  (void)frame;
+  if (!params_.enabled) return;
+  ++produced_;
+  evaluate(sim_->now());
+}
+
+void SloGuard::on_frame_consumed(std::uint64_t frame) {
+  (void)frame;
+  if (!params_.enabled) return;
+  ++consumed_;
+  evaluate(sim_->now());
+}
+
+void SloGuard::evaluate(TimePoint now) {
+  const std::uint64_t lag = produced_ - consumed_;
+  const std::uint64_t lag_limit =
+      params_.max_lag_per_pair * static_cast<std::uint64_t>(pairs_);
+  const bool p99_known = ring_count_ >= params_.min_samples;
+  const double p99 = p99_known ? window_p99() : 0.0;
+  const bool breached = (p99_known && p99 > params_.fetch_p99_target_us) ||
+                        lag > lag_limit;
+  const Duration since = now - last_transition_;
+
+  if (breached && level_ < params_.max_level && since >= params_.holdoff) {
+    transition(static_cast<SloLevel>(static_cast<std::uint8_t>(level_) + 1),
+               now);
+    return;
+  }
+  // Recover only with margin (P99 at half the target) and the lag drained,
+  // after a full cooldown — flapping between rungs would trace as noise and
+  // thrash the credit scale.
+  const bool recovered = p99_known &&
+                         p99 * 2.0 <= params_.fetch_p99_target_us &&
+                         lag <= static_cast<std::uint64_t>(pairs_);
+  if (recovered && level_ > SloLevel::kNominal && since >= params_.cooldown) {
+    transition(static_cast<SloLevel>(static_cast<std::uint8_t>(level_) - 1),
+               now);
+  }
+}
+
+void SloGuard::transition(SloLevel to, TimePoint now) {
+  const SloLevel from = level_;
+  level_ = to;
+  last_transition_ = now;
+  if (to > from) {
+    ++escalations_;
+  } else {
+    ++deescalations_;
+  }
+  const bool was_shrunk = from >= SloLevel::kShrinkCredits;
+  const bool is_shrunk = to >= SloLevel::kShrinkCredits;
+  if (credit_sink_ && was_shrunk != is_shrunk) {
+    credit_sink_(is_shrunk ? params_.credit_scale : 1.0);
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(level_marker_, now,
+                    static_cast<std::int64_t>(static_cast<std::uint8_t>(to)));
+  }
+}
+
+}  // namespace mdwf::tenant

@@ -1,0 +1,119 @@
+// Per-tenant SLO guard: graceful degradation under noisy neighbors.
+//
+// A guarded tenant watches its own consumer fetch latencies (windowed P99)
+// and its producer/consumer frame lag.  When either breaches the tenant's
+// target, the guard walks a degradation ladder, mildest step first:
+//
+//   kNominal        full speed
+//   kStagger        producers insert idle before each frame (offered-load
+//                   shaping: the tenant stops contributing to the very
+//                   contention that is hurting it)
+//   kShrinkCredits  stream tenants halve their staging credits (bounds
+//                   buffered frames and the back-pressure they exert)
+//   kFallback       new frames route over the Lustre plane instead of the
+//                   contended KVS-coordinated primary (see RouteBook)
+//
+// The ladder de-escalates step by step once the windowed P99 has recovered
+// with margin and a cooldown has elapsed.  Every transition is counted and,
+// when tracing is on, emitted as an instant ("slo_level=<n>") so a Perfetto
+// timeline shows exactly when a tenant degraded and recovered.
+//
+// Deterministic: decisions depend only on simulation state (virtual time,
+// the tenant's own samples), never on wall clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "mdwf/common/time.hpp"
+#include "mdwf/obs/trace.hpp"
+#include "mdwf/sim/simulation.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace mdwf::tenant {
+
+enum class SloLevel : std::uint8_t {
+  kNominal = 0,
+  kStagger = 1,
+  kShrinkCredits = 2,
+  kFallback = 3,
+};
+std::string_view to_string(SloLevel level);
+
+struct SloParams {
+  bool enabled = false;
+  // Windowed consumer fetch P99 target, microseconds.
+  double fetch_p99_target_us = 6000.0;
+  // Sliding sample window the P99 is computed over, and the minimum number
+  // of samples before the guard trusts it.
+  std::size_t window = 64;
+  std::size_t min_samples = 16;
+  // Escalations are at least `holdoff` apart (no 0 -> 3 jumps on one bad
+  // burst); de-escalations wait the longer `cooldown` after any transition.
+  Duration holdoff = Duration::milliseconds(500);
+  Duration cooldown = Duration::seconds_i(2);
+  // Frame-lag breach: produced - consumed > max_lag_per_pair * pairs.
+  std::uint64_t max_lag_per_pair = 8;
+  // Producer idle inserted per frame while staggered, as a fraction of the
+  // frame period.
+  double stagger_fraction = 0.25;
+  // Stream credit multiplier while at kShrinkCredits or deeper.
+  double credit_scale = 0.5;
+  // Deepest reachable rung (solutions without a fallback plane stop at
+  // kStagger; the runner caps this per solution).
+  SloLevel max_level = SloLevel::kFallback;
+};
+
+class SloGuard final : public workflow::PacingHook {
+ public:
+  SloGuard(sim::Simulation& sim, const SloParams& params,
+           Duration frame_period, std::uint32_t pairs);
+
+  // Applied with params.credit_scale on entering kShrinkCredits and with
+  // 1.0 on leaving it (the runner wires this to the tenant's stream nodes).
+  void set_credit_sink(std::function<void(double)> sink) {
+    credit_sink_ = std::move(sink);
+  }
+  void set_trace(obs::TraceSink* sink, obs::TrackId track);
+
+  SloLevel level() const { return level_; }
+  bool fallback_engaged() const { return level_ >= SloLevel::kFallback; }
+  std::uint64_t escalations() const { return escalations_; }
+  std::uint64_t deescalations() const { return deescalations_; }
+  std::uint64_t staggered_frames() const { return staggered_frames_; }
+  // Windowed P99 over the current sample window (0 when empty).
+  double window_p99() const;
+
+  // --- PacingHook ---------------------------------------------------------
+  Duration producer_delay(std::uint64_t frame) override;
+  void on_fetch(TimePoint now, double latency_us) override;
+  void on_frame_produced(std::uint64_t frame) override;
+  void on_frame_consumed(std::uint64_t frame) override;
+
+ private:
+  void evaluate(TimePoint now);
+  void transition(SloLevel to, TimePoint now);
+
+  sim::Simulation* sim_;
+  SloParams params_;
+  Duration frame_period_;
+  std::uint32_t pairs_;
+
+  SloLevel level_ = SloLevel::kNominal;
+  TimePoint last_transition_ = TimePoint::origin();
+  std::vector<double> ring_;   // window samples, oldest overwritten
+  std::size_t ring_next_ = 0;
+  std::size_t ring_count_ = 0;
+  std::uint64_t produced_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t escalations_ = 0;
+  std::uint64_t deescalations_ = 0;
+  std::uint64_t staggered_frames_ = 0;
+  std::function<void(double)> credit_sink_;
+  obs::TraceSink* trace_ = nullptr;
+  obs::InstantId level_marker_{};
+};
+
+}  // namespace mdwf::tenant

@@ -1,0 +1,143 @@
+// Multi-tenant co-scheduling: N workflow ensembles on one shared testbed.
+//
+// The classic runner (workflow::run_repetition) gives one workflow the whole
+// cluster.  mdwf::tenant places several *tenants* — each its own solution,
+// workload, fault plan, and SLO policy — on disjoint compute-node slices of
+// a single Testbed.  Node-local resources (NVMe, page cache, local FS) are
+// isolated by placement; the shared services (KVS broker, Lustre MDS/OSTs,
+// fabric) are where tenants actually meet, and where the isolation
+// machinery acts:
+//
+//   * weighted fair-share quotas (health::TenantQuota) bound each tenant's
+//     in-flight requests on every shared service: an overloaded tenant
+//     sheds its OWN requests first;
+//   * per-tenant SLO guards (SloGuard) degrade a breached tenant gracefully
+//     — stagger production, shrink stream credits, fall back to Lustre —
+//     instead of letting it thrash the shared queues;
+//   * per-tenant fault plans are authored against the tenant's own nodes
+//     and shifted onto its slice, so chaos in tenant A is surgically
+//     scoped while shared-service faults still hit everyone.
+//
+// Determinism contract (inherited from mdwf::sweep): each repetition runs
+// in an isolated Simulation seeded only by (base_seed, rep); repetitions
+// fan across worker threads and fold in repetition order, so the merged
+// result — including MultiTenantResult::to_csv() — is byte-identical for
+// every thread count.
+//
+// The solo contract: a single-tenant config with quotas and SLO off runs
+// through the identical rank-set builder with empty namespaces and scopes,
+// reproducing the classic runner bit-for-bit (tests/tenant_test.cpp pins
+// this, which is what makes the solo overhead exactly zero).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/keyval.hpp"
+#include "mdwf/health/quota.hpp"
+#include "mdwf/tenant/noise.hpp"
+#include "mdwf/tenant/slo.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace mdwf::tenant {
+
+enum class TenantKind : std::uint8_t {
+  kWorkflow,  // a producer-consumer ensemble (pairs, frames, solution)
+  kNoise,     // a synthetic KVS metadata storm (one node, no frames)
+};
+
+struct TenantSpec {
+  std::string name;
+  TenantKind kind = TenantKind::kWorkflow;
+  workflow::Solution solution = workflow::Solution::kDyad;
+  std::uint32_t pairs = 4;
+  std::uint32_t nodes = 2;
+  workflow::Placement placement = workflow::Placement::kSplit;
+  workflow::WorkloadConfig workload{};
+  workflow::CheckpointParams checkpoint{};
+  // Per-tenant fault scenario (fault::make_scenario name), instantiated
+  // against this tenant's node count and shifted onto its slice.
+  std::string faults = "none";
+  // Relative fair-share weight on the shared services.
+  double weight = 1.0;
+  // SLO guard (workflow tenants only).
+  bool slo = false;
+  SloParams slo_params{};
+  // Noise tenants only.
+  NoiseParams noise{};
+};
+
+struct MultiTenantConfig {
+  std::vector<TenantSpec> tenants;
+  std::uint32_t repetitions = 5;
+  std::uint64_t base_seed = 1;
+  // Worker threads fanning the seeded repetitions (0 = all hardware
+  // threads); results are byte-identical for every value.
+  std::uint32_t threads = 1;
+  // Per-tenant fair-share quotas on KVS/MDS/OST admission (multi-tenant
+  // runs only; a solo tenant never needs them).
+  bool quota = true;
+  health::QuotaParams quota_params{};
+  bool lustre_interference = false;
+  fs::InterferenceParams interference{};
+  workflow::TestbedParams testbed{};
+  // Rep-0 Chrome trace (as in EnsembleConfig::trace_path); tenant rank
+  // lanes land on "<tenant>/node<N>" processes.
+  std::string trace_path;
+};
+
+// One repetition's outcome, tenant-major.
+struct TenantRepOutcome {
+  std::vector<workflow::RepOutcome> tenants;  // spec order
+  obs::CounterMap shared;  // shared-service totals, counted once
+};
+
+struct TenantResult {
+  TenantSpec spec;
+  workflow::EnsembleResult result;
+};
+
+struct MultiTenantResult {
+  std::vector<TenantResult> tenants;
+  obs::CounterMap shared;
+
+  // Canonical per-tenant CSV (one row per tenant plus a "_shared" totals
+  // row).  Fixed %.6f formatting: the byte-compare surface of the
+  // thread-count determinism tests.
+  std::string to_csv() const;
+};
+
+// Extra per-tenant counters (SLO transitions, quota sheds, noise totals)
+// registered on top of the standard ensemble set.
+void register_tenant_counters(obs::CounterMap& counters);
+
+// Sum of every tenant's node count: the shared testbed's compute_nodes.
+std::uint32_t total_nodes(const MultiTenantConfig& config);
+
+// Runs repetition `rep` of the co-tenant schedule in one isolated
+// Simulation.  Thread-safe with respect to other calls.
+TenantRepOutcome run_tenant_repetition(const MultiTenantConfig& config,
+                                       std::uint32_t rep,
+                                       obs::TraceSink* trace = nullptr);
+
+// Runs all repetitions across config.threads workers and folds per tenant
+// in repetition order (byte-identical for every thread count).
+MultiTenantResult run_multi_tenant(const MultiTenantConfig& config);
+
+// key=value binding for the co-tenant driver keys, layered on the classic
+// experiment keys (which it parses via parse_ensemble_config and reuses as
+// per-tenant defaults):
+//
+//   tenants      = comma-separated descriptors, each
+//                  [<name>@]<solution>/<pairs>/<nodes>[/<faults>[/<weight>]]
+//                  or [<name>@]noise[/<intensity>[/<weight>]]
+//   slo          = 0|1   arm the SLO guard on every workflow tenant
+//   slo_target_us= <us>  fetch-P99 target the guards enforce
+//   quota        = 0|1   per-tenant fair-share quotas (default 1)
+//
+// Throws mdwf::ConfigError on malformed descriptors (one-line diagnostic).
+MultiTenantConfig parse_multi_tenant(const KeyValueConfig& cfg,
+                                     const workflow::EnsembleConfig& defaults);
+
+}  // namespace mdwf::tenant

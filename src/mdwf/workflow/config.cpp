@@ -24,7 +24,10 @@ constexpr std::string_view kKnownKeys[] = {
     "frames",   "jitter",   "analytics",    "reps",     "seed",
     "threads",  "interference",             "push",     "compress",
     "colocate", "faults",   "retry",        "health",   "hedge",
-    "integrity",            "checkpoint",   "trace"};
+    "integrity",            "checkpoint",   "trace",
+    // Co-tenant driver keys (read by mdwf::tenant::parse_multi_tenant
+    // before this binding runs; listed here for typo suggestions).
+    "tenants",  "slo",      "slo_target_us", "quota"};
 
 std::string solution_key(Solution s) {
   switch (s) {

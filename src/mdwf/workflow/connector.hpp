@@ -126,6 +126,11 @@ class Connector {
   // Consumer iteration complete (manual sync only; no-op for DYAD).
   virtual void acknowledge(std::uint64_t frame = kAutoFrame) {}
 
+  // The connector whose per-rank counters the collector should read.
+  // Decorators (e.g. the co-tenant SLO fallback wrapper) forward to their
+  // primary so a DYAD tenant's stats survive wrapping.
+  virtual const Connector& stats_target() const { return *this; }
+
  protected:
   // Resolve kAutoFrame against a per-verb monotonic sequence; an explicit
   // index also fast-forwards the sequence so mixed use stays coherent.

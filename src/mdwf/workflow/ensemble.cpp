@@ -99,6 +99,16 @@ sim::Task<void> run_producer(RankContext ctx) {
   std::uint64_t f = 0;
   while (f < workload.frames) {
     const std::uint64_t frame_epoch = rank_epoch(ctx);
+    if (ctx.pacing != nullptr) {
+      // SLO-guard throttle: under contention the guard staggers production
+      // so the tenant's consumer (and its neighbors) can catch up.
+      const Duration hold = ctx.pacing->producer_delay(f);
+      if (hold > Duration::zero()) {
+        perf::ScopedRegion pace(recorder, "slo_stagger",
+                                perf::Category::kIdle);
+        co_await sim.delay(hold);
+      }
+    }
     {
       // MD steps between output frames; jitter models run-to-run rate
       // variability of a real simulation.  Re-executed frames redo the full
@@ -122,7 +132,8 @@ sim::Task<void> run_producer(RankContext ctx) {
       std::exception_ptr failure;
       try {
         perf::ScopedRegion produce(recorder, "produce");
-        co_await ctx.connector->put(frame_path(ctx.pair, f), wire_bytes, f);
+        co_await ctx.connector->put(ctx.ns + frame_path(ctx.pair, f),
+                                    wire_bytes, f);
         if (ctx.publish_times != nullptr) (*ctx.publish_times)[f] = sim.now();
         if (ctx.checkpoint != nullptr) co_await ctx.checkpoint->persist(f + 1);
       } catch (const net::NetError&) {
@@ -158,6 +169,7 @@ sim::Task<void> run_producer(RankContext ctx) {
       continue;
     }
     count_frame(ctx.stats, f, completed_high);
+    if (ctx.pacing != nullptr) ctx.pacing->on_frame_produced(f);
     ++f;
   }
 }
@@ -176,7 +188,8 @@ sim::Task<void> run_consumer(RankContext ctx) {
       std::exception_ptr failure;
       try {
         perf::ScopedRegion consume(recorder, "consume");
-        co_await ctx.connector->get(frame_path(ctx.pair, f), wire_bytes, f);
+        co_await ctx.connector->get(ctx.ns + frame_path(ctx.pair, f),
+                                    wire_bytes, f);
       } catch (const net::NetError&) {
         failure = std::current_exception();
       } catch (const storage::IoError&) {
@@ -192,7 +205,7 @@ sim::Task<void> run_consumer(RankContext ctx) {
         // replica before the producer's own put() returns; the stamp is
         // then still missing and the latency-from-availability is
         // unmeasurable, so that (certainly-not-slow) fetch is skipped.
-        if (ctx.fetch_samples != nullptr) {
+        if (ctx.fetch_samples != nullptr || ctx.pacing != nullptr) {
           TimePoint avail = fetch_start;
           bool stamped = true;
           if (ctx.publish_times != nullptr) {
@@ -201,7 +214,13 @@ sim::Task<void> run_consumer(RankContext ctx) {
             avail = std::max(avail, pub);
           }
           if (stamped) {
-            ctx.fetch_samples->add((sim.now() - avail).to_micros());
+            const double latency_us = (sim.now() - avail).to_micros();
+            if (ctx.fetch_samples != nullptr) {
+              ctx.fetch_samples->add(latency_us);
+            }
+            if (ctx.pacing != nullptr) {
+              ctx.pacing->on_fetch(sim.now(), latency_us);
+            }
           }
         }
         break;
@@ -249,6 +268,7 @@ sim::Task<void> run_consumer(RankContext ctx) {
       continue;
     }
     count_frame(ctx.stats, f, completed_high);
+    if (ctx.pacing != nullptr) ctx.pacing->on_frame_consumed(f);
     ++f;
   }
 }
@@ -291,10 +311,288 @@ constexpr const char* kCounterNames[] = {
 
 }  // namespace
 
+void register_ensemble_counters(obs::CounterMap& counters) {
+  for (const char* name : kCounterNames) counters.add(name, 0);
+}
+
 EnsembleResult make_ensemble_result() {
   EnsembleResult result;
-  for (const char* name : kCounterNames) result.counters.add(name, 0);
+  register_ensemble_counters(result.counters);
   return result;
+}
+
+void build_rank_set(Testbed& tb, const RankSetSpec& spec, const Rng& set_rng,
+                    fault::CrashMonitor* crash, Samples* fetch_samples,
+                    RankSetAssets& assets) {
+  MDWF_ASSERT(spec.pairs >= 1);
+  const bool colocated =
+      spec.nodes == 1 || spec.placement == Placement::kColocated;
+  MDWF_ASSERT_MSG(colocated || spec.nodes % 2 == 0,
+                  "split multi-node ensembles need an even node count");
+  MDWF_ASSERT_MSG(spec.solution != Solution::kXfs || colocated,
+                  "XFS cannot move data between nodes (paper Sec. III-B)");
+  MDWF_ASSERT_MSG(spec.node_base + spec.nodes <= tb.compute_nodes(),
+                  "rank set extends past the testbed's compute nodes");
+
+  auto& sim = tb.simulation();
+  obs::TraceSink* sink = tb.params().trace;
+
+  const std::uint32_t producer_nodes =
+      colocated ? spec.nodes : spec.nodes / 2;
+  const std::uint32_t ranks_per_node =
+      (spec.pairs + producer_nodes - 1) / producer_nodes;
+
+  auto producer_node = [&](std::uint32_t pair) {
+    return spec.node_base + pair / ranks_per_node;
+  };
+  auto consumer_node = [&](std::uint32_t pair) {
+    return colocated
+               ? spec.node_base + pair / ranks_per_node
+               : spec.node_base + producer_nodes + pair / ranks_per_node;
+  };
+  auto trace_process = [&](std::uint32_t node) {
+    return spec.trace_process.empty()
+               ? "node" + std::to_string(node)
+               : spec.trace_process + "/node" + std::to_string(node);
+  };
+
+  const bool ckpt_on = spec.checkpoint.resolve_enabled(spec.crash_aware);
+  assets.stats.assign(2 * spec.pairs, RankStats{});
+
+  for (std::uint32_t pair = 0; pair < spec.pairs; ++pair) {
+    assets.prod_recs.push_back(std::make_unique<perf::Recorder>(
+        sim, "producer" + std::to_string(pair)));
+    assets.cons_recs.push_back(std::make_unique<perf::Recorder>(
+        sim, "consumer" + std::to_string(pair)));
+    auto& prec = *assets.prod_recs.back();
+    auto& crec = *assets.cons_recs.back();
+    const std::uint32_t pnode = producer_node(pair);
+    const std::uint32_t cnode = consumer_node(pair);
+
+    ExplicitSync* sync = nullptr;
+    if (spec.solution == Solution::kXfs ||
+        spec.solution == Solution::kLustre) {
+      assets.syncs.push_back(std::make_unique<ExplicitSync>(sim));
+      sync = assets.syncs.back().get();
+    }
+    // XFS is colocated by construction: both ranks share pnode's local FS.
+    const std::uint32_t cnode_eff =
+        spec.solution == Solution::kXfs ? pnode : cnode;
+    const ConnectorSpec pconn{.testbed = &tb,
+                              .solution = spec.solution,
+                              .node = pnode,
+                              .sync = sync,
+                              .recorder = &prec};
+    const ConnectorSpec cconn{.testbed = &tb,
+                              .solution = spec.solution,
+                              .node = cnode_eff,
+                              .sync = sync,
+                              .recorder = &crec};
+    assets.prod_conn.push_back(spec.connectors
+                                   ? spec.connectors(pconn, pair, false)
+                                   : make_connector(pconn));
+    assets.cons_conn.push_back(spec.connectors
+                                   ? spec.connectors(cconn, pair, true)
+                                   : make_connector(cconn));
+    if (spec.solution == Solution::kDyad && tb.params().dyad.push_mode) {
+      tb.dyad_domain().subscribe(spec.ns + pair_prefix(pair),
+                                 net::NodeId{cnode});
+    }
+    if (spec.solution == Solution::kStream) {
+      // Static route: the scheduler knows the placement, so first frames
+      // skip the KVS cold-start handshake (which stays as the fallback
+      // for routes learned at runtime, exercised by the unit tests).
+      tb.stream_domain().subscribe(spec.ns + pair_prefix(pair),
+                                   net::NodeId{cnode});
+    }
+
+    Checkpoint* pckpt = nullptr;
+    Checkpoint* cckpt = nullptr;
+    if (ckpt_on) {
+      assets.ckpts.push_back(std::make_unique<Checkpoint>(
+          sim, *tb.node(pnode).local_fs,
+          spec.ns + "ckpt/producer" + std::to_string(pair), spec.checkpoint,
+          crash, pnode));
+      pckpt = assets.ckpts.back().get();
+      assets.ckpts.push_back(std::make_unique<Checkpoint>(
+          sim, *tb.node(cnode_eff).local_fs,
+          spec.ns + "ckpt/consumer" + std::to_string(pair), spec.checkpoint,
+          crash, cnode_eff));
+      cckpt = assets.ckpts.back().get();
+    }
+
+    RankContext pctx{
+        .sim = &sim,
+        .connector = assets.prod_conn.back().get(),
+        .recorder = &prec,
+        .workload = spec.workload,
+        .pair = pair,
+        .ns = spec.ns,
+        .pacing = spec.pacing,
+        .rng = set_rng.fork(spec.rng_scope + "pair" + std::to_string(pair)),
+        .node = pnode,
+        .crash = crash,
+        .checkpoint = pckpt,
+        .stats = &assets.stats[2 * pair]};
+    RankContext cctx{.sim = &sim,
+                     .connector = assets.cons_conn.back().get(),
+                     .recorder = &crec,
+                     .workload = spec.workload,
+                     .pair = pair,
+                     .ns = spec.ns,
+                     .pacing = spec.pacing,
+                     .node = cnode_eff,
+                     .crash = crash,
+                     .checkpoint = cckpt,
+                     .stats = &assets.stats[2 * pair + 1]};
+    pctx.injector = cctx.injector = tb.fault_injector();
+    cctx.fetch_samples = fetch_samples;
+    assets.pub_times.push_back(std::make_unique<std::vector<TimePoint>>(
+        spec.workload.frames, TimePoint::origin()));
+    pctx.publish_times = cctx.publish_times = assets.pub_times.back().get();
+    if (sink != nullptr) {
+      // One trace lane per rank, on the process of the node it runs on.
+      pctx.trace = cctx.trace = sink;
+      pctx.track = sink->track(trace_process(pnode),
+                               "producer" + std::to_string(pair));
+      cctx.track = sink->track(trace_process(cnode),
+                               "consumer" + std::to_string(pair));
+      pctx.frame_marker = sink->instant_series(pctx.track, "f=");
+      cctx.frame_marker = sink->instant_series(cctx.track, "f=");
+      prec.set_trace(sink, pctx.track);
+      crec.set_trace(sink, cctx.track);
+    }
+    assets.tasks.push_back(run_producer(pctx));
+    assets.tasks.push_back(run_consumer(cctx));
+  }
+}
+
+void collect_rank_set(Testbed& tb, const RankSetSpec& spec,
+                      RankSetAssets& assets, std::uint32_t rep,
+                      const perf::Metadata& meta_extra, RepOutcome& out) {
+  double pm = 0, pi = 0, cm = 0, ci = 0;
+  for (std::uint32_t pair = 0; pair < spec.pairs; ++pair) {
+    const auto& pt = assets.prod_recs[pair]->tree();
+    const auto& ct = assets.cons_recs[pair]->tree();
+    pm += per_frame_us(pt, "produce", perf::Category::kMovement,
+                       spec.workload.frames);
+    pi += per_frame_us(pt, "produce", perf::Category::kIdle,
+                       spec.workload.frames);
+    cm += per_frame_us(ct, "consume", perf::Category::kMovement,
+                       spec.workload.frames);
+    ci += per_frame_us(ct, "consume", perf::Category::kIdle,
+                       spec.workload.frames);
+
+    perf::Metadata meta{
+        {"solution", std::string(to_string(spec.solution))},
+        {"rep", std::to_string(rep)},
+        {"pair", std::to_string(pair)},
+        {"pairs", std::to_string(spec.pairs)},
+        {"nodes", std::to_string(spec.nodes)},
+        {"model", std::string(spec.workload.model.name)},
+        {"stride", std::to_string(spec.workload.stride)},
+    };
+    for (const auto& [key, value] : meta_extra) meta[key] = value;
+    meta["role"] = "producer";
+    out.thicket.add(meta, assets.prod_recs[pair]->snapshot());
+    meta["role"] = "consumer";
+    out.thicket.add(meta, assets.cons_recs[pair]->snapshot());
+
+    if (spec.solution == Solution::kDyad) {
+      const auto& dc = static_cast<const DyadConnector&>(
+                           assets.cons_conn[pair]->stats_target())
+                           .consumer();
+      out.counters.add("dyad_warm_hits", dc.warm_hits());
+      out.counters.add("dyad_kvs_waits", dc.kvs_waits());
+      out.counters.add("dyad_kvs_retries", dc.kvs_retries());
+      out.counters.add("dyad_recovery_retries", dc.recovery_retries());
+      out.counters.add("dyad_failovers", dc.failovers());
+    }
+  }
+  const std::uint32_t node_end = spec.node_base + spec.nodes;
+  if (spec.solution == Solution::kDyad) {
+    for (std::uint32_t n = spec.node_base; n < node_end; ++n) {
+      out.counters.add("dyad_republishes", tb.node(n).dyad->republishes());
+      const auto& hs = tb.node(n).dyad->health_state();
+      out.counters.add("dyad_hedges", hs.hedges);
+      out.counters.add("dyad_hedge_wins", hs.hedge_wins);
+      out.counters.add("dyad_hedge_cancels", hs.hedge_cancels);
+      out.counters.add("dyad_breaker_trips", hs.breaker.trips());
+      out.counters.add("dyad_breaker_fast_fails", hs.breaker_fast_fails);
+      out.counters.add("dyad_busy_retries", hs.busy_retries);
+    }
+  }
+  if (spec.solution == Solution::kStream) {
+    for (std::uint32_t n = spec.node_base; n < node_end; ++n) {
+      const auto& sn = *tb.node(n).stream;
+      out.counters.add("stream_puts", sn.puts());
+      out.counters.add("stream_staged_hits", sn.staged_hits());
+      out.counters.add("stream_spills", sn.spills());
+      out.counters.add("stream_spill_reads", sn.spill_reads());
+      out.counters.add("stream_replays", sn.replays());
+      out.counters.add("stream_dup_drops", sn.dup_drops());
+      out.counters.add("stream_crash_drops", sn.crash_drops());
+      out.counters.add("stream_credit_waits", sn.credit_waits());
+      out.counters.add("stream_backpressure_stalls",
+                       sn.backpressure_stalls());
+      out.counters.add("stream_hedges", sn.hedges());
+      out.counters.add("stream_hedge_wins", sn.hedge_wins());
+    }
+  }
+  for (std::uint32_t pair = 0; pair < spec.pairs; ++pair) {
+    out.counters.add("frames_produced", assets.stats[2 * pair].frames_done);
+    out.counters.add("frames_consumed",
+                     assets.stats[2 * pair + 1].frames_done);
+    out.counters.add("frames_reexecuted",
+                     assets.stats[2 * pair].reexecuted +
+                         assets.stats[2 * pair + 1].reexecuted);
+    out.counters.add("fault_retries",
+                     assets.stats[2 * pair].fault_retries +
+                         assets.stats[2 * pair + 1].fault_retries);
+    out.counters.add("crash_recoveries",
+                     assets.stats[2 * pair].crash_recoveries +
+                         assets.stats[2 * pair + 1].crash_recoveries);
+  }
+  for (const auto& ckpt : assets.ckpts) {
+    out.counters.add("checkpoint_persists", ckpt->persists());
+    out.counters.add("checkpoint_restores", ckpt->restores());
+  }
+  for (std::uint32_t n = spec.node_base; n < node_end; ++n) {
+    out.counters.add("torn_writes", tb.node(n).local_fs->torn_files());
+    out.counters.add("lost_dirty_pages", tb.node(n).cache->dirty_dropped());
+    out.counters.add("cache_hits", tb.node(n).cache->hits());
+    out.counters.add("cache_misses", tb.node(n).cache->misses());
+  }
+  const auto npairs = static_cast<double>(spec.pairs);
+  out.prod_movement_us = pm / npairs;
+  out.prod_idle_us = pi / npairs;
+  out.cons_movement_us = cm / npairs;
+  out.cons_idle_us = ci / npairs;
+}
+
+void collect_shared(Testbed& tb, std::uint64_t events_fired,
+                    RepOutcome& out) {
+  if (auto* injector = tb.fault_injector()) {
+    if (injector->has_crash_windows()) {
+      out.counters.add("crash_windows", injector->monitor().crashes());
+    }
+    out.counters.add("fault_windows_applied", injector->windows_applied());
+  }
+  out.counters.add("torn_writes", tb.lustre().torn_writes());
+  if (auto* ledger = tb.integrity_ledger()) {
+    out.counters.add("integrity_verified", ledger->verified());
+    out.counters.add("integrity_failures", ledger->failures());
+    out.counters.add("integrity_refetches", ledger->refetches());
+    out.counters.add("integrity_unrecovered", ledger->unrecovered());
+  }
+  out.counters.add("kvs_commits", tb.kvs().commits());
+  out.counters.add("kvs_lookups", tb.kvs().lookups());
+  out.counters.add("kvs_sheds", tb.kvs().sheds());
+  out.counters.add("lustre_sheds", tb.lustre().sheds());
+  out.counters.add("lustre_busy_retries", tb.lustre().busy_retries());
+  out.counters.add("net_retransmit_timeouts",
+                   tb.network().retransmit_timeouts());
+  out.counters.add("sim_events", events_fired);
 }
 
 RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
@@ -308,7 +606,7 @@ RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
                   "XFS cannot move data between nodes (paper Sec. III-B)");
 
   RepOutcome out;
-  for (const char* name : kCounterNames) out.counters.add(name, 0);
+  register_ensemble_counters(out.counters);
 
   {
     TestbedParams tp = config.testbed;
@@ -322,32 +620,10 @@ RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
     // the testbed must unwind first — destroying the simulation destroys the
     // blocked coroutines, whose scoped regions close against the recorders,
     // so everything the coroutine frames touch has to outlive `tb`.
-    std::vector<std::unique_ptr<perf::Recorder>> prod_recs;
-    std::vector<std::unique_ptr<perf::Recorder>> cons_recs;
-    std::vector<std::unique_ptr<ExplicitSync>> syncs;
-    std::vector<std::unique_ptr<Connector>> prod_conn;
-    std::vector<std::unique_ptr<Connector>> cons_conn;
-    std::vector<std::unique_ptr<Checkpoint>> ckpts;
-    std::vector<std::unique_ptr<std::vector<TimePoint>>> pub_times;
-    std::vector<sim::Task<void>> tasks;
-    std::vector<RankStats> stats(2 * config.pairs);
+    RankSetAssets assets;
 
     Testbed tb(tp);
     auto& sim = tb.simulation();
-    obs::TraceSink* sink = tp.trace;
-
-    const std::uint32_t producer_nodes =
-        colocated ? config.nodes : config.nodes / 2;
-    const std::uint32_t ranks_per_node =
-        (config.pairs + producer_nodes - 1) / producer_nodes;
-
-    auto producer_node = [&](std::uint32_t pair) {
-      return pair / ranks_per_node;
-    };
-    auto consumer_node = [&](std::uint32_t pair) {
-      return colocated ? pair / ranks_per_node
-                       : producer_nodes + pair / ranks_per_node;
-    };
 
     // Crash/restart model: crash windows in the plan switch the rank loops
     // to their crash-aware form and (by default) enable checkpointing.
@@ -355,105 +631,22 @@ RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
     const bool crash_aware = tb.fault_injector() != nullptr &&
                              tb.fault_injector()->has_crash_windows();
     if (crash_aware) crash = &tb.fault_injector()->monitor();
-    const bool ckpt_on = config.checkpoint.resolve_enabled(crash_aware);
+
+    RankSetSpec spec;
+    spec.solution = config.solution;
+    spec.pairs = config.pairs;
+    spec.node_base = 0;
+    spec.nodes = config.nodes;
+    spec.placement = config.placement;
+    spec.workload = config.workload;
+    spec.checkpoint = config.checkpoint;
+    spec.crash_aware = crash_aware;
 
     const Rng rep_rng(config.base_seed + rep);
-
-    for (std::uint32_t pair = 0; pair < config.pairs; ++pair) {
-      prod_recs.push_back(std::make_unique<perf::Recorder>(
-          sim, "producer" + std::to_string(pair)));
-      cons_recs.push_back(std::make_unique<perf::Recorder>(
-          sim, "consumer" + std::to_string(pair)));
-      auto& prec = *prod_recs.back();
-      auto& crec = *cons_recs.back();
-      const std::uint32_t pnode = producer_node(pair);
-      const std::uint32_t cnode = consumer_node(pair);
-
-      ExplicitSync* sync = nullptr;
-      if (config.solution == Solution::kXfs ||
-          config.solution == Solution::kLustre) {
-        syncs.push_back(std::make_unique<ExplicitSync>(sim));
-        sync = syncs.back().get();
-      }
-      // XFS is colocated by construction: both ranks share pnode's local FS.
-      const std::uint32_t cnode_eff =
-          config.solution == Solution::kXfs ? pnode : cnode;
-      prod_conn.push_back(make_connector({.testbed = &tb,
-                                          .solution = config.solution,
-                                          .node = pnode,
-                                          .sync = sync,
-                                          .recorder = &prec}));
-      cons_conn.push_back(make_connector({.testbed = &tb,
-                                          .solution = config.solution,
-                                          .node = cnode_eff,
-                                          .sync = sync,
-                                          .recorder = &crec}));
-      if (config.solution == Solution::kDyad && tp.dyad.push_mode) {
-        tb.dyad_domain().subscribe(pair_prefix(pair), net::NodeId{cnode});
-      }
-      if (config.solution == Solution::kStream) {
-        // Static route: the scheduler knows the placement, so first frames
-        // skip the KVS cold-start handshake (which stays as the fallback
-        // for routes learned at runtime, exercised by the unit tests).
-        tb.stream_domain().subscribe(pair_prefix(pair), net::NodeId{cnode});
-      }
-
-      Checkpoint* pckpt = nullptr;
-      Checkpoint* cckpt = nullptr;
-      if (ckpt_on) {
-        ckpts.push_back(std::make_unique<Checkpoint>(
-            sim, *tb.node(pnode).local_fs,
-            "ckpt/producer" + std::to_string(pair), config.checkpoint, crash,
-            pnode));
-        pckpt = ckpts.back().get();
-        ckpts.push_back(std::make_unique<Checkpoint>(
-            sim, *tb.node(cnode_eff).local_fs,
-            "ckpt/consumer" + std::to_string(pair), config.checkpoint, crash,
-            cnode_eff));
-        cckpt = ckpts.back().get();
-      }
-
-      RankContext pctx{.sim = &sim,
-                       .connector = prod_conn.back().get(),
-                       .recorder = &prec,
-                       .workload = config.workload,
-                       .pair = pair,
-                       .rng = rep_rng.fork("pair" + std::to_string(pair)),
-                       .node = pnode,
-                       .crash = crash,
-                       .checkpoint = pckpt,
-                       .stats = &stats[2 * pair]};
-      RankContext cctx{.sim = &sim,
-                       .connector = cons_conn.back().get(),
-                       .recorder = &crec,
-                       .workload = config.workload,
-                       .pair = pair,
-                       .node = cnode_eff,
-                       .crash = crash,
-                       .checkpoint = cckpt,
-                       .stats = &stats[2 * pair + 1]};
-      pctx.injector = cctx.injector = tb.fault_injector();
-      cctx.fetch_samples = &out.cons_fetch_us;
-      pub_times.push_back(std::make_unique<std::vector<TimePoint>>(
-          config.workload.frames, TimePoint::origin()));
-      pctx.publish_times = cctx.publish_times = pub_times.back().get();
-      if (sink != nullptr) {
-        // One trace lane per rank, on the process of the node it runs on.
-        pctx.trace = cctx.trace = sink;
-        pctx.track = sink->track("node" + std::to_string(pnode),
-                                 "producer" + std::to_string(pair));
-        cctx.track = sink->track("node" + std::to_string(cnode),
-                                 "consumer" + std::to_string(pair));
-        pctx.frame_marker = sink->instant_series(pctx.track, "f=");
-        cctx.frame_marker = sink->instant_series(cctx.track, "f=");
-        prec.set_trace(sink, pctx.track);
-        crec.set_trace(sink, cctx.track);
-      }
-      tasks.push_back(run_producer(pctx));
-      tasks.push_back(run_consumer(cctx));
-    }
+    build_rank_set(tb, spec, rep_rng, crash, &out.cons_fetch_us, assets);
 
     if (config.lustre_interference) {
+      config.interference.validate();
       // Horizon generously beyond the serialized-workflow makespan.
       const Duration per_frame =
           config.workload.frame_compute() +
@@ -469,134 +662,14 @@ RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
     }
 
     TimePoint workload_end;
-    sim.spawn(run_all_and_mark(sim, std::move(tasks), workload_end));
+    sim.spawn(run_all_and_mark(sim, std::move(assets.tasks), workload_end));
     const std::uint64_t events_fired = sim.run_to_quiescence();
     // Close trace spans for fault windows still open at simulation end
     // (gray windows often outlive the workload).
     if (tb.fault_injector() != nullptr) tb.fault_injector()->finalize_trace();
 
-    // --- Per-repetition aggregation ------------------------------------
-    double pm = 0, pi = 0, cm = 0, ci = 0;
-    for (std::uint32_t pair = 0; pair < config.pairs; ++pair) {
-      const auto& pt = prod_recs[pair]->tree();
-      const auto& ct = cons_recs[pair]->tree();
-      pm += per_frame_us(pt, "produce", perf::Category::kMovement,
-                         config.workload.frames);
-      pi += per_frame_us(pt, "produce", perf::Category::kIdle,
-                         config.workload.frames);
-      cm += per_frame_us(ct, "consume", perf::Category::kMovement,
-                         config.workload.frames);
-      ci += per_frame_us(ct, "consume", perf::Category::kIdle,
-                         config.workload.frames);
-
-      perf::Metadata meta{
-          {"solution", std::string(to_string(config.solution))},
-          {"rep", std::to_string(rep)},
-          {"pair", std::to_string(pair)},
-          {"pairs", std::to_string(config.pairs)},
-          {"nodes", std::to_string(config.nodes)},
-          {"model", std::string(config.workload.model.name)},
-          {"stride", std::to_string(config.workload.stride)},
-      };
-      meta["role"] = "producer";
-      out.thicket.add(meta, prod_recs[pair]->snapshot());
-      meta["role"] = "consumer";
-      out.thicket.add(meta, cons_recs[pair]->snapshot());
-
-      if (config.solution == Solution::kDyad) {
-        const auto& dc =
-            static_cast<const DyadConnector&>(*cons_conn[pair]).consumer();
-        out.counters.add("dyad_warm_hits", dc.warm_hits());
-        out.counters.add("dyad_kvs_waits", dc.kvs_waits());
-        out.counters.add("dyad_kvs_retries", dc.kvs_retries());
-        out.counters.add("dyad_recovery_retries", dc.recovery_retries());
-        out.counters.add("dyad_failovers", dc.failovers());
-      }
-    }
-    if (config.solution == Solution::kDyad) {
-      for (std::uint32_t n = 0; n < config.nodes; ++n) {
-        out.counters.add("dyad_republishes",
-                            tb.node(n).dyad->republishes());
-        const auto& hs = tb.node(n).dyad->health_state();
-        out.counters.add("dyad_hedges", hs.hedges);
-        out.counters.add("dyad_hedge_wins", hs.hedge_wins);
-        out.counters.add("dyad_hedge_cancels", hs.hedge_cancels);
-        out.counters.add("dyad_breaker_trips", hs.breaker.trips());
-        out.counters.add("dyad_breaker_fast_fails", hs.breaker_fast_fails);
-        out.counters.add("dyad_busy_retries", hs.busy_retries);
-      }
-    }
-    if (config.solution == Solution::kStream) {
-      for (std::uint32_t n = 0; n < config.nodes; ++n) {
-        const auto& sn = *tb.node(n).stream;
-        out.counters.add("stream_puts", sn.puts());
-        out.counters.add("stream_staged_hits", sn.staged_hits());
-        out.counters.add("stream_spills", sn.spills());
-        out.counters.add("stream_spill_reads", sn.spill_reads());
-        out.counters.add("stream_replays", sn.replays());
-        out.counters.add("stream_dup_drops", sn.dup_drops());
-        out.counters.add("stream_crash_drops", sn.crash_drops());
-        out.counters.add("stream_credit_waits", sn.credit_waits());
-        out.counters.add("stream_backpressure_stalls",
-                         sn.backpressure_stalls());
-        out.counters.add("stream_hedges", sn.hedges());
-        out.counters.add("stream_hedge_wins", sn.hedge_wins());
-      }
-    }
-    for (std::uint32_t pair = 0; pair < config.pairs; ++pair) {
-      out.counters.add("frames_produced", stats[2 * pair].frames_done);
-      out.counters.add("frames_consumed", stats[2 * pair + 1].frames_done);
-      out.counters.add("frames_reexecuted",
-                          stats[2 * pair].reexecuted +
-                              stats[2 * pair + 1].reexecuted);
-      out.counters.add("fault_retries",
-                          stats[2 * pair].fault_retries +
-                              stats[2 * pair + 1].fault_retries);
-      out.counters.add("crash_recoveries",
-                          stats[2 * pair].crash_recoveries +
-                              stats[2 * pair + 1].crash_recoveries);
-    }
-    for (const auto& ckpt : ckpts) {
-      out.counters.add("checkpoint_persists", ckpt->persists());
-      out.counters.add("checkpoint_restores", ckpt->restores());
-    }
-    if (crash != nullptr) {
-      out.counters.add("crash_windows", crash->crashes());
-    }
-    std::uint64_t torn = tb.lustre().torn_writes();
-    for (std::uint32_t n = 0; n < config.nodes; ++n) {
-      torn += tb.node(n).local_fs->torn_files();
-      out.counters.add("lost_dirty_pages",
-                          tb.node(n).cache->dirty_dropped());
-    }
-    out.counters.add("torn_writes", torn);
-    if (auto* ledger = tb.integrity_ledger()) {
-      out.counters.add("integrity_verified", ledger->verified());
-      out.counters.add("integrity_failures", ledger->failures());
-      out.counters.add("integrity_refetches", ledger->refetches());
-      out.counters.add("integrity_unrecovered", ledger->unrecovered());
-    }
-    out.counters.add("kvs_commits", tb.kvs().commits());
-    out.counters.add("kvs_lookups", tb.kvs().lookups());
-    out.counters.add("kvs_sheds", tb.kvs().sheds());
-    out.counters.add("lustre_sheds", tb.lustre().sheds());
-    out.counters.add("lustre_busy_retries", tb.lustre().busy_retries());
-    out.counters.add("net_retransmit_timeouts",
-                        tb.network().retransmit_timeouts());
-    for (std::uint32_t n = 0; n < config.nodes; ++n) {
-      out.counters.add("cache_hits", tb.node(n).cache->hits());
-      out.counters.add("cache_misses", tb.node(n).cache->misses());
-    }
-    if (tb.fault_injector() != nullptr) {
-      out.counters.add("fault_windows_applied",
-                          tb.fault_injector()->windows_applied());
-    }
-    out.counters.add("sim_events", events_fired);
-    const auto npairs = static_cast<double>(config.pairs);
-    out.prod_movement_us = pm / npairs;
-    out.prod_idle_us = pi / npairs;
-    out.cons_movement_us = cm / npairs;
-    out.cons_idle_us = ci / npairs;
+    collect_rank_set(tb, spec, assets, rep, {}, out);
+    collect_shared(tb, events_fired, out);
     out.makespan_s = (workload_end - TimePoint::origin()).to_seconds();
   }
   return out;

@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -94,6 +96,29 @@ struct WorkloadConfig {
 std::string frame_path(std::uint32_t pair, std::uint64_t f);
 std::string pair_prefix(std::uint32_t pair);
 
+// SLO-guard pacing hook (implemented by mdwf::tenant).  A rank with a hook
+// reports its progress and fetch latencies and asks before each frame how
+// long to hold production; everything defaults to a no-op so the classic
+// single-workflow path is untouched.
+class PacingHook {
+ public:
+  virtual ~PacingHook() = default;
+  // Extra producer-side idle inserted before a frame's MD compute (the
+  // "stagger frame production" degradation step).  Zero = full speed.
+  virtual Duration producer_delay(std::uint64_t frame) {
+    (void)frame;
+    return Duration::zero();
+  }
+  // One consumer fetch completed with availability-relative latency
+  // `latency_us` (same metric as RankContext::fetch_samples).
+  virtual void on_fetch(TimePoint now, double latency_us) {
+    (void)now;
+    (void)latency_us;
+  }
+  virtual void on_frame_produced(std::uint64_t frame) { (void)frame; }
+  virtual void on_frame_consumed(std::uint64_t frame) { (void)frame; }
+};
+
 // Per-rank recovery bookkeeping, filled in by the rank coroutines and summed
 // into EnsembleResult counters.
 struct RankStats {
@@ -119,6 +144,11 @@ struct RankContext {
   obs::InstantId frame_marker{};
   WorkloadConfig workload{};
   std::uint32_t pair = 0;
+  // Path namespace prepended to every frame path ("" classic;
+  // "<tenant>/" in multi-tenant runs so co-tenant frames never collide).
+  std::string ns;
+  // SLO pacing hook (null = none; see PacingHook).
+  PacingHook* pacing = nullptr;
   Rng rng{1};  // producers only; consumers draw nothing
   // --- Crash/restart model (PR 3); all null/zero = healthy-cluster loop.
   // Compute node the rank runs on (whose crash kills it).
@@ -266,5 +296,85 @@ EnsembleResult make_ensemble_result();
 // Folds one repetition's outcome into the aggregate (must be called in
 // repetition order for byte-identical samples/thicket ordering).
 void fold_repetition(EnsembleResult& into, RepOutcome rep);
+
+// --- Rank-set building blocks (one Testbed, N workflows) ------------------
+//
+// run_repetition instantiates exactly one rank-set covering the whole
+// testbed; mdwf::tenant places several disjoint rank-sets — one per tenant —
+// on a shared testbed.  The classic path goes through the same builder with
+// the defaults below, so there is one rank wiring to maintain.
+
+// Builds one pair's connector; `consumer` distinguishes the two ends.  Null
+// factory = make_connector(spec) (the solution's standard connector).
+using ConnectorFactory = std::function<std::unique_ptr<Connector>(
+    const ConnectorSpec& spec, std::uint32_t pair, bool consumer)>;
+
+// One workflow's slice of a testbed: `pairs` producer-consumer pairs packed
+// onto compute nodes [node_base, node_base + nodes).
+struct RankSetSpec {
+  Solution solution = Solution::kDyad;
+  std::uint32_t pairs = 1;
+  std::uint32_t node_base = 0;
+  std::uint32_t nodes = 1;
+  Placement placement = Placement::kSplit;
+  WorkloadConfig workload{};
+  CheckpointParams checkpoint{};
+  // Run the crash-aware rank loops; the caller decides (globally for the
+  // classic path, per tenant for co-tenant runs whose neighbor crashes).
+  bool crash_aware = false;
+  // Path namespace ("" classic; "<tenant>/" in multi-tenant runs) applied
+  // to frame paths, checkpoint paths, and push-mode subscriptions alike.
+  std::string ns;
+  // Rng fork scope prepended to the per-pair tags ("" classic, so a solo
+  // tenant reproduces the classic seed stream bit-for-bit).
+  std::string rng_scope;
+  // Trace process prefix ("" = classic per-node "node<N>" processes;
+  // "<tenant>" labels them "<tenant>/node<N>").
+  std::string trace_process;
+  // SLO pacing hook shared by every rank of the set (null = none).
+  PacingHook* pacing = nullptr;
+  // Connector override (per-tenant fallback ladders); null = standard.
+  ConnectorFactory connectors;
+};
+
+// Everything a rank-set's coroutines reference.  The caller declares this
+// BEFORE the Testbed (same unwind-order contract as run_repetition: dying
+// coroutines close regions against the recorders) and keeps it alive until
+// the simulation has quiesced.
+struct RankSetAssets {
+  std::vector<std::unique_ptr<perf::Recorder>> prod_recs;
+  std::vector<std::unique_ptr<perf::Recorder>> cons_recs;
+  std::vector<std::unique_ptr<ExplicitSync>> syncs;
+  std::vector<std::unique_ptr<Connector>> prod_conn;
+  std::vector<std::unique_ptr<Connector>> cons_conn;
+  std::vector<std::unique_ptr<Checkpoint>> ckpts;
+  std::vector<std::unique_ptr<std::vector<TimePoint>>> pub_times;
+  std::vector<RankStats> stats;        // 2*pairs: producer, then consumer
+  std::vector<sim::Task<void>> tasks;  // pair-major: producer, consumer
+};
+
+// Wires one rank-set onto `tb`: recorders, connectors, syncs, checkpoints,
+// subscriptions, trace lanes, and the (not yet spawned) rank tasks, in the
+// exact order the classic runner used.  `crash` non-null switches ranks to
+// their crash-aware loops; `fetch_samples` non-null records consumer fetch
+// latencies.
+void build_rank_set(Testbed& tb, const RankSetSpec& spec, const Rng& set_rng,
+                    fault::CrashMonitor* crash, Samples* fetch_samples,
+                    RankSetAssets& assets);
+
+// Aggregates the set's own contribution into `out`: per-pair means, thicket
+// rows (tagged with `meta_extra` on top of the standard keys), per-pair and
+// per-node counters over the set's node range, checkpoint totals.
+void collect_rank_set(Testbed& tb, const RankSetSpec& spec,
+                      RankSetAssets& assets, std::uint32_t rep,
+                      const perf::Metadata& meta_extra, RepOutcome& out);
+
+// Shared-service totals counted once per repetition regardless of how many
+// rank-sets ran: KVS, Lustre (including its torn writes), network, crash
+// windows, integrity ledger, fault windows, simulation events.
+void collect_shared(Testbed& tb, std::uint64_t events_fired, RepOutcome& out);
+
+// Pre-registers the standard ensemble counters (the stable column order).
+void register_ensemble_counters(obs::CounterMap& counters);
 
 }  // namespace mdwf::workflow

@@ -6,6 +6,7 @@
 #   tools/bench.sh health     <mdwf_run-binary>           [out.json]
 #   tools/bench.sh scale      <scale_sweep-binary>        [threads] [out.json]
 #   tools/bench.sh frontier   <solution_frontier-binary>  [threads] [out.json]
+#   tools/bench.sh cotenant   <cotenant_sweep-binary>     [threads] [out.json]
 #   tools/bench.sh perf       <mdwf_run-binary>           [out.json] [baseline.json]
 #
 # The per-suite measurement logic is unchanged from the former five
@@ -24,7 +25,7 @@
 # skip notice instead (the JSON is still written).
 set -eu
 
-SUITE="${1:?usage: bench.sh <trace|resilience|health|scale|frontier|perf> ...}"
+SUITE="${1:?usage: bench.sh <trace|resilience|health|scale|frontier|cotenant|perf> ...}"
 shift
 
 # ---- shared helpers --------------------------------------------------------
@@ -316,6 +317,88 @@ print(json.dumps(doc, indent=2))
 EOF
 }
 
+suite_cotenant() {
+    BIN="${1:?usage: bench.sh cotenant <cotenant_sweep-binary> [threads] [out.json]}"
+    THREADS="${2:-4}"
+    OUT="${3:-BENCH_pr8.json}"
+
+    TMP="$(mktemp -d)"
+    trap 'rm -rf "$TMP"' EXIT
+
+    echo "cotenant_sweep threads=1..." >&2
+    S1="$("$BIN" threads=1 out="$TMP/serial.csv" | tail -n 1)"
+    echo "  $S1" >&2
+    echo "cotenant_sweep threads=$THREADS..." >&2
+    SN="$("$BIN" threads="$THREADS" out="$TMP/parallel.csv" | tail -n 1)"
+    echo "  $SN" >&2
+
+    byte_compare "$TMP/serial.csv" "$TMP/parallel.csv" \
+        "merged CSVs differ between thread counts"
+    echo "  merged CSVs byte-identical across thread counts" >&2
+
+    OVERHEAD="$(summary_field "$S1" solo_overhead_pct)"
+    IMPROVE="$(summary_field "$S1" improvement)"
+    P99OFF="$(summary_field "$S1" p99_off)"
+    P99ON="$(summary_field "$S1" p99_on)"
+    WORST="$(summary_field "$S1" worst_intensity)"
+
+    # Gates: the isolation machinery must at least halve the victim's fetch
+    # P99 under the heaviest storm, and a solo tenant must pay <= 2% (it
+    # actually pays exactly 0: the solo path IS the classic runner).
+    GATE_FAIL=0
+    awk -v x="$IMPROVE" 'BEGIN { exit !(x + 0 >= 2.0) }' || {
+        echo "bench.sh cotenant: FAILED improvement ${IMPROVE}x < 2x" >&2
+        GATE_FAIL=1
+    }
+    awk -v x="$OVERHEAD" 'BEGIN { v = x + 0; if (v < 0) v = -v; exit !(v <= 2.0) }' || {
+        echo "bench.sh cotenant: FAILED solo overhead ${OVERHEAD}% > 2%" >&2
+        GATE_FAIL=1
+    }
+
+    python3 - "$OUT" "$THREADS" "$WORST" "$P99OFF" "$P99ON" "$IMPROVE" \
+        "$OVERHEAD" "$TMP/serial.csv" <<'EOF'
+import json, sys
+out, threads, worst, p99_off, p99_on, improve, overhead, csv = sys.argv[1:9]
+cells = []
+with open(csv) as f:
+    header = f.readline().strip().split(",")
+    for line in f:
+        row = dict(zip(header, line.strip().split(",")))
+        cells.append({
+            "noise_intensity": int(row["intensity"]),
+            "isolation": row["isolation"],
+            "victim_fetch_p99_us": float(row["victim_p99_us"]),
+            "victim_makespan_s": float(row["victim_makespan_s"]),
+            "noise_sheds": int(row["noise_sheds"]),
+            "slo_escalations": int(row["slo_escalations"]),
+            "slo_fallback_frames": int(row["slo_fallback"]),
+        })
+doc = {
+    "bench": "cotenant_isolation_frontier",
+    "workload": "DYAD victim (2 pairs, 2 nodes, 4 frames, reps=2) sharing "
+                "one testbed with a KVS noise storm at intensity "
+                "0/16/64/128; isolation = fair-share quotas + SLO guard",
+    "metric": "victim consumer frame-fetch P99 (us)",
+    "frontier": cells,
+    "worst_noise_intensity": int(worst),
+    "victim_p99_us_isolation_off": float(p99_off),
+    "victim_p99_us_isolation_on": float(p99_on),
+    "isolation_improvement_x": float(improve),
+    "solo_overhead_pct": float(overhead),
+    "gates": {
+        "isolation_improvement_x >= 2": float(improve) >= 2.0,
+        "abs(solo_overhead_pct) <= 2": abs(float(overhead)) <= 2.0,
+    },
+    "merged_output_byte_identical": True,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps(doc, indent=2))
+EOF
+    return "$GATE_FAIL"
+}
+
 suite_frontier() {
     BIN="${1:?usage: bench.sh frontier <solution_frontier-binary> [threads] [out.json]}"
     THREADS="${2:-4}"
@@ -507,10 +590,11 @@ case "$SUITE" in
     health)     suite_health "$@" ;;
     scale)      suite_scale "$@" ;;
     frontier)   suite_frontier "$@" ;;
+    cotenant)   suite_cotenant "$@" ;;
     perf)       suite_perf "$@" ;;
     *)
         echo "bench.sh: unknown suite '$SUITE'" >&2
-        echo "usage: bench.sh <trace|resilience|health|scale|frontier|perf> ..." >&2
+        echo "usage: bench.sh <trace|resilience|health|scale|frontier|cotenant|perf> ..." >&2
         exit 2
         ;;
 esac

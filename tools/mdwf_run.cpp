@@ -48,10 +48,23 @@
 //   output     = table | csv                (default table)
 //   tree       = 0|1                        (print the consumer call tree)
 //
+// Co-tenant mode (multi-tenant co-scheduling, DESIGN.md Sec. 11) — when
+// tenants= is present the driver places every tenant on its own node slice
+// of ONE shared testbed instead of running a single ensemble:
+//   tenants    = comma-separated descriptors, each
+//                [<name>@]<solution>/<pairs>/<nodes>[/<faults>[/<weight>]]
+//                or [<name>@]noise[/<intensity>[/<weight>]]
+//   slo        = 0|1                        (per-tenant SLO guard: stagger ->
+//                                            shrink credits -> Lustre fallback)
+//   slo_target_us = <us>                    (fetch-P99 target, default 6000)
+//   quota      = 0|1                        (weighted fair-share quotas on the
+//                                            shared KVS/MDS/OSTs; default 1)
+//
 // Example:
 //   mdwf_run solution=lustre pairs=16 model=STMV frames=32 output=csv
 //   mdwf_run solution=dyad faults=broker-outage trace=run.json
 //   mdwf_run solution=dyad faults=crash-flip checkpoint=1 trace=crash.json
+//   mdwf_run tenants=victim@dyad/4/2,noise/64 slo=1 output=csv
 //
 // Exit status: 0 on success; 1 on configuration/runtime errors; 2 when the
 // run lost data (unrecovered checksum failures, or fewer frames consumed
@@ -64,6 +77,7 @@
 #include "mdwf/common/keyval.hpp"
 #include "mdwf/common/table.hpp"
 #include "mdwf/sweep/sweep.hpp"
+#include "mdwf/tenant/tenant.hpp"
 #include "mdwf/workflow/config.hpp"
 #include "mdwf/workflow/ensemble.hpp"
 
@@ -87,6 +101,97 @@ workflow::EnsembleConfig driver_defaults() {
   return d;
 }
 
+// Co-tenant mode: N tenants on one shared testbed (tenants= present).
+int run_cotenant(const KeyValueConfig& cfg, const std::string& output) {
+  const tenant::MultiTenantConfig mc =
+      tenant::parse_multi_tenant(cfg, driver_defaults());
+  const tenant::MultiTenantResult r = tenant::run_multi_tenant(mc);
+
+  if (output == "csv") {
+    std::fputs(r.to_csv().c_str(), stdout);
+  } else if (output == "table") {
+    TextTable t({"tenant", "solution", "pairs", "nodes", "makespan_s",
+                 "fetch_p99_us", "frames_consumed", "quota_sheds",
+                 "slo_transitions"});
+    for (const auto& tr : r.tenants) {
+      const bool noise = tr.spec.kind == tenant::TenantKind::kNoise;
+      const auto& c = tr.result.counters;
+      const std::uint64_t quota_sheds = c.get("quota_kvs_sheds") +
+                                        c.get("quota_mds_sheds") +
+                                        c.get("quota_ost_sheds");
+      t.add_row({tr.spec.name,
+                 noise ? "noise"
+                       : std::string(workflow::to_string(tr.spec.solution)),
+                 std::to_string(noise ? 0 : tr.spec.pairs),
+                 std::to_string(tr.spec.nodes),
+                 noise ? "-" : format_double(tr.result.makespan_s.mean(), 3),
+                 noise ? "-"
+                       : format_double(tr.result.cons_fetch_us.quantile(0.99),
+                                       1),
+                 std::to_string(c.get("frames_consumed")),
+                 std::to_string(quota_sheds),
+                 std::to_string(c.get("slo_escalations") +
+                                c.get("slo_deescalations"))});
+    }
+    std::printf("%zu tenant(s), %u node(s) shared testbed, %u "
+                "repetition(s)\n\n%s\nshared counters:\n",
+                mc.tenants.size(), tenant::total_nodes(mc), mc.repetitions,
+                t.render().c_str());
+    for (const auto& [name, value] : r.shared) {
+      if (value == 0) continue;
+      std::printf("  %-24s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+    if (!mc.trace_path.empty()) {
+      std::printf("\ntrace written to %s (+ %s)\n", mc.trace_path.c_str(),
+                  obs::TraceSink::metrics_csv_path(mc.trace_path).c_str());
+    }
+  } else {
+    return fail("unknown output '" + output + "'");
+  }
+
+  // Per-tenant data-loss audit: the diagnostic names the tenant so a failed
+  // co-tenant chaos run is attributable from its stderr line alone.
+  int exit_code = 0;
+  for (const auto& tr : r.tenants) {
+    if (tr.spec.kind != tenant::TenantKind::kWorkflow) continue;
+    const std::uint64_t expected = static_cast<std::uint64_t>(tr.spec.pairs) *
+                                   tr.spec.workload.frames * mc.repetitions;
+    const std::uint64_t consumed = tr.result.counters.get("frames_consumed");
+    if (consumed < expected) {
+      std::fprintf(stderr,
+                   "mdwf_run: FAILED: tenant '%s' incomplete: %llu of %llu "
+                   "frames consumed (tenant=%s faults=%s seed=%llu)\n",
+                   tr.spec.name.c_str(),
+                   static_cast<unsigned long long>(consumed),
+                   static_cast<unsigned long long>(expected),
+                   tr.spec.name.c_str(), tr.spec.faults.c_str(),
+                   static_cast<unsigned long long>(mc.base_seed));
+      exit_code = 2;
+    }
+  }
+  if (r.shared.get("integrity_unrecovered") > 0) {
+    // The ledger is shared, so name the tenants whose plans can corrupt.
+    std::string suspects;
+    for (const auto& tr : r.tenants) {
+      if (tr.spec.faults == "none" || tr.spec.faults.empty()) continue;
+      if (!suspects.empty()) suspects += ",";
+      suspects += tr.spec.name + "(" + tr.spec.faults + ")";
+    }
+    if (suspects.empty()) suspects = "none-declared";
+    std::fprintf(stderr,
+                 "mdwf_run: FAILED: %llu frame read(s) failed checksum "
+                 "verification beyond recovery (suspect tenants=%s "
+                 "seed=%llu)\n",
+                 static_cast<unsigned long long>(
+                     r.shared.get("integrity_unrecovered")),
+                 suspects.c_str(),
+                 static_cast<unsigned long long>(mc.base_seed));
+    exit_code = 2;
+  }
+  return exit_code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,6 +209,8 @@ int main(int argc, char** argv) {
     // fast on any key nobody consumed.
     const std::string output = cfg.get_string("output", "table");
     const bool print_tree = cfg.get_bool("tree", false);
+
+    if (cfg.has("tenants")) return run_cotenant(cfg, output);
 
     const workflow::EnsembleConfig config =
         workflow::parse_ensemble_config(cfg, driver_defaults());
