@@ -1,10 +1,12 @@
 // Chaos fuzzing: randomized gray-failure schedules vs workflow invariants.
 //
 // Property-based companion to resilience_sweep: instead of a fixed scenario
-// grid, each schedule draws a random solution, fault plan (a named scenario
-// or a composite of random fail-slow / lossy / overload / bit-flip windows),
-// workload size, seed, and health/hedge toggles — then runs the ensemble and
-// checks the invariants every recovery path promises:
+// grid, each schedule draws a random solution, fault plan (a named scenario,
+// a membership scenario — permanent node loss / healed partition, run with
+// the membership plane armed — or a composite of random fail-slow / lossy /
+// overload / bit-flip windows), workload size, seed, and health/hedge
+// toggles — then runs the ensemble and checks the invariants every recovery
+// path promises:
 //
 //   * completeness    every expected frame is consumed exactly once
 //   * integrity       zero unrecovered corrupt reads (checksum runs)
@@ -63,6 +65,15 @@ const std::vector<std::string> kNamedPool = {
     "overload",  "ost-storm",  "flaky-fabric", "broker-outage",
     "node-crash", "bit-flip",  "crash-flip"};
 
+// Scenarios that need the membership plane armed: permanent loss (with and
+// without a straddling publish), a healed partition (the zombie-fencing
+// path), and plain crash-recovery run under the plane's heartbeats.  Without
+// the plane a permanent loss ends in the deadlock reporter by design — that
+// termination path has its own directed test, so the fuzzer always enables
+// membership for these.
+const std::vector<std::string> kMembershipPool = {
+    "node-loss", "loss-after-publish", "heal-after-declare", "node-crash"};
+
 struct Schedule {
   std::uint32_t index = 0;
   Solution solution = Solution::kDyad;
@@ -74,6 +85,7 @@ struct Schedule {
   bool health = false;
   bool hedge = false;
   bool integrity = false;
+  bool membership = false;
 };
 
 bool has_corruption_or_crash(const std::vector<fault::FaultWindow>& ws) {
@@ -150,7 +162,14 @@ Schedule draw_schedule(std::uint64_t master_seed, std::uint32_t index) {
   s.health = rng.bernoulli(0.5);
   s.hedge = s.health && rng.bernoulli(0.7);
 
-  if (rng.bernoulli(0.5)) {
+  if (rng.bernoulli(0.25)) {
+    s.membership = true;
+    s.scenario = kMembershipPool[rng.next_below(kMembershipPool.size())];
+    fault::ScenarioShape shape;
+    shape.compute_nodes = kNodes;
+    shape.seed = s.seed;
+    s.windows = fault::make_scenario(s.scenario, shape).windows;
+  } else if (rng.bernoulli(0.5)) {
     s.scenario = kNamedPool[rng.next_below(kNamedPool.size())];
     fault::ScenarioShape shape;
     shape.compute_nodes = kNodes;
@@ -180,6 +199,7 @@ EnsembleConfig make_config(const Schedule& s) {
   cfg.testbed.faults.windows = s.windows;
   cfg.testbed.faults.seed = s.seed;
   cfg.testbed.integrity.enabled = s.integrity;
+  cfg.testbed.membership.enabled = s.membership;
   if (s.solution == Solution::kDyad) {
     cfg.testbed.dyad.retry.enabled = true;
     cfg.testbed.dyad.retry.lustre_fallback = true;
@@ -205,6 +225,10 @@ std::optional<std::string> violation(const Schedule& s,
     return "integrity: " + std::to_string(r.counters.get("integrity_unrecovered")) +
            " unrecovered corrupt reads";
   }
+  if (r.counters.get("frames_lost") != 0) {
+    return "zero-loss: " + std::to_string(r.counters.get("frames_lost")) +
+           " frames lost to a declared node";
+  }
   if (!(r.makespan_s.mean() > 0.0)) {
     return "liveness: non-positive makespan " +
            format_double(r.makespan_s.mean(), 6);
@@ -226,7 +250,9 @@ std::optional<std::string> check_determinism(const Schedule& s) {
            " != " + format_double(b.makespan_s.mean(), 9);
   }
   for (const char* key : {"kvs_lookups", "frames_consumed", "dyad_hedges",
-                          "dyad_breaker_trips", "integrity_refetches"}) {
+                          "dyad_breaker_trips", "integrity_refetches",
+                          "membership_declares", "rank_migrations",
+                          "stale_epoch_rejects"}) {
     if (a.counters.get(key) != b.counters.get(key)) {
       return std::string("determinism: counter ") + key + " " +
              std::to_string(a.counters.get(key)) + " != " +
@@ -243,7 +269,8 @@ std::string describe(const Schedule& s) {
                     " frames=" + std::to_string(s.frames) +
                     " pairs=" + std::to_string(s.pairs) +
                     (s.health ? " health" : "") + (s.hedge ? " hedge" : "") +
-                    (s.integrity ? " integrity" : "") + ", " +
+                    (s.integrity ? " integrity" : "") +
+                    (s.membership ? " membership" : "") + ", " +
                     std::to_string(s.windows.size()) + " windows";
   for (const auto& w : s.windows) {
     out += "\n    " + std::string(fault::to_string(w.target)) + "[" +

@@ -13,7 +13,7 @@
 //   cmp a.csv b.csv
 //
 // is the determinism check and the wall-clock ratio is the speedup
-// (tools/bench_scale.sh automates both into BENCH_pr5.json).
+// (tools/bench.sh scale automates both into BENCH_pr5.json).
 //
 //   scale_sweep [threads=1] [pairs=64] [frames=16] [reps=3] [model=STMV]
 //               [corona=1] [out=<csv path>]
@@ -103,7 +103,7 @@ int main(int argc, char** argv) {
     }
   }
   // On a single-core host a "parallel" run measures thread overhead, not
-  // speedup; flag it so downstream tooling (tools/bench_scale.sh) can mark
+  // speedup; flag it so downstream tooling (tools/bench.sh scale) can mark
   // the speedup invalid instead of reporting a misleading <1x.
   const unsigned host_threads =
       std::max(1u, std::thread::hardware_concurrency());
@@ -112,7 +112,7 @@ int main(int argc, char** argv) {
                  "scale_sweep: warning: single hardware thread; the "
                  "thread-count speedup is not meaningful on this host\n");
   }
-  // Machine-readable summary (tools/bench_scale.sh parses this line).
+  // Machine-readable summary (tools/bench.sh scale parses this line).
   std::printf(
       "scale_sweep: points=%zu errors=%zu sim_events=%llu wall_s=%.3f "
       "events_per_s=%.0f threads=%u host_threads=%u\n",

@@ -22,7 +22,7 @@
 //
 // stdout carries one "frontier:" line per (model, pairs, faults) regime
 // comparing stream vs DYAD P99, then a machine-readable summary line
-// (tools/bench_frontier.sh turns a re-run pair into BENCH_pr6.json).  The
+// (tools/bench.sh frontier turns a re-run pair into BENCH_pr6.json).  The
 // CSV excludes wall-clock, so re-runs at any thread count are byte-identical.
 // Exit 0 when every point ran clean and both frontier sides are non-empty.
 #include <cstdio>

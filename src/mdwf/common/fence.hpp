@@ -1,0 +1,91 @@
+// Incarnation-epoch fencing for the membership plane.
+//
+// Every compute node starts at incarnation 0.  When the controller declares a
+// node permanently lost it bumps that node's incarnation in the shared
+// FenceRegistry; daemons born under the old incarnation (DYAD metadata
+// service clients, stream endpoints, Lustre clients) become *fenced*: the
+// first server-side round trip that observes the bumped incarnation rejects
+// the operation with StaleEpochError instead of applying it.  This is what
+// stops a zombie — a node cut off by an asymmetric partition, declared dead,
+// then healed — from corrupting the namespace with stale publishes.
+//
+// StaleEpochError deliberately does NOT derive from net::NetError: the rank
+// fault-retry loops treat NetError as transient and retry, whereas a fence
+// rejection is permanent for that incarnation and must surface to the rank
+// so it can migrate.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mdwf {
+
+// Identity of one node daemon: which node it serves and the incarnation it
+// was born under.  Daemons never rebirth in place, so a live daemon's
+// incarnation equals the registry value recorded at simulation start (0) and
+// becomes stale exactly when the controller fences the node.
+struct FenceToken {
+  std::uint32_t node = 0;
+  std::uint64_t incarnation = 0;
+};
+
+// Thrown by a fenced server path; not a NetError, so retry loops do not
+// swallow it (see header comment).
+class StaleEpochError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Controller-owned map: node id -> current incarnation, plus a reject tally.
+// Single-threaded per simulation repetition (the DES kernel serialises all
+// access), so no synchronisation is needed.
+class FenceRegistry {
+ public:
+  explicit FenceRegistry(std::uint32_t nodes = 0) : current_(nodes, 0) {}
+
+  // Grow the registry to cover `node` (new entries start at incarnation 0).
+  void ensure(std::uint32_t node) {
+    if (node >= current_.size()) current_.resize(node + 1, 0);
+  }
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(current_.size()); }
+
+  std::uint64_t current(std::uint32_t node) const {
+    return node < current_.size() ? current_[node] : 0;
+  }
+
+  // Bump the node's incarnation (a declare).  Returns the new incarnation.
+  std::uint64_t fence(std::uint32_t node) {
+    ensure(node);
+    return ++current_[node];
+  }
+
+  bool stale(const FenceToken& token) const {
+    return token.incarnation < current(token.node);
+  }
+
+  // Count one rejected stale operation and throw.  `what` names the path
+  // (e.g. "kvs commit", "lustre create") for the error text.
+  [[noreturn]] void reject(const FenceToken& token, const std::string& what) {
+    ++rejects_;
+    throw StaleEpochError("stale incarnation " +
+                          std::to_string(token.incarnation) + " < " +
+                          std::to_string(current(token.node)) + " for node " +
+                          std::to_string(token.node) + ": " + what +
+                          " fenced");
+  }
+
+  // Count a rejection that is handled in place (e.g. a heartbeat re-join
+  // from a declared node) rather than surfaced as an exception.
+  void count_reject() { ++rejects_; }
+
+  std::uint64_t stale_rejects() const { return rejects_; }
+
+ private:
+  std::vector<std::uint64_t> current_;
+  std::uint64_t rejects_ = 0;
+};
+
+}  // namespace mdwf

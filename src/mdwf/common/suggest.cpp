@@ -1,0 +1,52 @@
+#include "mdwf/common/suggest.hpp"
+
+#include <algorithm>
+
+namespace mdwf {
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t up = row[j];
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+namespace {
+
+template <typename Candidates>
+std::string suggest(std::string_view given, const Candidates& candidates) {
+  std::string_view best;
+  std::size_t best_distance = 3;  // only suggest within 2 edits
+  for (const auto& candidate : candidates) {
+    const std::size_t d = edit_distance(given, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  if (best.empty()) return "";
+  return " (did you mean '" + std::string(best) + "'?)";
+}
+
+}  // namespace
+
+std::string did_you_mean(std::string_view given,
+                         const std::vector<std::string_view>& candidates) {
+  return suggest(given, candidates);
+}
+
+std::string did_you_mean(std::string_view given,
+                         const std::vector<std::string>& candidates) {
+  return suggest(given, candidates);
+}
+
+}  // namespace mdwf

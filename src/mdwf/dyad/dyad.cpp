@@ -9,8 +9,12 @@ namespace mdwf::dyad {
 std::string metadata_key(const std::string& path) { return "dyad/" + path; }
 
 std::string DyadMetadata::encode() const {
-  return std::to_string(owner.value) + ":" + std::to_string(size.count()) +
-         ":" + std::to_string(crc);
+  std::string s = std::to_string(owner.value) + ":" +
+                  std::to_string(size.count()) + ":" + std::to_string(crc);
+  // The epoch field is emitted only when nonzero so every healthy put keeps
+  // the exact legacy byte format (daemons are born at incarnation 0).
+  if (epoch != 0) s += ":" + std::to_string(epoch);
+  return s;
 }
 
 DyadMetadata DyadMetadata::decode(const std::string& s) {
@@ -27,11 +31,20 @@ DyadMetadata DyadMetadata::decode(const std::string& s) {
   MDWF_ASSERT_MSG(r1.ec == std::errc{} && r2.ec == std::errc{},
                   "malformed DYAD metadata");
   if (colon2 != std::string::npos) {
+    const auto colon3 = s.find(':', colon2 + 1);
+    const char* crc_end =
+        s.data() + (colon3 == std::string::npos ? s.size() : colon3);
     std::uint32_t crc = 0;
-    auto r3 =
-        std::from_chars(s.data() + colon2 + 1, s.data() + s.size(), crc);
+    auto r3 = std::from_chars(s.data() + colon2 + 1, crc_end, crc);
     MDWF_ASSERT_MSG(r3.ec == std::errc{}, "malformed DYAD metadata");
     m.crc = crc;
+    if (colon3 != std::string::npos) {
+      std::uint64_t epoch = 0;
+      auto r4 =
+          std::from_chars(s.data() + colon3 + 1, s.data() + s.size(), epoch);
+      MDWF_ASSERT_MSG(r4.ec == std::errc{}, "malformed DYAD metadata");
+      m.epoch = epoch;
+    }
   }
   m.owner = net::NodeId{owner};
   m.size = Bytes(size);
@@ -118,6 +131,9 @@ sim::Task<void> DyadNode::republish(std::string key, std::string value) {
   } catch (const net::NetError&) {
     // This node crashed mid-replay; the consumer's bounded watch + failover
     // protocol covers the still-missing key.
+  } catch (const StaleEpochError&) {
+    // This node was declared lost while the replay was in flight: the broker
+    // fenced the commit.  The migrated incarnation republishes on its own.
   }
 }
 
@@ -173,6 +189,10 @@ sim::Task<void> DyadNode::write_through(std::string path, Bytes size) {
     ++lost_writethroughs_;
   } catch (const fs::FsError&) {
     // Raced another writer for the same replica; theirs is as good as ours.
+    ++lost_writethroughs_;
+  } catch (const StaleEpochError&) {
+    // Fenced zombie: the MDS rejected this incarnation's replica commit.
+    // The migrated incarnation's own write-through covers the frame.
     ++lost_writethroughs_;
   }
 }
@@ -445,6 +465,14 @@ sim::Task<void> DyadConsumer::hedge_primary(std::shared_ptr<HedgeRace> race,
     const DyadMetadata meta = DyadMetadata::decode(found->data);
     MDWF_ASSERT_MSG(meta.size == size, "DYAD metadata size mismatch");
     const net::NodeId owner = meta.owner;
+    if (node_->fencing() != nullptr &&
+        node_->fencing()->stale(FenceToken{owner.value, meta.epoch})) {
+      // Owner's incarnation was fenced (declared lost): the primary branch
+      // cannot win — stand down and let the replica read deliver.
+      race->primary_gave_up = true;
+      race->maybe_fail();
+      co_return;
+    }
     if (owner == node_->node() && !node_->params().force_kvs_sync) {
       // Producer is co-located after all: flock the local file, done.
       co_await sim.delay(node_->params().flock_cpu);
@@ -559,12 +587,20 @@ sim::Task<void> DyadConsumer::hedge_replica(std::shared_ptr<HedgeRace> race,
       // only once the write has advanced its size — opening early would
       // burn the read-attempt budget on read-past-EOF errors while the
       // writer is mid-flight.  Each probe is metadata-only, so a hedge
-      // cancelled here has moved no payload bytes.
+      // cancelled here has moved no payload bytes.  Bounded: a replica
+      // whose write-through died with its producer never lands, and an
+      // unbounded poll would keep the event loop alive forever.
+      std::uint32_t polls = 0;
       for (;;) {
         const std::optional<Bytes> replica_size = co_await lc->stat(path);
         if (replica_size.has_value() && *replica_size >= size) break;
         if (race->settled) {
           ++h.hedge_cancels;
+          co_return;
+        }
+        if (++polls > 4096) {
+          race->hedge_gave_up = true;
+          race->maybe_fail();
           co_return;
         }
         co_await sim.delay(node_->params().health.hedge.availability_poll);
@@ -685,8 +721,19 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
       found = co_await observed_lookup(metadata_key(path));
     }
     std::uint32_t attempt = 0;
+    std::uint32_t rounds = 0;
     Duration backoff = retry.backoff_base;
     while (!found.has_value() && !failed_over) {
+      // Global bound on the sync loop: with the recovery protocol on, every
+      // round arms fresh timers, so a frame whose producer is permanently
+      // lost (and never migrated) would otherwise keep the event loop alive
+      // forever and the run would neither finish nor reach the deadlock
+      // reporter.  Give up loudly instead; the rank-level retry (or the
+      // membership plane's migration) owns what happens next.
+      if (++rounds > 4096) {
+        throw net::NetError("dyad: metadata for '" + path +
+                            "' never appeared (producer lost?)");
+      }
       if (denied) {
         // Breaker open: route around the sick broker.  A replica on the
         // shared FS proves the frame was produced — fail over immediately;
@@ -765,7 +812,14 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
       const DyadMetadata meta = DyadMetadata::decode(found->data);
       MDWF_ASSERT_MSG(meta.size == size, "DYAD metadata size mismatch");
       owner = meta.owner;
-      if (owner == node_->node() && !node_->params().force_kvs_sync) {
+      if (can_fail_over && node_->fencing() != nullptr &&
+          node_->fencing()->stale(FenceToken{owner.value, meta.epoch})) {
+        // The metadata was published under a since-fenced incarnation: the
+        // membership controller declared the owner lost, so the RDMA pull
+        // is doomed — go straight to the Lustre cold replica instead of
+        // burning the retry budget against a dead broker.
+        failed_over = true;
+      } else if (owner == node_->node() && !node_->params().force_kvs_sync) {
         // Producer is co-located after all (single-node config): the file
         // is local once the metadata is visible.
         co_await sim.delay(node_->params().flock_cpu);
@@ -859,9 +913,17 @@ sim::Task<void> DyadConsumer::consume(const std::string& path, Bytes size) {
     perf::ScopedRegion fo(*rec_, "dyad_failover_read",
                           perf::Category::kMovement);
     auto* lc = node_->fallback_client();
+    std::uint32_t polls = 0;
     while (!co_await lc->exists(path)) {
       // Metadata said the frame exists but the write-through is still in
-      // flight; poll until the replica lands.
+      // flight; poll until the replica lands.  Bounded: the write-through
+      // may have died with its producer (lost_writethroughs), in which case
+      // only a migrated re-producer can supply the frame — fail loudly so
+      // the rank-level retry re-resolves the owner.
+      if (++polls > 256) {
+        throw net::NetError("dyad: failover replica for '" + path +
+                            "' never appeared (write-through lost)");
+      }
       co_await sim.delay(retry.timeout);
     }
     const fs::LustreHandle h = co_await lc->open(path);

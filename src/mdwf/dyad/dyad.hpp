@@ -203,6 +203,15 @@ class DyadNode {
   // Plain commit when health is off.
   sim::Task<void> commit_guarded(std::string key, std::string value);
 
+  // --- Fencing (mdwf::membership) -----------------------------------------
+  // Controller's incarnation registry.  Consumers consult it to spot
+  // metadata published under a since-fenced incarnation (its owner node was
+  // declared lost) and fail over to the Lustre cold replica without burning
+  // the RDMA retry budget; the authoritative commit-time rejection lives in
+  // the KVS broker itself.  Not owned; nullptr = fencing off.
+  void set_fencing(FenceRegistry* fences) { fences_ = fences; }
+  FenceRegistry* fencing() { return fences_; }
+
   // --- Integrity (mdwf::integrity) ----------------------------------------
   void set_integrity(integrity::Ledger* ledger) { ledger_ = ledger; }
   integrity::Ledger* integrity() { return ledger_; }
@@ -230,6 +239,7 @@ class DyadNode {
   std::unique_ptr<fs::LustreClient> fallback_client_;
   NodeHealth health_;
   std::map<std::string, std::string> published_;
+  FenceRegistry* fences_ = nullptr;
   integrity::Ledger* ledger_ = nullptr;
   std::uint64_t remote_reads_ = 0;
   std::uint64_t pushes_ = 0;
@@ -248,10 +258,16 @@ struct DyadMetadata {
   net::NodeId owner;
   Bytes size;
   std::uint32_t crc = 0;
+  // Incarnation epoch of the publishing daemon (mdwf::membership).  Daemons
+  // are born at epoch 0 and never rebirth in place, so the tag is 0 on every
+  // healthy put and the wire format only grows a fourth field for nonzero
+  // epochs; consumers judge staleness against the controller's registry
+  // (FenceRegistry::stale), not against the tag alone.
+  std::uint64_t epoch = 0;
 
   std::string encode() const;
-  // Accepts both the legacy "owner:size" and the tagged "owner:size:crc"
-  // encodings.
+  // Accepts the legacy "owner:size", the tagged "owner:size:crc", and the
+  // fenced "owner:size:crc:epoch" encodings.
   static DyadMetadata decode(const std::string& s);
 };
 

@@ -22,6 +22,7 @@ std::string trace_lane(const FaultWindow& w) {
     case FaultTarget::kLustreOst:
       return "ost" + std::to_string(w.index);
     case FaultTarget::kNodeCrash:
+    case FaultTarget::kNodeLoss:
       return "node" + std::to_string(w.index);
     case FaultTarget::kSlowDevice:
       return "node" + std::to_string(w.index) + ".nvme";
@@ -156,7 +157,18 @@ void FaultInjector::attach_stream(std::uint32_t node,
 
 bool FaultInjector::has_crash_windows() const {
   for (const FaultWindow& w : plan_.windows) {
-    if (w.target == FaultTarget::kNodeCrash) return true;
+    if (w.target == FaultTarget::kNodeCrash ||
+        w.target == FaultTarget::kNodeLoss ||
+        w.mode == FaultMode::kIsolate) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::node_lost(std::uint32_t node) const {
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.target == FaultTarget::kNodeLoss && w.index == node) return true;
   }
   return false;
 }
@@ -177,6 +189,9 @@ void FaultInjector::arm() {
       began_[i] = true;
       apply(plan_.windows[i], /*begin=*/true);
     });
+    // Permanent loss has no end: the node never rejoins, so no recovery
+    // callback is scheduled and finalize_trace() exports the open window.
+    if (w.target == FaultTarget::kNodeLoss) continue;
     sim_->call_at(w.end(), [this, i] {
       ended_[i] = true;
       apply(plan_.windows[i], /*begin=*/false);
@@ -334,7 +349,8 @@ void FaultInjector::apply_crash(const FaultWindow& w, bool begin) {
 }
 
 void FaultInjector::apply(const FaultWindow& w, bool begin) {
-  if (w.target == FaultTarget::kNodeCrash) {
+  if (w.target == FaultTarget::kNodeCrash ||
+      w.target == FaultTarget::kNodeLoss) {
     apply_crash(w, begin);
     return;
   }
@@ -391,6 +407,9 @@ void FaultInjector::apply(const FaultWindow& w, bool begin) {
         case FaultMode::kOffline:
           a.offline_depth += begin ? 1 : -1;
           network_->set_link_down(net::NodeId{w.index}, a.offline_depth > 0);
+          break;
+        case FaultMode::kIsolate:
+          network_->set_link_isolated(net::NodeId{w.index}, begin);
           break;
         default:
           MDWF_ASSERT_MSG(false, "unsupported fault mode for a network link");
@@ -463,6 +482,7 @@ void FaultInjector::apply(const FaultWindow& w, bool begin) {
       break;
     }
     case FaultTarget::kNodeCrash:
+    case FaultTarget::kNodeLoss:
       break;  // handled above
   }
   if (begin) ++applied_;

@@ -119,8 +119,17 @@ class FaultInjector {
   CrashMonitor& monitor() { return *monitor_; }
 
   // True if the plan contains any node-crash/kill window (ranks then run
-  // their crash-aware loops).
+  // their crash-aware loops).  Isolation windows count too: an isolated
+  // node's ranks need the retry loops to ride out the outbound blackout,
+  // and under a membership plane the node can be declared lost and its
+  // processes killed while the plan itself holds no crash window.
   bool has_crash_windows() const;
+
+  // True if the plan permanently removes `node` (a kNodeLoss window).
+  // Rank loops use this to park instead of polling for a peer that can
+  // never come back, so membership-less runs quiesce into the deadlock
+  // reporter rather than retrying forever.
+  bool node_lost(std::uint32_t node) const;
 
   // CPU dilation of the ranks on `node` right now (1.0 = nominal); rank
   // loops consult it before each compute burst (kSlowNode windows).

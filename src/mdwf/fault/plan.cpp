@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "mdwf/common/suggest.hpp"
+
 namespace mdwf::fault {
 
 std::string_view to_string(FaultTarget t) {
@@ -18,6 +20,8 @@ std::string_view to_string(FaultTarget t) {
       return "lustre-ost";
     case FaultTarget::kNodeCrash:
       return "node-crash";
+    case FaultTarget::kNodeLoss:
+      return "node-loss";
     case FaultTarget::kSlowDevice:
       return "slow-device";
     case FaultTarget::kLossyLink:
@@ -52,6 +56,8 @@ std::string_view to_string(FaultMode m) {
       return "fail-slow";
     case FaultMode::kLossy:
       return "lossy";
+    case FaultMode::kIsolate:
+      return "isolate";
   }
   return "?";
 }
@@ -61,6 +67,7 @@ bool targets_node(FaultTarget t) {
     case FaultTarget::kNodeSsd:
     case FaultTarget::kNodeLink:
     case FaultTarget::kNodeCrash:
+    case FaultTarget::kNodeLoss:
     case FaultTarget::kSlowDevice:
     case FaultTarget::kLossyLink:
     case FaultTarget::kSlowNode:
@@ -88,8 +95,9 @@ void shift_node_targets(FaultPlan& plan, std::uint32_t node_base) {
 bool has_crash_in_nodes(const FaultPlan& plan, std::uint32_t first,
                         std::uint32_t count) {
   for (const auto& w : plan.windows) {
-    if (w.target == FaultTarget::kNodeCrash && w.index >= first &&
-        w.index < first + count) {
+    if ((w.target == FaultTarget::kNodeCrash ||
+         w.target == FaultTarget::kNodeLoss) &&
+        w.index >= first && w.index < first + count) {
       return true;
     }
   }
@@ -149,6 +157,18 @@ void add_bit_flips(FaultPlan& plan, const ScenarioShape& shape,
     plan.windows.push_back(window(FaultTarget::kLustreOst, o,
                                   FaultMode::kBitFlip, start, span, 0.01));
   }
+}
+
+// Permanent power loss on `victim`: same begin semantics as a crash (dirty
+// pages dropped, torn writes, NIC down, flows torn) but no reboot is ever
+// scheduled.  `late` strikes at half the span so published frames exist.
+void add_node_loss(FaultPlan& plan, std::uint32_t victim, TimePoint start,
+                   Duration span, bool late) {
+  const Duration offset =
+      late ? std::min(Duration(span.ns() / 2), Duration::seconds_i(3))
+           : std::min(Duration(span.ns() / 3), Duration::seconds_i(2));
+  plan.windows.push_back(window(FaultTarget::kNodeLoss, victim,
+                                FaultMode::kCrash, start + offset, span, 1.0));
 }
 
 }  // namespace
@@ -280,6 +300,26 @@ FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape) {
                                   0.6));
     return plan;
   }
+  if (name == "node-loss") {
+    add_node_loss(plan, 0, start, shape.span, /*late=*/false);
+    return plan;
+  }
+  if (name == "loss-after-publish") {
+    add_node_loss(plan, 0, start, shape.span, /*late=*/true);
+    return plan;
+  }
+  if (name == "heal-after-declare") {
+    // One-way partition on node 0, long enough for the membership plane to
+    // declare it lost (confirm window + silence ceiling are an order of
+    // magnitude shorter), then healed: the zombie's stale incarnation must
+    // be fenced, not re-admitted.
+    const Duration offset =
+        std::min(Duration(shape.span.ns() / 3), Duration::seconds_i(2));
+    plan.windows.push_back(window(FaultTarget::kNodeLink, 0,
+                                  FaultMode::kIsolate, start + offset,
+                                  Duration::milliseconds(1200), 1.0));
+    return plan;
+  }
   if (name.starts_with("crash:")) {
     const std::string arg(name.substr(6));
     char* end = nullptr;
@@ -294,7 +334,7 @@ FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape) {
     return plan;
   }
   throw std::invalid_argument("unknown fault scenario '" + std::string(name) +
-                              "'");
+                              "'" + did_you_mean(name, scenario_names()));
 }
 
 const std::vector<std::string>& scenario_names() {
@@ -302,7 +342,8 @@ const std::vector<std::string>& scenario_names() {
       "none",      "broker-blip", "broker-outage", "slow-nvme",
       "flaky-fabric", "partition", "ost-storm",    "node-crash",
       "rank-kill", "bit-flip",    "crash-flip",    "slow-disk",
-      "lossy-link", "overload"};
+      "lossy-link", "overload",   "node-loss",     "loss-after-publish",
+      "heal-after-declare"};
   return names;
 }
 

@@ -30,6 +30,9 @@ enum class FaultTarget : std::uint8_t {
   kKvsBroker,  // the Flux-style KVS broker (index ignored)
   kLustreOst,  // one Lustre OST device (index = OST)
   kNodeCrash,  // a whole compute node (index = node): crash/kill semantics
+  kNodeLoss,   // a whole compute node, permanently (index = node): power
+               // loss with no reboot — the node never rejoins; only the
+               // membership plane (declare + migrate) lets the run finish
   // Gray failures (fail-slow, not fail-stop): every RPC still succeeds,
   // just slowly or lossily — the failures mdwf::health mitigates.
   kSlowDevice,        // fail-slow NVMe: latency + bandwidth stretch
@@ -59,6 +62,9 @@ enum class FaultMode : std::uint8_t {
              // 1/(1-s) — s=0.9 is a 10x-slow device/server/CPU
   kLossy,    // kLossyLink only: severity = per-packet loss probability;
              // lost packets retransmit (byte inflation + seeded RTO stalls)
+  kIsolate,  // kNodeLink only: asymmetric one-way partition — nothing
+             // leaves the node (outbound ops fail fast) but inbound
+             // traffic still arrives; the zombie/split-brain shape
 };
 
 std::string_view to_string(FaultTarget t);
@@ -167,6 +173,16 @@ struct ScenarioShape {
 //   overload       KVS broker service times stretch 100x and Lustre
 //                  MDS/OST service times 2.5x for the span (metadata-storm
 //                  co-tenant); the headline mdwf::health scenario
+//   node-loss      node 0 loses power mid-run and never reboots; only a
+//                  membership plane (declare-dead + rank migration) lets
+//                  the run complete, otherwise the deadlock reporter fires
+//   loss-after-publish  like node-loss but struck later, after frames have
+//                  been published — the migrated ranks re-execute only the
+//                  lost tail past the checkpoint
+//   heal-after-declare  asymmetric one-way partition on node 0 that heals
+//                  after the declare ceiling: the isolated node keeps
+//                  working (a zombie), is declared lost, and its stale
+//                  incarnation is fenced when the partition heals
 FaultPlan make_scenario(std::string_view name, const ScenarioShape& shape);
 
 // Every name `make_scenario` accepts, in a stable order.

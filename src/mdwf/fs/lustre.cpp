@@ -126,6 +126,13 @@ LustreClient::LustreClient(sim::Simulation& sim, LustreServers& servers,
 sim::Task<LustreHandle> LustreClient::create(std::string path) {
   co_await sim_->delay(servers_->params_.client_rpc_cpu);
   co_await servers_->mds_rpc(node_);
+  // Incarnation fence, checked only after the MDS round trip succeeds: a
+  // zombie behind a one-way partition cannot learn of its declare until
+  // traffic flows again.
+  if (servers_->fences_ != nullptr &&
+      servers_->fences_->stale(FenceToken{node_.value, 0})) {
+    servers_->fences_->reject(FenceToken{node_.value, 0}, "lustre create");
+  }
   if (servers_->files_.contains(path)) {
     throw FsError("lustre create: exists: " + path);
   }
@@ -316,6 +323,11 @@ sim::Task<void> LustreClient::close(const LustreHandle& h, bool wrote) {
   if (wrote) {
     co_await sim_->delay(servers_->params_.client_rpc_cpu);
     co_await servers_->mds_rpc(node_);
+    if (servers_->fences_ != nullptr &&
+        servers_->fences_->stale(FenceToken{node_.value, 0})) {
+      servers_->fences_->reject(FenceToken{node_.value, 0},
+                                "lustre close-commit");
+    }
     // The size/attr update is the MDS journal commit: everything written so
     // far is now recoverable from the journal tail even if the writer dies.
     const auto it = servers_->files_.find(h.path);
@@ -331,6 +343,10 @@ sim::Task<void> LustreClient::close(const LustreHandle& h, bool wrote) {
 sim::Task<void> LustreClient::unlink(const std::string& path) {
   co_await sim_->delay(servers_->params_.client_rpc_cpu);
   co_await servers_->mds_rpc(node_);
+  if (servers_->fences_ != nullptr &&
+      servers_->fences_->stale(FenceToken{node_.value, 0})) {
+    servers_->fences_->reject(FenceToken{node_.value, 0}, "lustre unlink");
+  }
   const auto it = servers_->files_.find(path);
   if (it == servers_->files_.end()) {
     throw FsError("lustre unlink: no such file: " + path);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mdwf/common/bytes.hpp"
+#include "mdwf/common/fence.hpp"
 #include "mdwf/fs/local_fs.hpp"  // FsError
 #include "mdwf/health/quota.hpp"
 #include "mdwf/net/network.hpp"
@@ -118,6 +119,13 @@ class LustreServers {
   // overloading tenant and other tenants' shares stay untouched.  Not owned.
   void set_quota(health::TenantQuota* quota) { quota_ = quota; }
 
+  // --- Fencing (mdwf::membership) -----------------------------------------
+  // Incarnation fencing of the namespace-mutating paths (create/unlink): an
+  // RPC from a client node the membership controller declared lost is
+  // rejected with StaleEpochError after the MDS round trip, so a healed
+  // zombie cannot commit into the shared namespace.  Not owned; nullptr off.
+  void set_fencing(FenceRegistry* fences) { fences_ = fences; }
+
   // --- Crash consistency ----------------------------------------------------
   // Client `node` lost power: every file it wrote past the last journal
   // commit (close-after-write publishes size to the MDS journal) is torn
@@ -177,6 +185,7 @@ class LustreServers {
   std::uint32_t busy_retry_limit_ = 24;
   Duration busy_retry_base_ = Duration::microseconds(200);
   health::TenantQuota* quota_ = nullptr;
+  FenceRegistry* fences_ = nullptr;
   std::uint64_t sheds_ = 0;
   std::uint64_t busy_retries_ = 0;
   std::int64_t mds_pending_ = 0;

@@ -51,6 +51,30 @@ bool FailureDetector::suspect(Duration x) const {
   return phi(x) >= params_.phi_threshold;
 }
 
+// --- DeclarePolicy ----------------------------------------------------------
+
+void DeclarePolicy::observe_heartbeat(TimePoint now) {
+  if (heard_) detector_.observe(now - last_);
+  heard_ = true;
+  last_ = now;
+  suspected_ = false;  // a live heartbeat resets the confirm window
+}
+
+bool DeclarePolicy::should_declare(TimePoint now) {
+  if (!heard_) return false;
+  const Duration silence = now - last_;
+  if (silence >= params_.silence_ceiling) return true;
+  if (!detector_.suspect(silence)) {
+    suspected_ = false;
+    return false;
+  }
+  if (!suspected_) {
+    suspected_ = true;
+    suspect_since_ = now;
+  }
+  return now - suspect_since_ >= params_.confirm_window;
+}
+
 // --- CircuitBreaker ---------------------------------------------------------
 
 void CircuitBreaker::open(TimePoint now) {

@@ -98,6 +98,58 @@ class FailureDetector {
   std::uint32_t count_ = 0;
 };
 
+// --- Declare-dead policy ----------------------------------------------------
+
+struct DeclareParams {
+  // Sustained suspicion required before a declare: the phi detector must
+  // keep the node suspect for this long without an intervening heartbeat
+  // resetting it.  Guards against one late heartbeat killing a node.
+  Duration confirm_window = Duration::milliseconds(60);
+  // Absolute ceiling: silence at or past this declares the node regardless
+  // of what the detector learned (covers the pre-warm-up phase and a
+  // detector taught sickness as normal).
+  Duration silence_ceiling = Duration::milliseconds(250);
+  // Detector over heartbeat inter-arrival gaps.  The floor sits at several
+  // heartbeat periods (default period 10 ms) so jitter is never suspect;
+  // the per-sample ceiling is disabled — silence_ceiling above is the
+  // absolute bound for declares.
+  DetectorParams detector{
+      .min_stddev = Duration::microseconds(500),
+      .suspect_floor = Duration::milliseconds(30),
+      .suspect_ceiling = Duration::zero(),
+  };
+};
+
+// Promotes the phi-accrual detector from a hedging hint into a declare-dead
+// policy: the membership controller feeds it one node's heartbeat arrivals
+// and polls `should_declare`.  A declare is terminal for the node — the
+// caller fences the old incarnation and migrates its ranks; this class only
+// decides *when*.  Pure state machine over (TimePoint), like the rest of
+// mdwf::health.
+class DeclarePolicy {
+ public:
+  explicit DeclarePolicy(DeclareParams params = {})
+      : params_(params), detector_(params.detector) {}
+
+  void observe_heartbeat(TimePoint now);
+
+  // True once the node has been suspect for confirm_window, or silent for
+  // silence_ceiling.  Never true before the first heartbeat: a node that
+  // has not joined yet cannot be declared.
+  bool should_declare(TimePoint now);
+
+  bool heard() const { return heard_; }
+  TimePoint last_heartbeat() const { return last_; }
+
+ private:
+  DeclareParams params_;
+  FailureDetector detector_;
+  TimePoint last_ = TimePoint::origin();
+  bool heard_ = false;
+  bool suspected_ = false;
+  TimePoint suspect_since_ = TimePoint::origin();
+};
+
 // --- Circuit breaking -------------------------------------------------------
 
 struct BreakerParams {

@@ -34,6 +34,7 @@ void TenantQuota::map_nodes(std::uint32_t first, std::uint32_t count,
   MDWF_ASSERT(tenant < tenants_.size());
   if (node_tenant_.size() < first + count) {
     node_tenant_.resize(first + count, kUnmapped);
+    node_lost_.resize(first + count, false);
   }
   for (std::uint32_t n = first; n < first + count; ++n) {
     // Disjoint placement is the node-local isolation guarantee; overlapping
@@ -42,6 +43,7 @@ void TenantQuota::map_nodes(std::uint32_t first, std::uint32_t count,
                     "node already mapped to a tenant");
     node_tenant_[n] = tenant;
   }
+  tenants_[tenant].mapped_nodes += count;
 }
 
 std::uint32_t TenantQuota::tenant_of(net::NodeId node) const {
@@ -59,6 +61,28 @@ double TenantQuota::weight(std::uint32_t t) const {
   return tenants_[t].weight;
 }
 
+double TenantQuota::effective_weight(std::uint32_t t) const {
+  MDWF_ASSERT(t < tenants_.size());
+  const PerTenant& pt = tenants_[t];
+  if (pt.mapped_nodes == 0) return pt.weight;
+  return pt.weight *
+         static_cast<double>(pt.mapped_nodes - pt.lost_nodes) /
+         static_cast<double>(pt.mapped_nodes);
+}
+
+void TenantQuota::on_node_lost(net::NodeId node) {
+  const std::uint32_t t = tenant_of(node);
+  if (t == kUnmapped) return;
+  if (node_lost_[node.value]) return;  // a declare is terminal; count once
+  node_lost_[node.value] = true;
+  ++tenants_[t].lost_nodes;
+}
+
+std::uint32_t TenantQuota::nodes_lost(std::uint32_t t) const {
+  MDWF_ASSERT(t < tenants_.size());
+  return tenants_[t].lost_nodes;
+}
+
 std::uint32_t TenantQuota::budget(QuotaResource r) const {
   switch (r) {
     case QuotaResource::kKvs:
@@ -73,9 +97,15 @@ std::uint32_t TenantQuota::budget(QuotaResource r) const {
 
 std::uint32_t TenantQuota::bound(QuotaResource r, std::uint32_t tenant) const {
   MDWF_ASSERT(tenant < tenants_.size());
-  if (total_weight_ <= 0.0) return 1;
+  // Shares are over *effective* weights, so a tenant that lost nodes claims
+  // proportionally less and the survivors' bounds grow to fill the budget.
+  double total = 0.0;
+  for (std::uint32_t t = 0; t < tenants_.size(); ++t) {
+    total += effective_weight(t);
+  }
+  if (total <= 0.0) return 1;
   const double share =
-      static_cast<double>(budget(r)) * tenants_[tenant].weight / total_weight_;
+      static_cast<double>(budget(r)) * effective_weight(tenant) / total;
   return std::max<std::uint32_t>(
       1, static_cast<std::uint32_t>(std::llround(share)));
 }

@@ -57,6 +57,17 @@ class TenantQuota {
   std::size_t tenant_count() const { return tenants_.size(); }
   const std::string& tenant_name(std::uint32_t t) const;
   double weight(std::uint32_t t) const;
+  // Effective fair-share weight: the configured weight scaled by the
+  // fraction of the tenant's mapped nodes still alive.  Equal to weight()
+  // until a node loss shrinks the slice.
+  double effective_weight(std::uint32_t t) const;
+
+  // Rebalance on a permanent node loss (membership declare): the lost node
+  // stops contributing to its tenant's share, so the tenant's bounds shrink
+  // proportionally and every survivor's grow.  Idempotent per node;
+  // unmapped nodes (servers) are ignored.
+  void on_node_lost(net::NodeId node);
+  std::uint32_t nodes_lost(std::uint32_t t) const;
 
   // `tenant`'s bounded queue depth on `r`: its weighted share of the
   // resource's queue budget, floored at 1.
@@ -83,6 +94,8 @@ class TenantQuota {
   struct PerTenant {
     std::string name;
     double weight = 1.0;
+    std::uint32_t mapped_nodes = 0;
+    std::uint32_t lost_nodes = 0;
     std::int64_t in_flight[kQuotaResources] = {};
     std::uint64_t admits[kQuotaResources] = {};
     std::uint64_t releases[kQuotaResources] = {};
@@ -95,6 +108,7 @@ class TenantQuota {
   std::vector<PerTenant> tenants_;
   double total_weight_ = 0.0;
   std::vector<std::uint32_t> node_tenant_;  // indexed by node id
+  std::vector<bool> node_lost_;             // parallel to node_tenant_
 };
 
 // RAII admit/release pairing usable inside coroutine frames; a null quota is

@@ -145,6 +145,14 @@ sim::Task<void> KvsClient::commit(std::string key, std::string value) {
     co_await rpc_from_server();  // the busy reply still crosses the wire
     std::rethrow_exception(busy);
   }
+  // Incarnation fence: the broker checks the committer's membership epoch
+  // before applying.  A stale (declared-lost) incarnation gets its reject
+  // reply over the wire and never touches the store.
+  if (server_->fences_ != nullptr &&
+      server_->fences_->stale(FenceToken{node_.value, 0})) {
+    co_await rpc_from_server();
+    server_->fences_->reject(FenceToken{node_.value, 0}, "kvs commit");
+  }
   ++server_->commits_;
   server_->trace_total(server_->trace_commits_id_, server_->commits_);
   auto& entry = server_->store_[key];

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "mdwf/common/bytes.hpp"
+#include "mdwf/common/fence.hpp"
 #include "mdwf/health/health.hpp"
 #include "mdwf/health/quota.hpp"
 #include "mdwf/net/network.hpp"
@@ -96,6 +97,13 @@ class KvsServer {
   // shared queue depth; unmapped nodes bypass the quota.  Not owned.
   void set_quota(health::TenantQuota* quota) { quota_ = quota; }
 
+  // --- Fencing (mdwf::membership) -----------------------------------------
+  // Incarnation fencing: a commit from a client whose node incarnation is
+  // stale (the membership controller declared the node lost) is rejected
+  // with StaleEpochError after the broker round trip instead of applied —
+  // a healed zombie cannot corrupt the namespace.  Not owned; nullptr off.
+  void set_fencing(FenceRegistry* fences) { fences_ = fences; }
+
   // --- Observability (mdwf::obs) ------------------------------------------
   // Samples broker queue depth ("kvs.pending": requests queued or in
   // service, including those parked behind a stall gate) and cumulative
@@ -136,6 +144,7 @@ class KvsServer {
   double dilation_ = 1.0;
   std::uint32_t admission_limit_ = 0;
   health::TenantQuota* quota_ = nullptr;
+  FenceRegistry* fences_ = nullptr;
   std::uint64_t sheds_ = 0;
   std::int64_t pending_ = 0;
   obs::TraceSink* trace_ = nullptr;

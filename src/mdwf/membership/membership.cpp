@@ -1,0 +1,171 @@
+#include "mdwf/membership/membership.hpp"
+
+#include <string>
+
+#include "mdwf/common/assert.hpp"
+#include "mdwf/fault/injector.hpp"
+
+namespace mdwf::membership {
+
+MembershipPlane::MembershipPlane(sim::Simulation& sim,
+                                 const MembershipParams& params,
+                                 net::Network& network, net::NodeId controller,
+                                 std::uint32_t compute_nodes,
+                                 fault::CrashMonitor* monitor,
+                                 FenceRegistry& fences)
+    : sim_(&sim),
+      params_(params),
+      network_(&network),
+      controller_(controller),
+      monitor_(monitor),
+      fences_(&fences) {
+  policies_.assign(compute_nodes, health::DeclarePolicy(params.declare));
+  lost_.assign(compute_nodes, false);
+  killed_.assign(compute_nodes, false);
+  fences_->ensure(compute_nodes == 0 ? 0 : compute_nodes - 1);
+}
+
+std::uint32_t MembershipPlane::register_rank(std::uint32_t node) {
+  MDWF_ASSERT(node < lost_.size());
+  start();
+  home_.push_back(node);
+  buddy_.push_back(kNoBuddy);
+  ++registered_;
+  return static_cast<std::uint32_t>(home_.size() - 1);
+}
+
+void MembershipPlane::bind_colocated(std::uint32_t a, std::uint32_t b) {
+  MDWF_ASSERT(a < buddy_.size() && b < buddy_.size());
+  buddy_[a] = b;
+  buddy_[b] = a;
+}
+
+void MembershipPlane::rank_done() { ++done_; }
+
+void MembershipPlane::add_declare_listener(
+    std::function<void(std::uint32_t)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void MembershipPlane::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::uint32_t n = 0; n < lost_.size(); ++n) {
+    sim_->spawn(heartbeat_loop(n), "membership.hb" + std::to_string(n));
+  }
+  sim_->spawn(scan_loop(), "membership.scan");
+}
+
+sim::Task<void> MembershipPlane::heartbeat_loop(std::uint32_t node) {
+  for (;;) {
+    co_await sim_->delay(params_.heartbeat_interval);
+    if (stopped()) co_return;
+    if (monitor_ != nullptr && monitor_->down(node)) {
+      // Powered off.  If also declared, this incarnation can never beat
+      // again (permanent loss keeps the node down); stop listening.
+      if (lost_[node]) co_return;
+      continue;
+    }
+    try {
+      co_await network_->send_control(net::NodeId{node}, controller_);
+    } catch (const net::NetError&) {
+      continue;  // beat lost in the fabric (partition / isolation)
+    }
+    if (stopped()) co_return;
+    if (lost_[node]) {
+      // A zombie re-joining after its declare: the heartbeat presents the
+      // old incarnation, which is fenced, and the controller answers by
+      // killing the stale processes (STONITH) — the crash-epoch bump sends
+      // the node's rank loops into recovery, where they migrate.
+      fences_->count_reject();
+      if (monitor_ != nullptr && !killed_[node]) {
+        killed_[node] = true;
+        monitor_->begin_crash(node, /*power_loss=*/false);
+        monitor_->end_crash(node);
+      }
+      co_return;
+    }
+    policies_[node].observe_heartbeat(sim_->now());
+  }
+}
+
+sim::Task<void> MembershipPlane::scan_loop() {
+  for (;;) {
+    co_await sim_->delay(params_.check_interval);
+    if (stopped()) co_return;
+    for (std::uint32_t n = 0; n < lost_.size(); ++n) {
+      if (!lost_[n] && policies_[n].should_declare(sim_->now())) {
+        declare_lost(n);
+      }
+    }
+    // Nothing left to declare: with every node lost the scan must stop
+    // ticking or the degenerate run could never quiesce into the deadlock
+    // reporter.
+    bool any_alive = false;
+    for (std::uint32_t n = 0; n < lost_.size(); ++n) {
+      any_alive = any_alive || !lost_[n];
+    }
+    if (!any_alive) co_return;
+  }
+}
+
+void MembershipPlane::declare_lost(std::uint32_t node) {
+  lost_[node] = true;
+  ++declares_;
+  declare_latency_ += sim_->now() - policies_[node].last_heartbeat();
+  fences_->fence(node);
+  for (const auto& listener : listeners_) listener(node);
+}
+
+std::uint32_t MembershipPlane::pick_target(std::uint32_t lost_node) const {
+  // Spare capacity / failure domain: the surviving node currently homing
+  // the fewest ranks, lowest id on ties, never a declared node.
+  std::vector<std::uint32_t> resident(lost_.size(), 0);
+  for (const std::uint32_t h : home_) {
+    if (h < resident.size()) ++resident[h];
+  }
+  std::uint32_t best = lost_node;
+  std::uint32_t best_count = 0;
+  bool found = false;
+  for (std::uint32_t n = 0; n < lost_.size(); ++n) {
+    if (lost_[n]) continue;
+    if (!found || resident[n] < best_count) {
+      found = true;
+      best = n;
+      best_count = resident[n];
+    }
+  }
+  // No survivor: degenerate (every node lost); the caller keeps its home
+  // and the run ends in the deadlock reporter, which is the right report.
+  return best;
+}
+
+sim::Task<std::uint32_t> MembershipPlane::wait_recover_or_migrate(
+    std::uint32_t rank) {
+  for (;;) {
+    const std::uint32_t h = home_[rank];
+    if (lost_[h]) {
+      std::uint32_t target;
+      const std::uint32_t buddy = buddy_[rank];
+      if (buddy != kNoBuddy && home_[buddy] != h && !lost_[home_[buddy]]) {
+        target = home_[buddy];  // colocated pair: follow the first mover
+      } else {
+        target = pick_target(h);
+      }
+      if (target == h) {
+        // Every node is declared lost: nothing to migrate to.  Park for
+        // good so the run quiesces into the deadlock reporter — the right
+        // report for a cluster with no survivors.
+        sim::Event never(*sim_);
+        co_await never.wait();
+      }
+      home_[rank] = target;
+      ++migrations_;
+      co_return target;
+    }
+    if (monitor_ == nullptr || !monitor_->down(h)) co_return h;
+    co_await sim_->delay(params_.check_interval);
+  }
+}
+
+}  // namespace mdwf::membership

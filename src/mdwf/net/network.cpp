@@ -51,6 +51,16 @@ bool Network::link_down(NodeId n) const {
   return nodes_[n.value].down;
 }
 
+void Network::set_link_isolated(NodeId n, bool isolated) {
+  MDWF_ASSERT(n.value < nodes_.size());
+  nodes_[n.value].tx_down = isolated;
+}
+
+bool Network::link_isolated(NodeId n) const {
+  MDWF_ASSERT(n.value < nodes_.size());
+  return nodes_[n.value].tx_down;
+}
+
 std::size_t Network::crash_node(NodeId n) {
   set_link_down(n, true);
   return tx(n).abort_active() + rx(n).abort_active();
@@ -73,6 +83,10 @@ void Network::check_reachable(NodeId src, NodeId dst) const {
       throw NetError("network: node " + std::to_string(n.value) +
                      " unreachable (partition)");
     }
+  }
+  if (nodes_[src.value].tx_down) {
+    throw NetError("network: node " + std::to_string(src.value) +
+                   " isolated (one-way partition, outbound dead)");
   }
 }
 

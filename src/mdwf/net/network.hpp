@@ -90,6 +90,12 @@ class Network {
   // throws NetError at issue time (fail fast, like a broken QP).
   void set_link_down(NodeId n, bool down);
   bool link_down(NodeId n) const;
+  // Asymmetric (one-way) partition: while isolated, nothing *leaves* the
+  // node — outbound transfers throw NetError — but inbound traffic still
+  // arrives.  This is the zombie shape: the node keeps working locally and
+  // hears nothing back, while the controller stops hearing its heartbeats.
+  void set_link_isolated(NodeId n, bool isolated);
+  bool link_isolated(NodeId n) const;
   // Node power loss: the link goes down AND every in-flight flow on the
   // node's NIC is torn mid-transfer (each waiting peer gets a NetError).
   // Returns the number of flows torn.  `set_link_down(n, false)` restores.
@@ -113,6 +119,7 @@ class Network {
     std::unique_ptr<FairShareChannel> tx;
     std::unique_ptr<FairShareChannel> rx;
     bool down = false;
+    bool tx_down = false;
     double loss = 0.0;
   };
 

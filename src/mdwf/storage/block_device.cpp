@@ -18,6 +18,14 @@ sim::Task<void> BlockDevice::submit(net::FairShareChannel& channel, Bytes n) {
     auto gate = online_gate_;
     co_await gate->wait();
   }
+  if (lost_) {
+    // The hosting node was declared lost while this op was parked (or the
+    // caller is a zombie still submitting).  Fail it so the rank loop's
+    // crash-epoch check can route into migration instead of waiting for a
+    // power-on that never comes.
+    ++io_errors_;
+    throw IoError(name_ + ": device on a lost node");
+  }
   trace_inflight(+1);
   co_await queue_slots_.acquire();
   sim::SemaphoreGuard slot(queue_slots_);
@@ -96,5 +104,11 @@ void BlockDevice::set_offline(bool offline) {
 }
 
 void BlockDevice::set_io_error_p(double p) { io_error_p_ = p; }
+
+void BlockDevice::set_lost() {
+  lost_ = true;
+  // Wake parked submitters; they observe lost_ and throw.
+  if (offline_) set_offline(false);
+}
 
 }  // namespace mdwf::storage

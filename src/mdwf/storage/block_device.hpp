@@ -60,6 +60,11 @@ class BlockDevice {
   // in-flight transfers complete.  They resume when the device returns.
   void set_offline(bool offline);
   bool offline() const { return offline_; }
+  // Permanent failure (the node hosting the device was declared lost): ops
+  // parked on the offline gate wake and throw IoError, as does every later
+  // submission.  There is no way back — a declare is terminal.
+  void set_lost();
+  bool lost() const { return lost_; }
   // Per-op failure probability; an affected op charges its submission
   // latency then throws IoError without moving bytes.  Draws come from a
   // dedicated stream so p == 0 consumes no randomness.
@@ -102,6 +107,7 @@ class BlockDevice {
   double fault_degradation_ = 0.0;
   double slowdown_ = 1.0;
   bool offline_ = false;
+  bool lost_ = false;
   std::shared_ptr<sim::Event> online_gate_;
   double io_error_p_ = 0.0;
   Rng fault_rng_{1};

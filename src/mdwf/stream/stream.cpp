@@ -52,6 +52,16 @@ void StreamDomain::subscribe(std::string prefix, net::NodeId node) {
   subscriptions_.insert_or_assign(std::move(prefix), node);
 }
 
+void StreamDomain::invalidate_node(net::NodeId node) {
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+    if (it->second == node) {
+      it = subscriptions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::optional<net::NodeId> StreamDomain::subscriber_for(
     const std::string& path) const {
   // Longest matching prefix wins; one entry per consumer rank keeps the
@@ -214,6 +224,11 @@ sim::Task<void> StreamNode::announce(std::string key, std::string value) {
       co_await kvs_.commit(key, value);
       co_return;
     } catch (const net::NetError&) {
+    } catch (const StaleEpochError&) {
+      // This daemon's node was declared lost: the broker fenced the
+      // handshake commit.  The migrated rank re-announces from its new
+      // home; retrying here would only be rejected again.
+      co_return;
     }
     co_await sim_->delay(backoff);
     backoff = std::min(backoff * 2, Duration::milliseconds(40));
@@ -314,6 +329,13 @@ void StreamNode::record_delivery(net::NodeId dest, const std::string& path) {
 sim::Task<bool> StreamNode::deliver(net::NodeId dest, const std::string& path,
                                     Bytes size) {
   co_await move_bytes(dest, size);
+  // Incarnation fence: the receiving daemon checks the sender's membership
+  // epoch before accepting the frame.  Checked only after the payload
+  // crossed the fabric — a zombie behind a one-way partition cannot learn
+  // of its own declare until traffic flows again.
+  if (fences_ != nullptr && fences_->stale(FenceToken{node_.value, 0})) {
+    fences_->reject(FenceToken{node_.value, 0}, "stream direct put");
+  }
   StreamNode& peer = domain_->at(dest);
   if (!peer.receive(path, size, node_)) co_return false;
   record_delivery(dest, path);
@@ -375,6 +397,16 @@ sim::Task<bool> StreamNode::replay_to(net::NodeId requester,
 
 void StreamNode::note_published(const std::string& path, Bytes size) {
   published_.insert_or_assign(path, size);
+}
+
+void StreamNode::forget_routes_to(net::NodeId lost) {
+  for (auto it = pub_routes_.begin(); it != pub_routes_.end();) {
+    if (it->second == lost) {
+      it = pub_routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 // --- Consumer-side staging buffer ------------------------------------------
@@ -550,12 +582,24 @@ sim::Task<void> StreamPublisher::publish(const std::string& path,
     }
     if (have_credit && reserved) {
       std::exception_ptr torn;
+      std::exception_ptr fenced;
       try {
         perf::ScopedRegion put(*rec_, "stream_put",
                                perf::Category::kMovement);
         delivered = co_await n.deliver(*dest, path, size);
       } catch (const net::NetError&) {
         torn = std::current_exception();
+      } catch (const StaleEpochError&) {
+        fenced = std::current_exception();
+      }
+      if (fenced != nullptr) {
+        // The receiving daemon fenced this zombie's put.  Release the
+        // peer reservation and the credit, then surface the rejection —
+        // unlike a torn fabric this is permanent, so the rank-level
+        // recovery (not the spill path) owns what happens next.
+        n.domain().at(*dest).unreserve(size);
+        n.refund_credit(prefix);
+        std::rethrow_exception(fenced);
       }
       if (torn != nullptr) {
         // Torn mid-put (crashed endpoint, partition): fall through to the
@@ -593,8 +637,9 @@ sim::Task<void> StreamSubscriber::request_replay(const std::string& path,
   StreamNode& n = *node_;
   perf::ScopedRegion replay(*rec_, "stream_replay",
                             perf::Category::kMovement);
+  std::optional<net::NodeId> pub;
   try {
-    const auto pub = co_await n.resolve_publisher(path_prefix(path));
+    pub = co_await n.resolve_publisher(path_prefix(path));
     if (!pub.has_value()) co_return;
     if (*pub != n.node()) {
       co_await n.network().send_control(n.node(), *pub);
@@ -603,6 +648,10 @@ sim::Task<void> StreamSubscriber::request_replay(const std::string& path,
   } catch (const net::NetError&) {
     // Producer node down or redelivery torn; the next wait round retries
     // and the spill probe covers durable frames.
+  } catch (const StaleEpochError&) {
+    // The cached publisher is a fenced zombie: drop the route so the next
+    // round resolves the migrated producer instead.
+    if (pub.has_value()) n.forget_routes_to(*pub);
   }
 }
 
@@ -647,6 +696,9 @@ sim::Task<bool> StreamSubscriber::try_spill_read(const std::string& path,
               ledger->flip_lustre_read(n.node().value);
       } catch (const net::NetError&) {
         // Repair round hit a fault window; the next round retries.
+      } catch (const StaleEpochError&) {
+        // The re-striping producer is a fenced zombie; its migrated
+        // incarnation re-spills on its own.
       }
       ledger->count_verify(!bad);
     }
@@ -683,6 +735,8 @@ sim::Task<void> StreamSubscriber::read_staged(const std::string& path,
         }
       } catch (const net::NetError&) {
         // Replay torn; try the spill below, else the next round retries.
+      } catch (const StaleEpochError&) {
+        // Origin is a fenced zombie; fall through to the spill replica.
       }
       if (redelivered) {
         co_await sim.delay(copy_time(size, n.params().buffer_bps));

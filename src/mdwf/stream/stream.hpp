@@ -118,6 +118,11 @@ class StreamDomain {
   void subscribe(std::string prefix, net::NodeId node);
   std::optional<net::NodeId> subscriber_for(const std::string& path) const;
 
+  // Membership declared `node` lost: drop every routing entry pointing at
+  // it so producers stop delivering into a staging buffer no rank will
+  // ever drain (the migrated rank re-subscribes from its new home).
+  void invalidate_node(net::NodeId node);
+
  private:
   std::map<std::uint32_t, StreamNode*> nodes_;
   std::map<std::string, net::NodeId> subscriptions_;
@@ -145,6 +150,14 @@ class StreamNode {
   fs::LustreClient& spill() { return *spill_client_; }
   integrity::Ledger* integrity() { return ledger_; }
   void set_integrity(integrity::Ledger* ledger) { ledger_ = ledger; }
+  // Incarnation fencing (mdwf::membership): a direct put from a daemon
+  // whose node was declared lost is rejected by the receiving daemon with
+  // StaleEpochError after the payload moved (the zombie learns only once
+  // traffic flows again).  Not owned; nullptr = fencing off.
+  void set_fencing(FenceRegistry* fences) { fences_ = fences; }
+  // Drop cached publisher routes through a lost node so the next replay
+  // request re-resolves (the migrated producer re-announces its prefix).
+  void forget_routes_to(net::NodeId lost);
   void set_trace(obs::TraceSink* sink, obs::TrackId track);
 
   // Integrity-ledger location of a node's staging buffer.
@@ -273,6 +286,7 @@ class StreamNode {
   kvs::KvsClient kvs_;
   std::unique_ptr<fs::LustreClient> spill_client_;
   integrity::Ledger* ledger_ = nullptr;
+  FenceRegistry* fences_ = nullptr;
 
   // Consumer side.
   std::map<std::string, StagedFrame> staged_;

@@ -171,6 +171,15 @@ TenantRepOutcome run_tenant_repetition(const MultiTenantConfig& config,
   if (quota != nullptr) {
     tb.kvs().set_quota(quota.get());
     tb.lustre().set_quota(quota.get());
+    if (auto* plane = tb.membership()) {
+      // A declared-lost node shrinks its tenant's fair share: the dead
+      // slice must not keep reserving admission slots the survivors could
+      // use (isolation follows capacity, not the original placement).
+      health::TenantQuota* q = quota.get();
+      plane->add_declare_listener([q](std::uint32_t lost) {
+        q->on_node_lost(net::NodeId{lost});
+      });
+    }
   }
   fault::FaultInjector* injector = tb.fault_injector();
   const Rng rep_rng(config.base_seed + rep);

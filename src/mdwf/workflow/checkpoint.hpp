@@ -67,6 +67,19 @@ class Checkpoint {
     return durable_;
   }
 
+  // Rank migration (mdwf::membership): rebind the record to the new home
+  // node's local filesystem and roll progress back to `restart` — the
+  // pair-min coordinated rollback (min of both ranks' durable records), so
+  // the migrated producer re-produces everything its consumer still needs.
+  // The old node's record is unreachable from the new home, hence the
+  // fresh inode on the next persist.
+  void migrate(fs::LocalFs& fs, std::uint32_t node, std::uint64_t restart) {
+    fs_ = &fs;
+    node_ = node;
+    ino_.reset();
+    durable_ = std::min(durable_, restart);
+  }
+
   std::uint64_t durable() const { return durable_; }
   std::uint64_t persists() const { return persists_; }
   std::uint64_t restores() const { return restores_; }

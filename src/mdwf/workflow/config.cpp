@@ -1,11 +1,10 @@
 #include "mdwf/workflow/config.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <string>
 #include <string_view>
-#include <vector>
 
+#include "mdwf/common/suggest.hpp"
 #include "mdwf/fault/plan.hpp"
 #include "mdwf/md/models.hpp"
 
@@ -24,7 +23,7 @@ constexpr std::string_view kKnownKeys[] = {
     "frames",   "jitter",   "analytics",    "reps",     "seed",
     "threads",  "interference",             "push",     "compress",
     "colocate", "faults",   "retry",        "health",   "hedge",
-    "integrity",            "checkpoint",   "trace",
+    "integrity",            "checkpoint",   "trace",    "membership",
     // Co-tenant driver keys (read by mdwf::tenant::parse_multi_tenant
     // before this binding runs; listed here for typo suggestions).
     "tenants",  "slo",      "slo_target_us", "quota"};
@@ -41,40 +40,6 @@ std::string solution_key(Solution s) {
       return "stream";
   }
   return "dyad";
-}
-
-// Levenshtein distance; inputs are short config tokens.
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
-      diag = row[j];
-      row[j] = std::min({row[j] + 1, row[j - 1] + 1, sub});
-    }
-  }
-  return row[b.size()];
-}
-
-// " (did you mean 'x'?)" for the nearest candidate within two edits
-// (transposed letters, one typo); empty when nothing is plausibly close.
-template <std::size_t N>
-std::string did_you_mean(std::string_view got,
-                         const std::string_view (&candidates)[N]) {
-  std::string_view best;
-  std::size_t best_d = 3;
-  for (const std::string_view c : candidates) {
-    const std::size_t d = edit_distance(got, c);
-    if (d < best_d) {
-      best_d = d;
-      best = c;
-    }
-  }
-  if (best.empty()) return "";
-  return " (did you mean '" + std::string(best) + "'?)";
 }
 
 }  // namespace
@@ -185,6 +150,13 @@ EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
   // stalled subscription against the spill-replica read.
   config.testbed.stream.health.hedge.enabled = hedge;
   config.testbed.stream.health.enabled = config.testbed.dyad.health.enabled;
+
+  // Membership plane (mdwf::membership): heartbeats, declare-dead policy,
+  // rank migration, incarnation fencing.  membership=0 reproduces the
+  // park-forever behaviour — a permanent node loss then ends in the
+  // deadlock reporter instead of completing via migration.
+  config.testbed.membership.enabled =
+      cfg.get_bool("membership", defaults.testbed.membership.enabled);
 
   // End-to-end integrity defaults on whenever the plan can corrupt or tear
   // frames (bit-flip or node-crash windows): unchecked runs would count

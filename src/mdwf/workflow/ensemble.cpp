@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mdwf/common/assert.hpp"
+#include "mdwf/common/fence.hpp"
 
 namespace mdwf::workflow {
 
@@ -42,17 +43,50 @@ double cpu_dilation(const RankContext& ctx) {
   return ctx.injector != nullptr ? ctx.injector->cpu_dilation(ctx.node) : 1.0;
 }
 
-// Rank restart after its node failed underneath it: park until power-on,
-// then roll back to the last durable checkpoint.  Returns the frame to
-// resume from.
-sim::Task<std::uint64_t> crash_restart(const RankContext& ctx) {
+// Rank restart after its node failed underneath it.  Without a membership
+// plane: park until power-on, then roll back to the last durable
+// checkpoint.  With one: ask the plane whether the node recovers or is
+// declared lost — a rank whose home was declared re-homes onto a surviving
+// node, rolls back to the pair-min of both ranks' durable records (the
+// coordinated rollback that re-produces everything the surviving peer
+// still needs), and rebinds its node-local resources there.  Returns the
+// frame to resume from; may change ctx.node/connector on migration.
+sim::Task<std::uint64_t> crash_restart(RankContext& ctx) {
+  std::uint32_t target = ctx.node;
   {
     perf::ScopedRegion down(*ctx.recorder, "crash_restart",
                             perf::Category::kIdle);
-    co_await ctx.crash->wait_up(ctx.node);
+    if (ctx.membership != nullptr) {
+      target =
+          co_await ctx.membership->wait_recover_or_migrate(ctx.member_rank);
+    } else {
+      co_await ctx.crash->wait_up(ctx.node);
+    }
   }
   if (ctx.stats != nullptr) ++ctx.stats->crash_recoveries;
+  if (target != ctx.node) {
+    std::uint64_t restart = 0;
+    if (ctx.checkpoint != nullptr) {
+      restart = ctx.checkpoint->durable();
+      if (ctx.peer_checkpoint != nullptr) {
+        restart = std::min(restart, ctx.peer_checkpoint->durable());
+      }
+    }
+    if (ctx.rebuild) ctx.connector = ctx.rebuild(target, restart);
+    ctx.node = target;
+  }
   co_return ctx.checkpoint != nullptr ? ctx.checkpoint->restore() : 0;
+}
+
+// Backoff-or-park decision for a retry loop whose peer's node is down.
+// Without a plane, a peer on a permanently-lost node can never re-supply
+// (or consume) frames: park on its up-event — which never fires — so the
+// run quiesces into the deadlock reporter instead of polling forever.
+// With a plane the peer migrates and re-supplies, so keep polling.
+bool park_on_lost_peer(const RankContext& ctx) {
+  return ctx.membership == nullptr && ctx.injector != nullptr &&
+         ctx.crash != nullptr && ctx.crash->down(ctx.peer_node) &&
+         ctx.injector->node_lost(ctx.peer_node);
 }
 
 // Account a finished frame iteration: distinct progress vs post-rollback
@@ -128,6 +162,7 @@ sim::Task<void> run_producer(RankContext ctx) {
       perf::ScopedRegion comp(recorder, "compress", perf::Category::kCompute);
       co_await sim.delay(workload.compress_time() * cpu_dilation(ctx));
     }
+    bool fenced = false;
     for (std::uint64_t attempts = 0;; ++attempts) {
       std::exception_ptr failure;
       try {
@@ -142,8 +177,15 @@ sim::Task<void> run_producer(RankContext ctx) {
         failure = std::current_exception();
       } catch (const fs::FsError&) {
         failure = std::current_exception();
+      } catch (const StaleEpochError&) {
+        // This node was declared lost while its ranks kept running (a
+        // zombie cut off by a one-way partition): the first post-heal
+        // server round trip fenced the old incarnation.  Terminal for this
+        // incarnation — fall into the migration path below.
+        if (ctx.membership == nullptr) throw;
+        fenced = true;
       }
-      if (failure == nullptr) break;
+      if (fenced || failure == nullptr) break;
       // Without a crash model a faulted put is fatal, exactly as before.
       if (ctx.crash == nullptr || attempts >= kMaxFaultRetries) {
         std::rethrow_exception(failure);
@@ -151,9 +193,13 @@ sim::Task<void> run_producer(RankContext ctx) {
       if (rank_epoch(ctx) != frame_epoch) break;  // our node died: see below
       if (ctx.stats != nullptr) ++ctx.stats->fault_retries;
       perf::ScopedRegion wait(recorder, "fault_retry", perf::Category::kIdle);
-      co_await sim.delay(kFaultRetryBackoff);
+      if (park_on_lost_peer(ctx)) {
+        co_await ctx.crash->wait_up(ctx.peer_node);
+      } else {
+        co_await sim.delay(kFaultRetryBackoff);
+      }
     }
-    if (ctx.crash != nullptr && rank_epoch(ctx) != frame_epoch) {
+    if (fenced || (ctx.crash != nullptr && rank_epoch(ctx) != frame_epoch)) {
       f = co_await crash_restart(ctx);
       credit_restored(ctx.stats, f, completed_high);
       continue;
@@ -172,6 +218,7 @@ sim::Task<void> run_producer(RankContext ctx) {
     if (ctx.pacing != nullptr) ctx.pacing->on_frame_produced(f);
     ++f;
   }
+  if (ctx.membership != nullptr) ctx.membership->rank_done();
 }
 
 sim::Task<void> run_consumer(RankContext ctx) {
@@ -184,6 +231,7 @@ sim::Task<void> run_consumer(RankContext ctx) {
   while (f < workload.frames) {
     const std::uint64_t frame_epoch = rank_epoch(ctx);
     const TimePoint fetch_start = sim.now();
+    bool fenced = false;
     for (std::uint64_t attempts = 0;; ++attempts) {
       std::exception_ptr failure;
       try {
@@ -196,7 +244,12 @@ sim::Task<void> run_consumer(RankContext ctx) {
         failure = std::current_exception();
       } catch (const fs::FsError&) {
         failure = std::current_exception();
+      } catch (const StaleEpochError&) {
+        // Declared lost mid-run (zombie consumer); migrate below.
+        if (ctx.membership == nullptr) throw;
+        fenced = true;
       }
+      if (fenced) break;
       if (failure == nullptr) {
         // Frame-fetch latency — from the frame being both requested and
         // available (see RankContext::publish_times) to the bytes landing,
@@ -233,9 +286,13 @@ sim::Task<void> run_consumer(RankContext ctx) {
       // (re)appears.
       if (ctx.stats != nullptr) ++ctx.stats->fault_retries;
       perf::ScopedRegion wait(recorder, "fault_retry", perf::Category::kIdle);
-      co_await sim.delay(kFaultRetryBackoff);
+      if (park_on_lost_peer(ctx)) {
+        co_await ctx.crash->wait_up(ctx.peer_node);
+      } else {
+        co_await sim.delay(kFaultRetryBackoff);
+      }
     }
-    if (ctx.crash != nullptr && rank_epoch(ctx) != frame_epoch) {
+    if (fenced || (ctx.crash != nullptr && rank_epoch(ctx) != frame_epoch)) {
       f = co_await crash_restart(ctx);
       credit_restored(ctx.stats, f, completed_high);
       continue;
@@ -271,6 +328,7 @@ sim::Task<void> run_consumer(RankContext ctx) {
     if (ctx.pacing != nullptr) ctx.pacing->on_frame_consumed(f);
     ++f;
   }
+  if (ctx.membership != nullptr) ctx.membership->rank_done();
 }
 
 namespace {
@@ -307,7 +365,10 @@ constexpr const char* kCounterNames[] = {
     "torn_writes", "lost_dirty_pages", "integrity_verified",
     "integrity_failures", "integrity_refetches", "integrity_unrecovered",
     "kvs_commits", "kvs_lookups", "cache_hits", "cache_misses",
-    "fault_windows_applied", "sim_events", "trace_events"};
+    "fault_windows_applied", "sim_events", "trace_events",
+    // Membership plane (PR 9); appended so earlier column orders survive.
+    "membership_declares", "rank_migrations", "stale_epoch_rejects",
+    "declare_latency_us", "frames_lost"};
 
 }  // namespace
 
@@ -358,6 +419,40 @@ void build_rank_set(Testbed& tb, const RankSetSpec& spec, const Rng& set_rng,
 
   const bool ckpt_on = spec.checkpoint.resolve_enabled(spec.crash_aware);
   assets.stats.assign(2 * spec.pairs, RankStats{});
+
+  // Migration rebinder: retire the old connector (frames in flight may
+  // still unwind through it), build the solution's standard connector on
+  // the new home, renew the pair's push-mode/stream subscription from
+  // there, and re-home the progress record with the pair-min rollback.
+  auto make_rebuild = [&tb, &assets, solution = spec.solution, ns = spec.ns,
+                       factory = spec.connectors](
+                          std::uint32_t pair, bool consumer,
+                          ExplicitSync* sync, perf::Recorder* rec,
+                          Checkpoint* ckpt) {
+    return [&tb, &assets, solution, ns, factory, pair, consumer, sync, rec,
+            ckpt](std::uint32_t node, std::uint64_t restart) -> Connector* {
+      auto& slot = consumer ? assets.cons_conn[pair] : assets.prod_conn[pair];
+      assets.retired_conn.push_back({pair, consumer, std::move(slot)});
+      const ConnectorSpec cs{.testbed = &tb,
+                             .solution = solution,
+                             .node = node,
+                             .sync = sync,
+                             .recorder = rec};
+      slot = factory ? factory(cs, pair, consumer) : make_connector(cs);
+      if (consumer && solution == Solution::kDyad &&
+          tb.params().dyad.push_mode) {
+        tb.dyad_domain().subscribe(ns + pair_prefix(pair), net::NodeId{node});
+      }
+      if (consumer && solution == Solution::kStream) {
+        tb.stream_domain().subscribe(ns + pair_prefix(pair),
+                                     net::NodeId{node});
+      }
+      if (ckpt != nullptr) {
+        ckpt->migrate(*tb.node(node).local_fs, node, restart);
+      }
+      return slot.get();
+    };
+  };
 
   for (std::uint32_t pair = 0; pair < spec.pairs; ++pair) {
     assets.prod_recs.push_back(std::make_unique<perf::Recorder>(
@@ -446,6 +541,25 @@ void build_rank_set(Testbed& tb, const RankSetSpec& spec, const Rng& set_rng,
                      .checkpoint = cckpt,
                      .stats = &assets.stats[2 * pair + 1]};
     pctx.injector = cctx.injector = tb.fault_injector();
+    pctx.peer_node = cnode_eff;
+    cctx.peer_node = pnode;
+    pctx.peer_checkpoint = cckpt;
+    cctx.peer_checkpoint = pckpt;
+    if (auto* plane = tb.membership()) {
+      pctx.membership = cctx.membership = plane;
+      pctx.member_rank = plane->register_rank(pnode);
+      cctx.member_rank = plane->register_rank(cnode_eff);
+      pctx.peer_member_rank = cctx.member_rank;
+      cctx.peer_member_rank = pctx.member_rank;
+      if (spec.solution == Solution::kXfs) {
+        // An XFS pair shares one local filesystem; split homes would
+        // orphan every frame, so the pair migrates as a unit.
+        plane->bind_colocated(pctx.member_rank, cctx.member_rank);
+      }
+      pctx.rebuild =
+          make_rebuild(pair, /*consumer=*/false, sync, &prec, pckpt);
+      cctx.rebuild = make_rebuild(pair, /*consumer=*/true, sync, &crec, cckpt);
+    }
     cctx.fetch_samples = fetch_samples;
     assets.pub_times.push_back(std::make_unique<std::vector<TimePoint>>(
         spec.workload.frames, TimePoint::origin()));
@@ -499,14 +613,21 @@ void collect_rank_set(Testbed& tb, const RankSetSpec& spec,
     out.thicket.add(meta, assets.cons_recs[pair]->snapshot());
 
     if (spec.solution == Solution::kDyad) {
-      const auto& dc = static_cast<const DyadConnector&>(
-                           assets.cons_conn[pair]->stats_target())
-                           .consumer();
-      out.counters.add("dyad_warm_hits", dc.warm_hits());
-      out.counters.add("dyad_kvs_waits", dc.kvs_waits());
-      out.counters.add("dyad_kvs_retries", dc.kvs_retries());
-      out.counters.add("dyad_recovery_retries", dc.recovery_retries());
-      out.counters.add("dyad_failovers", dc.failovers());
+      // A migrated consumer's pre-migration counters live on its retired
+      // connector; fold every incarnation of this pair's consumer.
+      auto fold = [&out](const Connector& c) {
+        const auto& dc =
+            static_cast<const DyadConnector&>(c.stats_target()).consumer();
+        out.counters.add("dyad_warm_hits", dc.warm_hits());
+        out.counters.add("dyad_kvs_waits", dc.kvs_waits());
+        out.counters.add("dyad_kvs_retries", dc.kvs_retries());
+        out.counters.add("dyad_recovery_retries", dc.recovery_retries());
+        out.counters.add("dyad_failovers", dc.failovers());
+      };
+      fold(*assets.cons_conn[pair]);
+      for (const auto& r : assets.retired_conn) {
+        if (r.pair == pair && r.consumer) fold(*r.conn);
+      }
     }
   }
   const std::uint32_t node_end = spec.node_base + spec.nodes;
@@ -552,6 +673,13 @@ void collect_rank_set(Testbed& tb, const RankSetSpec& spec,
     out.counters.add("crash_recoveries",
                      assets.stats[2 * pair].crash_recoveries +
                          assets.stats[2 * pair + 1].crash_recoveries);
+    // Zero-data-loss acceptance metric: frames the consumer never
+    // completed.  0 on every run that finished; nonzero only if a run was
+    // collected after losing frames for good.
+    const std::uint64_t consumed = assets.stats[2 * pair + 1].frames_done;
+    out.counters.add("frames_lost", consumed < spec.workload.frames
+                                        ? spec.workload.frames - consumed
+                                        : 0);
   }
   for (const auto& ckpt : assets.ckpts) {
     out.counters.add("checkpoint_persists", ckpt->persists());
@@ -593,6 +721,14 @@ void collect_shared(Testbed& tb, std::uint64_t events_fired,
   out.counters.add("net_retransmit_timeouts",
                    tb.network().retransmit_timeouts());
   out.counters.add("sim_events", events_fired);
+  if (auto* plane = tb.membership()) {
+    out.counters.add("membership_declares", plane->declares());
+    out.counters.add("rank_migrations", plane->migrations());
+    out.counters.add("declare_latency_us",
+                     static_cast<std::uint64_t>(
+                         plane->declare_latency().to_micros()));
+    out.counters.add("stale_epoch_rejects", tb.fences()->stale_rejects());
+  }
 }
 
 RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,

@@ -162,6 +162,25 @@ struct RankContext {
   // Non-null when faults are injected: compute bursts stretch by the
   // injector's current CPU dilation for this node (kSlowNode windows).
   fault::FaultInjector* injector = nullptr;
+  // --- Membership plane (PR 9); all null/zero = classic park-forever
+  // recovery.  With a plane, a rank whose home node is declared lost
+  // migrates: it re-homes via wait_recover_or_migrate, rolls back to the
+  // pair-min checkpoint, and rebinds its node-local resources through
+  // `rebuild`.
+  membership::MembershipPlane* membership = nullptr;
+  std::uint32_t member_rank = 0;       // this rank's plane registration
+  std::uint32_t peer_member_rank = 0;  // the pair's other end
+  // Node the pair's other rank started on (consumer park logic: a peer on
+  // a permanently-lost node can never re-supply frames without a plane).
+  std::uint32_t peer_node = 0;
+  // Peer rank's progress record, for the pair-min coordinated rollback: a
+  // migrated producer re-produces everything its consumer has not durably
+  // consumed (the lost node's copies are unreachable).
+  Checkpoint* peer_checkpoint = nullptr;
+  // Rebuilds this rank's node-bound resources (connector, subscriptions,
+  // checkpoint home) on the new node and returns the replacement connector.
+  std::function<Connector*(std::uint32_t node, std::uint64_t restart)>
+      rebuild;
   // Consumers only (non-null = record): per-frame get() latency in
   // microseconds, the distribution behind the frame-fetch P99.
   Samples* fetch_samples = nullptr;
@@ -351,6 +370,15 @@ struct RankSetAssets {
   std::vector<std::unique_ptr<std::vector<TimePoint>>> pub_times;
   std::vector<RankStats> stats;        // 2*pairs: producer, then consumer
   std::vector<sim::Task<void>> tasks;  // pair-major: producer, consumer
+  // Connectors replaced by a rank migration, kept alive (frames in flight
+  // may still unwind through them) and tagged so collect_rank_set can fold
+  // their pre-migration counters in.
+  struct RetiredConnector {
+    std::uint32_t pair = 0;
+    bool consumer = false;
+    std::unique_ptr<Connector> conn;
+  };
+  std::vector<RetiredConnector> retired_conn;
 };
 
 // Wires one rank-set onto `tb`: recorders, connectors, syncs, checkpoints,

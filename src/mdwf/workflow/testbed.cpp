@@ -12,10 +12,14 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
   // must fsync before publishing or a crash tears frames consumers were
   // already told about.  Kill windows keep storage intact, so cheap
   // page-cache puts stay correct there.
+  // A permanent node loss is a power loss that never ends: everything
+  // volatile on the node is unreachable for good, so it forces the same
+  // durable-put discipline.
   const bool power_loss_planned = std::any_of(
       params.faults.windows.begin(), params.faults.windows.end(),
       [](const fault::FaultWindow& w) {
-        return w.target == fault::FaultTarget::kNodeCrash &&
+        return (w.target == fault::FaultTarget::kNodeCrash ||
+                w.target == fault::FaultTarget::kNodeLoss) &&
                w.mode == fault::FaultMode::kCrash;
       });
   if (power_loss_planned) {
@@ -92,6 +96,37 @@ Testbed::Testbed(const TestbedParams& params) : params_(params) {
     if (ledger_ != nullptr) injector_->attach_integrity(*ledger_);
     injector_->set_trace(params.trace);
     injector_->arm();
+  }
+
+  if (params_.membership.enabled) {
+    fences_ = std::make_unique<FenceRegistry>(params_.compute_nodes);
+    membership_ = std::make_unique<membership::MembershipPlane>(
+        sim_, params_.membership, *network_, kvs_node(),
+        params_.compute_nodes,
+        injector_ != nullptr ? &injector_->monitor() : nullptr, *fences_);
+    // Incarnation fencing on every server-side path a zombie could reach:
+    // KVS commits, Lustre namespace/commit RPCs, DYAD write-throughs,
+    // stream direct puts and handshakes.
+    kvs_->set_fencing(fences_.get());
+    lustre_->set_fencing(fences_.get());
+    for (auto& r : nodes_) {
+      r.dyad->set_fencing(fences_.get());
+      r.stream->set_fencing(fences_.get());
+    }
+    membership_->add_declare_listener([this](std::uint32_t lost) {
+      // Routing state naming the dead node is poison: drop push-mode
+      // subscriptions and learned stream routes to it before the migrated
+      // rank re-subscribes from its new home.
+      stream_domain_.invalidate_node(net::NodeId{lost});
+      for (auto& r : nodes_) {
+        r.stream->forget_routes_to(net::NodeId{lost});
+      }
+      // Rank loops of the dead incarnation may be parked inside local I/O
+      // queued on the powered-off device.  Failing the device wakes them
+      // with IoError, so the crash-epoch check routes them into migration
+      // instead of waiting for a power-on that never comes.
+      nodes_[lost].ssd->set_lost();
+    });
   }
 }
 

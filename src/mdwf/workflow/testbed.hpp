@@ -23,6 +23,7 @@
 #include "mdwf/fs/lustre.hpp"
 #include "mdwf/integrity/ledger.hpp"
 #include "mdwf/kvs/kvs.hpp"
+#include "mdwf/membership/membership.hpp"
 #include "mdwf/net/network.hpp"
 #include "mdwf/obs/trace.hpp"
 #include "mdwf/sim/simulation.hpp"
@@ -62,6 +63,12 @@ struct TestbedParams {
   fault::FaultPlan faults{};
   // End-to-end CRC32C integrity model (disabled = zero cost, no ledger).
   integrity::IntegrityParams integrity{};
+  // Membership/controller plane (disabled = zero cost, no heartbeats).
+  // When enabled the testbed owns a FenceRegistry, wires incarnation
+  // fencing into the KVS, Lustre, DYAD and stream server paths, and runs
+  // heartbeat + declare loops on the KVS broker node; ranks homed on a
+  // declared node migrate instead of parking forever.
+  membership::MembershipParams membership{};
   // Observability sink (non-owning; must outlive the testbed).  When set,
   // every resource registers its trace lanes: one "node{i}" process per
   // compute node (nvme / pagecache / dyad / nic lanes), plus "kvs",
@@ -95,6 +102,10 @@ class Testbed {
   // Non-null iff params.integrity.enabled: the corruption oracle every
   // producer tags into and every consumer verifies against.
   integrity::Ledger* integrity_ledger() { return ledger_.get(); }
+  // Non-null iff params.membership.enabled: the controller plane ranks
+  // register with (and the fence registry backing its declares).
+  membership::MembershipPlane* membership() { return membership_.get(); }
+  FenceRegistry* fences() { return fences_.get(); }
 
   std::uint32_t compute_nodes() const { return params_.compute_nodes; }
   NodeResources& node(std::uint32_t i);
@@ -117,6 +128,9 @@ class Testbed {
   std::vector<NodeResources> nodes_;
   std::unique_ptr<integrity::Ledger> ledger_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  // Declared after injector_: the plane borrows its CrashMonitor.
+  std::unique_ptr<FenceRegistry> fences_;
+  std::unique_ptr<membership::MembershipPlane> membership_;
 };
 
 }  // namespace mdwf::workflow

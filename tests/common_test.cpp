@@ -4,12 +4,14 @@
 #include <cstring>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "mdwf/common/bytes.hpp"
 #include "mdwf/common/crc32c.hpp"
 #include "mdwf/common/format.hpp"
 #include "mdwf/common/rng.hpp"
 #include "mdwf/common/stats.hpp"
+#include "mdwf/common/suggest.hpp"
 #include "mdwf/common/table.hpp"
 #include "mdwf/common/time.hpp"
 
@@ -213,6 +215,24 @@ TEST(FormatTest, Duration) {
   EXPECT_EQ(format_duration(820_ms), "820.000 ms");
   EXPECT_EQ(format_duration(3_ns), "3 ns");
   EXPECT_EQ(format_duration(2_s), "2.000 s");
+}
+
+TEST(SuggestTest, EditDistanceCountsInsertDeleteSubstitute) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("membership", "membershp"), 1u);
+}
+
+TEST(SuggestTest, DidYouMeanOffersOnlyCloseCandidates) {
+  const std::vector<std::string> names = {"node-loss", "overload",
+                                          "lossy-link"};
+  EXPECT_EQ(did_you_mean("node-los", names), " (did you mean 'node-loss'?)");
+  EXPECT_EQ(did_you_mean("overlaod", names), " (did you mean 'overload'?)");
+  // Beyond 2 edits the hint is noise: stay silent.
+  EXPECT_EQ(did_you_mean("zzzzzz", names), "");
+  EXPECT_EQ(did_you_mean("anything", std::vector<std::string>{}), "");
 }
 
 TEST(TableTest, RendersAligned) {

@@ -1,0 +1,278 @@
+// Tests for the membership plane: the declare-dead policy, incarnation
+// fencing, the permanently-failed block device, tenant quota rebalance, and
+// the end-to-end promise — every solution survives a permanent node loss
+// with zero data loss, bit-identically at any thread count, while the same
+// schedule without the plane terminates via the deadlock reporter.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "mdwf/common/fence.hpp"
+#include "mdwf/common/keyval.hpp"
+#include "mdwf/common/time.hpp"
+#include "mdwf/health/health.hpp"
+#include "mdwf/health/quota.hpp"
+#include "mdwf/sim/primitives.hpp"
+#include "mdwf/storage/block_device.hpp"
+#include "mdwf/sweep/sweep.hpp"
+#include "mdwf/workflow/config.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace mdwf::membership {
+namespace {
+
+using namespace mdwf::literals;
+using health::DeclareParams;
+using health::DeclarePolicy;
+using sim::Simulation;
+using sim::Task;
+using workflow::EnsembleConfig;
+using workflow::EnsembleResult;
+
+// --- Declare-dead policy ----------------------------------------------------
+
+TEST(DeclarePolicyTest, NeverDeclaresBeforeFirstHeartbeat) {
+  DeclarePolicy policy;
+  // A node that has not joined yet cannot be declared, no matter how long
+  // the controller has been scanning.
+  EXPECT_FALSE(policy.should_declare(TimePoint::origin() + 10_s));
+  EXPECT_FALSE(policy.heard());
+}
+
+TEST(DeclarePolicyTest, SilenceCeilingDeclaresRegardlessOfDetector) {
+  DeclarePolicy policy;
+  TimePoint t = TimePoint::origin();
+  policy.observe_heartbeat(t);
+  // One heartbeat is not enough history for the phi detector, but the
+  // absolute ceiling (default 250 ms) still fires.
+  EXPECT_FALSE(policy.should_declare(t + 249_ms));
+  EXPECT_TRUE(policy.should_declare(t + 250_ms));
+}
+
+TEST(DeclarePolicyTest, PhiSuspicionMustSustainConfirmWindow) {
+  DeclareParams params;  // confirm 60 ms, ceiling 250 ms, floor 30 ms
+  DeclarePolicy policy(params);
+  TimePoint t = TimePoint::origin();
+  // Teach the detector a steady 10 ms heartbeat rhythm.
+  for (int i = 0; i < 20; ++i) {
+    policy.observe_heartbeat(t);
+    t = t + 10_ms;
+  }
+  const TimePoint last = policy.last_heartbeat();
+  // A 40 ms gap is far past the 30 ms suspect floor, so suspicion starts at
+  // the first poll — but a declare needs it sustained for confirm_window.
+  EXPECT_FALSE(policy.should_declare(last + 40_ms));
+  EXPECT_FALSE(policy.should_declare(last + 60_ms));
+  // 40 + 60 ms of unbroken suspicion: declared well before the 250 ms
+  // ceiling — this is the phi path, not the silence path.
+  EXPECT_TRUE(policy.should_declare(last + 100_ms));
+}
+
+TEST(DeclarePolicyTest, HeartbeatResetsSuspicion) {
+  DeclarePolicy policy;
+  TimePoint t = TimePoint::origin();
+  for (int i = 0; i < 20; ++i) {
+    policy.observe_heartbeat(t);
+    t = t + 10_ms;
+  }
+  TimePoint last = policy.last_heartbeat();
+  EXPECT_FALSE(policy.should_declare(last + 40_ms));
+  // The late heartbeat arrives: suspicion resets, the confirm clock
+  // restarts, and the node survives its hiccup.
+  policy.observe_heartbeat(last + 45_ms);
+  last = policy.last_heartbeat();
+  EXPECT_FALSE(policy.should_declare(last + 50_ms));
+  EXPECT_FALSE(policy.should_declare(last + 20_ms + 60_ms));
+}
+
+// --- Fence registry ---------------------------------------------------------
+
+TEST(FenceRegistryTest, FenceBumpsIncarnationAndStalesOldTokens) {
+  FenceRegistry fences(2);
+  const FenceToken old_daemon{.node = 0, .incarnation = fences.current(0)};
+  EXPECT_FALSE(fences.stale(old_daemon));
+  EXPECT_EQ(fences.fence(0), 1u);
+  EXPECT_TRUE(fences.stale(old_daemon));
+  // Node 1 is untouched.
+  EXPECT_FALSE(fences.stale(FenceToken{.node = 1, .incarnation = 0}));
+}
+
+TEST(FenceRegistryTest, RejectThrowsStaleEpochAndCounts) {
+  FenceRegistry fences(1);
+  fences.fence(0);
+  EXPECT_EQ(fences.stale_rejects(), 0u);
+  const FenceToken zombie{.node = 0, .incarnation = 0};
+  EXPECT_THROW(fences.reject(zombie, "kvs commit"), StaleEpochError);
+  fences.count_reject();  // a rejection handled in place (heartbeat re-join)
+  EXPECT_EQ(fences.stale_rejects(), 2u);
+  try {
+    fences.reject(zombie, "lustre create");
+  } catch (const StaleEpochError& e) {
+    // The error text names the fenced path for the deadlock-free post-mortem.
+    EXPECT_NE(std::string(e.what()).find("lustre create"), std::string::npos);
+  }
+}
+
+TEST(FenceRegistryTest, EnsureGrowsWithFreshIncarnations) {
+  FenceRegistry fences;
+  EXPECT_EQ(fences.current(7), 0u);  // out of range reads as incarnation 0
+  fences.ensure(7);
+  EXPECT_EQ(fences.size(), 8u);
+  EXPECT_EQ(fences.current(7), 0u);
+}
+
+// --- Permanently failed device ----------------------------------------------
+
+TEST(LostDeviceTest, SetLostWakesParkedOpsAndFailsFutureOnes) {
+  Simulation sim;
+  storage::BlockDeviceParams p;
+  p.read_bandwidth_bps = 1e9;
+  p.write_bandwidth_bps = 1e9;
+  p.op_latency = 10_us;
+  storage::BlockDevice dev(sim, p);
+  dev.set_offline(true);
+  bool parked_threw = false;
+  bool later_threw = false;
+  // This op queues behind the offline gate — the shape of a rank caught
+  // mid-I/O when its node dies.
+  sim.spawn([](storage::BlockDevice& d, bool& flag) -> Task<void> {
+    try {
+      co_await d.read(Bytes(1000));
+    } catch (const storage::IoError&) {
+      flag = true;
+    }
+  }(dev, parked_threw));
+  sim.spawn([](Simulation& s, storage::BlockDevice& d,
+               bool& flag) -> Task<void> {
+    co_await s.delay(1_ms);
+    d.set_lost();  // the declare: terminal, no power-on ever follows
+    try {
+      co_await d.write(Bytes(1000));
+    } catch (const storage::IoError&) {
+      flag = true;
+    }
+  }(sim, dev, later_threw));
+  sim.run_to_quiescence();
+  EXPECT_TRUE(parked_threw);
+  EXPECT_TRUE(later_threw);
+  EXPECT_TRUE(dev.lost());
+  EXPECT_EQ(dev.io_errors(), 2u);
+}
+
+// --- Tenant quota rebalance on node loss ------------------------------------
+
+TEST(QuotaRebalanceTest, LostNodeShrinksItsTenantsShare) {
+  health::QuotaParams params;
+  params.enabled = true;
+  params.kvs_queue = 24;
+  health::TenantQuota quota(params);
+  const std::uint32_t a = quota.add_tenant("a", 1.0);
+  const std::uint32_t b = quota.add_tenant("b", 1.0);
+  quota.map_nodes(0, 2, a);
+  quota.map_nodes(2, 2, b);
+  EXPECT_EQ(quota.bound(health::QuotaResource::kKvs, a), 12u);
+  EXPECT_EQ(quota.bound(health::QuotaResource::kKvs, b), 12u);
+
+  quota.on_node_lost(net::NodeId{0});
+  // Tenant a keeps half its capacity: effective weight 0.5 of a 1.5 total,
+  // so its bound shrinks to 24 * (0.5/1.5) = 8 and b's grows to 16.
+  EXPECT_DOUBLE_EQ(quota.effective_weight(a), 0.5);
+  EXPECT_DOUBLE_EQ(quota.effective_weight(b), 1.0);
+  EXPECT_EQ(quota.nodes_lost(a), 1u);
+  EXPECT_EQ(quota.bound(health::QuotaResource::kKvs, a), 8u);
+  EXPECT_EQ(quota.bound(health::QuotaResource::kKvs, b), 16u);
+
+  // A declare is terminal, so a repeated loss of the same node is a no-op,
+  // and an unmapped (server) node never perturbs the shares.
+  quota.on_node_lost(net::NodeId{0});
+  quota.on_node_lost(net::NodeId{99});
+  EXPECT_EQ(quota.nodes_lost(a), 1u);
+  EXPECT_EQ(quota.bound(health::QuotaResource::kKvs, b), 16u);
+}
+
+// --- End-to-end: node loss across all four solutions ------------------------
+
+EnsembleConfig loss_config(const std::string& solution,
+                           const std::string& faults, bool membership,
+                           std::uint32_t reps = 1) {
+  KeyValueConfig point;
+  point.set("solution", solution);
+  point.set("pairs", "2");
+  point.set("nodes", "2");
+  point.set("frames", "8");
+  point.set("reps", std::to_string(reps));
+  point.set("seed", "7");
+  point.set("faults", faults);
+  point.set("membership", membership ? "1" : "0");
+  if (solution == "xfs") point.set("colocate", "1");
+  return workflow::parse_ensemble_config(point, EnsembleConfig{});
+}
+
+TEST(NodeLossTest, EverySolutionSurvivesPermanentLossWithZeroDataLoss) {
+  for (const char* solution : {"dyad", "xfs", "lustre", "stream"}) {
+    for (const char* faults : {"node-loss", "loss-after-publish"}) {
+      const EnsembleConfig cfg = loss_config(solution, faults, true);
+      const EnsembleResult r = workflow::run_ensemble(cfg);
+      SCOPED_TRACE(std::string(solution) + " under " + faults);
+      EXPECT_EQ(r.counters.get("frames_consumed"),
+                cfg.pairs * cfg.workload.frames);
+      EXPECT_EQ(r.counters.get("frames_lost"), 0u);
+      EXPECT_GE(r.counters.get("membership_declares"), 1u);
+      EXPECT_GE(r.counters.get("rank_migrations"), 1u);
+    }
+  }
+}
+
+TEST(NodeLossTest, WithoutThePlanePermanentLossEndsInTheDeadlockReporter) {
+  const EnsembleConfig cfg = loss_config("dyad", "node-loss", false);
+  try {
+    workflow::run_ensemble(cfg);
+    FAIL() << "expected the run to deadlock";
+  } catch (const std::runtime_error& e) {
+    // The legacy recovery contract: ranks park waiting for a reboot that
+    // never comes, and the reporter names them instead of hanging.
+    EXPECT_NE(std::string(e.what()).find("deadlock"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(NodeLossTest, HealedZombieIsFencedNotReadmitted) {
+  const EnsembleConfig cfg = loss_config("dyad", "heal-after-declare", true);
+  const EnsembleResult r = workflow::run_ensemble(cfg);
+  EXPECT_EQ(r.counters.get("frames_consumed"),
+            cfg.pairs * cfg.workload.frames);
+  EXPECT_EQ(r.counters.get("frames_lost"), 0u);
+  // The partition outlives the declare policy, so the healthy-but-silent
+  // node is declared — and its post-heal traffic must bounce off the fence.
+  EXPECT_GE(r.counters.get("membership_declares"), 1u);
+  EXPECT_GT(r.counters.get("stale_epoch_rejects"), 0u);
+}
+
+TEST(NodeLossTest, MigrationRunsAreByteIdenticalAcrossThreadCounts) {
+  EnsembleConfig cfg = loss_config("dyad", "node-loss", true, /*reps=*/4);
+  const EnsembleResult serial = workflow::run_ensemble(cfg);
+  EXPECT_EQ(serial.counters.get("frames_lost"), 0u);
+  for (const std::uint32_t threads : {1u, 2u, 8u}) {
+    cfg.threads = threads;
+    const EnsembleResult parallel = sweep::run_ensemble(cfg);
+    EXPECT_EQ(serial.makespan_s.values(), parallel.makespan_s.values());
+    EXPECT_EQ(serial.cons_fetch_us.values(), parallel.cons_fetch_us.values());
+    EXPECT_EQ(serial.counters.items(), parallel.counters.items());
+  }
+}
+
+TEST(NodeLossTest, IdleMembershipPlaneCostsUnderTwoPercent) {
+  const EnsembleResult off =
+      workflow::run_ensemble(loss_config("dyad", "none", false, /*reps=*/2));
+  const EnsembleResult on =
+      workflow::run_ensemble(loss_config("dyad", "none", true, /*reps=*/2));
+  EXPECT_EQ(on.counters.get("membership_declares"), 0u);
+  EXPECT_EQ(on.counters.get("rank_migrations"), 0u);
+  const double base = off.makespan_s.mean();
+  ASSERT_GT(base, 0.0);
+  EXPECT_LE(std::abs(on.makespan_s.mean() - base) / base, 0.02);
+}
+
+}  // namespace
+}  // namespace mdwf::membership

@@ -1,0 +1,85 @@
+// Drift guard between the code and the docs: the scenario table in
+// DESIGN.md §6 must list exactly the names `fault::scenario_names()`
+// exports, and every listed name must actually build a plan via
+// `make_scenario`.  Adding a scenario to one side without the other fails
+// here, not in a user's shell.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "mdwf/fault/plan.hpp"
+
+namespace mdwf::fault {
+namespace {
+
+// Scenario names from the DESIGN.md §6 table: rows shaped `| `name` | ... |`.
+std::set<std::string> documented_scenarios() {
+  const std::string path = std::string(MDWF_SOURCE_DIR) + "/DESIGN.md";
+  std::ifstream f(path);
+  EXPECT_TRUE(f.is_open()) << "cannot open " << path;
+  std::set<std::string> names;
+  std::string line;
+  bool in_section6 = false;
+  while (std::getline(f, line)) {
+    if (line.rfind("## ", 0) == 0) in_section6 = line.rfind("## 6.", 0) == 0;
+    if (!in_section6 || line.rfind("| `", 0) != 0) continue;
+    const std::size_t open = line.find('`');
+    const std::size_t close = line.find('`', open + 1);
+    if (close == std::string::npos) continue;
+    names.insert(line.substr(open + 1, close - open - 1));
+  }
+  return names;
+}
+
+bool parametrized(const std::string& name) {
+  return name.find('<') != std::string::npos;
+}
+
+TEST(ScenarioRegistryTest, EveryExportedScenarioIsDocumented) {
+  const std::set<std::string> docs = documented_scenarios();
+  ASSERT_FALSE(docs.empty()) << "DESIGN.md §6 scenario table not found";
+  for (const std::string& name : scenario_names()) {
+    EXPECT_TRUE(docs.count(name))
+        << "scenario '" << name
+        << "' exists in fault::scenario_names() but is missing from the "
+           "DESIGN.md §6 table";
+  }
+}
+
+TEST(ScenarioRegistryTest, EveryDocumentedScenarioExistsAndParses) {
+  const std::vector<std::string>& exported = scenario_names();
+  ScenarioShape shape;
+  shape.compute_nodes = 2;
+  for (const std::string& name : documented_scenarios()) {
+    if (parametrized(name)) {
+      // `crash:<n>` documents a family; probe a concrete member.
+      EXPECT_NO_THROW(make_scenario("crash:0", shape));
+      continue;
+    }
+    EXPECT_NE(std::find(exported.begin(), exported.end(), name),
+              exported.end())
+        << "scenario '" << name
+        << "' is documented in DESIGN.md §6 but absent from "
+           "fault::scenario_names()";
+    EXPECT_NO_THROW(make_scenario(name, shape)) << name;
+  }
+}
+
+TEST(ScenarioRegistryTest, UnknownScenarioSuggestsNearestName) {
+  ScenarioShape shape;
+  try {
+    make_scenario("node-los", shape);
+    FAIL() << "expected unknown-scenario error";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did you mean"), std::string::npos) << what;
+    EXPECT_NE(what.find("node-loss"), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace mdwf::fault

@@ -7,12 +7,11 @@
 #   tools/bench.sh scale      <scale_sweep-binary>        [threads] [out.json]
 #   tools/bench.sh frontier   <solution_frontier-binary>  [threads] [out.json]
 #   tools/bench.sh cotenant   <cotenant_sweep-binary>     [threads] [out.json]
+#   tools/bench.sh membership <membership_sweep-binary>   [threads] [out.json]
 #   tools/bench.sh perf       <mdwf_run-binary>           [out.json] [baseline.json]
 #
-# The per-suite measurement logic is unchanged from the former five
-# bench_*.sh scripts (those names remain as one-line shims); what is shared
-# now lives in one place: CSV/summary field extraction, wall-clock
-# best-of-N timing, byte-compare with a suite-labelled diagnostic, and the
+# Shared across suites: CSV/summary field extraction, wall-clock best-of-N
+# timing, byte-compare with a suite-labelled diagnostic, and the
 # BENCH_*.json emission convention (pretty-printed JSON written to the out
 # path AND echoed to stdout).
 #
@@ -25,7 +24,8 @@
 # skip notice instead (the JSON is still written).
 set -eu
 
-SUITE="${1:?usage: bench.sh <trace|resilience|health|scale|frontier|cotenant|perf> ...}"
+SUITES="trace resilience health scale frontier cotenant membership perf"
+SUITE="${1:?usage: bench.sh <trace|resilience|health|scale|frontier|cotenant|membership|perf> ...}"
 shift
 
 # ---- shared helpers --------------------------------------------------------
@@ -490,6 +490,95 @@ print(json.dumps({k: v for k, v in doc.items() if k != "regimes"}, indent=2))
 EOF
 }
 
+suite_membership() {
+    BIN="${1:?usage: bench.sh membership <membership_sweep-binary> [threads] [out.json]}"
+    THREADS="${2:-$(host_threads)}"
+    OUT="${3:-BENCH_pr9.json}"
+
+    TMP="$(mktemp -d)"
+    trap 'rm -rf "$TMP"' EXIT
+
+    echo "membership_sweep threads=1..." >&2
+    "$BIN" threads=1 out="$TMP/serial.csv" > "$TMP/serial.txt"
+    tail -n 1 "$TMP/serial.txt" >&2
+    echo "membership_sweep threads=$THREADS..." >&2
+    "$BIN" threads="$THREADS" out="$TMP/parallel.csv" > "$TMP/parallel.txt"
+    tail -n 1 "$TMP/parallel.txt" >&2
+
+    byte_compare "$TMP/serial.csv" "$TMP/parallel.csv" \
+        "CSVs differ between thread counts"
+    echo "  CSVs byte-identical across thread counts" >&2
+
+    python3 - "$OUT" "$TMP/serial.txt" <<'EOF'
+import json, sys
+
+out, txt = sys.argv[1], sys.argv[2]
+points, summary = [], {}
+with open(txt) as f:
+    for line in f:
+        if line.startswith("frontier: "):
+            fields = dict(kv.split("=", 1) for kv in line.split()[1:])
+            points.append({
+                "silence_ceiling_ms": int(fields["ceiling_ms"]),
+                "scenario": fields["scenario"],
+                "detect_ms": float(fields["detect_ms"]),
+                "mttr_s": float(fields["mttr_s"]),
+                "declares": int(fields["declares"]),
+                "migrations": int(fields["migrations"]),
+                "stale_epoch_rejects": int(fields["stale_rejects"]),
+                "frames_lost": int(fields["frames_lost"]),
+            })
+        elif line.startswith("membership_sweep: "):
+            summary = dict(kv.split("=", 1) for kv in line.split()[1:])
+
+loss = [p for p in points if p["scenario"] == "node-loss"]
+heal = [p for p in points if p["scenario"] == "heal-after-declare"]
+doc = {
+    "bench": "membership_mttr_vs_detection",
+    "workload": "dyad nodes=2 pairs=2 frames=8 reps=2; declare-dead silence "
+                "ceiling sweep (confirm window = ceiling/4) under node-loss "
+                "(a node really dies) and heal-after-declare (1.2 s one-way "
+                "partition, the node is fine)",
+    "metric": "MTTR (makespan minus plane-on fault-free makespan, s) vs "
+              "detection latency (declare_latency mean, ms)",
+    "grid_points": int(summary.get("points", 0)),
+    "errors": int(summary.get("errors", 0)),
+    "sim_events": int(summary.get("sim_events", 0)),
+    "no_fault_overhead_pct": float(summary.get("overhead_pct", 0.0)),
+    "all_frames_delivered": summary.get("all_delivered") == "1",
+    # The tension the sweep exists to show: under real loss an eager policy
+    # minimizes MTTR (detection IS dead time); under a transient partition
+    # the same eagerness declares a healthy node dead -- terminal by design,
+    # so it pays a spurious fence + migration -- while a confirm window
+    # longer than the partition rides it out for free.
+    "tradeoff": {
+        "node_loss_fastest_mttr_s": min(p["mttr_s"] for p in loss),
+        "node_loss_slowest_mttr_s": max(p["mttr_s"] for p in loss),
+        "spurious_declares_eager": max(p["declares"] for p in heal),
+        "spurious_declares_conservative":
+            min(p["declares"] for p in heal),
+    },
+    "frontier": points,
+    "csv_byte_identical_across_threads": True,
+}
+assert doc["errors"] == 0, "membership sweep points failed"
+assert doc["all_frames_delivered"], "a faulted point lost frames"
+assert abs(doc["no_fault_overhead_pct"]) <= 2.0, \
+    "idle membership plane costs more than the 2% gate"
+assert any(p["declares"] > 0 for p in heal) and \
+       any(p["declares"] == 0 for p in heal), \
+    "ceiling sweep no longer brackets the spurious-declare crossover"
+assert all(p["stale_epoch_rejects"] > 0
+           for p in heal if p["declares"] > 0), \
+    "a spurious declare produced no fenced zombie publish"
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(json.dumps({k: v for k, v in doc.items() if k != "frontier"},
+                 indent=2))
+EOF
+}
+
 suite_perf() {
     RUN="${1:?usage: bench.sh perf <mdwf_run-binary> [out.json] [baseline.json]}"
     OUT="${2:-BENCH_pr7.json}"
@@ -591,10 +680,39 @@ case "$SUITE" in
     scale)      suite_scale "$@" ;;
     frontier)   suite_frontier "$@" ;;
     cotenant)   suite_cotenant "$@" ;;
+    membership) suite_membership "$@" ;;
     perf)       suite_perf "$@" ;;
     *)
-        echo "bench.sh: unknown suite '$SUITE'" >&2
-        echo "usage: bench.sh <trace|resilience|health|scale|frontier|cotenant|perf> ..." >&2
+        # Same diagnostic shape as the C++ config binding (common/suggest):
+        # name the bad input, list every valid choice, and point at the
+        # nearest one when a typo is within two edits.
+        HINT="$(awk -v bad="$SUITE" -v all="$SUITES" '
+            function min3(a, b, c) {
+                m = a; if (b < m) m = b; if (c < m) m = c; return m
+            }
+            function dist(s, t,    n, m, i, j, c, d) {
+                n = length(s); m = length(t)
+                for (i = 0; i <= n; i++) d[i, 0] = i
+                for (j = 0; j <= m; j++) d[0, j] = j
+                for (i = 1; i <= n; i++)
+                    for (j = 1; j <= m; j++) {
+                        c = substr(s, i, 1) == substr(t, j, 1) ? 0 : 1
+                        d[i, j] = min3(d[i-1, j] + 1, d[i, j-1] + 1,
+                                       d[i-1, j-1] + c)
+                    }
+                return d[n, m]
+            }
+            BEGIN {
+                split(all, names, " ")
+                best = ""; bestd = 3
+                for (k in names) {
+                    dd = dist(bad, names[k])
+                    if (dd < bestd) { bestd = dd; best = names[k] }
+                }
+                if (best != "") printf " (did you mean %s?)", best
+            }')"
+        echo "bench.sh: unknown suite '$SUITE'$HINT" >&2
+        echo "valid suites: $SUITES" >&2
         exit 2
         ;;
 esac

@@ -23,7 +23,9 @@
 //                                            flaky-fabric, partition, ost-storm,
 //                                            node-crash, rank-kill, bit-flip,
 //                                            crash-flip, crash:<n>, slow-disk,
-//                                            lossy-link, overload)
+//                                            lossy-link, overload, node-loss,
+//                                            loss-after-publish,
+//                                            heal-after-declare)
 //   retry      = 0|1                        (DYAD recovery protocol: RPC
 //                                            timeout+retry and Lustre failover;
 //                                            default 1 when faults are injected)
@@ -37,6 +39,13 @@
 //   integrity  = 0|1                        (end-to-end CRC32C frame checksums;
 //                                            default 1 under bit-flip or crash
 //                                            scenarios, else 0)
+//   membership = 0|1                        (membership plane: heartbeats,
+//                                            declare-dead policy, checkpoint-
+//                                            driven rank migration off a
+//                                            permanently lost node, incarnation
+//                                            fencing of zombies; required for
+//                                            node-loss/loss-after-publish to
+//                                            complete; default 0)
 //   checkpoint = <n>                        (persist per-rank progress every n
 //                                            frames; 0 disables; default: every
 //                                            frame when crash windows are
