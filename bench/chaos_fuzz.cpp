@@ -20,7 +20,7 @@
 // also written to chaos_repro_<index>.txt for CI artifact upload.
 //
 //   chaos_fuzz [schedules=60] [seed=20260806] [only=<index>] [verbose=1]
-//             [threads=1] [cotenant=0]
+//             [threads=1] [cotenant=0] [dag=0]
 //
 // threads=N fans the independent schedule checks across the sweep engine's
 // work-stealing pool; the canonically-first (lowest-index) violation is
@@ -35,9 +35,18 @@
 // neighbor never triggers the healthy tenants' recovery machinery, and the
 // merged CSV is byte-identical across worker thread counts.
 //
+// dag=1 fuzzes DAG workload execution instead: each schedule draws a random
+// synthetic topology (chain / fork-join / montage), task budget, edge
+// payload size, solution, and a recoverable fault plan (the node-loss
+// family is excluded — DAG runs have no membership plane), then checks the
+// same invariants with the DAG's edge-frame total as the completeness
+// denominator.  Shrinking drops fault windows first, then halves the task
+// budget; reproducers land in chaos_repro_dag_<index>.txt.
+//
 // Exit code 0 when every schedule holds, 1 with a reproducer otherwise.
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -48,6 +57,8 @@
 #include "mdwf/fault/plan.hpp"
 #include "mdwf/sweep/sweep.hpp"
 #include "mdwf/tenant/tenant.hpp"
+#include "mdwf/wload/wload.hpp"
+#include "mdwf/workflow/dag_run.hpp"
 #include "mdwf/workflow/ensemble.hpp"
 
 namespace {
@@ -325,6 +336,255 @@ void write_reproducer(const Schedule& minimal, std::uint64_t master_seed,
   }
 }
 
+// --- DAG workload mode ----------------------------------------------------
+
+// One randomized DAG schedule: a synthetic graph spec plus the same fault/
+// toggle surface as the classic mode.  The graph is regenerated from the
+// spec on every check, so shrinking the task budget stays deterministic.
+struct DagSchedule {
+  std::uint32_t index = 0;
+  Solution solution = Solution::kDyad;
+  std::string scenario;
+  std::vector<fault::FaultWindow> windows;
+  wload::SynthSpec spec;
+  Bytes chunk = Bytes::mib(1);
+  std::uint64_t seed = 1;
+  bool health = false;
+  bool hedge = false;
+  bool integrity = false;
+};
+
+// Derives DAG schedule `index` from the master seed alone.  The scenario
+// pool is the recoverable subset only: the node-loss family needs the
+// membership plane, which DAG runs reject.
+DagSchedule draw_dag_schedule(std::uint64_t master_seed, std::uint32_t index) {
+  Rng rng = Rng(master_seed).fork("dagchaos:" + std::to_string(index));
+  DagSchedule s;
+  s.index = index;
+  switch (index % 4) {
+    case 0: s.solution = Solution::kDyad; break;
+    case 1: s.solution = Solution::kXfs; break;
+    case 2: s.solution = Solution::kLustre; break;
+    default: s.solution = Solution::kStream; break;
+  }
+  switch (rng.next_below(3)) {
+    case 0: s.spec.topology = wload::Topology::kChain; break;
+    case 1: s.spec.topology = wload::Topology::kForkJoin; break;
+    default: s.spec.topology = wload::Topology::kMontage; break;
+  }
+  s.spec.tasks = 4 + static_cast<std::uint32_t>(rng.next_below(7));
+  s.spec.width = 2 + static_cast<std::uint32_t>(rng.next_below(3));
+  s.spec.seed = 1 + rng.next_below(1u << 16);
+  s.spec.runtime_median_s = 0.3;
+  // 0.5-4 MiB payloads over a 1 MiB chunk: a mix of single- and
+  // multi-frame edges.
+  s.spec.output_median_bytes = (512.0 + rng.uniform(0.0, 3584.0)) * 1024.0;
+  s.seed = 1 + rng.next_below(1u << 20);
+  s.health = rng.bernoulli(0.5);
+  s.hedge = s.health && rng.bernoulli(0.7);
+
+  if (rng.bernoulli(0.6)) {
+    s.scenario = kNamedPool[rng.next_below(kNamedPool.size())];
+    fault::ScenarioShape shape;
+    shape.compute_nodes = kNodes;
+    shape.seed = s.seed;
+    s.windows = fault::make_scenario(s.scenario, shape).windows;
+  } else {
+    s.scenario = "composite";
+    const std::uint64_t count = 1 + rng.next_below(4);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      s.windows.push_back(random_window(rng, kNodes));
+    }
+  }
+  s.integrity = has_corruption_or_crash(s.windows) || rng.bernoulli(0.25);
+  return s;
+}
+
+EnsembleConfig make_config(const DagSchedule& s) {
+  EnsembleConfig cfg;
+  cfg.solution = s.solution;
+  cfg.nodes = s.solution == Solution::kXfs ? 1 : kNodes;
+  cfg.repetitions = 1;
+  cfg.base_seed = s.seed;
+  cfg.dag = std::make_shared<const wload::Dag>(
+      wload::generate_synthetic(s.spec));
+  cfg.dag_chunk = s.chunk;
+  cfg.testbed.faults.windows = s.windows;
+  cfg.testbed.faults.seed = s.seed;
+  cfg.testbed.integrity.enabled = s.integrity;
+  if (s.solution == Solution::kDyad) {
+    cfg.testbed.dyad.retry.enabled = true;
+    cfg.testbed.dyad.retry.lustre_fallback = true;
+    cfg.testbed.dyad.health.enabled = s.health;
+    cfg.testbed.dyad.health.hedge.enabled = s.hedge;
+  }
+  if (s.solution == Solution::kStream) {
+    cfg.testbed.stream.health.enabled = s.health;
+    cfg.testbed.stream.health.hedge.enabled = s.hedge;
+  }
+  return cfg;
+}
+
+// Invariants with the DAG's edge-frame total as the denominator; distinct
+// progress only, so crash re-execution never inflates completeness.
+std::optional<std::string> violation(const DagSchedule& s,
+                                     const EnsembleConfig& cfg,
+                                     const EnsembleResult& r) {
+  const workflow::DagPlan plan =
+      workflow::plan_dag(*cfg.dag, cfg.dag_chunk, cfg.nodes);
+  if (r.counters.get("frames_consumed") != plan.total_edge_frames) {
+    return "completeness: consumed " +
+           std::to_string(r.counters.get("frames_consumed")) + " of " +
+           std::to_string(plan.total_edge_frames) + " edge-frames";
+  }
+  if (r.counters.get("frames_lost") != 0) {
+    return "zero-loss: " + std::to_string(r.counters.get("frames_lost")) +
+           " edge-frames lost";
+  }
+  if (r.counters.get("integrity_unrecovered") != 0) {
+    return "integrity: " +
+           std::to_string(r.counters.get("integrity_unrecovered")) +
+           " unrecovered corrupt reads";
+  }
+  if (!(r.makespan_s.mean() > 0.0)) {
+    return "liveness: non-positive makespan " +
+           format_double(r.makespan_s.mean(), 6);
+  }
+  (void)s;
+  return std::nullopt;
+}
+
+std::optional<std::string> check_once(const DagSchedule& s) {
+  const EnsembleConfig cfg = make_config(s);
+  return violation(s, cfg, workflow::run_ensemble(cfg));
+}
+
+std::optional<std::string> check_determinism(const DagSchedule& s) {
+  const EnsembleResult a = workflow::run_ensemble(make_config(s));
+  const EnsembleResult b = workflow::run_ensemble(make_config(s));
+  if (a.makespan_s.mean() != b.makespan_s.mean()) {
+    return "determinism: makespan " + format_double(a.makespan_s.mean(), 9) +
+           " != " + format_double(b.makespan_s.mean(), 9);
+  }
+  for (const char* key :
+       {"kvs_lookups", "frames_consumed", "frames_reexecuted",
+        "crash_recoveries", "stream_spills", "integrity_refetches"}) {
+    if (a.counters.get(key) != b.counters.get(key)) {
+      return std::string("determinism: counter ") + key + " " +
+             std::to_string(a.counters.get(key)) + " != " +
+             std::to_string(b.counters.get(key));
+    }
+  }
+  return std::nullopt;
+}
+
+std::string describe(const DagSchedule& s) {
+  std::string out =
+      "dag-schedule " + std::to_string(s.index) + ": " +
+      std::string(workflow::to_string(s.solution)) + " synth:" +
+      std::string(wload::topology_name(s.spec.topology)) +
+      " tasks=" + std::to_string(s.spec.tasks) +
+      " width=" + std::to_string(s.spec.width) +
+      " dag_seed=" + std::to_string(s.spec.seed) +
+      " bytes~" + std::to_string(
+          static_cast<std::uint64_t>(s.spec.output_median_bytes)) +
+      " " + s.scenario + " seed=" + std::to_string(s.seed) +
+      (s.health ? " health" : "") + (s.hedge ? " hedge" : "") +
+      (s.integrity ? " integrity" : "") + ", " +
+      std::to_string(s.windows.size()) + " windows";
+  for (const auto& w : s.windows) {
+    out += "\n    " + std::string(fault::to_string(w.target)) + "[" +
+           std::to_string(w.index) + "] " +
+           std::string(fault::to_string(w.mode)) + " sev=" +
+           format_double(w.severity, 3) + " at " +
+           format_double((w.start - TimePoint::origin()).to_seconds(), 3) +
+           "s for " + format_double(w.duration.to_seconds(), 3) + "s";
+  }
+  return out;
+}
+
+// ddmin for DAG schedules: drop fault windows one at a time, then halve
+// the task budget (the graph regenerates from the smaller spec, so the
+// minimal reproducer is still derived from (seed, index) + the printout).
+DagSchedule shrink(DagSchedule s) {
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t i = 0; i < s.windows.size(); ++i) {
+      DagSchedule candidate = s;
+      candidate.windows.erase(candidate.windows.begin() +
+                              static_cast<long>(i));
+      if (check_once(candidate).has_value()) {
+        s = candidate;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  while (s.spec.tasks > 2) {
+    DagSchedule candidate = s;
+    candidate.spec.tasks /= 2;
+    if (!check_once(candidate).has_value()) break;
+    s = candidate;
+  }
+  return s;
+}
+
+int run_dag_fuzz(std::uint64_t schedules, std::uint64_t master_seed,
+                 std::int64_t only, bool verbose, std::uint32_t threads) {
+  struct Outcome {
+    DagSchedule s;
+    std::optional<std::string> bad;
+    bool checked = false;
+  };
+  std::vector<Outcome> outcomes(schedules);
+  std::vector<std::function<void()>> checks;
+  for (std::uint32_t i = 0; i < schedules; ++i) {
+    if (only >= 0 && static_cast<std::int64_t>(i) != only) continue;
+    checks.push_back([&outcomes, master_seed, only, i] {
+      Outcome& o = outcomes[i];
+      o.s = draw_dag_schedule(master_seed, i);
+      o.bad = (i % 8 == 0 || only >= 0) ? check_determinism(o.s)
+                                        : std::nullopt;
+      if (!o.bad.has_value()) o.bad = check_once(o.s);
+      o.checked = true;
+    });
+  }
+  sweep::run_tasks(std::move(checks), threads);
+
+  std::uint64_t ran = 0;
+  for (std::uint32_t i = 0; i < schedules; ++i) {
+    const Outcome& o = outcomes[i];
+    if (!o.checked) continue;
+    ++ran;
+    if (verbose) std::printf("%s\n", describe(o.s).c_str());
+    if (!o.bad.has_value()) continue;
+
+    std::printf("FAILED %s\n  %s\nshrinking...\n", describe(o.s).c_str(),
+                o.bad->c_str());
+    const DagSchedule minimal = shrink(o.s);
+    const std::string repro = "chaos_fuzz dag=1 seed=" +
+                              std::to_string(master_seed) +
+                              " only=" + std::to_string(i);
+    std::printf("minimal %s\n  reproduce: %s\n", describe(minimal).c_str(),
+                repro.c_str());
+    const std::string path = "chaos_repro_dag_" + std::to_string(i) + ".txt";
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fprintf(f, "violation: %s\nreproduce: %s\nminimal %s\n",
+                   o.bad->c_str(), repro.c_str(), describe(minimal).c_str());
+      std::fclose(f);
+      std::printf("reproducer written to %s\n", path.c_str());
+    }
+    return 1;
+  }
+  std::printf("chaos_fuzz: %llu DAG schedules held every invariant "
+              "(completeness, zero-loss, integrity, liveness, determinism) "
+              "[seed=%llu]\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(master_seed));
+  return 0;
+}
+
 // --- Co-tenant mode ------------------------------------------------------
 
 // Scenarios a chaotic neighbor may run: node-scoped chaos (shifted onto its
@@ -587,13 +847,18 @@ int main(int argc, char** argv) {
   const bool verbose = cfg.get_bool("verbose", false);
   const auto threads = static_cast<std::uint32_t>(cfg.get_uint("threads", 1));
   const bool cotenant = cfg.get_bool("cotenant", false);
+  const bool dag = cfg.get_bool("dag", false);
   for (const char* k :
-       {"schedules", "seed", "only", "verbose", "threads", "cotenant"}) {
+       {"schedules", "seed", "only", "verbose", "threads", "cotenant",
+        "dag"}) {
     cfg.note_known(k);
   }
 
   if (cotenant) {
     return run_cotenant_fuzz(schedules, master_seed, only, verbose, threads);
+  }
+  if (dag) {
+    return run_dag_fuzz(schedules, master_seed, only, verbose, threads);
   }
 
   // Schedules are independent, so their checks fan across the sweep pool;

@@ -5,6 +5,12 @@
 //   build/examples/solution_advisor [model] [pairs]
 //   model: JAC | ApoA1 | "F1 ATPase" | STMV      (default JAC)
 //   pairs: producer-consumer pairs               (default 4)
+//
+// This example keeps the smallest possible advisor loop for readability.
+// The production version is tools/mdwf_advise: it batches whole DAG
+// workloads (workloads=wfcommons:<file>|synth:<topology>) across solutions
+// and fault scenarios via mdwf::sweep and writes a recommendation CSV with
+// confidence grades (DESIGN.md §13).
 #include <cstdio>
 #include <cstdlib>
 #include <string>

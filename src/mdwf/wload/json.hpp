@@ -1,0 +1,74 @@
+// Minimal JSON reader for WfCommons workflow instances.
+//
+// A small recursive-descent parser producing an immutable value tree —
+// objects, arrays, strings, numbers, booleans, null.  The simulator only
+// needs to *read* instance files, and the container bakes in no JSON
+// library, so this stays deliberately tiny: no writer, no comments, no
+// trailing commas, UTF-8 passed through verbatim.  Errors throw
+// mdwf::ConfigError with the 1-based line/column of the offending byte so
+// loader diagnostics point into the instance file.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mdwf/common/keyval.hpp"
+
+namespace mdwf::wload {
+
+class JsonValue;
+using JsonObject = std::map<std::string, JsonValue, std::less<>>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(JsonArray a);
+  static JsonValue make_object(JsonObject o);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  // Checked accessors; throw ConfigError naming `where` on a kind
+  // mismatch so callers surface "tasks[3].runtime: expected number".
+  bool as_bool(std::string_view where) const;
+  double as_number(std::string_view where) const;
+  const std::string& as_string(std::string_view where) const;
+  const JsonArray& as_array(std::string_view where) const;
+  const JsonObject& as_object(std::string_view where) const;
+
+  // Object lookup; null pointer when absent (or when not an object).
+  const JsonValue* find(std::string_view key) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // Indirection keeps JsonValue movable/copyable without recursive
+  // by-value members of incomplete type.
+  std::shared_ptr<const JsonArray> arr_;
+  std::shared_ptr<const JsonObject> obj_;
+};
+
+// Parses one complete JSON document; trailing non-whitespace is an error.
+// Throws mdwf::ConfigError ("<context>: ... at line L column C") on
+// malformed input; `context` is typically the file name.
+JsonValue parse_json(std::string_view text, std::string_view context);
+
+}  // namespace mdwf::wload

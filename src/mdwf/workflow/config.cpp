@@ -7,6 +7,7 @@
 #include "mdwf/common/suggest.hpp"
 #include "mdwf/fault/plan.hpp"
 #include "mdwf/md/models.hpp"
+#include "mdwf/wload/wload.hpp"
 
 namespace mdwf::workflow {
 
@@ -26,7 +27,15 @@ constexpr std::string_view kKnownKeys[] = {
     "integrity",            "checkpoint",   "trace",    "membership",
     // Co-tenant driver keys (read by mdwf::tenant::parse_multi_tenant
     // before this binding runs; listed here for typo suggestions).
-    "tenants",  "slo",      "slo_target_us", "quota"};
+    "tenants",  "slo",      "slo_target_us", "quota",
+    // DAG workload import (mdwf::wload; PR 10).
+    "workload", "dag_tasks", "dag_width",    "dag_seed", "dag_runtime",
+    "dag_bytes", "dag_chunk", "dag_scale"};
+
+// Keys that only make sense alongside workload= (fail fast on strays).
+constexpr std::string_view kDagOnlyKeys[] = {
+    "dag_tasks", "dag_width", "dag_seed",  "dag_runtime",
+    "dag_bytes", "dag_chunk", "dag_scale"};
 
 std::string solution_key(Solution s) {
   switch (s) {
@@ -188,6 +197,64 @@ EnsembleConfig parse_ensemble_config(const KeyValueConfig& cfg,
   }
 
   config.trace_path = cfg.get_string("trace", defaults.trace_path);
+
+  // DAG workload import (mdwf::wload): workload=wfcommons:<file> runs an
+  // imported WfCommons/WorkflowHub instance, workload=synth:<topology> a
+  // seeded synthetic graph shaped by the dag_* keys.  All-or-nothing: any
+  // loader/validation problem throws before the config binds.
+  const std::string workload_ref = cfg.get_string("workload", "");
+  if (!workload_ref.empty()) {
+    if (cfg.has("frames")) {
+      throw ConfigError(
+          "frames is derived from the DAG workload (edge payloads / "
+          "dag_chunk); drop frames= when workload= is set");
+    }
+    if (cfg.has("checkpoint")) {
+      throw ConfigError(
+          "checkpoint records are not supported with DAG workloads (a "
+          "restarted task re-executes from its first frame)");
+    }
+    if (config.testbed.membership.enabled) {
+      throw ConfigError(
+          "the membership plane (rank migration) does not support DAG "
+          "workloads yet; drop membership=1 or workload=");
+    }
+    if (cfg.has("tenants")) {
+      throw ConfigError(
+          "co-tenant runs do not support DAG workloads; drop tenants= or "
+          "workload=");
+    }
+    wload::WorkloadDefaults wd;
+    wd.synth_tasks = cfg.get_uint("dag_tasks", wd.synth_tasks);
+    wd.synth_width = static_cast<std::uint32_t>(
+        cfg.get_uint("dag_width", wd.synth_width));
+    wd.synth_seed = cfg.get_uint("dag_seed", wd.synth_seed);
+    wd.synth_runtime_s = cfg.get_double("dag_runtime", wd.synth_runtime_s);
+    wd.synth_output_bytes =
+        cfg.get_double("dag_bytes", wd.synth_output_bytes);
+    config.dag = std::make_shared<const wload::Dag>(
+        wload::load_workload(workload_ref, wd));
+    const std::uint64_t chunk =
+        cfg.get_uint("dag_chunk", config.dag_chunk.count());
+    if (chunk == 0) {
+      throw ConfigError("dag_chunk must be a positive byte count");
+    }
+    config.dag_chunk = Bytes(chunk);
+    config.dag_runtime_scale =
+        cfg.get_double("dag_scale", defaults.dag_runtime_scale);
+    if (config.dag_runtime_scale <= 0.0) {
+      throw ConfigError("dag_scale must be > 0, got " +
+                        std::to_string(config.dag_runtime_scale));
+    }
+  } else {
+    for (const std::string_view k : kDagOnlyKeys) {
+      if (cfg.has(k)) {
+        throw ConfigError(std::string(k) +
+                          " requires a DAG workload; set "
+                          "workload=wfcommons:<file> or synth:<topology>");
+      }
+    }
+  }
 
   // Fail fast on leftovers: every key the caller did not already consume
   // and this binding does not understand is a typo, diagnosed on one line.

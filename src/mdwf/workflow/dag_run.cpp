@@ -1,0 +1,607 @@
+#include "mdwf/workflow/dag_run.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/assert.hpp"
+#include "mdwf/wload/wload.hpp"
+
+namespace mdwf::workflow {
+
+std::string dag_frame_path(std::uint32_t edge, std::uint64_t f) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "dag%04u/frame%05llu", edge,
+                static_cast<unsigned long long>(f));
+  return buf;
+}
+
+std::string dag_edge_prefix(std::uint32_t edge) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "dag%04u/", edge);
+  return buf;
+}
+
+DagPlan plan_dag(const wload::Dag& dag, Bytes chunk, std::uint32_t nodes) {
+  MDWF_ASSERT_MSG(chunk.count() > 0, "dag chunk size must be positive");
+  MDWF_ASSERT_MSG(nodes >= 1, "dag plan needs at least one node");
+  const std::size_t n = dag.tasks.size();
+  DagPlan plan;
+  plan.in_edges.resize(n);
+  plan.out_edges.resize(n);
+  plan.node_of.resize(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    // Round-robin placement in topological order: siblings spread across
+    // nodes, so wide layers actually exercise the network paths.
+    plan.node_of[t] = static_cast<std::uint32_t>(t % nodes);
+  }
+  // Canonical edge order: child-major, parents ascending (validate() sorts
+  // both), so edge ids are reproducible from the Dag alone.
+  for (std::size_t c = 0; c < n; ++c) {
+    for (const std::uint32_t p : dag.tasks[c].parents) {
+      const Bytes payload = dag.tasks[p].output_bytes;
+      DagEdgePlan e;
+      e.parent = p;
+      e.child = static_cast<std::uint32_t>(c);
+      e.frames = std::max<std::uint64_t>(
+          1, (payload.count() + chunk.count() - 1) / chunk.count());
+      e.frame_bytes = Bytes(std::max<std::uint64_t>(
+          1, (payload.count() + e.frames - 1) / e.frames));
+      const auto id = static_cast<std::uint32_t>(plan.edges.size());
+      plan.in_edges[c].push_back(id);
+      plan.out_edges[p].push_back(id);
+      plan.total_edge_frames += e.frames;
+      plan.edges.push_back(e);
+    }
+  }
+  return plan;
+}
+
+namespace {
+
+// Same remote-fault retry policy as the classic rank loops.
+constexpr Duration kFaultRetryBackoff = Duration::milliseconds(50);
+constexpr std::uint64_t kMaxFaultRetries = 10'000;
+
+// One side of one edge, from the owning task's point of view.
+struct DagRankIo {
+  Connector* conn = nullptr;
+  std::vector<TimePoint>* pub = nullptr;  // per-frame publish stamps
+  std::uint32_t peer_node = 0;            // the edge's other end
+};
+
+struct DagTaskContext {
+  sim::Simulation* sim = nullptr;
+  const wload::TaskSpec* spec = nullptr;
+  const DagPlan* plan = nullptr;
+  std::uint32_t task = 0;
+  perf::Recorder* recorder = nullptr;
+  std::vector<DagRankIo> in;   // aligned with plan->in_edges[task]
+  std::vector<DagRankIo> out;  // aligned with plan->out_edges[task]
+  obs::TraceSink* trace = nullptr;
+  obs::TrackId track{};
+  obs::InstantId frame_marker{};
+  Rng rng{1};
+  std::uint32_t node = 0;
+  fault::CrashMonitor* crash = nullptr;
+  fault::FaultInjector* injector = nullptr;
+  RankStats* prod_stats = nullptr;  // publish units
+  RankStats* cons_stats = nullptr;  // fetch units
+  Samples* fetch_samples = nullptr;
+  double runtime_scale = 1.0;
+  double analytics_scale = 1.0;
+  double jitter_sigma = 0.0;
+  double stagger = 1.0;
+  DagProbe* probe = nullptr;
+};
+
+std::uint64_t rank_epoch(const DagTaskContext& ctx) {
+  return ctx.crash != nullptr ? ctx.crash->epoch(ctx.node) : 0;
+}
+
+double cpu_dilation(const DagTaskContext& ctx) {
+  return ctx.injector != nullptr ? ctx.injector->cpu_dilation(ctx.node) : 1.0;
+}
+
+// See ensemble.cpp: without a membership plane, a peer on a permanently
+// lost node can never move frames again — park instead of polling forever.
+bool park_on_lost_peer(const DagTaskContext& ctx, std::uint32_t peer) {
+  return ctx.injector != nullptr && ctx.crash != nullptr &&
+         ctx.crash->down(peer) && ctx.injector->node_lost(peer);
+}
+
+void count_frame(RankStats* stats, std::uint64_t f, std::uint64_t& high) {
+  if (f < high) {
+    if (stats != nullptr) ++stats->reexecuted;
+  } else {
+    high = f + 1;
+    if (stats != nullptr) ++stats->frames_done;
+  }
+}
+
+void trace_frame(const DagTaskContext& ctx, std::uint64_t unit) {
+  if (ctx.trace == nullptr) return;
+  ctx.trace->instant(ctx.frame_marker, ctx.sim->now(),
+                     static_cast<std::int64_t>(unit));
+}
+
+// One workflow task: fetch every parent frame (in-edge order), run the
+// compute budget, publish every output frame to every out-edge, then drain
+// the manual-sync barriers.  Crash-aware but checkpoint-free: an epoch
+// change restarts the whole task; idempotent connectors make that safe.
+sim::Task<void> run_dag_task(DagTaskContext ctx) {
+  auto& sim = *ctx.sim;
+  auto& rec = *ctx.recorder;
+  const auto& in_ids = ctx.plan->in_edges[ctx.task];
+  const auto& out_ids = ctx.plan->out_edges[ctx.task];
+
+  std::uint64_t in_total = 0;
+  std::vector<std::uint64_t> in_base(in_ids.size(), 0);  // linear unit base
+  for (std::size_t i = 0; i < in_ids.size(); ++i) {
+    in_base[i] = in_total;
+    in_total += ctx.plan->edges[in_ids[i]].frames;
+  }
+  // Every out-edge of a task carries the same frame sequence.
+  const std::uint64_t out_frames =
+      out_ids.empty() ? 0 : ctx.plan->edges[out_ids[0]].frames;
+
+  const Duration runtime = ctx.spec->runtime * ctx.runtime_scale;
+  const bool both = !in_ids.empty() && !out_ids.empty();
+  const Duration fetch_budget =
+      in_ids.empty() ? Duration::zero() : (both ? runtime * 0.5 : runtime);
+  const Duration produce_budget =
+      out_ids.empty() ? Duration::zero() : (both ? runtime * 0.5 : runtime);
+  const Duration analytics_slice =
+      in_total == 0 ? Duration::zero()
+                    : (fetch_budget * (1.0 / static_cast<double>(in_total))) *
+                          ctx.analytics_scale;
+  const Duration compute_slice =
+      out_frames == 0
+          ? Duration::zero()
+          : produce_budget * (1.0 / static_cast<double>(out_frames));
+
+  if (in_ids.empty() && !out_ids.empty() && ctx.stagger > 0.0) {
+    // Source tasks start with a launch/equilibration offset, like the
+    // classic producers; downstream tasks are desynchronized by their
+    // inputs' arrival instead.
+    co_await sim.delay(compute_slice *
+                       (ctx.stagger * ctx.rng.next_double()));
+  }
+
+  std::uint64_t cons_high = 0;
+  std::uint64_t prod_high = 0;
+  for (bool completed = false; !completed;) {
+    const std::uint64_t run_epoch = rank_epoch(ctx);
+    bool crashed = false;
+
+    // ---- Fetch phase: a task is runnable per-frame — analytics overlap
+    // the parents still publishing, exactly like the classic consumer.
+    for (std::size_t ei = 0; ei < in_ids.size() && !crashed; ++ei) {
+      const DagEdgePlan& e = ctx.plan->edges[in_ids[ei]];
+      const DagRankIo& io = ctx.in[ei];
+      for (std::uint64_t f = 0; f < e.frames && !crashed; ++f) {
+        const std::uint64_t unit = in_base[ei] + f;
+        const TimePoint fetch_start = sim.now();
+        for (std::uint64_t attempts = 0;; ++attempts) {
+          std::exception_ptr failure;
+          try {
+            perf::ScopedRegion consume(rec, "consume");
+            co_await io.conn->get(dag_frame_path(in_ids[ei], f),
+                                  e.frame_bytes, f);
+          } catch (const net::NetError&) {
+            failure = std::current_exception();
+          } catch (const storage::IoError&) {
+            failure = std::current_exception();
+          } catch (const fs::FsError&) {
+            failure = std::current_exception();
+          }
+          if (failure == nullptr) {
+            // Availability-relative fetch latency, the same metric as the
+            // classic consumer (see RankContext::publish_times); skipped
+            // when the producer's stamp is missing.
+            if (ctx.fetch_samples != nullptr) {
+              const TimePoint pub = (*io.pub)[f];
+              if (pub != TimePoint::origin()) {
+                const TimePoint avail = std::max(fetch_start, pub);
+                ctx.fetch_samples->add((sim.now() - avail).to_micros());
+              }
+            }
+            break;
+          }
+          if (ctx.crash == nullptr || attempts >= kMaxFaultRetries) {
+            std::rethrow_exception(failure);
+          }
+          if (rank_epoch(ctx) != run_epoch) break;
+          if (ctx.cons_stats != nullptr) ++ctx.cons_stats->fault_retries;
+          perf::ScopedRegion wait(rec, "fault_retry",
+                                  perf::Category::kIdle);
+          if (park_on_lost_peer(ctx, io.peer_node)) {
+            co_await ctx.crash->wait_up(io.peer_node);
+          } else {
+            co_await sim.delay(kFaultRetryBackoff);
+          }
+        }
+        if (ctx.crash != nullptr && rank_epoch(ctx) != run_epoch) {
+          crashed = true;
+          break;
+        }
+        trace_frame(ctx, unit);
+        if (ctx.probe != nullptr) {
+          ctx.probe->on_fetch(ctx.task, in_ids[ei], f, sim.now());
+        }
+        if (!analytics_slice.is_zero()) {
+          perf::ScopedRegion ana(rec, "analytics",
+                                 perf::Category::kCompute);
+          co_await sim.delay(analytics_slice * cpu_dilation(ctx));
+        }
+        io.conn->acknowledge(f);
+        count_frame(ctx.cons_stats, unit, cons_high);
+      }
+    }
+
+    // ---- Compute + publish phase.
+    if (!crashed && in_ids.empty() && out_ids.empty() &&
+        !runtime.is_zero()) {
+      // Isolated task: pure compute, no movement.
+      perf::ScopedRegion compute(rec, "md_compute",
+                                 perf::Category::kCompute);
+      co_await sim.delay(runtime * cpu_dilation(ctx));
+    }
+    for (std::uint64_t f = 0; f < out_frames && !crashed; ++f) {
+      {
+        perf::ScopedRegion compute(rec, "md_compute",
+                                   perf::Category::kCompute);
+        const double jitter =
+            std::max(-0.5, ctx.rng.normal(0.0, ctx.jitter_sigma));
+        co_await sim.delay(compute_slice *
+                           ((1.0 + jitter) * cpu_dilation(ctx)));
+      }
+      for (std::size_t oi = 0; oi < out_ids.size() && !crashed; ++oi) {
+        const DagEdgePlan& e = ctx.plan->edges[out_ids[oi]];
+        const DagRankIo& io = ctx.out[oi];
+        const std::uint64_t unit = f * out_ids.size() + oi;
+        for (std::uint64_t attempts = 0;; ++attempts) {
+          std::exception_ptr failure;
+          try {
+            perf::ScopedRegion produce(rec, "produce");
+            co_await io.conn->put(dag_frame_path(out_ids[oi], f),
+                                  e.frame_bytes, f);
+            (*io.pub)[f] = sim.now();
+          } catch (const net::NetError&) {
+            failure = std::current_exception();
+          } catch (const storage::IoError&) {
+            failure = std::current_exception();
+          } catch (const fs::FsError&) {
+            failure = std::current_exception();
+          }
+          if (failure == nullptr) break;
+          if (ctx.crash == nullptr || attempts >= kMaxFaultRetries) {
+            std::rethrow_exception(failure);
+          }
+          if (rank_epoch(ctx) != run_epoch) break;
+          if (ctx.prod_stats != nullptr) ++ctx.prod_stats->fault_retries;
+          perf::ScopedRegion wait(rec, "fault_retry",
+                                  perf::Category::kIdle);
+          if (park_on_lost_peer(ctx, io.peer_node)) {
+            co_await ctx.crash->wait_up(io.peer_node);
+          } else {
+            co_await sim.delay(kFaultRetryBackoff);
+          }
+        }
+        if (ctx.crash != nullptr && rank_epoch(ctx) != run_epoch) {
+          crashed = true;
+          break;
+        }
+        trace_frame(ctx, in_total + unit);
+        if (ctx.probe != nullptr) {
+          ctx.probe->on_publish(ctx.task, out_ids[oi], f, sim.now());
+        }
+        count_frame(ctx.prod_stats, unit, prod_high);
+      }
+    }
+
+    // ---- End-of-edge barriers (manual-sync solutions): wait for every
+    // child to drain this task's frames.  The classic per-frame
+    // producer_sync would deadlock on diamond graphs, so the producer-side
+    // serialization moves to one barrier per edge; the consumer-side
+    // per-frame wait (the explicit_sync idle) is untouched.
+    for (std::size_t oi = 0; oi < out_ids.size() && !crashed; ++oi) {
+      const DagEdgePlan& e = ctx.plan->edges[out_ids[oi]];
+      co_await ctx.out[oi].conn->producer_sync(e.frames - 1);
+      if (ctx.crash != nullptr && rank_epoch(ctx) != run_epoch) {
+        crashed = true;
+      }
+    }
+
+    // A crash during a pure-compute stretch raises no exception; the
+    // epoch check here catches it before the task declares itself done.
+    if (!crashed && ctx.crash != nullptr &&
+        rank_epoch(ctx) != run_epoch) {
+      crashed = true;
+    }
+    if (!crashed) {
+      completed = true;
+      continue;
+    }
+    {
+      perf::ScopedRegion down(rec, "crash_restart", perf::Category::kIdle);
+      co_await ctx.crash->wait_up(ctx.node);
+    }
+    RankStats* restart_stats =
+        !in_ids.empty() ? ctx.cons_stats : ctx.prod_stats;
+    if (restart_stats != nullptr) ++restart_stats->crash_recoveries;
+  }
+  if (ctx.probe != nullptr) ctx.probe->on_complete(ctx.task, sim.now());
+}
+
+sim::Task<void> run_all_and_mark(sim::Simulation& sim,
+                                 std::vector<sim::Task<void>> tasks,
+                                 TimePoint& end) {
+  co_await sim::all(sim, std::move(tasks));
+  end = sim.now();
+}
+
+double per_frame_us(const perf::CallTree& tree, std::string_view subtree,
+                    perf::Category cat, std::uint64_t frames) {
+  return tree.category_time(subtree, cat).to_micros() /
+         static_cast<double>(frames);
+}
+
+// Everything the DAG rank coroutines reference; declared before the
+// Testbed (the run_repetition unwind-order contract).
+struct DagAssets {
+  std::vector<std::unique_ptr<perf::Recorder>> recs;  // per task
+  std::vector<std::unique_ptr<ExplicitSync>> syncs;
+  std::vector<std::unique_ptr<Connector>> prod_conn;  // per edge
+  std::vector<std::unique_ptr<Connector>> cons_conn;  // per edge
+  std::vector<std::unique_ptr<std::vector<TimePoint>>> pub_times;  // per edge
+  std::vector<RankStats> stats;  // 2 per task: publish units, fetch units
+  std::vector<sim::Task<void>> tasks;
+};
+
+}  // namespace
+
+RepOutcome run_dag_repetition(const EnsembleConfig& config, std::uint32_t rep,
+                              obs::TraceSink* trace, DagProbe* probe) {
+  MDWF_ASSERT_MSG(config.dag != nullptr,
+                  "run_dag_repetition needs a DAG workload");
+  const wload::Dag& dag = *config.dag;
+  MDWF_ASSERT(config.nodes >= 1);
+  MDWF_ASSERT_MSG(config.solution != Solution::kXfs || config.nodes == 1,
+                  "XFS cannot move data between nodes (paper Sec. III-B)");
+  MDWF_ASSERT_MSG(!config.testbed.membership.enabled,
+                  "membership plane does not support DAG workloads");
+
+  RepOutcome out;
+  register_ensemble_counters(out.counters);
+  {
+    TestbedParams tp = config.testbed;
+    tp.compute_nodes = config.nodes;
+    tp.integrity.seed = config.base_seed + rep * 7919;
+    tp.trace = trace;
+
+    const DagPlan plan = plan_dag(dag, config.dag_chunk, config.nodes);
+    const std::size_t ntasks = dag.tasks.size();
+
+    DagAssets assets;
+    Testbed tb(tp);
+    auto& sim = tb.simulation();
+    obs::TraceSink* sink = tb.params().trace;
+
+    fault::CrashMonitor* crash = nullptr;
+    if (tb.fault_injector() != nullptr &&
+        tb.fault_injector()->has_crash_windows()) {
+      crash = &tb.fault_injector()->monitor();
+    }
+
+    const Rng rep_rng(config.base_seed + rep);
+    assets.stats.assign(2 * ntasks, RankStats{});
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      assets.recs.push_back(std::make_unique<perf::Recorder>(
+          sim, "task" + std::to_string(t)));
+    }
+
+    // Per-edge movement plumbing: producer-side connector at the parent's
+    // node, consumer-side at the child's, sharing one level-triggered sync
+    // (manual-sync solutions) and one publish-stamp vector.
+    for (std::size_t e = 0; e < plan.edges.size(); ++e) {
+      const DagEdgePlan& ep = plan.edges[e];
+      const std::uint32_t pnode = plan.node_of[ep.parent];
+      const std::uint32_t cnode = plan.node_of[ep.child];
+      ExplicitSync* sync = nullptr;
+      if (config.solution == Solution::kXfs ||
+          config.solution == Solution::kLustre) {
+        assets.syncs.push_back(std::make_unique<ExplicitSync>(sim));
+        sync = assets.syncs.back().get();
+      }
+      const ConnectorSpec pspec{.testbed = &tb,
+                                .solution = config.solution,
+                                .node = pnode,
+                                .sync = sync,
+                                .recorder = assets.recs[ep.parent].get()};
+      const ConnectorSpec cspec{.testbed = &tb,
+                                .solution = config.solution,
+                                .node = cnode,
+                                .sync = sync,
+                                .recorder = assets.recs[ep.child].get()};
+      assets.prod_conn.push_back(make_connector(pspec));
+      assets.cons_conn.push_back(make_connector(cspec));
+      if (config.solution == Solution::kDyad &&
+          tb.params().dyad.push_mode) {
+        tb.dyad_domain().subscribe(
+            dag_edge_prefix(static_cast<std::uint32_t>(e)),
+            net::NodeId{cnode});
+      }
+      if (config.solution == Solution::kStream) {
+        tb.stream_domain().subscribe(
+            dag_edge_prefix(static_cast<std::uint32_t>(e)),
+            net::NodeId{cnode});
+      }
+      assets.pub_times.push_back(std::make_unique<std::vector<TimePoint>>(
+          ep.frames, TimePoint::origin()));
+    }
+
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      DagTaskContext ctx;
+      ctx.sim = &sim;
+      ctx.spec = &dag.tasks[t];
+      ctx.plan = &plan;
+      ctx.task = static_cast<std::uint32_t>(t);
+      ctx.recorder = assets.recs[t].get();
+      for (const std::uint32_t e : plan.in_edges[t]) {
+        ctx.in.push_back(DagRankIo{assets.cons_conn[e].get(),
+                                   assets.pub_times[e].get(),
+                                   plan.node_of[plan.edges[e].parent]});
+      }
+      for (const std::uint32_t e : plan.out_edges[t]) {
+        ctx.out.push_back(DagRankIo{assets.prod_conn[e].get(),
+                                    assets.pub_times[e].get(),
+                                    plan.node_of[plan.edges[e].child]});
+      }
+      ctx.rng = rep_rng.fork("dag-task" + std::to_string(t));
+      ctx.node = plan.node_of[t];
+      ctx.crash = crash;
+      ctx.injector = tb.fault_injector();
+      ctx.prod_stats = &assets.stats[2 * t];
+      ctx.cons_stats = &assets.stats[2 * t + 1];
+      ctx.fetch_samples = &out.cons_fetch_us;
+      ctx.runtime_scale = config.dag_runtime_scale;
+      ctx.analytics_scale = config.workload.analytics_scale;
+      ctx.jitter_sigma = config.workload.step_jitter_sigma;
+      ctx.stagger = config.workload.start_stagger;
+      ctx.probe = probe;
+      if (sink != nullptr) {
+        ctx.trace = sink;
+        ctx.track = sink->track("node" + std::to_string(ctx.node),
+                                "task" + std::to_string(t));
+        ctx.frame_marker = sink->instant_series(ctx.track, "f=");
+        assets.recs[t]->set_trace(sink, ctx.track);
+      }
+      assets.tasks.push_back(run_dag_task(std::move(ctx)));
+    }
+
+    TimePoint workload_end;
+    sim.spawn(run_all_and_mark(sim, std::move(assets.tasks), workload_end));
+    const std::uint64_t events_fired = sim.run_to_quiescence();
+    if (tb.fault_injector() != nullptr) tb.fault_injector()->finalize_trace();
+
+    // ---- Collect: same counter names and thicket shape as the classic
+    // collector, with tasks in place of pairs.
+    double pm = 0, pi = 0, cm = 0, ci = 0;
+    std::uint32_t nprod = 0, ncons = 0;
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      const auto& tree = assets.recs[t]->tree();
+      std::uint64_t in_units = 0;
+      for (const std::uint32_t e : plan.in_edges[t]) {
+        in_units += plan.edges[e].frames;
+      }
+      const std::uint64_t out_units =
+          plan.out_edges[t].empty()
+              ? 0
+              : plan.edges[plan.out_edges[t][0]].frames *
+                    plan.out_edges[t].size();
+      if (out_units > 0) {
+        pm += per_frame_us(tree, "produce", perf::Category::kMovement,
+                           out_units);
+        pi += per_frame_us(tree, "produce", perf::Category::kIdle,
+                           out_units);
+        ++nprod;
+      }
+      if (in_units > 0) {
+        cm += per_frame_us(tree, "consume", perf::Category::kMovement,
+                           in_units);
+        ci += per_frame_us(tree, "consume", perf::Category::kIdle, in_units);
+        ++ncons;
+      }
+      perf::Metadata meta{
+          {"solution", std::string(to_string(config.solution))},
+          {"rep", std::to_string(rep)},
+          {"task", dag.tasks[t].id},
+          {"tasks", std::to_string(ntasks)},
+          {"nodes", std::to_string(config.nodes)},
+          {"workflow", dag.name},
+          {"role", "task"},
+      };
+      out.thicket.add(meta, assets.recs[t]->snapshot());
+
+      out.counters.add("frames_produced", assets.stats[2 * t].frames_done);
+      out.counters.add("frames_consumed",
+                       assets.stats[2 * t + 1].frames_done);
+      out.counters.add("frames_reexecuted",
+                       assets.stats[2 * t].reexecuted +
+                           assets.stats[2 * t + 1].reexecuted);
+      out.counters.add("fault_retries",
+                       assets.stats[2 * t].fault_retries +
+                           assets.stats[2 * t + 1].fault_retries);
+      out.counters.add("crash_recoveries",
+                       assets.stats[2 * t].crash_recoveries +
+                           assets.stats[2 * t + 1].crash_recoveries);
+    }
+    out.prod_movement_us = nprod > 0 ? pm / nprod : 0.0;
+    out.prod_idle_us = nprod > 0 ? pi / nprod : 0.0;
+    out.cons_movement_us = ncons > 0 ? cm / ncons : 0.0;
+    out.cons_idle_us = ncons > 0 ? ci / ncons : 0.0;
+
+    // Zero-data-loss acceptance metric: every edge-frame must be fetched.
+    std::uint64_t consumed = 0;
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      consumed += assets.stats[2 * t + 1].frames_done;
+    }
+    out.counters.add("frames_lost", consumed < plan.total_edge_frames
+                                        ? plan.total_edge_frames - consumed
+                                        : 0);
+
+    if (config.solution == Solution::kDyad) {
+      for (const auto& conn : assets.cons_conn) {
+        const auto& dc = static_cast<const DyadConnector&>(
+                             conn->stats_target())
+                             .consumer();
+        out.counters.add("dyad_warm_hits", dc.warm_hits());
+        out.counters.add("dyad_kvs_waits", dc.kvs_waits());
+        out.counters.add("dyad_kvs_retries", dc.kvs_retries());
+        out.counters.add("dyad_recovery_retries", dc.recovery_retries());
+        out.counters.add("dyad_failovers", dc.failovers());
+      }
+      for (std::uint32_t n = 0; n < config.nodes; ++n) {
+        out.counters.add("dyad_republishes", tb.node(n).dyad->republishes());
+        const auto& hs = tb.node(n).dyad->health_state();
+        out.counters.add("dyad_hedges", hs.hedges);
+        out.counters.add("dyad_hedge_wins", hs.hedge_wins);
+        out.counters.add("dyad_hedge_cancels", hs.hedge_cancels);
+        out.counters.add("dyad_breaker_trips", hs.breaker.trips());
+        out.counters.add("dyad_breaker_fast_fails", hs.breaker_fast_fails);
+        out.counters.add("dyad_busy_retries", hs.busy_retries);
+      }
+    }
+    if (config.solution == Solution::kStream) {
+      for (std::uint32_t n = 0; n < config.nodes; ++n) {
+        const auto& sn = *tb.node(n).stream;
+        out.counters.add("stream_puts", sn.puts());
+        out.counters.add("stream_staged_hits", sn.staged_hits());
+        out.counters.add("stream_spills", sn.spills());
+        out.counters.add("stream_spill_reads", sn.spill_reads());
+        out.counters.add("stream_replays", sn.replays());
+        out.counters.add("stream_dup_drops", sn.dup_drops());
+        out.counters.add("stream_crash_drops", sn.crash_drops());
+        out.counters.add("stream_credit_waits", sn.credit_waits());
+        out.counters.add("stream_backpressure_stalls",
+                         sn.backpressure_stalls());
+        out.counters.add("stream_hedges", sn.hedges());
+        out.counters.add("stream_hedge_wins", sn.hedge_wins());
+      }
+    }
+    for (std::uint32_t n = 0; n < config.nodes; ++n) {
+      out.counters.add("torn_writes", tb.node(n).local_fs->torn_files());
+      out.counters.add("lost_dirty_pages", tb.node(n).cache->dirty_dropped());
+      out.counters.add("cache_hits", tb.node(n).cache->hits());
+      out.counters.add("cache_misses", tb.node(n).cache->misses());
+    }
+    collect_shared(tb, events_fired, out);
+    out.makespan_s = (workload_end - TimePoint::origin()).to_seconds();
+  }
+  return out;
+}
+
+}  // namespace mdwf::workflow

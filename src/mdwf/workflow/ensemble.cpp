@@ -7,6 +7,7 @@
 
 #include "mdwf/common/assert.hpp"
 #include "mdwf/common/fence.hpp"
+#include "mdwf/workflow/dag_run.hpp"
 
 namespace mdwf::workflow {
 
@@ -733,6 +734,9 @@ void collect_shared(Testbed& tb, std::uint64_t events_fired,
 
 RepOutcome run_repetition(const EnsembleConfig& config, std::uint32_t rep,
                           obs::TraceSink* trace) {
+  // DAG workloads take the dependency-driven executor; the classic fixed
+  // pipeline below is bit-for-bit the pre-DAG code path.
+  if (config.dag != nullptr) return run_dag_repetition(config, rep, trace);
   MDWF_ASSERT(config.pairs >= 1);
   const bool colocated =
       config.nodes == 1 || config.placement == Placement::kColocated;

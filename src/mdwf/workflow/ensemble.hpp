@@ -28,6 +28,10 @@
 #include "mdwf/workflow/connector.hpp"
 #include "mdwf/workflow/testbed.hpp"
 
+namespace mdwf::wload {
+struct Dag;
+}
+
 namespace mdwf::workflow {
 
 struct WorkloadConfig {
@@ -236,6 +240,19 @@ struct EnsembleConfig {
   // is recorded: each repetition is an independent simulation with its own
   // time origin, so overlaying them in one timeline would be misleading.
   std::string trace_path;
+
+  // --- DAG workload (mdwf::wload; PR 10).  Non-null routes run_repetition
+  // to the dependency-driven executor in dag_run.cpp: one rank per task,
+  // one connector pair per edge; `pairs`, `frames`, `placement`, `model`,
+  // and `checkpoint` do not apply.  Null keeps the classic fixed pipeline
+  // on its exact previous code path.
+  std::shared_ptr<const wload::Dag> dag;
+  // A task's output payload is cut into ceil(bytes / dag_chunk) frames per
+  // out-edge; smaller chunks stream earlier but pay more per-frame cost.
+  Bytes dag_chunk = Bytes::mib(32);
+  // Multiplier on every imported task runtime (scale a real trace down to
+  // simulation-friendly durations without editing the instance).
+  double dag_runtime_scale = 1.0;
 };
 
 struct EnsembleResult {

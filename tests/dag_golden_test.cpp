@@ -1,0 +1,141 @@
+// Golden-instance tests for the DAG workload pipeline: the two committed
+// WfCommons fixtures under tests/data/ run through the same sweep the
+// advisor tool batches, and the merged CSV must match a committed CRC32C
+// digest byte-for-byte (the trace_roundtrip pattern: any change to the
+// loader, planner, executor, or solution models that moves a number shows
+// up as a digest mismatch and must be re-pinned deliberately).
+//
+// The regime assertions pin the BENCH_pr6 crossover on real instances:
+// the staged fixture (644 KB frames, balanced runtimes) must rank stream
+// first on fetch P99; the spill-bound fixture (228 MiB producer into an
+// 8x-slower consumer) must rank DYAD first — a streaming consumer that
+// falls past the credit window pays the Lustre spill path, DYAD serves
+// the same late fetches from the producer's node-local cache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/crc32c.hpp"
+#include "mdwf/sweep/sweep.hpp"
+#include "mdwf/wload/wload.hpp"
+#include "mdwf/workflow/config.hpp"
+#include "mdwf/workflow/dag_run.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace mdwf {
+namespace {
+
+using workflow::EnsembleConfig;
+using workflow::Solution;
+
+constexpr const char* kStagedPath =
+    MDWF_SOURCE_DIR "/tests/data/wfcommons_staged.json";
+constexpr const char* kSpillPath =
+    MDWF_SOURCE_DIR "/tests/data/wfcommons_spill.json";
+
+// The advisor's default candidate set, in its default order.
+const std::vector<std::pair<std::string, Solution>> kCandidates = {
+    {"dyad", Solution::kDyad},
+    {"lustre", Solution::kLustre},
+    {"stream", Solution::kStream},
+};
+
+std::vector<sweep::SweepPoint> fixture_grid(
+    const std::shared_ptr<const wload::Dag>& dag) {
+  std::vector<sweep::SweepPoint> grid;
+  for (const auto& [name, solution] : kCandidates) {
+    EnsembleConfig c;
+    c.solution = solution;
+    c.nodes = 2;
+    c.repetitions = 3;
+    c.base_seed = 1;
+    c.dag = dag;
+    grid.push_back({dag->name + "/" + name, std::move(c)});
+  }
+  return grid;
+}
+
+// Index into kCandidates of the lowest fetch-P99 point.
+std::size_t best_of(const sweep::SweepResult& swept) {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < swept.points.size(); ++i) {
+    EXPECT_FALSE(swept.points[i].failed()) << swept.points[i].error_text;
+    if (swept.points[i].result.cons_fetch_us.quantile(0.99) <
+        swept.points[best].result.cons_fetch_us.quantile(0.99)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(DagGolden, StagedFixtureShapeSurvivesImport) {
+  const wload::Dag dag = wload::load_wfcommons_file(kStagedPath);
+  EXPECT_EQ(dag.name, "md-staged-pipeline");
+  ASSERT_EQ(dag.tasks.size(), 5u);
+  EXPECT_EQ(dag.edge_count(), 5u);
+  EXPECT_EQ(dag.source_count(), 1u);
+  EXPECT_EQ(dag.sink_count(), 1u);
+  EXPECT_EQ(dag.critical_path_tasks(), 4u);
+  // kJac-scale frames: every edge fits one default chunk.
+  const workflow::DagPlan plan = workflow::plan_dag(dag, Bytes::mib(32), 2);
+  EXPECT_EQ(plan.total_edge_frames, 5u);
+}
+
+TEST(DagGolden, SpillFixtureShapeSurvivesImport) {
+  const wload::Dag dag = wload::load_wfcommons_file(kSpillPath);
+  EXPECT_EQ(dag.name, "md-spill-aggregate");
+  ASSERT_EQ(dag.tasks.size(), 3u);
+  // 228 MiB over the default 32 MiB chunk: 8 frames on the first edge.
+  const workflow::DagPlan plan = workflow::plan_dag(dag, Bytes::mib(32), 2);
+  ASSERT_EQ(plan.edges.size(), 2u);
+  EXPECT_EQ(plan.edges[0].frames, 8u);
+  EXPECT_EQ(plan.total_edge_frames, 9u);
+}
+
+TEST(DagGolden, StagedRegimeRecommendsStream) {
+  const auto dag = std::make_shared<const wload::Dag>(
+      wload::load_wfcommons_file(kStagedPath));
+  const auto swept = sweep::run_sweep(fixture_grid(dag), 1);
+  EXPECT_EQ(kCandidates[best_of(swept)].first, "stream");
+}
+
+TEST(DagGolden, SpillBoundRegimeRecommendsDyad) {
+  const auto dag = std::make_shared<const wload::Dag>(
+      wload::load_wfcommons_file(kSpillPath));
+  const auto swept = sweep::run_sweep(fixture_grid(dag), 1);
+  EXPECT_EQ(kCandidates[best_of(swept)].first, "dyad");
+}
+
+TEST(DagGolden, SweepCsvMatchesCommittedDigest) {
+  // Both fixtures in one grid, the advisor's canonical order; the CSV is
+  // the full numeric surface of the run (per-frame times, P99, makespan,
+  // event counts), so the digest pins loader + planner + executor +
+  // solution models at once.  On an intentional behavior change, update
+  // the constant from the failure message.
+  const auto staged = std::make_shared<const wload::Dag>(
+      wload::load_wfcommons_file(kStagedPath));
+  const auto spill = std::make_shared<const wload::Dag>(
+      wload::load_wfcommons_file(kSpillPath));
+  std::vector<sweep::SweepPoint> grid = fixture_grid(staged);
+  for (auto& p : fixture_grid(spill)) grid.push_back(std::move(p));
+
+  const std::string csv = sweep::run_sweep(grid, 1).to_csv();
+  // Byte-identity across thread counts first: the digest would otherwise
+  // depend on the ctest parallelism of the day.
+  for (const std::uint32_t threads : {2u, 8u}) {
+    EXPECT_EQ(csv, sweep::run_sweep(grid, threads).to_csv());
+  }
+
+  constexpr std::uint32_t kCommittedDigest = 0x6ccf7e50u;
+  const std::uint32_t digest = crc32c(csv.data(), csv.size());
+  EXPECT_EQ(digest, kCommittedDigest)
+      << "advisor sweep CSV drifted; if intentional, re-pin with 0x"
+      << std::hex << digest << "\n--- csv ---\n"
+      << csv;
+}
+
+}  // namespace
+}  // namespace mdwf

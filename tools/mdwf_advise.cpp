@@ -1,0 +1,368 @@
+// mdwf_advise: batch solution advisor for DAG workloads.
+//
+// Sweeps workloads x solutions x fault scenarios through mdwf::sweep and
+// emits one recommendation row per (workload, scenario): the solution with
+// the lowest frame-fetch P99, the runner-up, the margin between them, and
+// a confidence grade derived from how that margin compares to the winner's
+// repetition spread.  The promoted successor of examples/solution_advisor
+// (fixed MD pipelines) for imported/synthetic graphs.
+//
+//   mdwf_advise [config-file] [key=value ...]
+//
+// Keys:
+//   workloads  = comma-separated workload references, each
+//                wfcommons:<file> or synth:chain|fork-join|montage
+//                (required; same syntax as mdwf_run's workload=)
+//   solutions  = comma-separated candidates    (default dyad,lustre,stream;
+//                                               xfs allowed, runs on 1 node)
+//   scenarios  = comma-separated fault scenarios (default none; node-loss
+//                                               family rejected: DAG runs
+//                                               have no membership plane)
+//   nodes      = <n>                            (default 2; xfs always 1)
+//   reps       = <n>                            (default 3)
+//   seed       = <n>                            (default 1)
+//   threads    = <n>                            (sweep workers; results are
+//                                               byte-identical for every
+//                                               value; default 1)
+//   dag_tasks / dag_width / dag_seed / dag_runtime / dag_bytes
+//              = synthetic workload shape       (as in mdwf_run)
+//   dag_chunk  = <bytes>                        (edge frame size, 32 MiB)
+//   dag_scale  = <x>                            (task runtime multiplier)
+//   out        = <path>                         (write the CSV there and a
+//                                               human table to stdout;
+//                                               default: CSV to stdout)
+//
+// CSV schema (one row per workload x scenario, input order):
+//   workflow,scenario,tasks,edge_frames,recommendation,fetch_p99_us,
+//   makespan_s,runner_up,runner_up_p99_us,margin_pct,confidence
+//
+// Confidence: the P99 margin to the runner-up, measured against the
+// winner's own repetition spread (makespan stddev/mean).  A margin that
+// dwarfs the spread is a stable regime ("high"); a margin inside the
+// spread could flip on another seed ("low").
+//
+// Exit status: 0 on success; 1 on configuration errors or any failed
+// sweep point (the point's error is reported on stderr).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mdwf/common/format.hpp"
+#include "mdwf/common/keyval.hpp"
+#include "mdwf/common/suggest.hpp"
+#include "mdwf/common/table.hpp"
+#include "mdwf/fault/plan.hpp"
+#include "mdwf/sweep/sweep.hpp"
+#include "mdwf/wload/wload.hpp"
+#include "mdwf/workflow/config.hpp"
+#include "mdwf/workflow/dag_run.hpp"
+#include "mdwf/workflow/ensemble.hpp"
+
+namespace {
+
+using namespace mdwf;
+
+int fail(const std::string& msg) {
+  std::fprintf(stderr, "mdwf_advise: %s\n", msg.c_str());
+  return 1;
+}
+
+std::vector<std::string> split_list(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    std::string item = text.substr(start, end - start);
+    // Trim surrounding spaces so "a, b" parses as expected.
+    while (!item.empty() && item.front() == ' ') item.erase(item.begin());
+    while (!item.empty() && item.back() == ' ') item.pop_back();
+    if (!item.empty()) out.push_back(std::move(item));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+constexpr std::string_view kSolutionNames[] = {"dyad", "xfs", "lustre",
+                                               "stream"};
+
+workflow::Solution parse_solution(const std::string& name) {
+  if (name == "dyad") return workflow::Solution::kDyad;
+  if (name == "xfs") return workflow::Solution::kXfs;
+  if (name == "lustre") return workflow::Solution::kLustre;
+  if (name == "stream") return workflow::Solution::kStream;
+  throw ConfigError("unknown solution '" + name + "'" +
+                    did_you_mean(name, kSolutionNames));
+}
+
+// One candidate run: a (workload, scenario, solution) cell plus the
+// resolved DAG (shared across the workload's cells — parsed once).
+struct Cell {
+  std::size_t workload = 0;
+  std::size_t scenario = 0;
+  std::size_t solution = 0;
+};
+
+struct Recommendation {
+  std::string workflow;
+  std::string scenario;
+  std::uint64_t tasks = 0;
+  std::uint64_t edge_frames = 0;
+  std::string best;
+  double best_p99 = 0.0;
+  double best_makespan = 0.0;
+  std::string runner_up;
+  double runner_p99 = 0.0;
+  double margin_pct = 0.0;
+  std::string confidence;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  KeyValueConfig cfg;
+  try {
+    const auto positional = cfg.parse_args(argc, argv);
+    for (const auto& file : positional) {
+      std::ifstream in(file);
+      if (!in) return fail("cannot open config file '" + file + "'");
+      cfg.parse_stream(in);
+    }
+
+    const std::string workloads_key = cfg.get_string("workloads", "");
+    if (workloads_key.empty()) {
+      throw ConfigError(
+          "workloads is required: comma-separated wfcommons:<file> or "
+          "synth:<topology> references");
+    }
+    const std::vector<std::string> workload_refs = split_list(workloads_key);
+    const std::vector<std::string> solution_names =
+        split_list(cfg.get_string("solutions", "dyad,lustre,stream"));
+    const std::vector<std::string> scenarios =
+        split_list(cfg.get_string("scenarios", "none"));
+    if (workload_refs.empty()) throw ConfigError("workloads is empty");
+    if (solution_names.empty()) throw ConfigError("solutions is empty");
+    if (scenarios.empty()) throw ConfigError("scenarios is empty");
+    if (solution_names.size() < 2) {
+      throw ConfigError(
+          "solutions needs at least two candidates to rank, got '" +
+          solution_names[0] + "'");
+    }
+
+    std::vector<workflow::Solution> solutions;
+    for (const auto& name : solution_names) {
+      solutions.push_back(parse_solution(name));
+    }
+    for (const auto& s : scenarios) {
+      // Validate scenario names up front (and reject the node-loss family:
+      // recovery from a *permanent* loss needs the membership plane, which
+      // DAG runs do not support — such a sweep cell would never complete).
+      if (s == "none") continue;
+      const auto& known = fault::scenario_names();
+      if (std::find(known.begin(), known.end(), s) == known.end()) {
+        throw ConfigError("unknown scenario '" + s + "'" +
+                          did_you_mean(s, known));
+      }
+      if (s == "node-loss" || s == "loss-after-publish" ||
+          s == "heal-after-declare") {
+        throw ConfigError(
+            "scenario '" + s +
+            "' needs the membership plane, which DAG workloads do not "
+            "support; pick a recoverable scenario (e.g. node-crash, "
+            "broker-outage, bit-flip)");
+      }
+    }
+
+    const std::uint32_t nodes =
+        static_cast<std::uint32_t>(cfg.get_uint("nodes", 2));
+    const std::uint32_t reps =
+        static_cast<std::uint32_t>(cfg.get_uint("reps", 3));
+    const std::uint64_t seed = cfg.get_uint("seed", 1);
+    const std::uint32_t threads =
+        static_cast<std::uint32_t>(cfg.get_uint("threads", 1));
+    const std::string out_path = cfg.get_string("out", "");
+
+    wload::WorkloadDefaults wd;
+    wd.synth_tasks = cfg.get_uint("dag_tasks", wd.synth_tasks);
+    wd.synth_width =
+        static_cast<std::uint32_t>(cfg.get_uint("dag_width", wd.synth_width));
+    wd.synth_seed = cfg.get_uint("dag_seed", wd.synth_seed);
+    wd.synth_runtime_s = cfg.get_double("dag_runtime", wd.synth_runtime_s);
+    wd.synth_output_bytes = cfg.get_double("dag_bytes", wd.synth_output_bytes);
+    const Bytes chunk(cfg.get_uint("dag_chunk", Bytes::mib(32).count()));
+    if (chunk.count() == 0) {
+      throw ConfigError("dag_chunk must be a positive byte count");
+    }
+    const double scale = cfg.get_double("dag_scale", 1.0);
+    if (scale <= 0.0) {
+      throw ConfigError("dag_scale must be > 0, got " +
+                        std::to_string(scale));
+    }
+
+    if (const auto unknown = cfg.unknown_keys(); !unknown.empty()) {
+      constexpr std::string_view kKeys[] = {
+          "workloads", "solutions", "scenarios", "nodes",     "reps",
+          "seed",      "threads",   "dag_tasks", "dag_width", "dag_seed",
+          "dag_runtime",            "dag_bytes", "dag_chunk", "dag_scale",
+          "out"};
+      std::string msg = "unknown key(s):";
+      for (const auto& k : unknown) msg += " " + k + did_you_mean(k, kKeys);
+      throw ConfigError(msg);
+    }
+
+    // Parse every workload once; all its sweep cells share the Dag.
+    std::vector<std::shared_ptr<const wload::Dag>> dags;
+    for (const auto& ref : workload_refs) {
+      dags.push_back(
+          std::make_shared<const wload::Dag>(wload::load_workload(ref, wd)));
+    }
+
+    // Grid in canonical (workload, scenario, solution) order: run_sweep
+    // merges in this order whatever threads= is, so the CSV is
+    // byte-identical for every thread count.
+    std::vector<sweep::SweepPoint> grid;
+    std::vector<Cell> cells;
+    for (std::size_t w = 0; w < dags.size(); ++w) {
+      for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
+        for (std::size_t so = 0; so < solutions.size(); ++so) {
+          workflow::EnsembleConfig config;
+          config.solution = solutions[so];
+          config.nodes =
+              solutions[so] == workflow::Solution::kXfs ? 1 : nodes;
+          config.repetitions = reps;
+          config.base_seed = seed;
+          config.dag = dags[w];
+          config.dag_chunk = chunk;
+          config.dag_runtime_scale = scale;
+          if (scenarios[sc] != "none") {
+            fault::ScenarioShape shape;
+            shape.compute_nodes = config.nodes;
+            shape.ost_count = config.testbed.lustre.ost_count;
+            shape.seed = seed;
+            config.testbed.faults =
+                fault::make_scenario(scenarios[sc], shape);
+            config.testbed.dyad.retry.enabled = true;
+            config.testbed.dyad.retry.lustre_fallback = true;
+            bool flips = false;
+            bool crashes = false;
+            for (const auto& wdw : config.testbed.faults.windows) {
+              flips = flips || wdw.mode == fault::FaultMode::kBitFlip;
+              crashes =
+                  crashes || wdw.target == fault::FaultTarget::kNodeCrash;
+            }
+            config.testbed.integrity.enabled = flips || crashes;
+          }
+          grid.push_back({dags[w]->name + "/" + scenarios[sc] + "/" +
+                              solution_names[so],
+                          std::move(config)});
+          cells.push_back({w, sc, so});
+        }
+      }
+    }
+
+    const sweep::SweepResult swept = sweep::run_sweep(std::move(grid),
+                                                      threads);
+    int exit_code = 0;
+    for (const auto& p : swept.points) {
+      if (p.failed()) {
+        std::fprintf(stderr, "mdwf_advise: point '%s' failed: %s\n",
+                     p.label.c_str(), p.error_text.c_str());
+        exit_code = 1;
+      }
+    }
+    if (exit_code != 0) return exit_code;
+
+    // Rank each (workload, scenario) group by fetch P99, ascending; ties
+    // break toward the earlier solutions= entry (stable order).
+    std::vector<Recommendation> recs;
+    const std::size_t per_group = solutions.size();
+    for (std::size_t w = 0; w < dags.size(); ++w) {
+      for (std::size_t sc = 0; sc < scenarios.size(); ++sc) {
+        const std::size_t base = (w * scenarios.size() + sc) * per_group;
+        std::vector<std::size_t> order(per_group);
+        for (std::size_t i = 0; i < per_group; ++i) order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                           const auto& ra = swept.points[base + a].result;
+                           const auto& rb = swept.points[base + b].result;
+                           return ra.cons_fetch_us.quantile(0.99) <
+                                  rb.cons_fetch_us.quantile(0.99);
+                         });
+        const auto& best = swept.points[base + order[0]].result;
+        const auto& runner = swept.points[base + order[1]].result;
+
+        Recommendation rec;
+        rec.workflow = dags[w]->name;
+        rec.scenario = scenarios[sc];
+        rec.tasks = dags[w]->tasks.size();
+        rec.edge_frames =
+            workflow::plan_dag(*dags[w], chunk, nodes).total_edge_frames;
+        rec.best = solution_names[order[0]];
+        rec.best_p99 = best.cons_fetch_us.quantile(0.99);
+        rec.best_makespan = best.makespan_s.mean();
+        rec.runner_up = solution_names[order[1]];
+        rec.runner_p99 = runner.cons_fetch_us.quantile(0.99);
+        rec.margin_pct =
+            rec.best_p99 > 0.0
+                ? 100.0 * (rec.runner_p99 - rec.best_p99) / rec.best_p99
+                : 0.0;
+        // Repetition spread of the winner, as a percentage of its mean
+        // makespan: the noise floor the margin must clear.
+        const double spread_pct =
+            best.makespan_s.mean() > 0.0
+                ? 100.0 * best.makespan_s.stddev() / best.makespan_s.mean()
+                : 0.0;
+        rec.confidence = rec.margin_pct >= 2.0 * spread_pct + 10.0 ? "high"
+                         : rec.margin_pct >= spread_pct            ? "medium"
+                                                                   : "low";
+        recs.push_back(std::move(rec));
+      }
+    }
+
+    std::string csv =
+        "workflow,scenario,tasks,edge_frames,recommendation,fetch_p99_us,"
+        "makespan_s,runner_up,runner_up_p99_us,margin_pct,confidence\n";
+    for (const auto& rec : recs) {
+      char row[512];
+      std::snprintf(row, sizeof row,
+                    "%s,%s,%llu,%llu,%s,%.3f,%.4f,%s,%.3f,%.1f,%s\n",
+                    rec.workflow.c_str(), rec.scenario.c_str(),
+                    static_cast<unsigned long long>(rec.tasks),
+                    static_cast<unsigned long long>(rec.edge_frames),
+                    rec.best.c_str(), rec.best_p99, rec.best_makespan,
+                    rec.runner_up.c_str(), rec.runner_p99, rec.margin_pct,
+                    rec.confidence.c_str());
+      csv += row;
+    }
+
+    if (out_path.empty()) {
+      std::fputs(csv.c_str(), stdout);
+    } else {
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) return fail("cannot write '" + out_path + "'");
+      out << csv;
+      out.close();
+
+      TextTable t({"workflow", "scenario", "recommendation", "fetch P99",
+                   "runner-up", "margin", "confidence"});
+      for (const auto& rec : recs) {
+        t.add_row({rec.workflow, rec.scenario, rec.best,
+                   format_double(rec.best_p99, 1) + " us",
+                   rec.runner_up, format_double(rec.margin_pct, 1) + "%",
+                   rec.confidence});
+      }
+      std::printf("%zu workload(s) x %zu scenario(s) x %zu solution(s), "
+                  "%u repetition(s) each\n\n%s\nCSV written to %s\n",
+                  dags.size(), scenarios.size(), solutions.size(), reps,
+                  t.render().c_str(), out_path.c_str());
+    }
+  } catch (const ConfigError& e) {
+    return fail(e.what());
+  } catch (const std::exception& e) {
+    return fail(std::string("error: ") + e.what());
+  }
+  return 0;
+}

@@ -57,6 +57,19 @@
 //   output     = table | csv                (default table)
 //   tree       = 0|1                        (print the consumer call tree)
 //
+// DAG workload mode (mdwf::wload, DESIGN.md Sec. 13) — when workload= is
+// present the fixed producer/consumer pipeline is replaced by a
+// dependency-driven task graph; pairs/frames/model/stride are ignored and
+// the run's frame total is the DAG's edge-frame count:
+//   workload   = wfcommons:<file> | synth:chain|fork-join|montage
+//   dag_tasks  = <n>      synthetic task count            (default 8)
+//   dag_width  = <n>      synthetic fan-out width         (default 4)
+//   dag_seed   = <n>      synthetic shape seed            (default 1)
+//   dag_runtime= <s>      synthetic median task runtime   (default 2.0)
+//   dag_bytes  = <n>      synthetic median output bytes   (default 64 MiB)
+//   dag_chunk  = <n>      edge frame size in bytes        (default 32 MiB)
+//   dag_scale  = <x>      task runtime multiplier         (default 1.0)
+//
 // Co-tenant mode (multi-tenant co-scheduling, DESIGN.md Sec. 11) — when
 // tenants= is present the driver places every tenant on its own node slice
 // of ONE shared testbed instead of running a single ensemble:
@@ -87,7 +100,9 @@
 #include "mdwf/common/table.hpp"
 #include "mdwf/sweep/sweep.hpp"
 #include "mdwf/tenant/tenant.hpp"
+#include "mdwf/wload/wload.hpp"
 #include "mdwf/workflow/config.hpp"
+#include "mdwf/workflow/dag_run.hpp"
 #include "mdwf/workflow/ensemble.hpp"
 
 namespace {
@@ -226,6 +241,23 @@ int main(int argc, char** argv) {
     const std::string solution = cfg.get_string("solution", "dyad");
     const std::string model_name(config.workload.model.name);
 
+    // DAG runs report the graph's own shape: the classic pairs/frames keys
+    // do not apply, and completeness is counted in edge-frames (the model
+    // column carries the workflow name, pairs the task count, stride 0).
+    const bool dag_mode = config.dag != nullptr;
+    const std::uint64_t frames_per_rep =
+        dag_mode ? workflow::plan_dag(*config.dag, config.dag_chunk,
+                                      config.nodes)
+                       .total_edge_frames
+                 : static_cast<std::uint64_t>(config.pairs) *
+                       config.workload.frames;
+    const std::string workload_name = dag_mode ? config.dag->name
+                                               : model_name;
+    const std::uint32_t width =
+        dag_mode ? static_cast<std::uint32_t>(config.dag->tasks.size())
+                 : config.pairs;
+    const std::uint64_t shown_stride = dag_mode ? 0 : config.workload.stride;
+
     // Parallel replica runner: honors threads= with byte-identical results.
     const auto r = sweep::run_ensemble(config);
 
@@ -238,10 +270,11 @@ int main(int argc, char** argv) {
                                                                name.c_str());
       std::printf("\n");
       std::printf("%s,%s,%u,%u,%llu,%llu,%u,%.3f,%.3f,%.3f,%.3f,%.4f,%.3f",
-                  solution.c_str(), model_name.c_str(), config.pairs,
+                  solution.c_str(), workload_name.c_str(), width,
                   config.nodes,
-                  static_cast<unsigned long long>(config.workload.stride),
-                  static_cast<unsigned long long>(config.workload.frames),
+                  static_cast<unsigned long long>(shown_stride),
+                  static_cast<unsigned long long>(
+                      dag_mode ? frames_per_rep : config.workload.frames),
                   config.repetitions, r.prod_movement_us.mean(),
                   r.prod_idle_us.mean(), r.cons_movement_us.mean(),
                   r.cons_idle_us.mean(), r.makespan_s.mean(),
@@ -263,14 +296,26 @@ int main(int argc, char** argv) {
       };
       row("production/frame", r.prod_movement_us, r.prod_idle_us);
       row("consumption/frame", r.cons_movement_us, r.cons_idle_us);
-      std::printf("%s, %s, %u pair(s), %u node(s), stride %llu, %llu "
-                  "frames, %u repetition(s)\n\n%s\nmakespan %.3f +/- %.3f s\n",
-                  solution.c_str(), model_name.c_str(), config.pairs,
-                  config.nodes,
-                  static_cast<unsigned long long>(config.workload.stride),
-                  static_cast<unsigned long long>(config.workload.frames),
-                  config.repetitions, t.render().c_str(), r.makespan_s.mean(),
-                  r.makespan_s.stddev());
+      if (dag_mode) {
+        std::printf("%s, workflow '%s', %u task(s), %u node(s), %llu "
+                    "edge-frame(s), %u repetition(s)\n\n%s\nmakespan %.3f "
+                    "+/- %.3f s\n",
+                    solution.c_str(), workload_name.c_str(), width,
+                    config.nodes,
+                    static_cast<unsigned long long>(frames_per_rep),
+                    config.repetitions, t.render().c_str(),
+                    r.makespan_s.mean(), r.makespan_s.stddev());
+      } else {
+        std::printf("%s, %s, %u pair(s), %u node(s), stride %llu, %llu "
+                    "frames, %u repetition(s)\n\n%s\nmakespan %.3f +/- %.3f "
+                    "s\n",
+                    solution.c_str(), model_name.c_str(), config.pairs,
+                    config.nodes,
+                    static_cast<unsigned long long>(config.workload.stride),
+                    static_cast<unsigned long long>(config.workload.frames),
+                    config.repetitions, t.render().c_str(),
+                    r.makespan_s.mean(), r.makespan_s.stddev());
+      }
       std::printf("frame-fetch P99 %.1f us (P50 %.1f us, %zu samples)\n",
                   r.cons_fetch_us.quantile(0.99),
                   r.cons_fetch_us.quantile(0.50), r.cons_fetch_us.count());
@@ -296,10 +341,9 @@ int main(int argc, char** argv) {
 
     // A run that lost data is a failed run, whatever the tables say: every
     // frame must reach its consumer checksum-clean.  One line on stderr,
-    // exit 2, so scripted sweeps and CI notice.
-    const std::uint64_t expected = static_cast<std::uint64_t>(config.pairs) *
-                                   config.workload.frames *
-                                   config.repetitions;
+    // exit 2, so scripted sweeps and CI notice.  (frames_per_rep is the
+    // DAG's edge-frame total in workload mode, pairs*frames otherwise.)
+    const std::uint64_t expected = frames_per_rep * config.repetitions;
     // Diagnostics carry the active fault scenario and base seed so a failed
     // chaos/CI run is reproducible from its stderr line alone.
     const std::string scenario = cfg.get_string("faults", "none");
